@@ -1,0 +1,55 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! SPE victim selection, simplex refactorization cadence, and
+//! constraint-building cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsan_core::constraints::PrivacyConstraints;
+use dpsan_core::ump::diversity::{solve_dump_with, DumpOptions, DumpSolver};
+use dpsan_core::ump::output_size::{solve_oump_with, OumpOptions};
+use dpsan_datagen::{generate, presets};
+use dpsan_dp::params::PrivacyParams;
+use dpsan_lp::simplex::SimplexOptions;
+use dpsan_searchlog::preprocess;
+
+fn bench(c: &mut Criterion) {
+    let (pre, _) = preprocess(&generate(&presets::aol_tiny()));
+    let params = PrivacyParams::from_e_epsilon(1.7, 0.2);
+    let constraints = PrivacyConstraints::build(&pre, params).unwrap();
+
+    let mut g = c.benchmark_group("ablations");
+    // SPE variant ablation
+    for (name, solver) in
+        [("spe_global", DumpSolver::Spe), ("spe_violated", DumpSolver::SpeViolated)]
+    {
+        g.bench_with_input(BenchmarkId::new("spe", name), &solver, |b, s| {
+            b.iter(|| {
+                solve_dump_with(
+                    &constraints,
+                    &DumpOptions { solver: s.clone(), ..Default::default() },
+                )
+                .unwrap()
+            })
+        });
+    }
+    // refactorization cadence ablation
+    for every in [16usize, 64, 256] {
+        let lp = SimplexOptions { refactor_every: every, ..Default::default() };
+        g.bench_with_input(BenchmarkId::new("refactor_every", every), &lp, |b, lp| {
+            b.iter(|| {
+                solve_oump_with(
+                    &constraints,
+                    &OumpOptions { lp: lp.clone(), ..Default::default() },
+                )
+                .unwrap()
+            })
+        });
+    }
+    // constraint building
+    g.bench_function("build_constraints", |b| {
+        b.iter(|| PrivacyConstraints::build(&pre, params).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench for Figure 3 / Tables 5-6: the F-UMP solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsan_core::constraints::PrivacyConstraints;
+use dpsan_core::ump::frequent::{solve_fump_with, FumpOptions};
+use dpsan_core::ump::output_size::{solve_oump_with, OumpOptions};
+use dpsan_datagen::{generate, presets};
+use dpsan_dp::params::PrivacyParams;
+use dpsan_searchlog::preprocess;
+
+fn bench(c: &mut Criterion) {
+    let (pre, _) = preprocess(&generate(&presets::aol_tiny()));
+    let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
+    let constraints = PrivacyConstraints::build(&pre, params).unwrap();
+    let lambda = solve_oump_with(&constraints, &OumpOptions::default()).unwrap().lambda.max(2);
+
+    let mut g = c.benchmark_group("fig3_fump");
+    for frac in [4u64, 2] {
+        let output_size = (lambda / frac).max(1);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("O=lambda/{frac}")),
+            &output_size,
+            |b, &o| {
+                b.iter(|| {
+                    solve_fump_with(&pre, &constraints, &FumpOptions::new(0.02, o)).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

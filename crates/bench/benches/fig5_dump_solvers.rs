@@ -1,0 +1,38 @@
+//! Bench for Figure 5 / Table 7: the D-UMP solver suite on one instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsan_core::constraints::PrivacyConstraints;
+use dpsan_core::ump::diversity::{solve_dump_with, DumpOptions, DumpSolver};
+use dpsan_datagen::{generate, presets};
+use dpsan_dp::params::PrivacyParams;
+use dpsan_searchlog::preprocess;
+
+fn bench(c: &mut Criterion) {
+    let (pre, _) = preprocess(&generate(&presets::aol_tiny()));
+    let params = PrivacyParams::from_e_epsilon(1.7, 1e-3);
+    let constraints = PrivacyConstraints::build(&pre, params).unwrap();
+
+    let solvers: Vec<(&str, DumpSolver)> = vec![
+        ("spe", DumpSolver::Spe),
+        ("spe_violated", DumpSolver::SpeViolated),
+        ("lp_round", DumpSolver::LpRound),
+        ("pump", DumpSolver::Pump { restarts: 6, seed: 7 }),
+        ("branch_bound", DumpSolver::BranchBound { max_nodes: 500 }),
+    ];
+    let mut g = c.benchmark_group("fig5_dump_solvers");
+    for (name, solver) in solvers {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &solver, |b, s| {
+            b.iter(|| {
+                solve_dump_with(
+                    &constraints,
+                    &DumpOptions { solver: s.clone(), ..Default::default() },
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

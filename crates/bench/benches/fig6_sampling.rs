@@ -1,0 +1,42 @@
+//! Bench for Figure 6: multinomial output sampling and the DiffRatio
+//! histogram, plus the alias-vs-CDF ablation of the sampler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsan_core::metrics::diff_ratio_histogram;
+use dpsan_core::sampling::sample_output;
+use dpsan_core::ump::output_size::{solve_oump, OumpOptions};
+use dpsan_datagen::{generate, presets};
+use dpsan_dp::multinomial::MultinomialStrategy;
+use dpsan_dp::params::PrivacyParams;
+use dpsan_searchlog::preprocess;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let (pre, _) = preprocess(&generate(&presets::aol_tiny()));
+    let params = PrivacyParams::from_e_epsilon(2.0, 0.8);
+    let counts = solve_oump(&pre, params, &OumpOptions::default()).unwrap().counts;
+
+    let mut g = c.benchmark_group("fig6_sampling");
+    for (name, strategy) in [
+        ("auto", MultinomialStrategy::Auto),
+        ("alias", MultinomialStrategy::Alias),
+        ("cdf_scan", MultinomialStrategy::CdfScan),
+    ] {
+        g.bench_with_input(BenchmarkId::new("sample", name), &strategy, |b, &s| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                sample_output(&mut rng, &pre, &counts, s)
+            })
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(1);
+    let output = sample_output(&mut rng, &pre, &counts, MultinomialStrategy::Auto);
+    g.bench_function("diff_ratio_histogram", |b| {
+        b.iter(|| diff_ratio_histogram(&pre, &output, 0.1, 10))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Microbenches of the LP substrate: simplex on packing LPs of
+//! increasing size, sparse LU factorization, and scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsan_lp::problem::{Problem, RowBounds, Sense, VarBounds};
+use dpsan_lp::simplex::{solve, SimplexOptions};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn packing(n: usize, m: usize, seed: u64) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Problem::new(Sense::Maximize);
+    for _ in 0..n {
+        p.add_col(1.0, VarBounds { lower: 0.0, upper: 50.0 }).unwrap();
+    }
+    for _ in 0..m {
+        let k = rng.random_range(3..10);
+        let entries: Vec<(usize, f64)> =
+            (0..k).map(|_| (rng.random_range(0..n), rng.random::<f64>() * 0.4 + 0.01)).collect();
+        p.add_row(RowBounds::at_most(0.7), &entries).unwrap();
+    }
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_simplex");
+    for (n, m) in [(100usize, 40usize), (400, 160), (1000, 400)] {
+        let p = packing(n, m, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &p, |b, p| {
+            b.iter(|| solve(p, &SimplexOptions::default()).unwrap())
+        });
+    }
+    // scaling ablation
+    let p = packing(400, 160, 7);
+    g.bench_function("noscale_400x160", |b| {
+        b.iter(|| solve(&p, &SimplexOptions { scaling: false, ..Default::default() }).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

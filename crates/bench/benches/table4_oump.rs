@@ -1,0 +1,26 @@
+//! Bench for Table 4: the O-UMP λ solve across privacy budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsan_core::constraints::PrivacyConstraints;
+use dpsan_core::ump::output_size::{solve_oump_with, OumpOptions};
+use dpsan_datagen::{generate, presets};
+use dpsan_dp::params::PrivacyParams;
+use dpsan_searchlog::preprocess;
+
+fn bench(c: &mut Criterion) {
+    let (pre, _) = preprocess(&generate(&presets::aol_tiny()));
+    let mut g = c.benchmark_group("table4_oump");
+    for (label, e_eps, delta) in
+        [("tight", 1.01, 1e-2), ("mid", 1.7, 0.2), ("loose", 2.3, 0.8)]
+    {
+        let params = PrivacyParams::from_e_epsilon(e_eps, delta);
+        let constraints = PrivacyConstraints::build(&pre, params).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &constraints, |b, cons| {
+            b.iter(|| solve_oump_with(cons, &OumpOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

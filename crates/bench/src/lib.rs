@@ -1,0 +1,2 @@
+//! Bench-only crate: see `benches/` for the criterion targets, one per
+//! paper table/figure family plus the ablations of DESIGN.md §5.

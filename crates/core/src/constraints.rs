@@ -1,0 +1,263 @@
+//! The differential-privacy constraints of Theorem 1 / Equation (4).
+//!
+//! For a preprocessed log, every user log `A_k` yields one linear
+//! constraint over the output counts `x = {x_ij}`:
+//!
+//! ```text
+//! Σ_{(i,j) ∈ A_k}  x_ij · ln t_ijk  ≤  B,    t_ijk = c_ij / (c_ij − c_ijk)
+//! ```
+//!
+//! with the collapsed budget `B = min{ε, ln 1/(1−δ)}`. All coefficients
+//! are strictly positive, so the polytope `{Mx ≤ B·1, x ≥ 0}` is always
+//! feasible and bounded (Statement 1) — and the optimum of any linear
+//! objective over it scales linearly in `B`.
+
+use dpsan_dp::params::PrivacyParams;
+use dpsan_lp::problem::{Problem, RowBounds};
+use dpsan_searchlog::{PairId, SearchLog, UserId};
+
+use crate::error::CoreError;
+
+/// The constraint system `M x ≤ B·1` of one preprocessed log.
+#[derive(Debug, Clone)]
+pub struct PrivacyConstraints {
+    /// Users with non-empty logs, one per constraint row (row order).
+    users: Vec<UserId>,
+    /// Sparse rows: `rows[i]` lists `(pair index, ln t_ijk)` for user i.
+    rows: Vec<Vec<(usize, f64)>>,
+    /// The budget `B`.
+    budget: f64,
+    /// Number of pair variables.
+    n_pairs: usize,
+    /// Input totals `c_ij` per pair (used by count caps).
+    pair_totals: Vec<u64>,
+}
+
+impl PrivacyConstraints {
+    /// Build the constraints for a preprocessed log.
+    ///
+    /// Fails with [`CoreError::NotPreprocessed`] when some pair is held
+    /// entirely by one user (its `t_ijk` would be infinite).
+    pub fn build(log: &SearchLog, params: PrivacyParams) -> Result<Self, CoreError> {
+        let n_pairs = log.n_pairs();
+        for p in 0..n_pairs {
+            if log.n_holders(PairId::from_index(p)) < 2 {
+                return Err(CoreError::NotPreprocessed { pair: p });
+            }
+        }
+
+        let users: Vec<UserId> = log.users_with_logs().collect();
+        let mut rows = Vec::with_capacity(users.len());
+        for &k in &users {
+            let mut row = Vec::with_capacity(log.user_log_len(k));
+            for e in log.user_log(k) {
+                let c_ij = log.pair_total(e.pair) as f64;
+                let c_ijk = e.count as f64;
+                // ln t = ln(c / (c - c_k)) > 0; finite because c_k < c
+                let ln_t = (c_ij / (c_ij - c_ijk)).ln();
+                debug_assert!(ln_t.is_finite() && ln_t > 0.0);
+                row.push((e.pair.index(), ln_t));
+            }
+            rows.push(row);
+        }
+
+        let pair_totals: Vec<u64> =
+            (0..n_pairs).map(|pi| log.pair_total(PairId::from_index(pi))).collect();
+        Ok(PrivacyConstraints { users, rows, budget: params.budget().value(), n_pairs, pair_totals })
+    }
+
+    /// Input totals `c_ij` per pair.
+    pub fn pair_totals(&self) -> &[u64] {
+        &self.pair_totals
+    }
+
+    /// Number of constraint rows (users with non-empty logs).
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of pair variables.
+    pub fn n_pairs(&self) -> usize {
+        self.n_pairs
+    }
+
+    /// The budget `B`.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// The users owning each row, in row order.
+    pub fn users(&self) -> &[UserId] {
+        &self.users
+    }
+
+    /// The sparse row of one user: `(pair index, ln t_ijk)` entries.
+    pub fn row(&self, i: usize) -> &[(usize, f64)] {
+        &self.rows[i]
+    }
+
+    /// Largest coefficient `ln t_ijk` in the system (the "most
+    /// sensitive" triplet; drives the SPE heuristic).
+    pub fn max_coefficient(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (i, row) in self.rows.iter().enumerate() {
+            for &(p, v) in row {
+                if best.map_or(true, |(_, _, bv)| v > bv) {
+                    best = Some((i, p, v));
+                }
+            }
+        }
+        best
+    }
+
+    /// Left-hand side `Σ x ln t` of every row at a point.
+    pub fn row_activity(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_pairs, "dimension mismatch");
+        self.rows
+            .iter()
+            .map(|row| row.iter().map(|&(p, v)| v * x[p]).sum())
+            .collect()
+    }
+
+    /// Worst violation `max_i (Σ x ln t − B)` at a point (≤ 0 means the
+    /// point satisfies every privacy constraint).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        self.row_activity(x)
+            .into_iter()
+            .map(|a| a - self.budget)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Check a candidate count vector (integer counts are exact; the
+    /// tolerance covers only `f64` summation noise).
+    pub fn satisfied_by(&self, counts: &[u64], tol: f64) -> bool {
+        let x: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        self.n_pairs == 0 || self.max_violation(&x) <= tol
+    }
+
+    /// Append the constraint rows to an LP over columns
+    /// `cols[pair index]`.
+    pub fn add_to_problem(&self, p: &mut Problem, cols: &[usize]) {
+        assert_eq!(cols.len(), self.n_pairs, "need one column per pair");
+        for row in &self.rows {
+            let entries: Vec<(usize, f64)> = row.iter().map(|&(pi, v)| (cols[pi], v)).collect();
+            p.add_row(RowBounds::at_most(self.budget), &entries)
+                .expect("constraint rows are valid");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsan_searchlog::{preprocess, SearchLogBuilder};
+
+    pub(crate) fn shared_log() -> SearchLog {
+        // two shared pairs between three users (preprocessed form)
+        let mut b = SearchLogBuilder::new();
+        b.add("u1", "google", "google.com", 15).unwrap();
+        b.add("u2", "google", "google.com", 7).unwrap();
+        b.add("u3", "google", "google.com", 17).unwrap();
+        b.add("u1", "book", "amazon.com", 3).unwrap();
+        b.add("u3", "book", "amazon.com", 1).unwrap();
+        let (log, _) = preprocess(&b.build());
+        log
+    }
+
+    fn params() -> PrivacyParams {
+        PrivacyParams::from_e_epsilon(2.0, 0.5)
+    }
+
+    #[test]
+    fn coefficients_match_formula() {
+        let log = shared_log();
+        let c = PrivacyConstraints::build(&log, params()).unwrap();
+        assert_eq!(c.n_rows(), 3);
+        assert_eq!(c.n_pairs(), 2);
+        // user u1 holds google (15 of 39) and book (3 of 4)
+        let row = c.row(0);
+        let google = log
+            .pair_id(
+                dpsan_searchlog::QueryId(log.queries().get("google").unwrap()),
+                dpsan_searchlog::UrlId(log.urls().get("google.com").unwrap()),
+            )
+            .unwrap();
+        let (_, lt_google) = row.iter().find(|&&(p, _)| p == google.index()).copied().unwrap();
+        assert!((lt_google - (39.0f64 / 24.0).ln()).abs() < 1e-12);
+        let (_, lt_book) = row.iter().find(|&&(p, _)| p != google.index()).copied().unwrap();
+        assert!((lt_book - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_is_collapsed_min() {
+        let log = shared_log();
+        // δ = 0.5 -> ln 2 = ε side equal; budget = ln 2
+        let c = PrivacyConstraints::build(&log, params()).unwrap();
+        assert!((c.budget() - 2.0f64.ln()).abs() < 1e-12);
+        // tighter δ binds instead
+        let c = PrivacyConstraints::build(&log, PrivacyParams::from_e_epsilon(2.0, 0.1)).unwrap();
+        assert!((c.budget() - (1.0f64 / 0.9).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unpreprocessed_log_rejected() {
+        let mut b = SearchLogBuilder::new();
+        b.add("u1", "solo", "example.com", 5).unwrap();
+        b.add("u1", "google", "google.com", 1).unwrap();
+        b.add("u2", "google", "google.com", 1).unwrap();
+        let log = b.build();
+        assert!(matches!(
+            PrivacyConstraints::build(&log, params()),
+            Err(CoreError::NotPreprocessed { .. })
+        ));
+    }
+
+    #[test]
+    fn violation_and_satisfaction() {
+        let log = shared_log();
+        let c = PrivacyConstraints::build(&log, params()).unwrap();
+        assert!(c.satisfied_by(&[0, 0], 0.0));
+        assert!(c.max_violation(&[0.0, 0.0]) < 0.0);
+        // huge counts must violate
+        assert!(!c.satisfied_by(&[1000, 1000], 1e-9));
+    }
+
+    #[test]
+    fn zero_counts_always_satisfy() {
+        let log = shared_log();
+        for delta in [0.001, 0.1, 0.8] {
+            let c =
+                PrivacyConstraints::build(&log, PrivacyParams::from_e_epsilon(1.01, delta)).unwrap();
+            assert!(c.satisfied_by(&[0, 0], 0.0));
+        }
+    }
+
+    #[test]
+    fn max_coefficient_is_most_sensitive_triplet() {
+        let log = shared_log();
+        let c = PrivacyConstraints::build(&log, params()).unwrap();
+        let (_, _, v) = c.max_coefficient().unwrap();
+        // the most sensitive triplet is u1 holding 3 of 4 "book" clicks:
+        // t = 4/1 = 4
+        assert!((v - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_to_problem_round_trips() {
+        use dpsan_lp::problem::{Sense, VarBounds};
+        let log = shared_log();
+        let c = PrivacyConstraints::build(&log, params()).unwrap();
+        let mut p = Problem::new(Sense::Maximize);
+        let cols: Vec<usize> =
+            (0..c.n_pairs()).map(|_| p.add_col(1.0, VarBounds::non_negative()).unwrap()).collect();
+        c.add_to_problem(&mut p, &cols);
+        assert_eq!(p.n_rows(), c.n_rows());
+        // activity agreement at a random point
+        let x = vec![2.0, 5.0];
+        let via_problem = p.matrix().matvec(&x);
+        let via_rows = c.row_activity(&x);
+        for (a, b) in via_problem.iter().zip(&via_rows) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

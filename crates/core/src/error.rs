@@ -1,0 +1,85 @@
+//! Error type for the sanitization pipeline.
+
+use std::fmt;
+
+/// Errors surfaced by the core sanitization layer.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The input log still contains a pair entirely held by one user
+    /// (Condition 1 of Theorem 1 requires preprocessing first).
+    NotPreprocessed {
+        /// Index of an offending pair.
+        pair: usize,
+    },
+    /// The requested output size is not achievable under the privacy
+    /// constraints (must be in `(0, λ]`).
+    OutputSizeInfeasible {
+        /// The requested size.
+        requested: u64,
+    },
+    /// The LP/MIP solver failed or hit a limit.
+    Solver(dpsan_lp::LpError),
+    /// The solver returned a non-optimal status for a problem that must
+    /// be solvable (the privacy polytope is always feasible and bounded).
+    UnexpectedStatus(&'static str),
+    /// A computed solution violated the privacy constraints beyond
+    /// tolerance (indicates a numerical problem; never released).
+    ConstraintViolation {
+        /// The worst violation found.
+        violation: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotPreprocessed { pair } => write!(
+                f,
+                "pair {pair} is held entirely by one user; run preprocessing (Condition 1) first"
+            ),
+            CoreError::OutputSizeInfeasible { requested } => {
+                write!(f, "output size {requested} exceeds the privacy-feasible maximum λ")
+            }
+            CoreError::Solver(e) => write!(f, "solver failure: {e}"),
+            CoreError::UnexpectedStatus(s) => write!(f, "unexpected solver status: {s}"),
+            CoreError::ConstraintViolation { violation } => {
+                write!(f, "solution violates privacy constraints by {violation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dpsan_lp::LpError> for CoreError {
+    fn from(e: dpsan_lp::LpError) -> Self {
+        CoreError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoreError::NotPreprocessed { pair: 3 }.to_string().contains("pair 3"));
+        assert!(CoreError::OutputSizeInfeasible { requested: 99 }.to_string().contains("99"));
+        assert!(CoreError::ConstraintViolation { violation: 0.5 }.to_string().contains("0.5"));
+        assert!(CoreError::UnexpectedStatus("unbounded").to_string().contains("unbounded"));
+    }
+
+    #[test]
+    fn solver_error_wraps() {
+        use std::error::Error;
+        let e = CoreError::from(dpsan_lp::LpError::SingularBasis);
+        assert!(e.source().is_some());
+    }
+}

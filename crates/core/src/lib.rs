@@ -1,0 +1,43 @@
+//! # dpsan-core
+//!
+//! The paper's contribution: *differentially private search-log
+//! sanitization with optimal output utility* (Hong, Vaidya, Lu, Wu —
+//! EDBT 2012).
+//!
+//! The sanitization (Algorithm 1) has two steps:
+//!
+//! 1. compute optimal output counts `x*_ij` for every query–url pair by
+//!    solving a **utility-maximizing problem** whose constraints
+//!    (Theorem 1) guarantee `(ε, δ)`-probabilistic differential privacy —
+//!    see [`constraints`] and the three objectives in [`ump`];
+//! 2. sample user-IDs for each pair with `⌊x*_ij⌋` multinomial trials —
+//!    see [`sampling`] — so the output has the *identical schema* as the
+//!    input search log.
+//!
+//! [`sanitizer`] wires the pipeline together (preprocessing → UMP →
+//! optional Section-4.2 Laplace step → sampling); [`metrics`] implements
+//! every utility measure of the evaluation (precision/recall of
+//! frequent pairs, support distances, diversity, `DiffRatio`
+//! histograms); [`theory`] computes the probabilities of Eqs. (1)–(3)
+//! in closed form and exhaustively checks Definition 2 on tiny logs;
+//! [`end_to_end`] implements the leave-one-out sensitivity bounding and
+//! Laplace noising of the count-computation step.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod end_to_end;
+pub mod error;
+pub mod metrics;
+pub mod sampling;
+pub mod sanitizer;
+pub mod theory;
+pub mod ump;
+
+pub use constraints::PrivacyConstraints;
+pub use error::CoreError;
+pub use sanitizer::{SanitizedOutput, Sanitizer, SanitizerConfig, UtilityObjective};
+pub use ump::diversity::{solve_dump, DumpOptions, DumpSolution, DumpSolver};
+pub use ump::frequent::{solve_fump, FumpOptions, FumpSolution};
+pub use ump::output_size::{solve_oump, OumpOptions, OumpSolution};

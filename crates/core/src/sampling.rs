@@ -1,0 +1,181 @@
+//! Multinomial user-ID sampling (Algorithm 1, step 2).
+//!
+//! For every pair `(q_i, u_j)` with optimal output count `x*_ij > 0`,
+//! run `x*_ij` independent multinomial trials; each trial samples user
+//! `s_k` with probability `c_ijk / c_ij` given by the *input* query–url–
+//! user histogram. The sampled triplet counts `x_ijk` form the output
+//! log — with the identical schema as the input, the paper's headline
+//! property.
+
+use rand::Rng;
+
+use dpsan_dp::multinomial::{sample_multinomial, MultinomialStrategy};
+use dpsan_searchlog::{LogRecord, PairId, SearchLog, SearchLogBuilder};
+
+/// Sample a sanitized output log.
+///
+/// `counts[p]` is the number of multinomial trials for pair `p` of
+/// `log` (the preprocessed input). Pairs with zero count are absent
+/// from the output.
+pub fn sample_output<R: Rng>(
+    rng: &mut R,
+    log: &SearchLog,
+    counts: &[u64],
+    strategy: MultinomialStrategy,
+) -> SearchLog {
+    assert_eq!(counts.len(), log.n_pairs(), "need one count per pair");
+    let mut builder = SearchLogBuilder::with_vocabulary_of(log);
+    for (pi, &trials) in counts.iter().enumerate() {
+        if trials == 0 {
+            continue;
+        }
+        let pair = PairId::from_index(pi);
+        let holders: Vec<_> = log.holders(pair).collect();
+        let weights: Vec<u64> = holders.iter().map(|t| t.count).collect();
+        let sampled = sample_multinomial(rng, &weights, trials, strategy);
+        let (q, u) = log.pair_key(pair);
+        for (holder, &x_ijk) in holders.iter().zip(&sampled) {
+            if x_ijk > 0 {
+                builder
+                    .add_record(LogRecord { user: holder.user, query: q, url: u, count: x_ijk })
+                    .expect("positive sampled count");
+            }
+        }
+    }
+    builder.build()
+}
+
+/// The per-pair total counts of an output log expressed in the pair id
+/// space of the input log (0 for pairs absent from the output). Useful
+/// for comparing sampled outputs against the optimal counts.
+pub fn output_pair_counts(input: &SearchLog, output: &SearchLog) -> Vec<u64> {
+    (0..input.n_pairs())
+        .map(|pi| {
+            let (q, u) = input.pair_key(PairId::from_index(pi));
+            output.pair_id(q, u).map_or(0, |op| output.pair_total(op))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsan_searchlog::preprocess;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn figure1_log() -> SearchLog {
+        let mut b = SearchLogBuilder::new();
+        b.add("081", "pregnancy test nyc", "medicinenet.com", 2).unwrap();
+        b.add("081", "book", "amazon.com", 3).unwrap();
+        b.add("081", "google", "google.com", 15).unwrap();
+        b.add("082", "google", "google.com", 7).unwrap();
+        b.add("082", "diabetes medecine", "walmart.com", 1).unwrap();
+        b.add("082", "car price", "kbb.com", 2).unwrap();
+        b.add("083", "car price", "kbb.com", 5).unwrap();
+        b.add("083", "google", "google.com", 17).unwrap();
+        b.add("083", "book", "amazon.com", 1).unwrap();
+        let (log, _) = preprocess(&b.build());
+        log
+    }
+
+    #[test]
+    fn output_totals_match_requested_counts() {
+        let log = figure1_log();
+        // the Figure 1 example: counts {0, 3, 20, 0, 4}-style
+        let mut counts = vec![0u64; log.n_pairs()];
+        counts[0] = 3;
+        counts[log.n_pairs() - 1] = 4;
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = sample_output(&mut rng, &log, &counts, MultinomialStrategy::Auto);
+        let got = output_pair_counts(&log, &out);
+        assert_eq!(got, counts);
+        assert_eq!(out.size(), 7);
+    }
+
+    #[test]
+    fn output_preserves_schema_and_vocabulary() {
+        let log = figure1_log();
+        let counts = vec![5u64; log.n_pairs()];
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = sample_output(&mut rng, &log, &counts, MultinomialStrategy::Auto);
+        // same interners: ids map to the same strings
+        assert_eq!(out.users().len(), log.users().len());
+        assert_eq!(out.queries().len(), log.queries().len());
+        for r in out.records() {
+            assert!(r.count > 0);
+            // every sampled user actually held the pair in the input
+            let p = log.pair_id(r.query, r.url).expect("pair exists in input");
+            assert!(
+                log.holders(p).any(|t| t.user == r.user),
+                "sampled a user who never held the pair"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_counts_produce_empty_output() {
+        let log = figure1_log();
+        let counts = vec![0u64; log.n_pairs()];
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = sample_output(&mut rng, &log, &counts, MultinomialStrategy::Auto);
+        assert_eq!(out.size(), 0);
+        assert_eq!(out.n_pairs(), 0);
+    }
+
+    #[test]
+    fn sampled_histogram_tracks_input_shape() {
+        // Section 3.2 property: E[x_ijk] = x_ij c_ijk / c_ij — with many
+        // trials the sampled histogram shape approaches the input shape.
+        let log = figure1_log();
+        let google = PairId::from_index(
+            (0..log.n_pairs())
+                .find(|&i| log.pair_total(PairId::from_index(i)) == 39)
+                .expect("google pair"),
+        );
+        let mut counts = vec![0u64; log.n_pairs()];
+        counts[google.index()] = 39_000;
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = sample_output(&mut rng, &log, &counts, MultinomialStrategy::Auto);
+        let (q, u) = log.pair_key(google);
+        let op = out.pair_id(q, u).unwrap();
+        for t in out.holders(op) {
+            let c_ijk = log.triplet_count(google, t.user) as f64;
+            let expect = 39_000.0 * c_ijk / 39.0;
+            assert!(
+                (t.count as f64 - expect).abs() < expect * 0.05,
+                "user {}: {} vs {}",
+                t.user,
+                t.count,
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn strategies_produce_valid_outputs() {
+        let log = figure1_log();
+        let counts = vec![10u64; log.n_pairs()];
+        for strategy in
+            [MultinomialStrategy::Auto, MultinomialStrategy::Alias, MultinomialStrategy::CdfScan]
+        {
+            let mut rng = StdRng::seed_from_u64(5);
+            let out = sample_output(&mut rng, &log, &counts, strategy);
+            assert_eq!(output_pair_counts(&log, &out), counts);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let log = figure1_log();
+        let counts = vec![7u64; log.n_pairs()];
+        let sample = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = sample_output(&mut rng, &log, &counts, MultinomialStrategy::Auto);
+            let mut rec: Vec<_> = out.records().collect();
+            rec.sort_unstable_by_key(|r| (r.query.0, r.url.0, r.user.0));
+            rec
+        };
+        assert_eq!(sample(42), sample(42));
+    }
+}

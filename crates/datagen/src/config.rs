@@ -1,0 +1,88 @@
+//! Generator configuration.
+
+/// Knobs of the AOL-like generator.
+///
+/// Defaults give a small but structurally faithful log; see
+/// [`crate::presets`] for calibrated sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AolLikeConfig {
+    /// Number of users.
+    pub n_users: usize,
+    /// Query vocabulary size (Zipf ranks).
+    pub n_queries: usize,
+    /// Zipf exponent of query popularity (AOL-like: ≈ 1).
+    pub query_zipf: f64,
+    /// Maximum distinct clicked urls per query.
+    pub urls_per_query: usize,
+    /// Zipf exponent of the url choice within a query (large values
+    /// concentrate click-throughs on the top result).
+    pub url_zipf: f64,
+    /// Mean click events per user (events on the same pair accumulate
+    /// into the count `c_ijk`).
+    pub mean_events_per_user: f64,
+    /// Log-normal shape parameter of user activity (0 = everyone equal;
+    /// AOL-like: ≈ 1).
+    pub activity_sigma: f64,
+    /// Probability that a click event revisits one of the user's own
+    /// earlier pairs instead of drawing a fresh query (navigational
+    /// re-clicks). Drives the AOL property that most click *volume*
+    /// sits in single-user pairs and is removed by preprocessing.
+    pub revisit_p: f64,
+    /// RNG seed: generation is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for AolLikeConfig {
+    fn default() -> Self {
+        AolLikeConfig {
+            n_users: 100,
+            n_queries: 2_000,
+            query_zipf: 1.0,
+            urls_per_query: 4,
+            url_zipf: 1.5,
+            mean_events_per_user: 40.0,
+            activity_sigma: 0.8,
+            revisit_p: 0.6,
+            seed: 0xa01,
+        }
+    }
+}
+
+impl AolLikeConfig {
+    /// Validate the configuration (panics on nonsense values; the
+    /// config is programmer input).
+    pub fn validate(&self) {
+        assert!(self.n_users >= 1, "need at least one user");
+        assert!(self.n_queries >= 1, "need at least one query");
+        assert!(self.urls_per_query >= 1, "need at least one url per query");
+        assert!(
+            self.mean_events_per_user >= 1.0 && self.mean_events_per_user.is_finite(),
+            "mean events must be >= 1"
+        );
+        assert!(self.activity_sigma >= 0.0 && self.activity_sigma.is_finite());
+        assert!(self.query_zipf >= 0.0 && self.url_zipf >= 0.0);
+        assert!((0.0..1.0).contains(&self.revisit_p), "revisit probability must be in [0, 1)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        AolLikeConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_rejected() {
+        AolLikeConfig { n_users: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "mean events must be >= 1")]
+    fn tiny_activity_rejected() {
+        AolLikeConfig { mean_events_per_user: 0.2, ..Default::default() }.validate();
+    }
+}

@@ -1,0 +1,169 @@
+//! The click-event generator.
+//!
+//! Each user draws a log-normal activity level, then that many click
+//! events; each event picks a query by Zipf popularity and a url by a
+//! sharper within-query Zipf (click-throughs concentrate on the top
+//! result). Events on the same `(user, query, url)` accumulate into the
+//! triplet count `c_ijk`, exactly like aggregating raw AOL click rows.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use dpsan_searchlog::{SearchLog, SearchLogBuilder};
+
+use crate::config::AolLikeConfig;
+use crate::zipf::Zipf;
+
+/// Generate a synthetic search log (deterministic given the config).
+pub fn generate(cfg: &AolLikeConfig) -> SearchLog {
+    cfg.validate();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let query_dist = Zipf::new(cfg.n_queries, cfg.query_zipf);
+    let url_dist = Zipf::new(cfg.urls_per_query, cfg.url_zipf);
+
+    let mut builder = SearchLogBuilder::new();
+    for user in 0..cfg.n_users {
+        let user_id = format!("{:06}", user);
+        let events = sample_activity(&mut rng, cfg.mean_events_per_user, cfg.activity_sigma);
+        let mut last: Option<(usize, usize)> = None;
+        for _ in 0..events {
+            // Bursty navigation: with probability `revisit_p`, re-click
+            // the most recent *personal* (tail) pair. Fresh draws are
+            // Zipf; head queries never burst, so popular head pairs
+            // collect many light, one-or-two-click holders while a
+            // user's repeat volume lands in their own tail pairs —
+            // exactly the AOL regime: small `ln t` on head pairs (room
+            // for the privacy LP) and unique heavy pairs that
+            // preprocessing removes.
+            let head_cutoff = (cfg.n_queries / 100).max(8);
+            let (q, u) = match last {
+                Some(pair) if rng.random::<f64>() < cfg.revisit_p => pair,
+                _ => {
+                    let q = query_dist.sample(&mut rng);
+                    let u = url_dist.sample(&mut rng);
+                    (q, u)
+                }
+            };
+            last = if q >= head_cutoff { Some((q, u)) } else { None };
+            // string forms keep the io layer honest without a lookup table
+            let query = format!("query_{q}");
+            let url = format!("www.site{q}-{u}.com");
+            builder.add(&user_id, &query, &url, 1).expect("unit counts are valid");
+        }
+    }
+    builder.build()
+}
+
+/// Log-normal activity with the requested mean: `round(mean · exp(σz −
+/// σ²/2))`, clamped to at least 1 event.
+fn sample_activity<R: Rng>(rng: &mut R, mean: f64, sigma: f64) -> u64 {
+    if sigma == 0.0 {
+        return mean.round().max(1.0) as u64;
+    }
+    let z = standard_normal(rng);
+    let v = mean * (sigma * z - sigma * sigma / 2.0).exp();
+    v.round().max(1.0) as u64
+}
+
+/// One standard normal draw (Box–Muller; we need no state carry-over).
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsan_searchlog::{preprocess, LogStats};
+    use rand::rngs::StdRng;
+
+    fn small_cfg() -> AolLikeConfig {
+        AolLikeConfig { n_users: 120, n_queries: 800, mean_events_per_user: 30.0, ..Default::default() }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&small_cfg());
+        let b = generate(&small_cfg());
+        assert_eq!(a.size(), b.size());
+        assert_eq!(a.n_pairs(), b.n_pairs());
+        let c = generate(&AolLikeConfig { seed: 999, ..small_cfg() });
+        assert_ne!(a.size(), c.size(), "different seeds differ");
+    }
+
+    #[test]
+    fn volume_tracks_configured_activity() {
+        let log = generate(&small_cfg());
+        let per_user = log.size() as f64 / 120.0;
+        assert!(
+            per_user > 15.0 && per_user < 60.0,
+            "mean events per user {per_user} should be near 30"
+        );
+    }
+
+    #[test]
+    fn zipf_head_is_shared_tail_is_unique() {
+        let log = generate(&small_cfg());
+        let (pre, report) = preprocess(&log);
+        // the defining sparsity property: most *pairs* are unique and
+        // get removed, but the surviving head carries real volume
+        assert!(report.removed_pairs > pre.n_pairs(), "tail dominates pair count");
+        assert!(pre.size() > 0, "head survives preprocessing");
+        let stats = LogStats::of(&pre);
+        assert!(stats.user_logs > 60, "most users share at least one head pair");
+    }
+
+    #[test]
+    fn activity_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let draws: Vec<u64> = (0..20_000).map(|_| sample_activity(&mut rng, 40.0, 1.0)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / draws.len() as f64;
+        assert!((mean - 40.0).abs() < 3.0, "mean {mean}");
+        let max = *draws.iter().max().unwrap();
+        assert!(max > 200, "heavy tail produces bursts (max {max})");
+        let min = *draws.iter().min().unwrap();
+        assert!(min >= 1, "everyone clicks at least once");
+    }
+
+    #[test]
+    fn sigma_zero_gives_constant_activity() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            assert_eq!(sample_activity(&mut rng, 25.0, 0.0), 25);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn url_concentration_yields_one_dominant_url() {
+        // with a sharp url Zipf the top url of a head query should carry
+        // most of that query's clicks
+        let log = generate(&AolLikeConfig { url_zipf: 2.5, ..small_cfg() });
+        let q0 = log.queries().get("query_0").expect("head query exists");
+        let mut counts: Vec<u64> = Vec::new();
+        for pe in log.pairs() {
+            let (q, _) = log.pair_key(pe.pair);
+            if q.0 == q0 {
+                counts.push(pe.total);
+            }
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(!counts.is_empty());
+        let total: u64 = counts.iter().sum();
+        assert!(
+            counts[0] as f64 / total as f64 > 0.5,
+            "top url holds most clicks: {counts:?}"
+        );
+    }
+}

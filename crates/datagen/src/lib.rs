@@ -1,0 +1,30 @@
+//! # dpsan-datagen
+//!
+//! Synthetic AOL-like search-log generation.
+//!
+//! The paper evaluates on a 2,500-user subset of the 2006 AOL research
+//! collection, which cannot be redistributed. Every quantity the
+//! evaluation measures is a function of the pair histogram `c_ij` and
+//! the triplet histogram `c_ijk` only, so a generator that reproduces
+//! the *sparsity regime* of AOL click data — Zipfian query popularity,
+//! heavy-tailed user activity, click-throughs concentrated on one url
+//! per query — exercises exactly the same code paths and trend
+//! structure (λ scaling, recall-vs-budget, diversity retention).
+//!
+//! * [`zipf`] — a Zipf(α) sampler built on an alias table,
+//! * [`config`] — generator knobs,
+//! * [`generator`] — the click-event generator,
+//! * [`presets`] — `aol_tiny`/`aol_small`/`aol_medium`/`aol_paper`,
+//!   the latter calibrated to the proportions of the paper's Table 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod generator;
+pub mod presets;
+pub mod zipf;
+
+pub use config::AolLikeConfig;
+pub use generator::generate;
+pub use zipf::Zipf;

@@ -1,0 +1,101 @@
+//! Zipf-distributed rank sampling.
+//!
+//! Query popularity in search logs follows a Zipf law: the k-th most
+//! popular query is drawn with probability proportional to `1/k^α`.
+//! The sampler precomputes an alias table over all `n` ranks, giving
+//! O(n) setup and O(1) draws — the generator samples hundreds of
+//! thousands of events from vocabularies of up to ~100k queries.
+
+use dpsan_dp::alias::AliasTable;
+use rand::Rng;
+
+/// A Zipf(α) distribution over ranks `0..n` (rank 0 is the most
+/// popular).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    table: AliasTable,
+}
+
+impl Zipf {
+    /// Create a sampler over `n ≥ 1` ranks with exponent `alpha ≥ 0`
+    /// (`alpha = 0` is uniform).
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n >= 1, "need at least one rank");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "exponent must be finite and >= 0");
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-alpha)).collect();
+        Zipf { table: AliasTable::new(&weights) }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Draw one rank in `0..n`.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        self.table.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical(n: usize, alpha: f64, draws: usize) -> Vec<f64> {
+        let z = Zipf::new(n, alpha);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn frequencies_match_zipf_law() {
+        let freqs = empirical(50, 1.0, 400_000);
+        let h: f64 = (1..=50).map(|k| 1.0 / k as f64).sum();
+        for (k, f) in freqs.iter().enumerate().take(5) {
+            let expect = 1.0 / ((k + 1) as f64 * h);
+            assert!((f - expect).abs() < 0.01, "rank {k}: {f} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn rank_probabilities_are_monotone() {
+        let freqs = empirical(20, 1.2, 300_000);
+        for w in freqs.windows(2).take(6) {
+            assert!(w[0] >= w[1] - 0.01, "head ranks must dominate: {w:?}");
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let freqs = empirical(10, 0.0, 200_000);
+        for f in freqs {
+            assert!((f - 0.1).abs() < 0.01, "{f}");
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn negative_alpha_rejected() {
+        let _ = Zipf::new(5, -1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Walker/Vose alias method for O(1) categorical sampling.
+//!
+//! The multinomial sampler draws `x*_ij` user-IDs per pair; frequent
+//! pairs can take thousands of trials over dozens of holders, where the
+//! alias table's O(1) draw beats a linear CDF scan.
+
+use rand::{Rng, RngExt};
+
+/// A prebuilt alias table over `n` categories.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (need not be normalized).
+    ///
+    /// # Panics
+    /// Panics when `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one category");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not sum to zero");
+
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+
+        // Vose's algorithm: split indices into under- and over-full.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            // Donate mass from l to fill s's bucket.
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining buckets are (numerically) full.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one category index.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn matches_weights_within_mc_error() {
+        let weights = [2.0, 0.0, 5.0, 1.0, 2.0];
+        let total: f64 = weights.iter().sum();
+        let freqs = empirical(&weights, 400_000, 17);
+        for (f, w) in freqs.iter().zip(&weights) {
+            assert!((f - w / total).abs() < 0.004, "freq {f} vs {}", w / total);
+        }
+    }
+
+    #[test]
+    fn zero_weight_category_never_drawn() {
+        let freqs = empirical(&[1.0, 0.0, 1.0], 100_000, 3);
+        assert_eq!(freqs[1], 0.0);
+    }
+
+    #[test]
+    fn single_category_always_drawn() {
+        let freqs = empirical(&[42.0], 1000, 5);
+        assert_eq!(freqs[0], 1.0);
+    }
+
+    #[test]
+    fn uniform_weights_are_uniform() {
+        let freqs = empirical(&[1.0; 8], 400_000, 9);
+        for f in freqs {
+            assert!((f - 0.125).abs() < 0.004, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn unnormalized_weights_ok() {
+        let a = empirical(&[1.0, 3.0], 200_000, 21);
+        let b = empirical(&[100.0, 300.0], 200_000, 21);
+        assert!((a[0] - b[0]).abs() < 1e-12, "same seed, same normalized weights");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one category")]
+    fn empty_rejected() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not sum to zero")]
+    fn all_zero_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_rejected() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Sequential composition bookkeeping.
+//!
+//! The paper's full pipeline can spend privacy budget in two places: the
+//! multinomial sanitization itself (`(ε, δ)`-probabilistic DP, Theorem 1)
+//! and the optional Laplace step on the optimal counts (`ε′`-DP,
+//! Section 4.2). [`BudgetLedger`] tracks the standard sequential
+//! composition `(Σ ε_i, Σ δ_i)` so callers can assert a total budget.
+
+use std::fmt;
+
+/// One recorded expenditure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetEntry {
+    /// What the budget was spent on (free-form label).
+    pub label: String,
+    /// ε spent.
+    pub epsilon: f64,
+    /// δ spent (0 for pure-ε mechanisms such as Laplace).
+    pub delta: f64,
+}
+
+/// An append-only ledger of `(ε, δ)` expenditures with sequential
+/// composition totals.
+#[derive(Debug, Default, Clone)]
+pub struct BudgetLedger {
+    entries: Vec<BudgetEntry>,
+}
+
+impl BudgetLedger {
+    /// New empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an expenditure.
+    pub fn spend(&mut self, label: impl Into<String>, epsilon: f64, delta: f64) {
+        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be finite and >= 0");
+        assert!(delta.is_finite() && (0.0..1.0).contains(&delta), "delta must be in [0, 1)");
+        self.entries.push(BudgetEntry { label: label.into(), epsilon, delta });
+    }
+
+    /// Total ε under sequential composition.
+    pub fn total_epsilon(&self) -> f64 {
+        self.entries.iter().map(|e| e.epsilon).sum()
+    }
+
+    /// Total δ under sequential composition.
+    pub fn total_delta(&self) -> f64 {
+        self.entries.iter().map(|e| e.delta).sum()
+    }
+
+    /// Whether the composed totals fit within `(ε, δ)`.
+    pub fn within(&self, epsilon: f64, delta: f64) -> bool {
+        self.total_epsilon() <= epsilon + 1e-12 && self.total_delta() <= delta + 1e-12
+    }
+
+    /// The recorded entries in order.
+    pub fn entries(&self) -> &[BudgetEntry] {
+        &self.entries
+    }
+}
+
+impl fmt::Display for BudgetLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "privacy ledger (ε={:.4}, δ={:.4}):", self.total_epsilon(), self.total_delta())?;
+        for e in &self.entries {
+            writeln!(f, "  {:<32} ε={:.4} δ={:.4}", e.label, e.epsilon, e.delta)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_compose_sequentially() {
+        let mut l = BudgetLedger::new();
+        l.spend("sampling", 0.5, 0.1);
+        l.spend("laplace counts", 0.2, 0.0);
+        assert!((l.total_epsilon() - 0.7).abs() < 1e-12);
+        assert!((l.total_delta() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_checks_both_coordinates() {
+        let mut l = BudgetLedger::new();
+        l.spend("a", 0.5, 0.05);
+        assert!(l.within(0.5, 0.05));
+        assert!(!l.within(0.4, 0.05));
+        assert!(!l.within(0.5, 0.04));
+    }
+
+    #[test]
+    fn empty_ledger_is_free() {
+        let l = BudgetLedger::new();
+        assert_eq!(l.total_epsilon(), 0.0);
+        assert!(l.within(0.0, 0.0));
+        assert!(l.entries().is_empty());
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let mut l = BudgetLedger::new();
+        l.spend("sampling", 0.5, 0.1);
+        let s = l.to_string();
+        assert!(s.contains("sampling"));
+        assert!(s.contains("ε=0.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in [0, 1)")]
+    fn rejects_delta_one() {
+        let mut l = BudgetLedger::new();
+        l.spend("bad", 0.1, 1.0);
+    }
+}

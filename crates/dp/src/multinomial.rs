@@ -1,0 +1,184 @@
+//! Multinomial sampling (Algorithm 1, step 2).
+//!
+//! For every query–url pair with optimal output count `x*_ij`, the
+//! sanitizer runs `x*_ij` independent trials; each trial samples user
+//! `s_k` with probability `c_ijk / c_ij` (Eq. 1 is the induced pmf).
+//! This module draws the resulting count vector `{x_ijk}`.
+
+use rand::{Rng, RngExt};
+
+use crate::alias::AliasTable;
+
+/// How the per-trial categorical draw is implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MultinomialStrategy {
+    /// Pick automatically: alias table when `trials * categories` is
+    /// large enough to amortize table construction, CDF scan otherwise.
+    #[default]
+    Auto,
+    /// Always use a Walker/Vose alias table (O(1) per trial).
+    Alias,
+    /// Always scan the cumulative weights (O(categories) per trial,
+    /// zero setup).
+    CdfScan,
+}
+
+/// Draw a multinomial sample: `trials` independent categorical draws
+/// over `weights` (non-negative, not all zero), returning per-category
+/// counts that sum to `trials`.
+///
+/// With `trials == 0` returns all zeros without touching the RNG.
+pub fn sample_multinomial<R: Rng>(
+    rng: &mut R,
+    weights: &[u64],
+    trials: u64,
+    strategy: MultinomialStrategy,
+) -> Vec<u64> {
+    assert!(!weights.is_empty(), "multinomial needs at least one category");
+    let total: u64 = weights.iter().sum();
+    assert!(total > 0, "weights must not sum to zero");
+
+    let mut counts = vec![0u64; weights.len()];
+    if trials == 0 {
+        return counts;
+    }
+
+    let use_alias = match strategy {
+        MultinomialStrategy::Alias => true,
+        MultinomialStrategy::CdfScan => false,
+        // Table construction is O(k); a scan is O(k) per trial. The
+        // alias table pays off once there are more trials than a small
+        // multiple of the category count.
+        MultinomialStrategy::Auto => trials as usize >= weights.len().max(8),
+    };
+
+    if use_alias {
+        let f64_weights: Vec<f64> = weights.iter().map(|&w| w as f64).collect();
+        let table = AliasTable::new(&f64_weights);
+        for _ in 0..trials {
+            counts[table.sample(rng)] += 1;
+        }
+    } else {
+        for _ in 0..trials {
+            let mut draw = rng.random_range(0..total);
+            for (i, &w) in weights.iter().enumerate() {
+                if draw < w {
+                    counts[i] += 1;
+                    break;
+                }
+                draw -= w;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_sum_to_trials() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &strategy in
+            &[MultinomialStrategy::Auto, MultinomialStrategy::Alias, MultinomialStrategy::CdfScan]
+        {
+            let counts = sample_multinomial(&mut rng, &[3, 1, 4, 1, 5], 1000, strategy);
+            assert_eq!(counts.iter().sum::<u64>(), 1000);
+        }
+    }
+
+    #[test]
+    fn zero_trials_touch_nothing() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let counts = sample_multinomial(&mut rng, &[1, 2], 0, MultinomialStrategy::Auto);
+        assert_eq!(counts, vec![0, 0]);
+    }
+
+    #[test]
+    fn zero_weight_category_gets_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &strategy in &[MultinomialStrategy::Alias, MultinomialStrategy::CdfScan] {
+            let counts = sample_multinomial(&mut rng, &[5, 0, 5], 10_000, strategy);
+            assert_eq!(counts[1], 0);
+        }
+    }
+
+    #[test]
+    fn expectation_matches_paper_property() {
+        // E[x_ijk] = x_ij * c_ijk / c_ij (Section 3.2, property 2).
+        let weights = [15u64, 7, 17]; // the "google, google.com" histogram
+        let c_ij: u64 = weights.iter().sum();
+        let x_ij = 20u64;
+        let reps = 20_000;
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sums = [0u64; 3];
+        for _ in 0..reps {
+            let counts = sample_multinomial(&mut rng, &weights, x_ij, MultinomialStrategy::Auto);
+            for (s, c) in sums.iter_mut().zip(&counts) {
+                *s += c;
+            }
+        }
+        for (k, &s) in sums.iter().enumerate() {
+            let mean = s as f64 / reps as f64;
+            let expect = x_ij as f64 * weights[k] as f64 / c_ij as f64;
+            assert!((mean - expect).abs() < 0.05, "category {k}: mean {mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn strategies_agree_in_distribution() {
+        // Compare empirical marginals of the two strategies.
+        let weights = [2u64, 8, 5];
+        let total: u64 = weights.iter().sum();
+        let trials = 50_000u64;
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(6);
+        let a = sample_multinomial(&mut rng_a, &weights, trials, MultinomialStrategy::Alias);
+        let b = sample_multinomial(&mut rng_b, &weights, trials, MultinomialStrategy::CdfScan);
+        for k in 0..3 {
+            let fa = a[k] as f64 / trials as f64;
+            let fb = b[k] as f64 / trials as f64;
+            let p = weights[k] as f64 / total as f64;
+            assert!((fa - p).abs() < 0.01, "alias marginal {fa} vs {p}");
+            assert!((fb - p).abs() < 0.01, "scan marginal {fb} vs {p}");
+        }
+    }
+
+    #[test]
+    fn variance_matches_binomial_marginal() {
+        // Var[x_ijk] = n p (1 - p) for the marginal.
+        let weights = [1u64, 3];
+        let n = 40u64;
+        let p = 0.25f64;
+        let reps = 30_000;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..reps {
+            let c = sample_multinomial(&mut rng, &weights, n, MultinomialStrategy::Auto)[0] as f64;
+            sum += c;
+            sumsq += c * c;
+        }
+        let mean = sum / reps as f64;
+        let var = sumsq / reps as f64 - mean * mean;
+        let expect = n as f64 * p * (1.0 - p);
+        assert!((var - expect).abs() < 0.3, "var {var} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one category")]
+    fn empty_weights_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = sample_multinomial(&mut rng, &[], 1, MultinomialStrategy::Auto);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not sum to zero")]
+    fn zero_weights_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = sample_multinomial(&mut rng, &[0, 0], 1, MultinomialStrategy::Auto);
+    }
+}

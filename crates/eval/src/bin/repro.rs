@@ -1,0 +1,69 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                      # every experiment at the default scale
+//! repro table4 fig3a --scale tiny
+//! repro fig5 --scale medium
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use dpsan_eval::{run_experiment, Ctx, Scale, EXPERIMENTS};
+
+fn usage() -> String {
+    let ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _)| *id).collect();
+    format!(
+        "usage: repro <experiment>... [--scale tiny|small|medium|paper]\n\
+         experiments: all, {}",
+        ids.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--scale needs a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                let Some(s) = Scale::parse(v) else {
+                    eprintln!("unknown scale {v:?}\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                scale = s;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = EXPERIMENTS.iter().map(|(id, _)| id.to_string()).collect();
+    }
+
+    eprintln!("generating {scale:?}-scale dataset ...");
+    let ctx = Ctx::new(scale);
+    let stdout = std::io::stdout();
+    for name in &wanted {
+        let mut out = stdout.lock();
+        eprintln!("running {name} ...");
+        if let Err(e) = run_experiment(name, &ctx, &mut out) {
+            eprintln!("{name} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        let _ = writeln!(out);
+    }
+    ExitCode::SUCCESS
+}

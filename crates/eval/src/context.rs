@@ -1,0 +1,150 @@
+//! Shared experiment context: dataset, preprocessing, and cached O-UMP
+//! solves.
+//!
+//! Two `(ε, δ)` pairs with the same collapsed budget
+//! `B = min{ε, ln 1/(1−δ)}` induce identical optimization problems, so
+//! λ solves are cached by the budget's bit pattern — Table 4's 49 cells
+//! need at most 13 LP solves.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dpsan_core::constraints::PrivacyConstraints;
+use dpsan_core::ump::output_size::{solve_oump_with, OumpOptions, OumpSolution};
+use dpsan_core::CoreError;
+use dpsan_datagen::{generate, presets, AolLikeConfig};
+use dpsan_dp::params::PrivacyParams;
+use dpsan_lp::simplex::SimplexOptions;
+use dpsan_searchlog::{preprocess, LogStats, PreprocessReport, SearchLog};
+
+/// Dataset scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~60 users; seconds for the full suite.
+    Tiny,
+    /// ~400 users; the default.
+    Small,
+    /// ~1,000 users; minutes.
+    Medium,
+    /// 2,500 users as in the paper; expect long runtimes.
+    Paper,
+}
+
+impl Scale {
+    /// The generator preset of this scale.
+    pub fn config(self) -> AolLikeConfig {
+        match self {
+            Scale::Tiny => presets::aol_tiny(),
+            Scale::Small => presets::aol_small(),
+            Scale::Medium => presets::aol_medium(),
+            Scale::Paper => presets::aol_paper(),
+        }
+    }
+
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Shared state for one experiment run.
+pub struct Ctx {
+    /// The raw generated log.
+    pub raw: SearchLog,
+    /// The preprocessed log `D` every experiment works on.
+    pub pre: SearchLog,
+    /// What preprocessing removed.
+    pub report: PreprocessReport,
+    /// The scale used.
+    pub scale: Scale,
+    /// LP options shared by all solves.
+    pub lp: SimplexOptions,
+    oump_cache: RefCell<HashMap<u64, Rc<OumpSolution>>>,
+    constraints_cache: RefCell<HashMap<u64, Rc<PrivacyConstraints>>>,
+}
+
+impl Ctx {
+    /// Generate the dataset of a scale and preprocess it.
+    pub fn new(scale: Scale) -> Ctx {
+        let raw = generate(&scale.config());
+        let (pre, report) = preprocess(&raw);
+        Ctx {
+            raw,
+            pre,
+            report,
+            scale,
+            lp: SimplexOptions::default(),
+            oump_cache: RefCell::new(HashMap::new()),
+            constraints_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Table-3 style statistics of the raw / preprocessed logs.
+    pub fn stats(&self) -> (LogStats, LogStats) {
+        (LogStats::of(&self.raw), LogStats::of(&self.pre))
+    }
+
+    /// The constraint system at the given parameters (cached by budget).
+    pub fn constraints(&self, params: PrivacyParams) -> Result<Rc<PrivacyConstraints>, CoreError> {
+        let key = params.budget().value().to_bits();
+        if let Some(c) = self.constraints_cache.borrow().get(&key) {
+            return Ok(Rc::clone(c));
+        }
+        let c = Rc::new(PrivacyConstraints::build(&self.pre, params)?);
+        self.constraints_cache.borrow_mut().insert(key, Rc::clone(&c));
+        Ok(c)
+    }
+
+    /// The O-UMP solution at the given parameters (cached by budget).
+    pub fn oump(&self, params: PrivacyParams) -> Result<Rc<OumpSolution>, CoreError> {
+        let key = params.budget().value().to_bits();
+        if let Some(s) = self.oump_cache.borrow().get(&key) {
+            return Ok(Rc::clone(s));
+        }
+        let constraints = self.constraints(params)?;
+        let sol = Rc::new(solve_oump_with(
+            &constraints,
+            &OumpOptions { lp: self.lp.clone(), ..Default::default() },
+        )?);
+        self.oump_cache.borrow_mut().insert(key, Rc::clone(&sol));
+        Ok(sol)
+    }
+
+    /// The maximum output size λ at the given parameters.
+    pub fn lambda(&self, params: PrivacyParams) -> Result<u64, CoreError> {
+        Ok(self.oump(params)?.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_context_builds_and_caches() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let (raw, pre) = ctx.stats();
+        assert!(pre.pairs < raw.pairs);
+
+        let a = PrivacyParams::from_e_epsilon(1.4, 0.5); // ε binds: B = ln 1.4
+        let b = PrivacyParams::from_e_epsilon(1.4, 0.8); // same budget
+        let la = ctx.lambda(a).unwrap();
+        let lb = ctx.lambda(b).unwrap();
+        assert_eq!(la, lb);
+        assert_eq!(ctx.oump_cache.borrow().len(), 1, "one solve for equal budgets");
+    }
+
+    #[test]
+    fn scale_parse() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! One module per table/figure of Section 6.
+
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table3;
+pub mod table4;
+pub mod table56;
+pub mod table7;
+
+use dpsan_core::ump::frequent::{solve_fump_with, FumpOptions, FumpSolution};
+use dpsan_core::CoreError;
+use dpsan_dp::params::PrivacyParams;
+
+use crate::context::Ctx;
+
+/// An F-UMP cell solve with the experiment harness conventions:
+/// the requested output size is clamped to the privacy-feasible
+/// `0.9 λ(cell)` (the paper picks `|O| < λ_min` up front; at small
+/// scales the low-budget cells cannot host a fixed global `|O|`, so the
+/// clamp is per cell and recorded by the caller). Returns `None` when
+/// the cell's λ rounds to zero.
+pub fn fump_cell(
+    ctx: &Ctx,
+    params: PrivacyParams,
+    min_support: f64,
+    target_output: u64,
+) -> Result<Option<(FumpSolution, u64)>, CoreError> {
+    let lambda = ctx.lambda(params)?;
+    if lambda == 0 {
+        return Ok(None);
+    }
+    let output_size = target_output.min((lambda as f64 * 0.9).floor() as u64).max(1);
+    let constraints = ctx.constraints(params)?;
+    let sol = solve_fump_with(
+        &ctx.pre,
+        &constraints,
+        &FumpOptions { lp: ctx.lp.clone(), ..FumpOptions::new(min_support, output_size) },
+    )?;
+    Ok(Some((sol, output_size)))
+}

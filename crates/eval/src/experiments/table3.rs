@@ -1,0 +1,56 @@
+//! Table 3: characteristics of the data sets.
+
+use std::error::Error;
+use std::io::Write;
+
+
+use crate::context::Ctx;
+use crate::table::Table;
+
+/// Regenerate Table 3 for the context's dataset.
+pub fn run(ctx: &Ctx, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
+    let (raw, pre) = ctx.stats();
+    writeln!(out, "Table 3: characteristics of the data sets ({:?} scale)", ctx.scale)?;
+    writeln!(out, "(synthetic AOL-like data; see DESIGN.md for the substitution)")?;
+    writeln!(out)?;
+    let mut t = Table::new(vec!["", "Exp. Dataset", "Preprocessed (no unique pairs)"]);
+    let row = |label: &str, a: u64, b: u64| vec![label.to_string(), a.to_string(), b.to_string()];
+    t.row(row("# of total tuples (size)", raw.total_tuples, pre.total_tuples));
+    t.row(row("# of user logs", raw.user_logs as u64, pre.user_logs as u64));
+    t.row(row("# of distinct queries", raw.distinct_queries as u64, pre.distinct_queries as u64));
+    t.row(row("# of distinct urls", raw.distinct_urls as u64, pre.distinct_urls as u64));
+    t.row(row("# of query-url pairs", raw.pairs as u64, pre.pairs as u64));
+    writeln!(out, "{t}")?;
+    writeln!(
+        out,
+        "preprocessing removed {} unique pairs ({} clicks); {} user logs emptied",
+        ctx.report.removed_pairs, ctx.report.removed_count, ctx.report.emptied_users
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn renders_five_rows() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let mut buf = Vec::new();
+        run(&ctx, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("# of query-url pairs"));
+        assert!(s.contains("# of user logs"));
+        assert!(s.contains("preprocessing removed"));
+    }
+
+    #[test]
+    fn preprocessed_counts_are_smaller() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let (raw, pre) = ctx.stats();
+        assert!(pre.total_tuples < raw.total_tuples);
+        assert!(pre.pairs < raw.pairs);
+        assert!(pre.user_logs <= raw.user_logs);
+    }
+}

@@ -1,0 +1,113 @@
+//! Tables 5 and 6: F-UMP recall and support-distance sums on the
+//! `(|O|, s)` grid at the reference cell `e^ε = 2, δ = 0.5`.
+
+use std::error::Error;
+use std::io::Write;
+
+use dpsan_core::metrics::{precision_recall_f, support_distance_sum_f};
+
+use crate::context::Ctx;
+use crate::experiments::fump_cell;
+use crate::grids::{reference_params, scaled_support, OUTPUT_FRACTIONS, SUPPORT_GRID};
+use crate::table::{f4, Table};
+
+fn outputs(ctx: &Ctx) -> Result<(u64, Vec<u64>), Box<dyn Error>> {
+    let lambda = ctx.lambda(reference_params())?;
+    let outs = OUTPUT_FRACTIONS
+        .iter()
+        .map(|f| ((lambda as f64 * f).round() as u64).max(1))
+        .collect();
+    Ok((lambda, outs))
+}
+
+/// Table 5: Recall on output size and minimum support.
+pub fn run_table5(ctx: &Ctx, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
+    let (lambda, outs) = outputs(ctx)?;
+    writeln!(out, "Table 5: Recall on |O| and s (e^ε = 2, δ = 0.5, λ = {lambda})")?;
+    writeln!(out)?;
+    let mut headers = vec!["s \\ |O|".to_string()];
+    headers.extend(outs.iter().map(|o| o.to_string()));
+    let mut t = Table::new(headers);
+    for &paper_s in &SUPPORT_GRID {
+        let s = scaled_support(&ctx.pre, paper_s);
+        let mut row = vec![format!("1/{:.0} -> {s:.5}", 1.0 / paper_s)];
+        for &o in &outs {
+            match fump_cell(ctx, reference_params(), s, o)? {
+                Some((sol, _)) => {
+                    row.push(f4(precision_recall_f(&ctx.pre, &sol.lp_counts, s).recall));
+                }
+                None => row.push("-".into()),
+            }
+        }
+        t.row(row);
+    }
+    writeln!(out, "{t}")?;
+    Ok(())
+}
+
+/// Table 6: sum of frequent-pair support distances on the same grid.
+pub fn run_table6(ctx: &Ctx, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
+    let (lambda, outs) = outputs(ctx)?;
+    writeln!(
+        out,
+        "Table 6: sum of frequent query-url pair support distances on |O| and s \
+         (e^ε = 2, δ = 0.5, λ = {lambda})"
+    )?;
+    writeln!(out)?;
+    let mut headers = vec!["s \\ |O|".to_string()];
+    headers.extend(outs.iter().map(|o| o.to_string()));
+    let mut t = Table::new(headers);
+    for &paper_s in &SUPPORT_GRID {
+        let s = scaled_support(&ctx.pre, paper_s);
+        let mut row = vec![format!("1/{:.0} -> {s:.5}", 1.0 / paper_s)];
+        for &o in &outs {
+            match fump_cell(ctx, reference_params(), s, o)? {
+                Some((sol, used_o)) => {
+                    row.push(f4(support_distance_sum_f(&ctx.pre, &sol.lp_counts, s, used_o as f64)));
+                }
+                None => row.push("-".into()),
+            }
+        }
+        t.row(row);
+    }
+    writeln!(out, "{t}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn distance_sum_grows_with_output_size_at_fixed_support() {
+        // Table 6's trend: fixing s, the sum grows as |O| grows
+        let ctx = Ctx::new(Scale::Tiny);
+        let (_, outs) = outputs(&ctx).unwrap();
+        let s = scaled_support(&ctx.pre, SUPPORT_GRID[0]);
+        let mut values = vec![];
+        for &o in &outs {
+            if let Some((sol, used_o)) = fump_cell(&ctx, reference_params(), s, o).unwrap() {
+                values.push(support_distance_sum_f(&ctx.pre, &sol.lp_counts, s, used_o as f64));
+            }
+        }
+        assert!(values.len() >= 3, "need several feasible cells");
+        assert!(
+            values[values.len() - 1] >= values[0] - 1e-9,
+            "distance sum grows with |O|: {values:?}"
+        );
+    }
+
+    #[test]
+    fn both_tables_render_full_grids() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let mut buf = Vec::new();
+        run_table5(&ctx, &mut buf).unwrap();
+        run_table6(&ctx, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("Table 5"));
+        assert!(s.contains("Table 6"));
+        // 5 support rows per table
+        assert_eq!(s.matches("0.00").count() >= 2, true);
+    }
+}

@@ -1,0 +1,65 @@
+//! Experiment dispatch.
+
+use std::error::Error;
+use std::io::Write;
+
+use crate::context::Ctx;
+use crate::experiments;
+
+/// The experiment registry: id → regeneration function.
+pub const EXPERIMENTS: &[(&str, fn(&Ctx, &mut dyn Write) -> Result<(), Box<dyn Error>>)] = &[
+    ("table3", experiments::table3::run),
+    ("table4", experiments::table4::run),
+    ("fig3a", experiments::fig3::run_a),
+    ("fig3b", experiments::fig3::run_b),
+    ("fig3c", experiments::fig3::run_c),
+    ("table5", experiments::table56::run_table5),
+    ("table6", experiments::table56::run_table6),
+    ("fig4", experiments::fig4::run),
+    ("table7", experiments::table7::run),
+    ("fig5", experiments::fig5::run),
+    ("fig6", experiments::fig6::run),
+];
+
+/// Run one experiment by id; `Err` for unknown ids.
+pub fn run_experiment(name: &str, ctx: &Ctx, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
+    let Some((_, f)) = EXPERIMENTS.iter().find(|(id, _)| *id == name) else {
+        return Err(format!(
+            "unknown experiment {name:?}; known: {}",
+            EXPERIMENTS.iter().map(|(id, _)| *id).collect::<Vec<_>>().join(", ")
+        )
+        .into());
+    };
+    f(ctx, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn registry_covers_every_section6_artifact() {
+        let ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _)| *id).collect();
+        for required in
+            ["table3", "table4", "fig3a", "fig3b", "fig3c", "table5", "table6", "fig4", "table7", "fig5", "fig6"]
+        {
+            assert!(ids.contains(&required), "{required} missing");
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_errors() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let mut buf = Vec::new();
+        assert!(run_experiment("table99", &ctx, &mut buf).is_err());
+    }
+
+    #[test]
+    fn table3_runs_by_name() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let mut buf = Vec::new();
+        run_experiment("table3", &ctx, &mut buf).unwrap();
+        assert!(!buf.is_empty());
+    }
+}

@@ -1,0 +1,333 @@
+//! Dense Big-M tableau simplex — the *reference* implementation.
+//!
+//! An independent, deliberately simple solver used to cross-check the
+//! revised simplex in tests (the two share no code beyond the model
+//! type). It densifies everything and handles bounds by adding explicit
+//! rows, so keep it to small problems.
+
+use crate::problem::{Problem, Sense};
+use crate::simplex::SolveStatus;
+
+/// Result of the reference solver.
+#[derive(Debug, Clone)]
+pub struct DenseSolution {
+    /// Terminal status.
+    pub status: SolveStatus,
+    /// Objective in the user's sense.
+    pub objective: f64,
+    /// Structural variable values.
+    pub x: Vec<f64>,
+}
+
+const BIG_M: f64 = 1e8;
+const TOL: f64 = 1e-9;
+
+/// Solve a small LP with the dense Big-M tableau method.
+///
+/// Variables with negative lower bounds are shifted; free variables are
+/// split into positive and negative parts. Upper bounds become explicit
+/// rows. Intended for cross-checking on models with at most a few dozen
+/// rows and columns.
+pub fn solve_dense(problem: &Problem) -> DenseSolution {
+    // -- translate to: min c'z, A z (<=,=,>=) b, z >= 0 -------------------
+    // column mapping: each structural column -> (pos_index, neg_index or none, shift)
+    struct ColMap {
+        pos: usize,
+        neg: Option<usize>,
+        shift: f64,
+    }
+    let maximize = problem.sense() == Sense::Maximize;
+    let mut nz = 0usize;
+    let mut map = Vec::with_capacity(problem.n_cols());
+    for b in problem.col_bounds() {
+        if b.lower.is_finite() {
+            map.push(ColMap { pos: nz, neg: None, shift: b.lower });
+            nz += 1;
+        } else {
+            // free below: split x = x+ - x-
+            map.push(ColMap { pos: nz, neg: Some(nz + 1), shift: 0.0 });
+            nz += 2;
+        }
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum RowKind {
+        Le,
+        Ge,
+        Eq,
+    }
+    let mut rows: Vec<(Vec<f64>, RowKind, f64)> = Vec::new();
+
+    // constraint rows (range rows become two)
+    let dense_a = {
+        let m = problem.matrix();
+        m.to_dense()
+    };
+    for (i, rb) in problem.row_bounds().iter().enumerate() {
+        let mut coef = vec![0.0; nz];
+        let mut shift_sum = 0.0;
+        for (j, cm) in map.iter().enumerate() {
+            let a = dense_a[i][j];
+            if a == 0.0 {
+                continue;
+            }
+            coef[cm.pos] += a;
+            if let Some(neg) = cm.neg {
+                coef[neg] -= a;
+            }
+            shift_sum += a * cm.shift;
+        }
+        if rb.lower == rb.upper {
+            rows.push((coef, RowKind::Eq, rb.upper - shift_sum));
+        } else {
+            if rb.upper.is_finite() {
+                rows.push((coef.clone(), RowKind::Le, rb.upper - shift_sum));
+            }
+            if rb.lower.is_finite() {
+                rows.push((coef, RowKind::Ge, rb.lower - shift_sum));
+            }
+        }
+    }
+    // upper bounds as rows
+    for (j, (cm, b)) in map.iter().zip(problem.col_bounds()).enumerate() {
+        let _ = j;
+        if b.upper.is_finite() {
+            let mut coef = vec![0.0; nz];
+            coef[cm.pos] = 1.0;
+            if let Some(neg) = cm.neg {
+                coef[neg] = -1.0;
+            }
+            rows.push((coef, RowKind::Le, b.upper - cm.shift));
+        }
+    }
+
+    // objective over z
+    let mut c = vec![0.0; nz];
+    let mut obj_shift = 0.0;
+    for (j, cm) in map.iter().enumerate() {
+        let cj = problem.objective()[j] * if maximize { -1.0 } else { 1.0 };
+        c[cm.pos] += cj;
+        if let Some(neg) = cm.neg {
+            c[neg] -= cj;
+        }
+        obj_shift += cj * cm.shift;
+    }
+
+    // -- build Big-M tableau ----------------------------------------------
+    let m = rows.len();
+    // ensure b >= 0
+    for (coef, kind, b) in &mut rows {
+        if *b < 0.0 {
+            for v in coef.iter_mut() {
+                *v = -*v;
+            }
+            *b = -*b;
+            *kind = match *kind {
+                RowKind::Le => RowKind::Ge,
+                RowKind::Ge => RowKind::Le,
+                RowKind::Eq => RowKind::Eq,
+            };
+        }
+    }
+    let n_slack: usize = rows.iter().filter(|(_, k, _)| *k != RowKind::Eq).count();
+    let n_art: usize = rows.iter().filter(|(_, k, _)| *k != RowKind::Le).count();
+    let width = nz + n_slack + n_art + 1; // + rhs
+    let mut t = vec![vec![0.0; width]; m + 1];
+    let mut basis = vec![usize::MAX; m];
+
+    let mut s_at = nz;
+    let mut a_at = nz + n_slack;
+    for (i, (coef, kind, b)) in rows.iter().enumerate() {
+        t[i][..nz].copy_from_slice(coef);
+        t[i][width - 1] = *b;
+        match kind {
+            RowKind::Le => {
+                t[i][s_at] = 1.0;
+                basis[i] = s_at;
+                s_at += 1;
+            }
+            RowKind::Ge => {
+                t[i][s_at] = -1.0;
+                s_at += 1;
+                t[i][a_at] = 1.0;
+                basis[i] = a_at;
+                a_at += 1;
+            }
+            RowKind::Eq => {
+                t[i][a_at] = 1.0;
+                basis[i] = a_at;
+                a_at += 1;
+            }
+        }
+    }
+    // objective row: c + M on artificials, then eliminate basic artificials
+    for j in 0..nz {
+        t[m][j] = c[j];
+    }
+    for j in nz + n_slack..nz + n_slack + n_art {
+        t[m][j] = BIG_M;
+    }
+    for i in 0..m {
+        if basis[i] >= nz + n_slack {
+            // subtract M * row from objective to zero out the basic artificial
+            for j in 0..width {
+                t[m][j] -= BIG_M * t[i][j];
+            }
+        }
+    }
+
+    // -- simplex iterations -------------------------------------------------
+    for _ in 0..50_000 {
+        // entering: most negative reduced cost
+        let mut q = usize::MAX;
+        let mut best = -TOL;
+        for j in 0..width - 1 {
+            if t[m][j] < best {
+                best = t[m][j];
+                q = j;
+            }
+        }
+        if q == usize::MAX {
+            break; // optimal
+        }
+        // leaving: min ratio
+        let mut r = usize::MAX;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t[i][q] > TOL {
+                let ratio = t[i][width - 1] / t[i][q];
+                if ratio < best_ratio - 1e-12 {
+                    best_ratio = ratio;
+                    r = i;
+                }
+            }
+        }
+        if r == usize::MAX {
+            return DenseSolution {
+                status: SolveStatus::Unbounded,
+                objective: if maximize { f64::INFINITY } else { f64::NEG_INFINITY },
+                x: vec![],
+            };
+        }
+        // pivot
+        let piv = t[r][q];
+        for j in 0..width {
+            t[r][j] /= piv;
+        }
+        for i in 0..=m {
+            if i != r && t[i][q].abs() > 0.0 {
+                let f = t[i][q];
+                for j in 0..width {
+                    t[i][j] -= f * t[r][j];
+                }
+            }
+        }
+        basis[r] = q;
+    }
+
+    // infeasible if an artificial is basic at positive level
+    for i in 0..m {
+        if basis[i] >= nz + n_slack && t[i][width - 1] > 1e-6 {
+            return DenseSolution { status: SolveStatus::Infeasible, objective: f64::NAN, x: vec![] };
+        }
+    }
+
+    // extract z then x
+    let mut z = vec![0.0; nz];
+    for i in 0..m {
+        if basis[i] < nz {
+            z[basis[i]] = t[i][width - 1];
+        }
+    }
+    let x: Vec<f64> = map
+        .iter()
+        .map(|cm| {
+            let pos = z[cm.pos];
+            let neg = cm.neg.map_or(0.0, |j| z[j]);
+            pos - neg + cm.shift
+        })
+        .collect();
+    let internal = c.iter().zip(&z).map(|(&cj, &zj)| cj * zj).sum::<f64>() + obj_shift;
+    let objective = if maximize { -internal } else { internal };
+    DenseSolution { status: SolveStatus::Optimal, objective, x }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{RowBounds, VarBounds};
+
+    #[test]
+    fn textbook_max() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_col(3.0, VarBounds::non_negative()).unwrap();
+        let y = p.add_col(5.0, VarBounds::non_negative()).unwrap();
+        p.add_row(RowBounds::at_most(4.0), &[(x, 1.0)]).unwrap();
+        p.add_row(RowBounds::at_most(12.0), &[(y, 2.0)]).unwrap();
+        p.add_row(RowBounds::at_most(18.0), &[(x, 3.0), (y, 2.0)]).unwrap();
+        let s = solve_dense(&p);
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 36.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_and_geq() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_col(1.0, VarBounds::non_negative()).unwrap();
+        let y = p.add_col(2.0, VarBounds::non_negative()).unwrap();
+        p.add_row(RowBounds::equal(10.0), &[(x, 1.0), (y, 1.0)]).unwrap();
+        p.add_row(RowBounds::at_most(6.0), &[(x, 1.0)]).unwrap();
+        let s = solve_dense(&p);
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_col(1.0, VarBounds::free()).unwrap();
+        p.add_row(RowBounds::at_least(-5.0), &[(x, 1.0)]).unwrap();
+        let s = solve_dense(&p);
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective + 5.0).abs() < 1e-6, "min x = -5, got {}", s.objective);
+    }
+
+    #[test]
+    fn infeasible() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_col(1.0, VarBounds::non_negative()).unwrap();
+        p.add_row(RowBounds::at_most(1.0), &[(x, 1.0)]).unwrap();
+        p.add_row(RowBounds::at_least(3.0), &[(x, 1.0)]).unwrap();
+        assert_eq!(solve_dense(&p).status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded() {
+        let mut p = Problem::new(Sense::Maximize);
+        p.add_col(1.0, VarBounds::non_negative()).unwrap();
+        let s = solve_dense(&p);
+        assert_eq!(s.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_as_rows() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_col(1.0, VarBounds::unit()).unwrap();
+        let y = p.add_col(1.0, VarBounds::unit()).unwrap();
+        p.add_row(RowBounds::at_most(1.5), &[(x, 1.0), (y, 1.0)]).unwrap();
+        let s = solve_dense(&p);
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // x in [2, 10], min x -> 2
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_col(1.0, VarBounds { lower: 2.0, upper: 10.0 }).unwrap();
+        p.add_row(RowBounds::at_most(100.0), &[(x, 1.0)]).unwrap();
+        let s = solve_dense(&p);
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for model construction and solving.
+
+use std::fmt;
+
+/// Errors surfaced by the LP/MIP layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// Model refers to a column index that does not exist.
+    BadColumn {
+        /// The offending index.
+        col: usize,
+        /// Number of columns in the model.
+        ncols: usize,
+    },
+    /// A bound/coefficient was NaN or otherwise unusable.
+    BadNumber {
+        /// What was being set.
+        what: &'static str,
+    },
+    /// Lower bound exceeds upper bound on a column or row.
+    EmptyInterval {
+        /// What was being set.
+        what: &'static str,
+    },
+    /// The basis matrix became singular even after refactorization.
+    SingularBasis,
+    /// Iteration limit exhausted before reaching a terminal status.
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::BadColumn { col, ncols } => {
+                write!(f, "column index {col} out of range (model has {ncols} columns)")
+            }
+            LpError::BadNumber { what } => write!(f, "{what} must be a non-NaN number"),
+            LpError::EmptyInterval { what } => write!(f, "{what}: lower bound exceeds upper bound"),
+            LpError::SingularBasis => write!(f, "basis matrix is singular"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        assert!(LpError::BadColumn { col: 9, ncols: 3 }.to_string().contains("9"));
+        assert!(LpError::SingularBasis.to_string().contains("singular"));
+        assert!(LpError::IterationLimit.to_string().contains("iteration"));
+        assert!(LpError::BadNumber { what: "objective" }.to_string().contains("objective"));
+        assert!(LpError::EmptyInterval { what: "row" }.to_string().contains("row"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Sparse LU factorization with partial pivoting.
+//!
+//! A simplified Gilbert–Peierls scheme: columns are factored in order
+//! with a dense working vector, eliminating against previously chosen
+//! pivots and picking the largest remaining entry as the next pivot
+//! (`P B = L U`, row permutation only). Simplex bases are dominated by
+//! slack (identity) columns and structural columns with a handful of
+//! nonzeros, so `L` stays extremely sparse and both the factorization
+//! and the triangular solves run in near-linear time.
+
+/// Sparse LU factors of a square matrix.
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// Column k of `L` (strictly below the pivot, unit diagonal
+    /// implicit), stored by *original row index*.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// Column j of `U` strictly above the diagonal: entries `(k, v)`
+    /// meaning pivot position `k` (`k < j`).
+    u_cols: Vec<Vec<(usize, f64)>>,
+    /// Diagonal of `U` per pivot position.
+    u_diag: Vec<f64>,
+    /// `p[k]` = original row chosen as pivot of position `k`.
+    p: Vec<usize>,
+    /// Inverse permutation: `pinv[row] = pivot position`.
+    pinv: Vec<usize>,
+}
+
+impl SparseLu {
+    /// Factor a square matrix given as `n` sparse columns
+    /// (`(row_indices, values)` per column). Returns `None` when the
+    /// matrix is numerically singular.
+    pub fn factor(n: usize, cols: &[(&[usize], &[f64])]) -> Option<SparseLu> {
+        assert_eq!(cols.len(), n, "need exactly n columns");
+        const PIVOT_TOL: f64 = 1e-11;
+
+        let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+        let mut u_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+        let mut u_diag = Vec::with_capacity(n);
+        let mut p = Vec::with_capacity(n);
+        let mut pinv: Vec<Option<usize>> = vec![None; n];
+
+        // dense working vector + occupancy list
+        let mut work = vec![0.0f64; n];
+        let mut touched: Vec<usize> = Vec::with_capacity(64);
+
+        for j in 0..n {
+            // scatter column j
+            let (rows, vals) = cols[j];
+            for (&r, &v) in rows.iter().zip(vals) {
+                debug_assert!(r < n);
+                if work[r] == 0.0 && v != 0.0 {
+                    touched.push(r);
+                }
+                work[r] += v;
+            }
+
+            // eliminate against pivots 0..j in order
+            let mut u_col = Vec::new();
+            for k in 0..j {
+                let pivot_row = p[k];
+                let xk = work[pivot_row];
+                if xk == 0.0 {
+                    continue;
+                }
+                u_col.push((k, xk));
+                work[pivot_row] = 0.0;
+                for &(r, l) in &l_cols[k] {
+                    if work[r] == 0.0 {
+                        touched.push(r);
+                    }
+                    work[r] -= l * xk;
+                }
+            }
+
+            // pivot: max |value| among rows not yet pivotal
+            let mut pivot_row = usize::MAX;
+            let mut pivot_val = 0.0f64;
+            for &r in &touched {
+                if pinv[r].is_none() && work[r].abs() > pivot_val.abs() {
+                    pivot_row = r;
+                    pivot_val = work[r];
+                }
+            }
+            if pivot_row == usize::MAX || pivot_val.abs() < PIVOT_TOL {
+                return None;
+            }
+
+            // gather L column (normalized) and reset workspace
+            let mut l_col = Vec::new();
+            for &r in &touched {
+                let v = work[r];
+                work[r] = 0.0;
+                if v != 0.0 && r != pivot_row && pinv[r].is_none() {
+                    l_col.push((r, v / pivot_val));
+                }
+            }
+            touched.clear();
+
+            pinv[pivot_row] = Some(j);
+            p.push(pivot_row);
+            u_diag.push(pivot_val);
+            u_cols.push(u_col);
+            l_cols.push(l_col);
+        }
+
+        let pinv: Vec<usize> = pinv.into_iter().map(|x| x.expect("all rows pivoted")).collect();
+        Some(SparseLu { n, l_cols, u_cols, u_diag, p, pinv })
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solve `B z = rhs` in place; `rhs` is indexed by original row on
+    /// entry and by basis position on exit.
+    pub fn ftran(&self, rhs: &mut [f64]) {
+        assert_eq!(rhs.len(), self.n, "dimension mismatch");
+        // L y = P rhs: process pivots in order, values live at original rows.
+        for k in 0..self.n {
+            let yk = rhs[self.p[k]];
+            if yk != 0.0 {
+                for &(r, l) in &self.l_cols[k] {
+                    rhs[r] -= l * yk;
+                }
+            }
+        }
+        // U z = y (backward by columns); z indexed by position.
+        let mut z = vec![0.0f64; self.n];
+        for j in (0..self.n).rev() {
+            let zj = rhs[self.p[j]] / self.u_diag[j];
+            z[j] = zj;
+            if zj != 0.0 {
+                for &(k, u) in &self.u_cols[j] {
+                    rhs[self.p[k]] -= u * zj;
+                }
+            }
+        }
+        rhs.copy_from_slice(&z);
+    }
+
+    /// Solve `B' z = rhs` in place; `rhs` is indexed by basis position on
+    /// entry and by original row on exit.
+    pub fn btran(&self, rhs: &mut [f64]) {
+        assert_eq!(rhs.len(), self.n, "dimension mismatch");
+        // U' w = rhs (forward): w_j = (rhs_j - sum_{k<j} U[k][j] w_k) / diag_j
+        let mut w = vec![0.0f64; self.n];
+        for j in 0..self.n {
+            let mut v = rhs[j];
+            for &(k, u) in &self.u_cols[j] {
+                v -= u * w[k];
+            }
+            w[j] = v / self.u_diag[j];
+        }
+        // L' v = w (backward): v_k = w_k - sum_{(r, l) in Lcol_k} l * v[pinv[r]]
+        for k in (0..self.n).rev() {
+            let mut v = w[k];
+            for &(r, l) in &self.l_cols[k] {
+                v -= l * w[self.pinv[r]];
+            }
+            w[k] = v;
+        }
+        // z[p[k]] = v_k
+        for k in 0..self.n {
+            rhs[self.p[k]] = w[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{matvec, DenseLu};
+    use crate::sparse::CscMatrix;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn lu_of(m: &CscMatrix) -> Option<SparseLu> {
+        let cols: Vec<(&[usize], &[f64])> = (0..m.ncols()).map(|j| m.col(j)).collect();
+        SparseLu::factor(m.nrows(), &cols)
+    }
+
+    fn random_sparse_nonsingular(n: usize, rng: &mut StdRng) -> CscMatrix {
+        // diagonally dominant: guaranteed nonsingular
+        let mut trips = Vec::new();
+        for i in 0..n {
+            trips.push((i, i, 4.0 + rng.random::<f64>()));
+            for _ in 0..2 {
+                let j = rng.random_range(0..n);
+                if j != i {
+                    trips.push((i, j, rng.random::<f64>() - 0.5));
+                }
+            }
+        }
+        CscMatrix::from_triplets(n, n, &trips)
+    }
+
+    #[test]
+    fn ftran_matches_dense_lu() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [1usize, 2, 5, 20, 60] {
+            let m = random_sparse_nonsingular(n, &mut rng);
+            let lu = lu_of(&m).expect("nonsingular");
+            let dense = DenseLu::factor(&m.to_dense()).expect("nonsingular");
+            let b: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 1.0).collect();
+            let mut z = b.clone();
+            lu.ftran(&mut z);
+            let z_ref = dense.solve(&b);
+            for (a, b) in z.iter().zip(&z_ref) {
+                assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn btran_matches_dense_lu() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 3, 10, 40] {
+            let m = random_sparse_nonsingular(n, &mut rng);
+            let lu = lu_of(&m).expect("nonsingular");
+            let dense = DenseLu::factor(&m.to_dense()).expect("nonsingular");
+            let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+            let mut z = b.clone();
+            lu.btran(&mut z);
+            let z_ref = dense.solve_transpose(&b);
+            for (a, b) in z.iter().zip(&z_ref) {
+                assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn solves_verify_via_residual() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = random_sparse_nonsingular(30, &mut rng);
+        let lu = lu_of(&m).unwrap();
+        let b: Vec<f64> = (0..30).map(|i| i as f64 * 0.1 - 1.0).collect();
+        let mut z = b.clone();
+        lu.ftran(&mut z);
+        let dense = m.to_dense();
+        let res: f64 = matvec(&dense, &z).iter().zip(&b).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(res < 1e-9, "residual {res}");
+    }
+
+    #[test]
+    fn permuted_identity_factors() {
+        // columns of a permutation matrix
+        let m = CscMatrix::from_triplets(3, 3, &[(2, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0)]);
+        let lu = lu_of(&m).unwrap();
+        let mut z = vec![5.0, 7.0, 9.0];
+        lu.ftran(&mut z);
+        // B z = b with B = P -> z = P' b
+        let dense = m.to_dense();
+        let res: f64 = matvec(&dense, &z)
+            .iter()
+            .zip(&[5.0, 7.0, 9.0])
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(res < 1e-12);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let m = CscMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0)]);
+        assert!(lu_of(&m).is_none());
+    }
+
+    #[test]
+    fn zero_column_returns_none() {
+        let m = CscMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]);
+        assert!(lu_of(&m).is_none());
+    }
+}

@@ -1,0 +1,315 @@
+//! Light presolve.
+//!
+//! Applies cheap, always-safe reductions before the simplex: removal of
+//! fixed columns, empty rows, singleton rows (folded into column
+//! bounds), and empty columns (moved to their objective-best bound).
+//! [`Presolved::postsolve`] maps a reduced solution back to the original
+//! column space.
+
+use crate::problem::{Problem, RowBounds, VarBounds};
+use crate::simplex::SolveStatus;
+
+/// Result of presolving.
+#[derive(Debug)]
+pub struct Presolved {
+    /// The reduced problem (may have fewer rows/columns).
+    pub reduced: Problem,
+    /// `col_map[j]` = column of `reduced` corresponding to original `j`,
+    /// or `None` when the column was eliminated.
+    pub col_map: Vec<Option<usize>>,
+    /// Values assigned to eliminated columns.
+    pub eliminated: Vec<(usize, f64)>,
+    /// Early verdict when presolve alone decides the problem.
+    pub verdict: Option<SolveStatus>,
+}
+
+impl Presolved {
+    /// Lift a solution of the reduced problem back to the original
+    /// column space.
+    pub fn postsolve(&self, x_reduced: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.col_map.len()];
+        for (j, m) in self.col_map.iter().enumerate() {
+            if let Some(rj) = m {
+                x[j] = x_reduced[*rj];
+            }
+        }
+        for &(j, v) in &self.eliminated {
+            x[j] = v;
+        }
+        x
+    }
+}
+
+/// Run the presolve passes (bounded number of sweeps).
+pub fn presolve(p: &Problem) -> Presolved {
+    let n = p.n_cols();
+    let mut lower: Vec<f64> = p.col_bounds().iter().map(|b| b.lower).collect();
+    let mut upper: Vec<f64> = p.col_bounds().iter().map(|b| b.upper).collect();
+    let mut col_alive = vec![true; n];
+    let mut col_value = vec![0.0f64; n];
+    let mut row_alive = vec![true; p.n_rows()];
+    let mut row_lower: Vec<f64> = p.row_bounds().iter().map(|b| b.lower).collect();
+    let mut row_upper: Vec<f64> = p.row_bounds().iter().map(|b| b.upper).collect();
+    let mut verdict = None;
+
+    // row -> entries
+    let mut row_entries: Vec<Vec<(usize, f64)>> = vec![Vec::new(); p.n_rows()];
+    for &(r, c, v) in p.triplets() {
+        if v != 0.0 {
+            row_entries[r].push((c, v));
+        }
+    }
+    let mut col_in_rows: Vec<usize> = vec![0; n];
+    for entries in &row_entries {
+        for &(c, _) in entries {
+            col_in_rows[c] += 1;
+        }
+    }
+
+    'outer: for _pass in 0..8 {
+        let mut changed = false;
+
+        // fixed columns -> substitute into rows
+        for j in 0..n {
+            if col_alive[j] && lower[j].is_finite() && lower[j] == upper[j] {
+                col_alive[j] = false;
+                col_value[j] = lower[j];
+                changed = true;
+                for (r, entries) in row_entries.iter_mut().enumerate() {
+                    if !row_alive[r] {
+                        continue;
+                    }
+                    if let Some(pos) = entries.iter().position(|&(c, _)| c == j) {
+                        let (_, a) = entries.remove(pos);
+                        let shift = a * col_value[j];
+                        if row_lower[r].is_finite() {
+                            row_lower[r] -= shift;
+                        }
+                        if row_upper[r].is_finite() {
+                            row_upper[r] -= shift;
+                        }
+                    }
+                }
+            }
+        }
+
+        // empty and singleton rows
+        for r in 0..p.n_rows() {
+            if !row_alive[r] {
+                continue;
+            }
+            let live: Vec<(usize, f64)> =
+                row_entries[r].iter().filter(|&&(c, _)| col_alive[c]).copied().collect();
+            match live.len() {
+                0 => {
+                    if row_lower[r] > 1e-12 || row_upper[r] < -1e-12 {
+                        verdict = Some(SolveStatus::Infeasible);
+                        break 'outer;
+                    }
+                    row_alive[r] = false;
+                    changed = true;
+                }
+                1 => {
+                    let (c, a) = live[0];
+                    // a * x_c in [row_lower, row_upper]
+                    let (mut lo, mut hi) = (row_lower[r] / a, row_upper[r] / a);
+                    if a < 0.0 {
+                        std::mem::swap(&mut lo, &mut hi);
+                    }
+                    if lo > lower[c] {
+                        lower[c] = lo;
+                        changed = true;
+                    }
+                    if hi < upper[c] {
+                        upper[c] = hi;
+                        changed = true;
+                    }
+                    if lower[c] > upper[c] + 1e-12 {
+                        verdict = Some(SolveStatus::Infeasible);
+                        break 'outer;
+                    }
+                    row_alive[r] = false;
+                }
+                _ => {}
+            }
+        }
+
+        // empty columns -> objective-best bound
+        for j in 0..n {
+            if !col_alive[j] {
+                continue;
+            }
+            let appears = row_entries
+                .iter()
+                .enumerate()
+                .any(|(r, entries)| row_alive[r] && entries.iter().any(|&(c, _)| c == j));
+            if appears {
+                continue;
+            }
+            let c = p.objective()[j]
+                * if p.sense() == crate::problem::Sense::Maximize { -1.0 } else { 1.0 };
+            let v = if c > 0.0 {
+                lower[j]
+            } else if c < 0.0 {
+                upper[j]
+            } else if lower[j].is_finite() {
+                lower[j]
+            } else if upper[j].is_finite() {
+                upper[j]
+            } else {
+                0.0
+            };
+            if !v.is_finite() {
+                verdict = Some(SolveStatus::Unbounded);
+                break 'outer;
+            }
+            col_alive[j] = false;
+            col_value[j] = v;
+            changed = true;
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // rebuild the reduced problem
+    let mut reduced = Problem::new(p.sense());
+    let mut col_map = vec![None; n];
+    if verdict.is_none() {
+        for j in 0..n {
+            if col_alive[j] {
+                let rj = reduced
+                    .add_col(p.objective()[j], VarBounds { lower: lower[j], upper: upper[j] })
+                    .expect("presolved bounds are valid");
+                if p.integers()[j] {
+                    reduced.set_integer(rj).expect("column exists");
+                }
+                col_map[j] = Some(rj);
+            }
+        }
+        for r in 0..p.n_rows() {
+            if !row_alive[r] {
+                continue;
+            }
+            let entries: Vec<(usize, f64)> = row_entries[r]
+                .iter()
+                .filter_map(|&(c, v)| col_map[c].map(|rc| (rc, v)))
+                .collect();
+            reduced
+                .add_row(RowBounds { lower: row_lower[r], upper: row_upper[r] }, &entries)
+                .expect("presolved row is valid");
+        }
+    }
+
+    let eliminated: Vec<(usize, f64)> =
+        (0..n).filter(|&j| !col_alive[j]).map(|j| (j, col_value[j])).collect();
+
+    Presolved { reduced, col_map, eliminated, verdict }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Sense;
+    use crate::simplex::{solve, SimplexOptions};
+
+    #[test]
+    fn fixed_column_substituted_and_cascade_solves_fully() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_col(1.0, VarBounds::fixed(3.0)).unwrap();
+        let y = p.add_col(1.0, VarBounds::non_negative()).unwrap();
+        p.add_row(RowBounds::at_most(10.0), &[(x, 1.0), (y, 1.0)]).unwrap();
+        let pre = presolve(&p);
+        assert!(pre.verdict.is_none());
+        // cascade: x fixed -> row becomes singleton y <= 7 -> y empty
+        // column -> fixed at its best bound 7: nothing is left to solve
+        assert_eq!(pre.reduced.n_cols(), 0);
+        assert_eq!(pre.reduced.n_rows(), 0);
+        let x_full = pre.postsolve(&[]);
+        assert_eq!(x_full, vec![3.0, 7.0]);
+        let _ = (x, y);
+    }
+
+    #[test]
+    fn singleton_row_tightens_bounds() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_col(1.0, VarBounds::non_negative()).unwrap();
+        let y = p.add_col(1.0, VarBounds::non_negative()).unwrap();
+        p.add_row(RowBounds::at_most(4.0), &[(x, 2.0)]).unwrap(); // x <= 2
+        p.add_row(RowBounds::at_most(10.0), &[(x, 1.0), (y, 1.0)]).unwrap();
+        let pre = presolve(&p);
+        assert_eq!(pre.reduced.n_rows(), 1);
+        let jx = pre.col_map[0].unwrap();
+        assert_eq!(pre.reduced.col_bounds()[jx].upper, 2.0);
+    }
+
+    #[test]
+    fn empty_row_infeasible_detected() {
+        let mut p = Problem::new(Sense::Minimize);
+        let _ = p.add_col(1.0, VarBounds::non_negative()).unwrap();
+        p.add_row(RowBounds::at_least(1.0), &[]).unwrap();
+        let pre = presolve(&p);
+        assert_eq!(pre.verdict, Some(SolveStatus::Infeasible));
+    }
+
+    #[test]
+    fn empty_column_moved_to_best_bound() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_col(5.0, VarBounds::unit()).unwrap();
+        let y = p.add_col(1.0, VarBounds::non_negative()).unwrap();
+        p.add_row(RowBounds::at_most(2.0), &[(y, 1.0)]).unwrap();
+        let pre = presolve(&p);
+        assert!(pre.col_map[x].is_none());
+        // x goes to its best bound; the singleton row then frees y to
+        // its best bound too
+        assert!(pre.eliminated.contains(&(x, 1.0)), "{:?}", pre.eliminated);
+        assert!(pre.eliminated.contains(&(y, 2.0)), "{:?}", pre.eliminated);
+    }
+
+    #[test]
+    fn unbounded_empty_column_detected() {
+        let mut p = Problem::new(Sense::Maximize);
+        let _x = p.add_col(5.0, VarBounds::non_negative()).unwrap();
+        let y = p.add_col(1.0, VarBounds::non_negative()).unwrap();
+        p.add_row(RowBounds::at_most(2.0), &[(y, 1.0)]).unwrap();
+        let pre = presolve(&p);
+        assert_eq!(pre.verdict, Some(SolveStatus::Unbounded));
+    }
+
+    #[test]
+    fn presolved_solution_matches_full_solve() {
+        let mut p = Problem::new(Sense::Maximize);
+        let f = p.add_col(2.0, VarBounds::fixed(1.0)).unwrap();
+        let x = p.add_col(3.0, VarBounds::non_negative()).unwrap();
+        let y = p.add_col(5.0, VarBounds::non_negative()).unwrap();
+        p.add_row(RowBounds::at_most(5.0), &[(f, 1.0), (x, 1.0)]).unwrap();
+        p.add_row(RowBounds::at_most(12.0), &[(y, 2.0)]).unwrap();
+        p.add_row(RowBounds::at_most(18.0), &[(x, 3.0), (y, 2.0)]).unwrap();
+        let direct = solve(&p, &SimplexOptions::default()).unwrap();
+        let pre = presolve(&p);
+        let sub = solve(&pre.reduced, &SimplexOptions::default()).unwrap();
+        let lifted = pre.postsolve(&sub.x);
+        assert!((p.objective_value(&lifted) - direct.objective).abs() < 1e-6);
+        assert!(p.max_violation(&lifted) < 1e-7);
+    }
+
+    #[test]
+    fn cascading_fixes_through_singletons() {
+        // row1: x = 2 (singleton eq); then x fixed, row2 becomes y <= 1
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_col(0.0, VarBounds::non_negative()).unwrap();
+        let y = p.add_col(1.0, VarBounds::non_negative()).unwrap();
+        p.add_row(RowBounds::equal(2.0), &[(x, 1.0)]).unwrap();
+        p.add_row(RowBounds::at_most(3.0), &[(x, 1.0), (y, 1.0)]).unwrap();
+        let pre = presolve(&p);
+        assert!(pre.verdict.is_none());
+        // cascade fixes everything: x = 2 by the singleton equality,
+        // then y <= 1 by the second row, then y -> 1 (best bound)
+        assert!(pre.col_map[x].is_none());
+        assert!(pre.col_map[y].is_none());
+        let lifted = pre.postsolve(&[]);
+        assert_eq!(lifted, vec![2.0, 1.0]);
+        assert!(p.max_violation(&lifted) <= 1e-12);
+    }
+}

@@ -1,0 +1,320 @@
+//! LP/MIP model builder.
+//!
+//! A [`Problem`] is `optimize c'x` subject to range rows
+//! `rl ≤ a'x ≤ ru` and column bounds `l ≤ x ≤ u`, with optional
+//! integrality marks consumed by the [`crate::mip`] layer. The builder
+//! validates eagerly so solvers can assume a well-formed model.
+
+use crate::error::LpError;
+use crate::sparse::CscMatrix;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sense {
+    /// Minimize the objective.
+    #[default]
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Bounds of one variable (either may be infinite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VarBounds {
+    /// Lower bound (`-inf` allowed).
+    pub lower: f64,
+    /// Upper bound (`+inf` allowed).
+    pub upper: f64,
+}
+
+impl VarBounds {
+    /// `[0, +inf)` — the default for UMP count variables.
+    pub fn non_negative() -> Self {
+        VarBounds { lower: 0.0, upper: f64::INFINITY }
+    }
+
+    /// `[0, 1]` — binary relaxation bounds.
+    pub fn unit() -> Self {
+        VarBounds { lower: 0.0, upper: 1.0 }
+    }
+
+    /// `(-inf, +inf)`.
+    pub fn free() -> Self {
+        VarBounds { lower: f64::NEG_INFINITY, upper: f64::INFINITY }
+    }
+
+    /// `[v, v]`.
+    pub fn fixed(v: f64) -> Self {
+        VarBounds { lower: v, upper: v }
+    }
+}
+
+/// Bounds of one row (range row; either side may be infinite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowBounds {
+    /// Lower bound on the row activity.
+    pub lower: f64,
+    /// Upper bound on the row activity.
+    pub upper: f64,
+}
+
+impl RowBounds {
+    /// `a'x ≤ b`.
+    pub fn at_most(b: f64) -> Self {
+        RowBounds { lower: f64::NEG_INFINITY, upper: b }
+    }
+
+    /// `a'x ≥ b`.
+    pub fn at_least(b: f64) -> Self {
+        RowBounds { lower: b, upper: f64::INFINITY }
+    }
+
+    /// `a'x = b`.
+    pub fn equal(b: f64) -> Self {
+        RowBounds { lower: b, upper: b }
+    }
+}
+
+/// An LP/MIP model.
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    sense: Sense,
+    obj: Vec<f64>,
+    bounds: Vec<VarBounds>,
+    integer: Vec<bool>,
+    rows: Vec<RowBounds>,
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+impl Problem {
+    /// New empty model (default sense: minimize).
+    pub fn new(sense: Sense) -> Self {
+        Problem { sense, ..Default::default() }
+    }
+
+    /// Add a column with objective coefficient and bounds; returns its
+    /// index.
+    pub fn add_col(&mut self, obj: f64, bounds: VarBounds) -> Result<usize, LpError> {
+        if obj.is_nan() {
+            return Err(LpError::BadNumber { what: "objective coefficient" });
+        }
+        if bounds.lower.is_nan() || bounds.upper.is_nan() {
+            return Err(LpError::BadNumber { what: "column bound" });
+        }
+        if bounds.lower > bounds.upper {
+            return Err(LpError::EmptyInterval { what: "column bounds" });
+        }
+        self.obj.push(obj);
+        self.bounds.push(bounds);
+        self.integer.push(false);
+        Ok(self.obj.len() - 1)
+    }
+
+    /// Add a row `rl ≤ Σ coef_j x_j ≤ ru`; returns its index. Duplicate
+    /// column references within one row are summed.
+    pub fn add_row(&mut self, bounds: RowBounds, entries: &[(usize, f64)]) -> Result<usize, LpError> {
+        if bounds.lower.is_nan() || bounds.upper.is_nan() {
+            return Err(LpError::BadNumber { what: "row bound" });
+        }
+        if bounds.lower > bounds.upper {
+            return Err(LpError::EmptyInterval { what: "row bounds" });
+        }
+        let r = self.rows.len();
+        for &(c, v) in entries {
+            if c >= self.obj.len() {
+                return Err(LpError::BadColumn { col: c, ncols: self.obj.len() });
+            }
+            if v.is_nan() || v.is_infinite() {
+                return Err(LpError::BadNumber { what: "row coefficient" });
+            }
+            self.triplets.push((r, c, v));
+        }
+        self.rows.push(bounds);
+        Ok(r)
+    }
+
+    /// Mark a column as integer-constrained (used by branch & bound;
+    /// the LP relaxation ignores it).
+    pub fn set_integer(&mut self, col: usize) -> Result<(), LpError> {
+        if col >= self.obj.len() {
+            return Err(LpError::BadColumn { col, ncols: self.obj.len() });
+        }
+        self.integer[col] = true;
+        Ok(())
+    }
+
+    /// Replace the bounds of a column (used by branch & bound).
+    pub fn set_bounds(&mut self, col: usize, bounds: VarBounds) -> Result<(), LpError> {
+        if col >= self.obj.len() {
+            return Err(LpError::BadColumn { col, ncols: self.obj.len() });
+        }
+        if bounds.lower.is_nan() || bounds.upper.is_nan() {
+            return Err(LpError::BadNumber { what: "column bound" });
+        }
+        if bounds.lower > bounds.upper {
+            return Err(LpError::EmptyInterval { what: "column bounds" });
+        }
+        self.bounds[col] = bounds;
+        Ok(())
+    }
+
+    /// Optimization sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.obj.len()
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.obj
+    }
+
+    /// Column bounds.
+    pub fn col_bounds(&self) -> &[VarBounds] {
+        &self.bounds
+    }
+
+    /// Row bounds.
+    pub fn row_bounds(&self) -> &[RowBounds] {
+        &self.rows
+    }
+
+    /// Integrality marks.
+    pub fn integers(&self) -> &[bool] {
+        &self.integer
+    }
+
+    /// Raw `(row, col, value)` triplets in insertion order.
+    pub fn triplets(&self) -> &[(usize, usize, f64)] {
+        &self.triplets
+    }
+
+    /// Materialize the constraint matrix.
+    pub fn matrix(&self) -> CscMatrix {
+        CscMatrix::from_triplets(self.n_rows(), self.n_cols(), &self.triplets)
+    }
+
+    /// Objective value of a point under the model's sense.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_cols(), "dimension mismatch");
+        self.obj.iter().zip(x).map(|(&c, &v)| c * v).sum()
+    }
+
+    /// Maximum violation of rows and bounds at a point (0 means
+    /// feasible; small positives are rounding noise).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_cols(), "dimension mismatch");
+        let mut worst = 0.0f64;
+        for (j, b) in self.bounds.iter().enumerate() {
+            worst = worst.max(b.lower - x[j]).max(x[j] - b.upper);
+        }
+        let act = self.matrix().matvec(x);
+        for (i, rb) in self.rows.iter().enumerate() {
+            worst = worst.max(rb.lower - act[i]).max(act[i] - rb.upper);
+        }
+        worst
+    }
+
+    /// Whether every integer-marked column is integral at `x` within
+    /// `tol`.
+    pub fn is_integral(&self, x: &[f64], tol: f64) -> bool {
+        self.integer
+            .iter()
+            .zip(x)
+            .all(|(&is_int, &v)| !is_int || (v - v.round()).abs() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_model() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_col(1.0, VarBounds::non_negative()).unwrap();
+        let y = p.add_col(2.0, VarBounds::unit()).unwrap();
+        p.add_row(RowBounds::at_most(4.0), &[(x, 1.0), (y, 3.0)]).unwrap();
+        assert_eq!(p.n_cols(), 2);
+        assert_eq!(p.n_rows(), 1);
+        assert_eq!(p.objective_value(&[1.0, 1.0]), 3.0);
+    }
+
+    #[test]
+    fn violation_detects_row_and_bound() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_col(1.0, VarBounds::non_negative()).unwrap();
+        p.add_row(RowBounds::at_most(1.0), &[(x, 1.0)]).unwrap();
+        assert_eq!(p.max_violation(&[0.5]), 0.0);
+        assert!((p.max_violation(&[2.0]) - 1.0).abs() < 1e-12); // row
+        assert!((p.max_violation(&[-3.0]) - 3.0).abs() < 1e-12); // bound
+    }
+
+    #[test]
+    fn bad_column_in_row_rejected() {
+        let mut p = Problem::new(Sense::Minimize);
+        let err = p.add_row(RowBounds::equal(1.0), &[(0, 1.0)]).unwrap_err();
+        assert!(matches!(err, LpError::BadColumn { col: 0, ncols: 0 }));
+    }
+
+    #[test]
+    fn nan_rejected_everywhere() {
+        let mut p = Problem::new(Sense::Minimize);
+        assert!(p.add_col(f64::NAN, VarBounds::free()).is_err());
+        let x = p.add_col(0.0, VarBounds::free()).unwrap();
+        assert!(p
+            .add_row(RowBounds { lower: f64::NAN, upper: 0.0 }, &[(x, 1.0)])
+            .is_err());
+        assert!(p.add_row(RowBounds::equal(0.0), &[(x, f64::NAN)]).is_err());
+        assert!(p.set_bounds(x, VarBounds { lower: f64::NAN, upper: 1.0 }).is_err());
+    }
+
+    #[test]
+    fn crossed_bounds_rejected() {
+        let mut p = Problem::new(Sense::Minimize);
+        assert!(matches!(
+            p.add_col(0.0, VarBounds { lower: 1.0, upper: 0.0 }),
+            Err(LpError::EmptyInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn integrality_marks_and_check() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_col(1.0, VarBounds::unit()).unwrap();
+        let y = p.add_col(1.0, VarBounds::unit()).unwrap();
+        p.set_integer(x).unwrap();
+        assert_eq!(p.integers(), &[true, false]);
+        assert!(p.is_integral(&[1.0, 0.5], 1e-9));
+        assert!(!p.is_integral(&[0.5, 0.5], 1e-9));
+        assert!(p.set_integer(y + 5).is_err());
+    }
+
+    #[test]
+    fn matrix_materializes_triplets() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_col(0.0, VarBounds::non_negative()).unwrap();
+        let y = p.add_col(0.0, VarBounds::non_negative()).unwrap();
+        p.add_row(RowBounds::at_most(1.0), &[(x, 2.0), (y, 3.0), (x, 0.5)]).unwrap();
+        let m = p.matrix();
+        let d = m.to_dense();
+        assert_eq!(d[0][0], 2.5, "duplicates summed");
+        assert_eq!(d[0][1], 3.0);
+    }
+
+    #[test]
+    fn row_coefficient_infinite_rejected() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_col(0.0, VarBounds::free()).unwrap();
+        assert!(p.add_row(RowBounds::equal(0.0), &[(x, f64::INFINITY)]).is_err());
+    }
+}

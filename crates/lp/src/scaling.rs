@@ -1,0 +1,208 @@
+//! Geometric-mean equilibration.
+//!
+//! The privacy constraints have coefficients `ln t_ijk` spanning several
+//! orders of magnitude (a user holding 1 of 1000 clicks contributes
+//! `ln(1000/999) ≈ 1e-3`; one holding 99 of 100 contributes
+//! `ln 100 ≈ 4.6`). Scaling rows and columns toward unit geometric mean
+//! keeps the simplex pivots well-conditioned. Factors are rounded to
+//! powers of two so scaling introduces no rounding error.
+
+use crate::problem::{Problem, RowBounds, Sense, VarBounds};
+
+/// Row/column scale factors (`a~ = R a C`).
+#[derive(Debug, Clone)]
+pub struct ScaleFactors {
+    /// Row multipliers, length `n_rows`.
+    pub row: Vec<f64>,
+    /// Column multipliers, length `n_cols`.
+    pub col: Vec<f64>,
+}
+
+impl ScaleFactors {
+    /// Identity scaling.
+    pub fn identity(n_rows: usize, n_cols: usize) -> Self {
+        ScaleFactors { row: vec![1.0; n_rows], col: vec![1.0; n_cols] }
+    }
+
+    /// Recover original variable values from scaled ones
+    /// (`x_j = c_j · x~_j`).
+    pub fn unscale_x(&self, x_scaled: &[f64]) -> Vec<f64> {
+        x_scaled.iter().zip(&self.col).map(|(&x, &c)| x * c).collect()
+    }
+
+    /// Recover original duals from scaled ones (`y_i = r_i · y~_i`).
+    pub fn unscale_duals(&self, y_scaled: &[f64]) -> Vec<f64> {
+        y_scaled.iter().zip(&self.row).map(|(&y, &r)| y * r).collect()
+    }
+}
+
+fn pow2_round(v: f64) -> f64 {
+    if !v.is_finite() || v <= 0.0 {
+        return 1.0;
+    }
+    // nearest power of two to v in log space
+    let e = v.log2().round();
+    2.0f64.powi(e.clamp(-60.0, 60.0) as i32)
+}
+
+/// Compute geometric-mean scale factors with the given number of
+/// row/column sweeps (2 is plenty in practice).
+pub fn geometric_scaling(p: &Problem, passes: usize) -> ScaleFactors {
+    let m = p.n_rows();
+    let n = p.n_cols();
+    let mut f = ScaleFactors::identity(m, n);
+    if m == 0 || n == 0 || p.triplets().is_empty() {
+        return f;
+    }
+
+    for _ in 0..passes {
+        // rows: geometric mean of |r a c| per row
+        let mut lo = vec![f64::INFINITY; m];
+        let mut hi = vec![0.0f64; m];
+        for &(r, c, v) in p.triplets() {
+            let av = (v * f.row[r] * f.col[c]).abs();
+            if av > 0.0 {
+                lo[r] = lo[r].min(av);
+                hi[r] = hi[r].max(av);
+            }
+        }
+        for i in 0..m {
+            if hi[i] > 0.0 {
+                f.row[i] *= pow2_round(1.0 / (lo[i] * hi[i]).sqrt());
+            }
+        }
+        // cols
+        let mut lo = vec![f64::INFINITY; n];
+        let mut hi = vec![0.0f64; n];
+        for &(r, c, v) in p.triplets() {
+            let av = (v * f.row[r] * f.col[c]).abs();
+            if av > 0.0 {
+                lo[c] = lo[c].min(av);
+                hi[c] = hi[c].max(av);
+            }
+        }
+        for j in 0..n {
+            if hi[j] > 0.0 {
+                f.col[j] *= pow2_round(1.0 / (lo[j] * hi[j]).sqrt());
+            }
+        }
+    }
+    f
+}
+
+/// Apply scale factors, producing the scaled problem
+/// (`a~ = R a C`, row bounds `× R`, column bounds `÷ C`, objective
+/// `× C`). The scaled problem has the same optimal objective value, with
+/// variables `x~_j = x_j / c_j`.
+pub fn apply(p: &Problem, f: &ScaleFactors) -> Problem {
+    assert_eq!(f.row.len(), p.n_rows(), "row factor length");
+    assert_eq!(f.col.len(), p.n_cols(), "col factor length");
+    let mut scaled = Problem::new(p.sense());
+    for j in 0..p.n_cols() {
+        let b = p.col_bounds()[j];
+        scaled
+            .add_col(
+                p.objective()[j] * f.col[j],
+                VarBounds { lower: b.lower / f.col[j], upper: b.upper / f.col[j] },
+            )
+            .expect("scaled column is valid");
+        if p.integers()[j] {
+            scaled.set_integer(j).expect("column exists");
+        }
+    }
+    // group triplets by row
+    let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); p.n_rows()];
+    for &(r, c, v) in p.triplets() {
+        per_row[r].push((c, v * f.row[r] * f.col[c]));
+    }
+    for (i, entries) in per_row.iter().enumerate() {
+        let rb = p.row_bounds()[i];
+        scaled
+            .add_row(RowBounds { lower: rb.lower * f.row[i], upper: rb.upper * f.row[i] }, entries)
+            .expect("scaled row is valid");
+    }
+    debug_assert_eq!(scaled.sense(), if p.sense() == Sense::Maximize { Sense::Maximize } else { Sense::Minimize });
+    scaled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{RowBounds, Sense, VarBounds};
+
+    fn badly_scaled() -> Problem {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_col(1.0, VarBounds::non_negative()).unwrap();
+        let y = p.add_col(1e-4, VarBounds::non_negative()).unwrap();
+        p.add_row(RowBounds::at_most(1e6), &[(x, 1e5), (y, 2e-3)]).unwrap();
+        p.add_row(RowBounds::at_most(1.0), &[(x, 1e-4), (y, 5.0)]).unwrap();
+        p
+    }
+
+    fn spread(p: &Problem, f: &ScaleFactors) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for &(r, c, v) in p.triplets() {
+            let av = (v * f.row[r] * f.col[c]).abs();
+            lo = lo.min(av);
+            hi = hi.max(av);
+        }
+        hi / lo
+    }
+
+    #[test]
+    fn scaling_reduces_coefficient_spread() {
+        let p = badly_scaled();
+        let before = spread(&p, &ScaleFactors::identity(p.n_rows(), p.n_cols()));
+        let f = geometric_scaling(&p, 2);
+        let after = spread(&p, &f);
+        assert!(after < before / 100.0, "spread {before} -> {after}");
+    }
+
+    #[test]
+    fn factors_are_powers_of_two() {
+        let p = badly_scaled();
+        let f = geometric_scaling(&p, 2);
+        for v in f.row.iter().chain(&f.col) {
+            assert_eq!(v.log2().fract(), 0.0, "{v} not a power of two");
+        }
+    }
+
+    #[test]
+    fn scaled_problem_preserves_feasibility_and_objective() {
+        let p = badly_scaled();
+        let f = geometric_scaling(&p, 2);
+        let sp = apply(&p, &f);
+        // x feasible in p <-> x~ = x / c feasible in sp, same objective
+        let x = vec![3.0, 100.0];
+        let x_scaled: Vec<f64> = x.iter().zip(&f.col).map(|(&v, &c)| v / c).collect();
+        assert!((p.objective_value(&x) - sp.objective_value(&x_scaled)).abs() < 1e-9);
+        assert!((p.max_violation(&x) <= 0.0) == (sp.max_violation(&x_scaled) <= 1e-9));
+        assert_eq!(f.unscale_x(&x_scaled), x);
+    }
+
+    #[test]
+    fn identity_scaling_for_empty_problem() {
+        let p = Problem::new(Sense::Minimize);
+        let f = geometric_scaling(&p, 2);
+        assert!(f.row.is_empty() && f.col.is_empty());
+    }
+
+    #[test]
+    fn integer_marks_survive_scaling() {
+        let mut p = badly_scaled();
+        p.set_integer(0).unwrap();
+        let f = geometric_scaling(&p, 1);
+        let sp = apply(&p, &f);
+        assert_eq!(sp.integers(), p.integers());
+    }
+
+    #[test]
+    fn pow2_round_basics() {
+        assert_eq!(pow2_round(1.0), 1.0);
+        assert_eq!(pow2_round(3.0), 4.0);
+        assert_eq!(pow2_round(0.3), 0.25);
+        assert_eq!(pow2_round(0.0), 1.0);
+        assert_eq!(pow2_round(f64::INFINITY), 1.0);
+    }
+}

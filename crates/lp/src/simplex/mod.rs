@@ -1,0 +1,489 @@
+//! Two-phase bounded-variable revised simplex.
+//!
+//! The solver works on the [`StandardForm`] `min c'x, Ax = b, l ≤ x ≤ u`
+//! (one slack per row). A starting basis is built from slacks; rows
+//! whose slack cannot absorb the residual receive an artificial column,
+//! and phase 1 minimizes the sum of artificials. Pricing is Dantzig with
+//! an automatic switch to Bland's rule after a stall (anti-cycling);
+//! the basis inverse is maintained as sparse LU + eta file with periodic
+//! refactorization.
+
+mod pricing;
+mod ratio;
+
+use crate::error::LpError;
+use crate::factor::BasisFactor;
+use crate::problem::{Problem, Sense};
+use crate::scaling::{self, ScaleFactors};
+use crate::sparse::CscMatrix;
+use crate::standard::StandardForm;
+pub(crate) use pricing::{price_dantzig, price_bland, Direction};
+pub(crate) use ratio::{ratio_test, RatioOutcome};
+
+/// Solver tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Hard iteration cap across both phases.
+    pub max_iter: usize,
+    /// Primal feasibility tolerance.
+    pub tol_primal: f64,
+    /// Dual (reduced-cost) tolerance.
+    pub tol_dual: f64,
+    /// Minimum pivot magnitude considered in the ratio test.
+    pub tol_pivot: f64,
+    /// Refactorize the basis after this many eta updates.
+    pub refactor_every: usize,
+    /// Apply geometric-mean scaling before solving.
+    pub scaling: bool,
+    /// Iterations without objective improvement before switching to
+    /// Bland's anti-cycling rule.
+    pub stall_limit: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iter: 200_000,
+            tol_primal: 1e-8,
+            tol_dual: 1e-9,
+            tol_pivot: 1e-9,
+            refactor_every: 64,
+            scaling: true,
+            stall_limit: 2_000,
+        }
+    }
+}
+
+/// Terminal status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The iteration cap was hit before termination.
+    IterationLimit,
+}
+
+/// Result of a solve.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Terminal status.
+    pub status: SolveStatus,
+    /// Objective value in the user's sense (meaningful for `Optimal`).
+    pub objective: f64,
+    /// Structural variable values (meaningful for `Optimal`).
+    pub x: Vec<f64>,
+    /// Row duals in the user's sense (meaningful for `Optimal`).
+    pub duals: Vec<f64>,
+    /// Simplex iterations used across both phases.
+    pub iterations: usize,
+}
+
+/// Variable status in the simplex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VarStatus {
+    /// Basic in the given row position.
+    Basic(usize),
+    /// Nonbasic at its lower bound.
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
+    /// Nonbasic free variable parked at zero.
+    Free,
+}
+
+/// Solve an LP (ignores integrality marks; see [`crate::mip`] for those).
+pub fn solve(problem: &Problem, opts: &SimplexOptions) -> Result<Solution, LpError> {
+    // trivial case: no rows — every variable goes to its objective-best bound
+    if problem.n_rows() == 0 {
+        return solve_unconstrained(problem);
+    }
+
+    let (scaled, factors) = if opts.scaling {
+        let f = scaling::geometric_scaling(problem, 2);
+        (scaling::apply(problem, &f), f)
+    } else {
+        (problem.clone(), ScaleFactors::identity(problem.n_rows(), problem.n_cols()))
+    };
+
+    let sf = StandardForm::from_problem(&scaled);
+    let mut core = Core::new(sf, opts.clone());
+    let status = core.run()?;
+
+    let mut x = factors.unscale_x(&core.structural_x());
+    let mut duals = factors.unscale_duals(&core.row_duals());
+    if problem.sense() == Sense::Maximize {
+        for d in &mut duals {
+            *d = -*d;
+        }
+    }
+    // clean tiny negative noise on bounded variables
+    for (xj, b) in x.iter_mut().zip(problem.col_bounds()) {
+        if xj.is_finite() {
+            *xj = xj.clamp(b.lower, b.upper);
+        }
+    }
+    let objective = problem.objective_value(&x);
+
+    Ok(Solution { status, objective, x, duals, iterations: core.iterations })
+}
+
+fn solve_unconstrained(problem: &Problem) -> Result<Solution, LpError> {
+    let maximize = problem.sense() == Sense::Maximize;
+    let mut x = Vec::with_capacity(problem.n_cols());
+    for (j, b) in problem.col_bounds().iter().enumerate() {
+        let c = problem.objective()[j] * if maximize { -1.0 } else { 1.0 };
+        let v = if c > 0.0 {
+            b.lower
+        } else if c < 0.0 {
+            b.upper
+        } else if b.lower.is_finite() {
+            b.lower
+        } else if b.upper.is_finite() {
+            b.upper
+        } else {
+            0.0
+        };
+        if !v.is_finite() {
+            return Ok(Solution {
+                status: SolveStatus::Unbounded,
+                objective: if maximize { f64::INFINITY } else { f64::NEG_INFINITY },
+                x: vec![],
+                duals: vec![],
+                iterations: 0,
+            });
+        }
+        x.push(v);
+    }
+    let objective = problem.objective_value(&x);
+    Ok(Solution { status: SolveStatus::Optimal, objective, x, duals: vec![], iterations: 0 })
+}
+
+/// Internal solver state over the standard form plus artificials.
+pub(crate) struct Core {
+    sf: StandardForm,
+    opts: SimplexOptions,
+    /// Working matrix: standard-form columns plus artificial columns.
+    a: CscMatrix,
+    /// Total working columns (n + artificials).
+    n_total: usize,
+    /// Phase-1 cost (1 on artificials).
+    phase1_cost: Vec<f64>,
+    /// Bounds over working columns.
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    status: Vec<VarStatus>,
+    x_val: Vec<f64>,
+    basis: Vec<usize>,
+    factor: BasisFactor,
+    pub(crate) iterations: usize,
+    n_artificial: usize,
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+impl Core {
+    fn new(sf: StandardForm, opts: SimplexOptions) -> Core {
+        let m = sf.m;
+        let n = sf.n;
+
+        let mut lower = sf.lower.clone();
+        let mut upper = sf.upper.clone();
+        let mut status = Vec::with_capacity(n);
+        let mut x_val = Vec::with_capacity(n);
+        for j in 0..n {
+            let v = sf.nonbasic_start(j);
+            x_val.push(v);
+            status.push(if sf.lower[j].is_finite() && v == sf.lower[j] {
+                VarStatus::AtLower
+            } else if sf.upper[j].is_finite() && v == sf.upper[j] {
+                VarStatus::AtUpper
+            } else {
+                VarStatus::Free
+            });
+        }
+
+        // residual r = b - A x_N over all standard-form columns
+        let mut residual = sf.b.clone();
+        for j in 0..n {
+            if x_val[j] != 0.0 {
+                sf.a.col_axpy(j, -x_val[j], &mut residual);
+            }
+        }
+
+        // choose initial basis per row: the row's slack if it can absorb
+        // the residual, otherwise an artificial column
+        let mut basis = Vec::with_capacity(m);
+        let mut art_cols: Vec<Vec<(usize, f64)>> = Vec::new();
+        let mut phase1_cost = vec![0.0; n];
+        for i in 0..m {
+            let slack = sf.n_structural + i;
+            let target = x_val[slack] + residual[i];
+            if target >= sf.lower[slack] - 1e-12 && target <= sf.upper[slack] + 1e-12 {
+                // slack absorbs the residual: make it basic
+                x_val[slack] = target;
+                status[slack] = VarStatus::Basic(i);
+                basis.push(slack);
+            } else {
+                // park the slack at its nearest bound, add artificial
+                let clamped = target.clamp(sf.lower[slack], sf.upper[slack]);
+                let remaining = target - clamped; // what the artificial must carry
+                x_val[slack] = clamped;
+                status[slack] = if clamped == sf.lower[slack] {
+                    VarStatus::AtLower
+                } else {
+                    VarStatus::AtUpper
+                };
+                let sign = if remaining >= 0.0 { 1.0 } else { -1.0 };
+                let art = n + art_cols.len();
+                art_cols.push(vec![(i, sign)]);
+                basis.push(art);
+                lower.push(0.0);
+                upper.push(f64::INFINITY);
+                status.push(VarStatus::Basic(i));
+                x_val.push(remaining.abs());
+                phase1_cost.push(1.0);
+            }
+        }
+        let n_artificial = art_cols.len();
+        let a = sf.a.with_extra_cols(&art_cols);
+        let n_total = n + n_artificial;
+
+        let factor = BasisFactor::factor(&a, &basis)
+            .expect("initial slack/artificial basis is triangular and nonsingular");
+
+        Core {
+            sf,
+            opts,
+            a,
+            n_total,
+            phase1_cost,
+            lower,
+            upper,
+            status,
+            x_val,
+            basis,
+            factor,
+            iterations: 0,
+            n_artificial,
+        }
+    }
+
+    fn run(&mut self) -> Result<SolveStatus, LpError> {
+        if self.n_artificial > 0 {
+            let cost = self.phase1_cost.clone();
+            match self.optimize(&cost)? {
+                PhaseOutcome::IterationLimit => return Ok(SolveStatus::IterationLimit),
+                PhaseOutcome::Unbounded => {
+                    unreachable!("phase-1 objective is bounded below by zero")
+                }
+                PhaseOutcome::Optimal => {}
+            }
+            let infeas: f64 =
+                (self.sf.n..self.n_total).map(|j| self.x_val[j].max(0.0)).sum();
+            if infeas > self.opts.tol_primal.max(1e-7) {
+                return Ok(SolveStatus::Infeasible);
+            }
+            // fix artificials at zero for phase 2
+            for j in self.sf.n..self.n_total {
+                self.upper[j] = 0.0;
+                self.x_val[j] = self.x_val[j].max(0.0).min(self.upper[j]).max(0.0);
+                if !matches!(self.status[j], VarStatus::Basic(_)) {
+                    self.status[j] = VarStatus::AtLower;
+                    self.x_val[j] = 0.0;
+                }
+            }
+        }
+
+        let mut cost = vec![0.0; self.n_total];
+        cost[..self.sf.n].copy_from_slice(&self.sf.c);
+        match self.optimize(&cost)? {
+            PhaseOutcome::Optimal => Ok(SolveStatus::Optimal),
+            PhaseOutcome::Unbounded => Ok(SolveStatus::Unbounded),
+            PhaseOutcome::IterationLimit => Ok(SolveStatus::IterationLimit),
+        }
+    }
+
+    /// Primal simplex inner loop on the given (minimization) cost.
+    fn optimize(&mut self, cost: &[f64]) -> Result<PhaseOutcome, LpError> {
+        let m = self.sf.m;
+        let mut stall = 0usize;
+        let mut bland = false;
+        let mut best_obj = f64::INFINITY;
+
+        loop {
+            if self.iterations >= self.opts.max_iter {
+                return Ok(PhaseOutcome::IterationLimit);
+            }
+            if self.factor.n_updates() >= self.opts.refactor_every {
+                self.refactorize()?;
+            }
+
+            // duals: y = B^-T c_B
+            let mut y = vec![0.0; m];
+            for (i, &bcol) in self.basis.iter().enumerate() {
+                y[i] = cost[bcol];
+            }
+            self.factor.btran(&mut y);
+
+            // pricing
+            let pick = if bland {
+                price_bland(self, cost, &y)
+            } else {
+                price_dantzig(self, cost, &y)
+            };
+            let Some((q, dir)) = pick else {
+                return Ok(PhaseOutcome::Optimal);
+            };
+
+            // direction: w = B^-1 A_q
+            let mut w = vec![0.0; m];
+            {
+                let (rows, vals) = self.a.col(q);
+                for (&r, &v) in rows.iter().zip(vals) {
+                    w[r] += v;
+                }
+            }
+            self.factor.ftran(&mut w);
+
+            match ratio_test(self, q, dir, &w) {
+                RatioOutcome::Unbounded => return Ok(PhaseOutcome::Unbounded),
+                RatioOutcome::BoundFlip { t } => {
+                    self.apply_step(q, dir, t, &w);
+                    self.status[q] = match self.status[q] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        other => other,
+                    };
+                }
+                RatioOutcome::Pivot { t, leaving_pos, to_upper } => {
+                    self.apply_step(q, dir, t, &w);
+                    let leaving = self.basis[leaving_pos];
+                    // snap the leaving variable exactly onto its bound
+                    self.x_val[leaving] =
+                        if to_upper { self.upper[leaving] } else { self.lower[leaving] };
+                    self.status[leaving] =
+                        if to_upper { VarStatus::AtUpper } else { VarStatus::AtLower };
+                    self.basis[leaving_pos] = q;
+                    self.status[q] = VarStatus::Basic(leaving_pos);
+                    if self.factor.update(leaving_pos, &w).is_err() {
+                        // pivot too small for the eta update: refactor with
+                        // the new basis instead
+                        self.refactorize()?;
+                    }
+                }
+            }
+
+            self.iterations += 1;
+
+            // stall detection for the Bland switch
+            let obj = self.objective_of(cost);
+            if obj < best_obj - 1e-10 {
+                best_obj = obj;
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall >= self.opts.stall_limit {
+                    bland = true;
+                }
+            }
+        }
+    }
+
+    /// Move entering variable `q` by `t` in direction `dir` and update
+    /// all basic values accordingly.
+    fn apply_step(&mut self, q: usize, dir: Direction, t: f64, w: &[f64]) {
+        if t == 0.0 {
+            return;
+        }
+        let step = dir.sign() * t;
+        self.x_val[q] += step;
+        for (i, &wi) in w.iter().enumerate() {
+            if wi != 0.0 {
+                let col = self.basis[i];
+                self.x_val[col] -= step * wi;
+            }
+        }
+    }
+
+    fn objective_of(&self, cost: &[f64]) -> f64 {
+        cost.iter().zip(&self.x_val).map(|(&c, &x)| c * x).sum()
+    }
+
+    /// Rebuild the LU factorization from the current basis and recompute
+    /// basic values from scratch (numerical hygiene).
+    fn refactorize(&mut self) -> Result<(), LpError> {
+        self.factor = BasisFactor::factor(&self.a, &self.basis)?;
+        // x_B = B^-1 (b - N x_N)
+        let mut rhs = self.sf.b.clone();
+        for j in 0..self.n_total {
+            if matches!(self.status[j], VarStatus::Basic(_)) {
+                continue;
+            }
+            if self.x_val[j] != 0.0 {
+                self.a.col_axpy(j, -self.x_val[j], &mut rhs);
+            }
+        }
+        self.factor.ftran(&mut rhs);
+        for (i, &col) in self.basis.iter().enumerate() {
+            self.x_val[col] = rhs[i];
+        }
+        Ok(())
+    }
+
+    /// Structural part of the current point.
+    fn structural_x(&self) -> Vec<f64> {
+        self.x_val[..self.sf.n_structural].to_vec()
+    }
+
+    /// Row duals for the phase-2 objective (internal minimization sense).
+    fn row_duals(&self) -> Vec<f64> {
+        let m = self.sf.m;
+        let mut cost = vec![0.0; self.n_total];
+        cost[..self.sf.n].copy_from_slice(&self.sf.c);
+        let mut y = vec![0.0; m];
+        for (i, &bcol) in self.basis.iter().enumerate() {
+            y[i] = cost[bcol];
+        }
+        self.factor.btran(&mut y);
+        // note: these are duals of the *internal minimization*; the
+        // driver flips signs for maximization problems.
+        y
+    }
+
+    // accessors used by pricing/ratio submodules
+    pub(crate) fn n_total(&self) -> usize {
+        self.n_total
+    }
+    pub(crate) fn status_of(&self, j: usize) -> VarStatus {
+        self.status[j]
+    }
+    pub(crate) fn bounds_of(&self, j: usize) -> (f64, f64) {
+        (self.lower[j], self.upper[j])
+    }
+    pub(crate) fn value_of(&self, j: usize) -> f64 {
+        self.x_val[j]
+    }
+    pub(crate) fn basis_col(&self, pos: usize) -> usize {
+        self.basis[pos]
+    }
+    pub(crate) fn matrix(&self) -> &CscMatrix {
+        &self.a
+    }
+    pub(crate) fn tol_dual(&self) -> f64 {
+        self.opts.tol_dual
+    }
+    pub(crate) fn tol_pivot(&self) -> f64 {
+        self.opts.tol_pivot
+    }
+}
+
+#[cfg(test)]
+mod tests;

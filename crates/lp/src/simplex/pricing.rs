@@ -1,0 +1,88 @@
+//! Entering-variable selection (pricing).
+//!
+//! Dantzig pricing picks the most-violated reduced cost; Bland's rule
+//! picks the eligible column with the smallest index and guarantees
+//! finiteness under degeneracy. The driver switches from the former to
+//! the latter after a stall.
+
+use super::{Core, VarStatus};
+
+/// Which way the entering variable moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Direction {
+    /// Increase from its lower bound (or from zero for free variables).
+    Up,
+    /// Decrease from its upper bound.
+    Down,
+}
+
+impl Direction {
+    /// `+1.0` for [`Direction::Up`], `-1.0` for [`Direction::Down`].
+    pub(crate) fn sign(self) -> f64 {
+        match self {
+            Direction::Up => 1.0,
+            Direction::Down => -1.0,
+        }
+    }
+}
+
+/// Eligibility of column `j` given its reduced cost `d` (minimization).
+fn eligible(core: &Core, j: usize, d: f64) -> Option<Direction> {
+    let (lo, hi) = core.bounds_of(j);
+    if hi - lo <= 0.0 {
+        return None; // fixed variable can never move
+    }
+    let tol = core.tol_dual();
+    match core.status_of(j) {
+        VarStatus::Basic(_) => None,
+        VarStatus::AtLower => (d < -tol).then_some(Direction::Up),
+        VarStatus::AtUpper => (d > tol).then_some(Direction::Down),
+        VarStatus::Free => {
+            if d < -tol {
+                Some(Direction::Up)
+            } else if d > tol {
+                Some(Direction::Down)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Reduced cost of column `j`: `d_j = c_j − y' A_j`.
+#[inline]
+fn reduced_cost(core: &Core, cost: &[f64], y: &[f64], j: usize) -> f64 {
+    cost[j] - core.matrix().col_dot(j, y)
+}
+
+/// Dantzig rule: eligible column with the largest `|d_j|`.
+pub(crate) fn price_dantzig(core: &Core, cost: &[f64], y: &[f64]) -> Option<(usize, Direction)> {
+    let mut best: Option<(usize, Direction, f64)> = None;
+    for j in 0..core.n_total() {
+        if matches!(core.status_of(j), VarStatus::Basic(_)) {
+            continue;
+        }
+        let d = reduced_cost(core, cost, y, j);
+        if let Some(dir) = eligible(core, j, d) {
+            let mag = d.abs();
+            if best.map_or(true, |(_, _, m)| mag > m) {
+                best = Some((j, dir, mag));
+            }
+        }
+    }
+    best.map(|(j, dir, _)| (j, dir))
+}
+
+/// Bland rule: eligible column with the smallest index.
+pub(crate) fn price_bland(core: &Core, cost: &[f64], y: &[f64]) -> Option<(usize, Direction)> {
+    for j in 0..core.n_total() {
+        if matches!(core.status_of(j), VarStatus::Basic(_)) {
+            continue;
+        }
+        let d = reduced_cost(core, cost, y, j);
+        if let Some(dir) = eligible(core, j, d) {
+            return Some((j, dir));
+        }
+    }
+    None
+}

@@ -1,0 +1,96 @@
+//! Bounded-variable ratio test.
+//!
+//! The entering variable `q` moves by `t ≥ 0` in direction `dir`; every
+//! basic variable changes by `−dir·t·w_i` and blocks at whichever of its
+//! bounds it approaches. The entering variable itself blocks at its
+//! opposite bound (a *bound flip*, no basis change). Ties prefer the
+//! largest `|w_i|` pivot for numerical stability.
+
+use super::{Core, Direction};
+
+/// Outcome of the ratio test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum RatioOutcome {
+    /// No bound blocks the move: the LP is unbounded.
+    Unbounded,
+    /// The entering variable reaches its own opposite bound first.
+    BoundFlip {
+        /// Step length.
+        t: f64,
+    },
+    /// A basic variable blocks at a bound and leaves the basis.
+    Pivot {
+        /// Step length (possibly 0 under degeneracy).
+        t: f64,
+        /// Row position of the leaving variable.
+        leaving_pos: usize,
+        /// Whether the leaving variable exits at its upper bound.
+        to_upper: bool,
+    },
+}
+
+pub(crate) fn ratio_test(core: &Core, q: usize, dir: Direction, w: &[f64]) -> RatioOutcome {
+    let tol_pivot = core.tol_pivot();
+    const TIE_TOL: f64 = 1e-9;
+
+    let (q_lo, q_hi) = core.bounds_of(q);
+    let own_limit = q_hi - q_lo; // may be inf
+
+    let mut best_t = own_limit;
+    let mut best: Option<(usize, bool, f64)> = None; // (pos, to_upper, |pivot|)
+
+    for (i, &wi) in w.iter().enumerate() {
+        if wi.abs() <= tol_pivot {
+            continue;
+        }
+        let delta = dir.sign() * wi; // basic value changes by -delta * t
+        let col = core.basis_col(i);
+        let (lo, hi) = core.bounds_of(col);
+        let xb = core.value_of(col);
+        let (ratio, to_upper) = if delta > 0.0 {
+            // basic decreases toward its lower bound
+            if lo.is_finite() {
+                (((xb - lo) / delta).max(0.0), false)
+            } else {
+                continue;
+            }
+        } else {
+            // basic increases toward its upper bound
+            if hi.is_finite() {
+                (((hi - xb) / -delta).max(0.0), true)
+            } else {
+                continue;
+            }
+        };
+
+        if ratio < best_t - TIE_TOL {
+            best_t = ratio;
+            best = Some((i, to_upper, wi.abs()));
+        } else if ratio <= best_t + TIE_TOL {
+            // tie: prefer the larger pivot magnitude
+            if let Some((_, _, mag)) = best {
+                if wi.abs() > mag {
+                    best_t = best_t.min(ratio);
+                    best = Some((i, to_upper, wi.abs()));
+                }
+            } else if ratio <= own_limit {
+                best_t = ratio.min(best_t);
+                best = Some((i, to_upper, wi.abs()));
+            }
+        }
+    }
+
+    match best {
+        Some((pos, to_upper, _)) if best_t < own_limit - TIE_TOL || own_limit.is_infinite() => {
+            RatioOutcome::Pivot { t: best_t, leaving_pos: pos, to_upper }
+        }
+        Some((pos, to_upper, _)) => {
+            // tie between a basic block and the own bound: pivoting is
+            // also valid and keeps the basis square
+            let _ = (pos, to_upper);
+            RatioOutcome::Pivot { t: best_t, leaving_pos: pos, to_upper }
+        }
+        None if own_limit.is_finite() => RatioOutcome::BoundFlip { t: own_limit },
+        None => RatioOutcome::Unbounded,
+    }
+}

@@ -1,0 +1,184 @@
+//! Cross-checks between the revised simplex and the independent dense
+//! reference implementation, plus property tests on random models.
+
+use dpsan_lp::dense_simplex::solve_dense;
+use dpsan_lp::mip::{solve_mip, BbOptions};
+use dpsan_lp::presolve::presolve;
+use dpsan_lp::problem::{Problem, RowBounds, Sense, VarBounds};
+use dpsan_lp::simplex::{solve, SimplexOptions, SolveStatus};
+use proptest::prelude::*;
+
+/// A random bounded LP: maximize over non-negative variables with
+/// `≤` rows whose coefficients are non-negative and whose diagonal-ish
+/// structure guarantees bounded optima.
+fn random_packing_lp(n: usize, m: usize, coefs: Vec<f64>, rhs: Vec<f64>) -> Problem {
+    let mut p = Problem::new(Sense::Maximize);
+    for _ in 0..n {
+        p.add_col(1.0, VarBounds::non_negative()).unwrap();
+    }
+    let mut it = coefs.into_iter();
+    for i in 0..m {
+        let entries: Vec<(usize, f64)> = (0..n)
+            .filter_map(|j| it.next().map(|v| (j, v)))
+            .filter(|&(_, v)| v > 0.01)
+            .collect();
+        let entries = if entries.is_empty() { vec![(i % n, 0.5)] } else { entries };
+        p.add_row(RowBounds::at_most(rhs[i]), &entries).unwrap();
+    }
+    // cover all columns to keep the LP bounded
+    let cover: Vec<(usize, f64)> = (0..n).map(|j| (j, 0.1)).collect();
+    p.add_row(RowBounds::at_most(20.0), &cover).unwrap();
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn revised_matches_dense_on_random_packing(
+        n in 2usize..8,
+        m in 1usize..6,
+        coefs in prop::collection::vec(0.0f64..2.0, 48),
+        rhs in prop::collection::vec(0.5f64..4.0, 6),
+    ) {
+        let p = random_packing_lp(n, m, coefs, rhs);
+        let fast = solve(&p, &SimplexOptions::default()).unwrap();
+        let slow = solve_dense(&p);
+        prop_assert_eq!(fast.status, SolveStatus::Optimal);
+        prop_assert_eq!(slow.status, SolveStatus::Optimal);
+        prop_assert!((fast.objective - slow.objective).abs() < 1e-5,
+            "revised {} vs dense {}", fast.objective, slow.objective);
+        prop_assert!(p.max_violation(&fast.x) < 1e-6);
+    }
+
+    #[test]
+    fn scaling_does_not_change_optimum(
+        n in 2usize..6,
+        m in 1usize..5,
+        coefs in prop::collection::vec(0.0f64..2.0, 30),
+        rhs in prop::collection::vec(0.5f64..4.0, 5),
+    ) {
+        let p = random_packing_lp(n, m, coefs, rhs);
+        let with = solve(&p, &SimplexOptions { scaling: true, ..Default::default() }).unwrap();
+        let without = solve(&p, &SimplexOptions { scaling: false, ..Default::default() }).unwrap();
+        prop_assert!((with.objective - without.objective).abs() < 1e-5,
+            "scaled {} vs unscaled {}", with.objective, without.objective);
+    }
+
+    #[test]
+    fn presolve_preserves_optimum(
+        n in 2usize..6,
+        m in 1usize..5,
+        coefs in prop::collection::vec(0.0f64..2.0, 30),
+        rhs in prop::collection::vec(0.5f64..4.0, 5),
+    ) {
+        let p = random_packing_lp(n, m, coefs, rhs);
+        let direct = solve(&p, &SimplexOptions::default()).unwrap();
+        let pre = presolve(&p);
+        prop_assert!(pre.verdict.is_none());
+        let sub = solve(&pre.reduced, &SimplexOptions::default()).unwrap();
+        let lifted = pre.postsolve(&sub.x);
+        prop_assert!((p.objective_value(&lifted) - direct.objective).abs() < 1e-5);
+        prop_assert!(p.max_violation(&lifted) < 1e-6);
+    }
+
+    #[test]
+    fn bb_beats_or_matches_rounding_and_is_feasible(
+        n in 2usize..7,
+        m in 1usize..5,
+        coefs in prop::collection::vec(0.0f64..1.5, 35),
+        rhs in prop::collection::vec(0.6f64..2.5, 5),
+    ) {
+        let mut p = random_packing_lp(n, m, coefs, rhs);
+        for j in 0..n {
+            p.set_bounds(j, VarBounds::unit()).unwrap();
+            p.set_integer(j).unwrap();
+        }
+        let s = solve_mip(&p, &BbOptions::default());
+        prop_assert_eq!(s.status, dpsan_lp::mip::MipStatus::Optimal);
+        prop_assert!(p.max_violation(&s.x) < 1e-6);
+        prop_assert!(p.is_integral(&s.x, 1e-6));
+        // exact optimum dominates any heuristic point
+        if let Some(hx) = dpsan_lp::mip::lp_round_packing(&p, &SimplexOptions::default()) {
+            prop_assert!(s.objective >= p.objective_value(&hx) - 1e-6);
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_bounds_the_integer_optimum(
+        n in 2usize..7,
+        m in 1usize..5,
+        coefs in prop::collection::vec(0.0f64..1.5, 35),
+        rhs in prop::collection::vec(0.6f64..2.5, 5),
+    ) {
+        let mut p = random_packing_lp(n, m, coefs, rhs);
+        for j in 0..n {
+            p.set_bounds(j, VarBounds::unit()).unwrap();
+            p.set_integer(j).unwrap();
+        }
+        let relax = solve(&p, &SimplexOptions::default()).unwrap();
+        let exact = solve_mip(&p, &BbOptions::default());
+        prop_assert!(relax.objective >= exact.objective - 1e-6,
+            "LP {} < IP {}", relax.objective, exact.objective);
+    }
+}
+
+#[test]
+fn moderate_lp_solves_quickly_and_feasibly() {
+    // a 200-var, 80-row packing LP in the O-UMP shape
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 200;
+    let m = 80;
+    let mut p = Problem::new(Sense::Maximize);
+    for _ in 0..n {
+        p.add_col(1.0, VarBounds::non_negative()).unwrap();
+    }
+    for _ in 0..m {
+        let k = rng.random_range(3..12);
+        let entries: Vec<(usize, f64)> =
+            (0..k).map(|_| (rng.random_range(0..n), rng.random::<f64>() * 0.5 + 0.001)).collect();
+        p.add_row(RowBounds::at_most(0.7), &entries).unwrap();
+    }
+    let cover: Vec<(usize, f64)> = (0..n).map(|j| (j, 0.01)).collect();
+    p.add_row(RowBounds::at_most(30.0), &cover).unwrap();
+    let s = solve(&p, &SimplexOptions::default()).unwrap();
+    assert_eq!(s.status, SolveStatus::Optimal);
+    assert!(p.max_violation(&s.x) < 1e-6, "violation {}", p.max_violation(&s.x));
+    assert!(s.objective > 0.0);
+}
+
+#[test]
+fn fump_shaped_lp_with_equality_and_abs_split() {
+    // minimize sum |x_f/T - target_f| with a fixed total T and packing
+    // rows — the F-UMP shape — cross-checked against the dense solver.
+    let n = 5;
+    let total = 10.0;
+    let targets = [0.35, 0.25, 0.2, 0.15, 0.05];
+    let mut p = Problem::new(Sense::Minimize);
+    let xs: Vec<usize> = (0..n).map(|_| p.add_col(0.0, VarBounds::non_negative()).unwrap()).collect();
+    let ys: Vec<usize> = (0..n).map(|_| p.add_col(1.0, VarBounds::non_negative()).unwrap()).collect();
+    // budget rows
+    p.add_row(RowBounds::at_most(6.0), &[(xs[0], 0.9), (xs[1], 0.3)]).unwrap();
+    p.add_row(RowBounds::at_most(6.0), &[(xs[2], 0.4), (xs[3], 0.6), (xs[4], 0.2)]).unwrap();
+    // total
+    let all: Vec<(usize, f64)> = xs.iter().map(|&j| (j, 1.0)).collect();
+    p.add_row(RowBounds::equal(total), &all).unwrap();
+    // |x/T - t| split
+    for f in 0..n {
+        p.add_row(RowBounds::at_least(-targets[f]), &[(ys[f], 1.0), (xs[f], -1.0 / total)]).unwrap();
+        p.add_row(RowBounds::at_least(targets[f]), &[(ys[f], 1.0), (xs[f], 1.0 / total)]).unwrap();
+    }
+    let fast = solve(&p, &SimplexOptions::default()).unwrap();
+    let slow = solve_dense(&p);
+    assert_eq!(fast.status, SolveStatus::Optimal);
+    assert_eq!(slow.status, SolveStatus::Optimal);
+    assert!(
+        (fast.objective - slow.objective).abs() < 1e-6,
+        "revised {} vs dense {}",
+        fast.objective,
+        slow.objective
+    );
+    assert!(p.max_violation(&fast.x) < 1e-6);
+}

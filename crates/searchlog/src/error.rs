@@ -1,0 +1,83 @@
+//! Error type for search-log construction and io.
+
+use std::fmt;
+
+/// Errors produced while building or parsing search logs.
+#[derive(Debug)]
+pub enum LogError {
+    /// A record carried a zero count; counts must be strictly positive.
+    ZeroCount {
+        /// Line number (1-based) when parsing, 0 when built in memory.
+        line: usize,
+    },
+    /// A malformed input line (wrong number of fields, bad integer, ...).
+    Parse {
+        /// Line number (1-based).
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// Underlying io failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::ZeroCount { line } if *line == 0 => {
+                write!(f, "record has zero count (counts must be >= 1)")
+            }
+            LogError::ZeroCount { line } => {
+                write!(f, "line {line}: record has zero count (counts must be >= 1)")
+            }
+            LogError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            LogError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_zero_count_in_memory() {
+        let e = LogError::ZeroCount { line: 0 };
+        assert!(e.to_string().contains("zero count"));
+        assert!(!e.to_string().contains("line"));
+    }
+
+    #[test]
+    fn display_zero_count_with_line() {
+        let e = LogError::ZeroCount { line: 7 };
+        assert!(e.to_string().starts_with("line 7"));
+    }
+
+    #[test]
+    fn display_parse() {
+        let e = LogError::Parse { line: 3, message: "bad field".into() };
+        assert_eq!(e.to_string(), "line 3: bad field");
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = LogError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        assert!(e.source().is_some());
+    }
+}

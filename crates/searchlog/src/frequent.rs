@@ -1,0 +1,116 @@
+//! Frequent query–url pairs by minimum support (Section 5.2).
+//!
+//! A pair is *frequent* at minimum support `s` when its input support
+//! `c_ij / |D| >= s`. The F-UMP objective preserves the supports of
+//! exactly these pairs.
+
+use crate::ids::PairId;
+use crate::log::SearchLog;
+
+/// A frequent pair together with its input support.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequentPair {
+    /// The pair.
+    pub pair: PairId,
+    /// Its total input count `c_ij`.
+    pub count: u64,
+    /// Its input support `c_ij / |D|`.
+    pub support: f64,
+}
+
+/// Extract the pairs with support at least `min_support`, sorted by
+/// descending count (ties by pair id).
+///
+/// `min_support` must be in `(0, 1]`; an empty log yields no pairs.
+pub fn frequent_pairs(log: &SearchLog, min_support: f64) -> Vec<FrequentPair> {
+    assert!(min_support > 0.0 && min_support <= 1.0, "support must be in (0, 1]");
+    if log.size() == 0 {
+        return Vec::new();
+    }
+    let size = log.size() as f64;
+    let mut out: Vec<FrequentPair> = log
+        .pairs()
+        .filter_map(|pe| {
+            let support = pe.total as f64 / size;
+            (support >= min_support).then_some(FrequentPair { pair: pe.pair, count: pe.total, support })
+        })
+        .collect();
+    out.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.pair.cmp(&b.pair)));
+    out
+}
+
+/// The support of one pair in a log of size `size` (helper shared with
+/// output-side support computations where `size = |O|`).
+#[inline]
+pub fn support(count: u64, size: u64) -> f64 {
+    if size == 0 {
+        0.0
+    } else {
+        count as f64 / size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::SearchLogBuilder;
+
+    fn log_with_counts(counts: &[u64]) -> SearchLog {
+        let mut b = SearchLogBuilder::new();
+        for (i, &c) in counts.iter().enumerate() {
+            // two holders so pairs survive preprocessing notions
+            let half = c / 2;
+            if half > 0 {
+                b.add("u1", &format!("q{i}"), &format!("url{i}"), half).unwrap();
+            }
+            b.add("u2", &format!("q{i}"), &format!("url{i}"), c - half).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        // counts 8, 2 -> size 10; supports 0.8, 0.2
+        let log = log_with_counts(&[8, 2]);
+        let f = frequent_pairs(&log, 0.2);
+        assert_eq!(f.len(), 2);
+        let f = frequent_pairs(&log, 0.21);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].count, 8);
+    }
+
+    #[test]
+    fn sorted_by_descending_count() {
+        let log = log_with_counts(&[3, 9, 6]);
+        let f = frequent_pairs(&log, 0.01);
+        let counts: Vec<_> = f.iter().map(|p| p.count).collect();
+        assert_eq!(counts, vec![9, 6, 3]);
+    }
+
+    #[test]
+    fn supports_sum_to_one_at_zero_threshold() {
+        let log = log_with_counts(&[5, 5, 10]);
+        let f = frequent_pairs(&log, 1e-12);
+        let total: f64 = f.iter().map(|p| p.support).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_log_yields_nothing() {
+        let log = SearchLogBuilder::new().build();
+        assert!(frequent_pairs(&log, 0.5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be in")]
+    fn zero_support_rejected() {
+        let log = log_with_counts(&[1]);
+        let _ = frequent_pairs(&log, 0.0);
+    }
+
+    #[test]
+    fn support_helper_handles_zero_size() {
+        assert_eq!(support(5, 0), 0.0);
+        assert!((support(5, 10) - 0.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,78 @@
+//! Typed, interned identifiers.
+//!
+//! Users, queries, urls and query–url pairs are referenced everywhere by
+//! dense `u32` indices. Newtypes keep the four id spaces from being mixed
+//! up at compile time while staying `Copy` and 4 bytes wide.
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Dense index into the corresponding table.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a dense index (panics if it overflows `u32`).
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id overflow"))
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A pseudonymous user (`s_k` in the paper).
+    UserId
+);
+define_id!(
+    /// A search query (`q_i`).
+    QueryId
+);
+define_id!(
+    /// A clicked url (`u_j`).
+    UrlId
+);
+define_id!(
+    /// A distinct click-through query–url pair (`(q_i, u_j)`).
+    PairId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let u = UserId::from_index(42);
+        assert_eq!(u.index(), 42);
+        assert_eq!(u, UserId(42));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(PairId(1) < PairId(2));
+    }
+
+    #[test]
+    fn display_is_numeric() {
+        assert_eq!(QueryId(7).to_string(), "7");
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflow")]
+    fn from_index_overflow_panics() {
+        let _ = UrlId::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,176 @@
+//! Reading and writing search logs.
+//!
+//! Two formats are supported:
+//!
+//! * **Native TSV** — `user \t query \t url \t count`, one aggregated
+//!   tuple per line. This is the sanitized-output format: it has the
+//!   identical schema as the input (the paper's headline property).
+//! * **AOL format** — `AnonID \t Query \t QueryTime \t ItemRank \t
+//!   ClickURL` as released in 2006. Only rows with a click (non-empty
+//!   `ClickURL`) are kept, matching the paper's "only collect the tuples
+//!   with clicks"; each click row contributes count 1 and duplicates
+//!   aggregate.
+
+use std::io::{BufRead, Write};
+
+use crate::error::LogError;
+use crate::ids::PairId;
+use crate::log::{SearchLog, SearchLogBuilder};
+
+/// Parse the native 4-column TSV format.
+pub fn read_tsv<R: BufRead>(reader: R) -> Result<SearchLog, LogError> {
+    let mut b = SearchLogBuilder::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut f = line.split('\t');
+        let (user, query, url, count) = match (f.next(), f.next(), f.next(), f.next(), f.next()) {
+            (Some(u), Some(q), Some(l), Some(c), None) => (u, q, l, c),
+            _ => {
+                return Err(LogError::Parse {
+                    line: lineno + 1,
+                    message: "expected 4 tab-separated fields: user, query, url, count".into(),
+                })
+            }
+        };
+        let count: u64 = count.parse().map_err(|e| LogError::Parse {
+            line: lineno + 1,
+            message: format!("bad count {count:?}: {e}"),
+        })?;
+        if count == 0 {
+            return Err(LogError::ZeroCount { line: lineno + 1 });
+        }
+        b.add(user, query, url, count)?;
+    }
+    Ok(b.build())
+}
+
+/// Serialize a log in the native 4-column TSV format, pair-major, users
+/// ascending within each pair.
+pub fn write_tsv<W: Write>(log: &SearchLog, mut w: W) -> Result<(), LogError> {
+    for i in 0..log.n_pairs() {
+        let p = PairId::from_index(i);
+        let (q, u) = log.pair_key(p);
+        let query = log.queries().resolve(q.0);
+        let url = log.urls().resolve(u.0);
+        for t in log.holders(p) {
+            let user = log.users().resolve(t.user.0);
+            writeln!(w, "{user}\t{query}\t{url}\t{}", t.count)?;
+        }
+    }
+    Ok(())
+}
+
+/// Parse the 2006 AOL research-collection format.
+///
+/// Columns: `AnonID, Query, QueryTime, ItemRank, ClickURL`. A header
+/// line starting with `AnonID` is skipped. Rows without a `ClickURL`
+/// (pure queries, no click) are ignored; query time and item rank are
+/// dropped, as in the paper ("we ignore query time and item rank").
+pub fn read_aol<R: BufRead>(reader: R) -> Result<SearchLog, LogError> {
+    let mut b = SearchLogBuilder::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            continue;
+        }
+        if lineno == 0 && line.starts_with("AnonID") {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() < 2 {
+            return Err(LogError::Parse {
+                line: lineno + 1,
+                message: "expected at least AnonID and Query fields".into(),
+            });
+        }
+        // Click rows have 5 fields with a non-empty url; query-only rows
+        // have 3 (or trailing empties).
+        let url = fields.get(4).copied().unwrap_or("");
+        if url.is_empty() {
+            continue;
+        }
+        let user = fields[0];
+        let query = fields[1].trim();
+        if query.is_empty() {
+            continue;
+        }
+        b.add(user, query, url, 1)?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn tsv_roundtrip() {
+        let text = "u1\tgoogle\tgoogle.com\t5\nu2\tgoogle\tgoogle.com\t3\nu2\tcars\tkbb.com\t1\n";
+        let log = read_tsv(Cursor::new(text)).unwrap();
+        assert_eq!(log.size(), 9);
+        assert_eq!(log.n_pairs(), 2);
+        let mut out = Vec::new();
+        write_tsv(&log, &mut out).unwrap();
+        let log2 = read_tsv(Cursor::new(out)).unwrap();
+        assert_eq!(log2.size(), log.size());
+        assert_eq!(log2.n_pairs(), log.n_pairs());
+        assert_eq!(log2.n_user_logs(), log.n_user_logs());
+    }
+
+    #[test]
+    fn tsv_skips_comments_and_blanks() {
+        let text = "# header\n\nu1\tq\tl\t2\n";
+        let log = read_tsv(Cursor::new(text)).unwrap();
+        assert_eq!(log.size(), 2);
+    }
+
+    #[test]
+    fn tsv_rejects_bad_field_count() {
+        let err = read_tsv(Cursor::new("u1\tq\tl\n")).unwrap_err();
+        assert!(err.to_string().contains("4 tab-separated"));
+    }
+
+    #[test]
+    fn tsv_rejects_bad_count() {
+        let err = read_tsv(Cursor::new("u1\tq\tl\tNaN\n")).unwrap_err();
+        assert!(err.to_string().contains("bad count"));
+    }
+
+    #[test]
+    fn tsv_rejects_zero_count() {
+        let err = read_tsv(Cursor::new("u1\tq\tl\t0\n")).unwrap_err();
+        assert!(matches!(err, LogError::ZeroCount { line: 1 }));
+    }
+
+    #[test]
+    fn aol_keeps_only_clicks_and_aggregates() {
+        let text = "AnonID\tQuery\tQueryTime\tItemRank\tClickURL\n\
+                    142\tpizza\t2006-03-01 10:00:00\t\t\n\
+                    142\tpizza\t2006-03-01 10:01:00\t1\thttp://www.pizzahut.com\n\
+                    142\tpizza\t2006-03-02 11:00:00\t1\thttp://www.pizzahut.com\n\
+                    217\tpizza\t2006-03-04 09:00:00\t2\thttp://www.pizzahut.com\n";
+        let log = read_aol(Cursor::new(text)).unwrap();
+        assert_eq!(log.n_pairs(), 1);
+        assert_eq!(log.size(), 3);
+        assert_eq!(log.n_user_logs(), 2);
+    }
+
+    #[test]
+    fn aol_rejects_truncated_line() {
+        let err = read_aol(Cursor::new("只\n".replace('只', "onefield"))).unwrap_err();
+        assert!(err.to_string().contains("AnonID"));
+    }
+
+    #[test]
+    fn aol_skips_empty_queries() {
+        let text = "9\t \t2006-03-01 10:01:00\t1\thttp://x.com\n";
+        let log = read_aol(Cursor::new(text)).unwrap();
+        assert_eq!(log.n_pairs(), 0);
+    }
+}

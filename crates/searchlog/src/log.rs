@@ -1,0 +1,487 @@
+//! The aggregated, immutable search log.
+//!
+//! [`SearchLog`] stores the triplet histogram `c_ijk` twice, in CSR form:
+//! once grouped by *pair* (needed by the multinomial sampler and the
+//! pair histogram `c_ij`) and once grouped by *user* (the user logs
+//! `A_k` of Definition 1, needed by the privacy-constraint builder).
+//! Both views are built once by [`SearchLogBuilder`] and never mutated;
+//! preprocessing produces a fresh log.
+
+use std::collections::HashMap;
+
+use crate::error::LogError;
+use crate::ids::{PairId, QueryId, UrlId, UserId};
+use crate::intern::Interner;
+use crate::record::LogRecord;
+
+/// An immutable aggregated search log `D`.
+#[derive(Debug, Clone)]
+pub struct SearchLog {
+    users: Interner,
+    queries: Interner,
+    urls: Interner,
+
+    pair_keys: Vec<(QueryId, UrlId)>,
+    pair_index: HashMap<(QueryId, UrlId), PairId>,
+    pair_total: Vec<u64>,
+
+    // triplets grouped by pair (users sorted within each pair)
+    pair_off: Vec<usize>,
+    pair_holder_user: Vec<UserId>,
+    pair_holder_count: Vec<u64>,
+
+    // triplets grouped by user (pairs sorted within each user)
+    user_off: Vec<usize>,
+    user_pair: Vec<PairId>,
+    user_count: Vec<u64>,
+
+    size: u64,
+}
+
+/// One triplet `(s_k, c_ijk)` seen from a pair's holder list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TripletRef {
+    /// The holder `s_k`.
+    pub user: UserId,
+    /// The count `c_ijk`.
+    pub count: u64,
+}
+
+/// One entry `(pair, c_ijk)` of a user log `A_k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserLogRef {
+    /// The pair held by the user.
+    pub pair: PairId,
+    /// The count `c_ijk`.
+    pub count: u64,
+}
+
+/// A pair together with its total count, convenient for iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairEntry {
+    /// The pair id.
+    pub pair: PairId,
+    /// The total count `c_ij`.
+    pub total: u64,
+}
+
+impl SearchLog {
+    /// Number of distinct query–url pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.pair_keys.len()
+    }
+
+    /// Number of interned users (including users whose log is empty,
+    /// e.g. after preprocessing removed all their pairs).
+    pub fn n_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of *non-empty* user logs (rows that generate privacy
+    /// constraints).
+    pub fn n_user_logs(&self) -> usize {
+        (0..self.users.len()).filter(|&k| self.user_off[k] < self.user_off[k + 1]).count()
+    }
+
+    /// `|D|`: the size of the log, `Σ_ij c_ij` (total click volume).
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Total number of stored triplets `(s_k, q_i, u_j)`.
+    pub fn n_triplets(&self) -> usize {
+        self.pair_holder_user.len()
+    }
+
+    /// The `(query, url)` key of a pair.
+    pub fn pair_key(&self, p: PairId) -> (QueryId, UrlId) {
+        self.pair_keys[p.index()]
+    }
+
+    /// Total count `c_ij` of a pair.
+    pub fn pair_total(&self, p: PairId) -> u64 {
+        self.pair_total[p.index()]
+    }
+
+    /// Look up a pair id by its `(query, url)` key.
+    pub fn pair_id(&self, q: QueryId, u: UrlId) -> Option<PairId> {
+        self.pair_index.get(&(q, u)).copied()
+    }
+
+    /// Iterate all pairs with their totals.
+    pub fn pairs(&self) -> impl Iterator<Item = PairEntry> + '_ {
+        self.pair_total
+            .iter()
+            .enumerate()
+            .map(|(i, &total)| PairEntry { pair: PairId::from_index(i), total })
+    }
+
+    /// The holders of a pair: every `(s_k, c_ijk)` with `c_ijk > 0`,
+    /// sorted by user id.
+    pub fn holders(&self, p: PairId) -> impl Iterator<Item = TripletRef> + '_ {
+        let lo = self.pair_off[p.index()];
+        let hi = self.pair_off[p.index() + 1];
+        self.pair_holder_user[lo..hi]
+            .iter()
+            .zip(&self.pair_holder_count[lo..hi])
+            .map(|(&user, &count)| TripletRef { user, count })
+    }
+
+    /// Number of distinct holders of a pair.
+    pub fn n_holders(&self, p: PairId) -> usize {
+        self.pair_off[p.index() + 1] - self.pair_off[p.index()]
+    }
+
+    /// The user log `A_k`: every `(pair, c_ijk)` of user `k`, sorted by
+    /// pair id. Empty for users with no surviving pairs.
+    pub fn user_log(&self, k: UserId) -> impl Iterator<Item = UserLogRef> + '_ {
+        let lo = self.user_off[k.index()];
+        let hi = self.user_off[k.index() + 1];
+        self.user_pair[lo..hi]
+            .iter()
+            .zip(&self.user_count[lo..hi])
+            .map(|(&pair, &count)| UserLogRef { pair, count })
+    }
+
+    /// Length of user `k`'s log (number of distinct pairs they hold).
+    pub fn user_log_len(&self, k: UserId) -> usize {
+        self.user_off[k.index() + 1] - self.user_off[k.index()]
+    }
+
+    /// Ids of users with non-empty logs, ascending.
+    pub fn users_with_logs(&self) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.users.len())
+            .filter(|&k| self.user_off[k] < self.user_off[k + 1])
+            .map(UserId::from_index)
+    }
+
+    /// All triplets as [`LogRecord`]s, pair-major.
+    pub fn records(&self) -> impl Iterator<Item = LogRecord> + '_ {
+        (0..self.n_pairs()).flat_map(move |pi| {
+            let p = PairId::from_index(pi);
+            let (q, u) = self.pair_key(p);
+            self.holders(p).map(move |t| LogRecord { user: t.user, query: q, url: u, count: t.count })
+        })
+    }
+
+    /// The count `c_ijk` of a specific triplet, 0 if absent.
+    pub fn triplet_count(&self, p: PairId, k: UserId) -> u64 {
+        let lo = self.pair_off[p.index()];
+        let hi = self.pair_off[p.index() + 1];
+        let slice = &self.pair_holder_user[lo..hi];
+        match slice.binary_search(&k) {
+            Ok(i) => self.pair_holder_count[lo + i],
+            Err(_) => 0,
+        }
+    }
+
+    /// User interner (ids ↔ pseudonymous strings).
+    pub fn users(&self) -> &Interner {
+        &self.users
+    }
+
+    /// Query interner.
+    pub fn queries(&self) -> &Interner {
+        &self.queries
+    }
+
+    /// Url interner.
+    pub fn urls(&self) -> &Interner {
+        &self.urls
+    }
+
+    /// Keep only the pairs for which `keep` is true, producing a new log
+    /// with densely re-numbered pair ids. Returns the new log and the
+    /// mapping `old PairId -> new PairId` (`None` when dropped).
+    ///
+    /// Interners are preserved, so user/query/url ids remain stable.
+    pub fn retain_pairs(&self, keep: &[bool]) -> (SearchLog, Vec<Option<PairId>>) {
+        assert_eq!(keep.len(), self.n_pairs(), "keep mask must cover every pair");
+        let mut mapping: Vec<Option<PairId>> = vec![None; self.n_pairs()];
+        let mut next = 0u32;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                mapping[i] = Some(PairId(next));
+                next += 1;
+            }
+        }
+        let mut builder = SearchLogBuilder::with_vocabulary_of(self);
+        for (i, m) in mapping.iter().enumerate() {
+            if m.is_none() {
+                continue;
+            }
+            let p = PairId::from_index(i);
+            let (q, u) = self.pair_key(p);
+            for t in self.holders(p) {
+                builder
+                    .add_record(LogRecord { user: t.user, query: q, url: u, count: t.count })
+                    .expect("counts already validated");
+            }
+        }
+        (builder.build(), mapping)
+    }
+}
+
+/// Incremental builder aggregating duplicate `(user, query, url)` tuples.
+#[derive(Debug, Default)]
+pub struct SearchLogBuilder {
+    users: Interner,
+    queries: Interner,
+    urls: Interner,
+    pair_index: HashMap<(QueryId, UrlId), PairId>,
+    pair_keys: Vec<(QueryId, UrlId)>,
+    // (pair, user) -> count
+    triplets: HashMap<(PairId, UserId), u64>,
+}
+
+impl SearchLogBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder that shares the vocabulary (interners) of an existing log,
+    /// for constructing outputs over the same id space.
+    pub fn with_vocabulary_of(log: &SearchLog) -> Self {
+        SearchLogBuilder {
+            users: log.users.clone(),
+            queries: log.queries.clone(),
+            urls: log.urls.clone(),
+            ..Default::default()
+        }
+    }
+
+    /// Add one tuple by strings, interning as needed. Duplicate tuples
+    /// accumulate their counts.
+    pub fn add(&mut self, user: &str, query: &str, url: &str, count: u64) -> Result<(), LogError> {
+        if count == 0 {
+            return Err(LogError::ZeroCount { line: 0 });
+        }
+        let user = UserId(self.users.intern(user));
+        let query = QueryId(self.queries.intern(query));
+        let url = UrlId(self.urls.intern(url));
+        self.push(user, query, url, count);
+        Ok(())
+    }
+
+    /// Add one tuple by pre-interned ids. Ids must come from this
+    /// builder's vocabulary (e.g. via [`SearchLogBuilder::with_vocabulary_of`]).
+    pub fn add_record(&mut self, r: LogRecord) -> Result<(), LogError> {
+        if r.count == 0 {
+            return Err(LogError::ZeroCount { line: 0 });
+        }
+        assert!(r.user.index() < self.users.len(), "user id outside vocabulary");
+        assert!(r.query.index() < self.queries.len(), "query id outside vocabulary");
+        assert!(r.url.index() < self.urls.len(), "url id outside vocabulary");
+        self.push(r.user, r.query, r.url, r.count);
+        Ok(())
+    }
+
+    fn push(&mut self, user: UserId, query: QueryId, url: UrlId, count: u64) {
+        let next = PairId::from_index(self.pair_keys.len());
+        let pair = *self.pair_index.entry((query, url)).or_insert_with(|| {
+            self.pair_keys.push((query, url));
+            next
+        });
+        *self.triplets.entry((pair, user)).or_insert(0) += count;
+    }
+
+    /// Number of tuples (distinct `(pair, user)` triplets) staged so far.
+    pub fn n_triplets(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Finalize into an immutable [`SearchLog`].
+    pub fn build(self) -> SearchLog {
+        let n_pairs = self.pair_keys.len();
+        let n_users = self.users.len();
+
+        let mut triplets: Vec<(PairId, UserId, u64)> =
+            self.triplets.into_iter().map(|((p, u), c)| (p, u, c)).collect();
+        triplets.sort_unstable_by_key(|&(p, u, _)| (p, u));
+
+        let mut pair_total = vec![0u64; n_pairs];
+        let mut pair_off = vec![0usize; n_pairs + 1];
+        let mut pair_holder_user = Vec::with_capacity(triplets.len());
+        let mut pair_holder_count = Vec::with_capacity(triplets.len());
+        for &(p, u, c) in &triplets {
+            pair_total[p.index()] += c;
+            pair_off[p.index() + 1] += 1;
+            pair_holder_user.push(u);
+            pair_holder_count.push(c);
+        }
+        for i in 0..n_pairs {
+            pair_off[i + 1] += pair_off[i];
+        }
+
+        // user-major view
+        let mut user_off = vec![0usize; n_users + 1];
+        for &(_, u, _) in &triplets {
+            user_off[u.index() + 1] += 1;
+        }
+        for i in 0..n_users {
+            user_off[i + 1] += user_off[i];
+        }
+        let mut cursor = user_off.clone();
+        let mut user_pair = vec![PairId(0); triplets.len()];
+        let mut user_count = vec![0u64; triplets.len()];
+        for &(p, u, c) in &triplets {
+            let at = cursor[u.index()];
+            user_pair[at] = p;
+            user_count[at] = c;
+            cursor[u.index()] += 1;
+        }
+        // pairs are already visited in ascending pair order, so each user
+        // row comes out sorted by pair id.
+
+        let size = pair_total.iter().sum();
+
+        SearchLog {
+            users: self.users,
+            queries: self.queries,
+            urls: self.urls,
+            pair_keys: self.pair_keys,
+            pair_index: self.pair_index,
+            pair_total,
+            pair_off,
+            pair_holder_user,
+            pair_holder_count,
+            user_off,
+            user_pair,
+            user_count,
+            size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example log from Table 1 / Figure 1 of the paper.
+    pub(crate) fn figure1_log() -> SearchLog {
+        let mut b = SearchLogBuilder::new();
+        b.add("081", "pregnancy test nyc", "medicinenet.com", 2).unwrap();
+        b.add("081", "book", "amazon.com", 3).unwrap();
+        b.add("081", "google", "google.com", 15).unwrap();
+        b.add("082", "google", "google.com", 7).unwrap();
+        b.add("082", "diabetes medecine", "walmart.com", 1).unwrap();
+        b.add("082", "car price", "kbb.com", 2).unwrap();
+        b.add("083", "car price", "kbb.com", 5).unwrap();
+        b.add("083", "google", "google.com", 17).unwrap();
+        b.add("083", "book", "amazon.com", 1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn figure1_totals() {
+        let log = figure1_log();
+        assert_eq!(log.n_pairs(), 5);
+        assert_eq!(log.n_users(), 3);
+        assert_eq!(log.n_user_logs(), 3);
+        assert_eq!(log.size(), 2 + 3 + 15 + 7 + 1 + 2 + 5 + 17 + 1); // 53
+        let google = log
+            .pair_id(QueryId(log.queries().get("google").unwrap()), UrlId(log.urls().get("google.com").unwrap()))
+            .unwrap();
+        assert_eq!(log.pair_total(google), 39);
+        assert_eq!(log.n_holders(google), 3);
+    }
+
+    #[test]
+    fn duplicate_tuples_aggregate() {
+        let mut b = SearchLogBuilder::new();
+        b.add("u1", "q", "url", 2).unwrap();
+        b.add("u1", "q", "url", 3).unwrap();
+        let log = b.build();
+        assert_eq!(log.n_pairs(), 1);
+        assert_eq!(log.pair_total(PairId(0)), 5);
+        assert_eq!(log.triplet_count(PairId(0), UserId(0)), 5);
+    }
+
+    #[test]
+    fn zero_count_rejected() {
+        let mut b = SearchLogBuilder::new();
+        assert!(b.add("u", "q", "l", 0).is_err());
+    }
+
+    #[test]
+    fn user_log_matches_pair_view() {
+        let log = figure1_log();
+        // Reconstruct triplets from both views; they must agree.
+        let mut from_pairs: Vec<(PairId, UserId, u64)> = vec![];
+        for pe in log.pairs() {
+            for t in log.holders(pe.pair) {
+                from_pairs.push((pe.pair, t.user, t.count));
+            }
+        }
+        let mut from_users: Vec<(PairId, UserId, u64)> = vec![];
+        for k in log.users_with_logs() {
+            for e in log.user_log(k) {
+                from_users.push((e.pair, k, e.count));
+            }
+        }
+        from_pairs.sort_unstable();
+        from_users.sort_unstable();
+        assert_eq!(from_pairs, from_users);
+    }
+
+    #[test]
+    fn holders_sorted_by_user() {
+        let log = figure1_log();
+        for pe in log.pairs() {
+            let users: Vec<_> = log.holders(pe.pair).map(|t| t.user).collect();
+            let mut sorted = users.clone();
+            sorted.sort_unstable();
+            assert_eq!(users, sorted);
+        }
+    }
+
+    #[test]
+    fn triplet_count_absent_is_zero() {
+        let log = figure1_log();
+        let preg = PairId(0); // first inserted
+        // user 083 never searched the first pair of user 081's log
+        let u083 = UserId(log.users().get("083").unwrap());
+        assert_eq!(log.triplet_count(preg, u083), 0);
+    }
+
+    #[test]
+    fn retain_pairs_renumbers_densely() {
+        let log = figure1_log();
+        let mut keep = vec![true; log.n_pairs()];
+        keep[0] = false;
+        keep[3] = false;
+        let (sub, mapping) = log.retain_pairs(&keep);
+        assert_eq!(sub.n_pairs(), 3);
+        assert_eq!(mapping.iter().filter(|m| m.is_some()).count(), 3);
+        // sizes shrink by the dropped totals
+        let dropped: u64 = [0usize, 3].iter().map(|&i| log.pair_total(PairId::from_index(i))).sum();
+        assert_eq!(sub.size(), log.size() - dropped);
+        // vocabulary is preserved
+        assert_eq!(sub.n_users(), log.n_users());
+        assert_eq!(sub.queries().len(), log.queries().len());
+    }
+
+    #[test]
+    fn records_roundtrip_through_builder() {
+        let log = figure1_log();
+        let mut b = SearchLogBuilder::with_vocabulary_of(&log);
+        for r in log.records() {
+            b.add_record(r).unwrap();
+        }
+        let log2 = b.build();
+        let mut r1: Vec<_> = log.records().collect();
+        let mut r2: Vec<_> = log2.records().collect();
+        let key = |r: &LogRecord| (r.query.0, r.url.0, r.user.0, r.count);
+        r1.sort_unstable_by_key(key);
+        r2.sort_unstable_by_key(key);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "user id outside vocabulary")]
+    fn add_record_requires_vocabulary() {
+        let mut b = SearchLogBuilder::new();
+        let _ = b.add_record(LogRecord { user: UserId(0), query: QueryId(0), url: UrlId(0), count: 1 });
+    }
+}

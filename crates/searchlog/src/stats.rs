@@ -1,0 +1,97 @@
+//! Dataset characteristics (the rows of the paper's Table 3).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::ids::PairId;
+use crate::log::SearchLog;
+
+/// One row of Table 3: the characteristics of a search log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogStats {
+    /// `# of total tuples (size)` — the click volume `|D| = Σ c_ij`.
+    pub total_tuples: u64,
+    /// `# of user logs` — users with at least one pair.
+    pub user_logs: usize,
+    /// `# of distinct queries` appearing in some stored pair.
+    pub distinct_queries: usize,
+    /// `# of distinct urls` appearing in some stored pair.
+    pub distinct_urls: usize,
+    /// `# of query-url pairs` — distinct pairs.
+    pub pairs: usize,
+}
+
+impl LogStats {
+    /// Compute the statistics of a log.
+    pub fn of(log: &SearchLog) -> Self {
+        let mut queries = HashSet::new();
+        let mut urls = HashSet::new();
+        for i in 0..log.n_pairs() {
+            let (q, u) = log.pair_key(PairId::from_index(i));
+            queries.insert(q);
+            urls.insert(u);
+        }
+        LogStats {
+            total_tuples: log.size(),
+            user_logs: log.n_user_logs(),
+            distinct_queries: queries.len(),
+            distinct_urls: urls.len(),
+            pairs: log.n_pairs(),
+        }
+    }
+}
+
+impl fmt::Display for LogStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "size={} user_logs={} queries={} urls={} pairs={}",
+            self.total_tuples, self.user_logs, self.distinct_queries, self.distinct_urls, self.pairs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::SearchLogBuilder;
+    use crate::preprocess::preprocess;
+
+    #[test]
+    fn stats_on_small_log() {
+        let mut b = SearchLogBuilder::new();
+        b.add("u1", "google", "google.com", 5).unwrap();
+        b.add("u2", "google", "google.com", 3).unwrap();
+        b.add("u2", "google", "images.google.com", 1).unwrap();
+        b.add("u3", "cars", "kbb.com", 2).unwrap();
+        let log = b.build();
+        let s = LogStats::of(&log);
+        assert_eq!(s.total_tuples, 11);
+        assert_eq!(s.user_logs, 3);
+        assert_eq!(s.distinct_queries, 2);
+        assert_eq!(s.distinct_urls, 3);
+        assert_eq!(s.pairs, 3);
+    }
+
+    #[test]
+    fn stats_shrink_after_preprocess() {
+        let mut b = SearchLogBuilder::new();
+        b.add("u1", "google", "google.com", 5).unwrap();
+        b.add("u2", "google", "google.com", 3).unwrap();
+        b.add("u3", "cars", "kbb.com", 2).unwrap();
+        let log = b.build();
+        let (pre, _) = preprocess(&log);
+        let s = LogStats::of(&pre);
+        assert_eq!(s.pairs, 1);
+        assert_eq!(s.distinct_queries, 1);
+        assert_eq!(s.distinct_urls, 1);
+        assert_eq!(s.user_logs, 2);
+        assert_eq!(s.total_tuples, 8);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = LogStats { total_tuples: 1, user_logs: 2, distinct_queries: 3, distinct_urls: 4, pairs: 5 };
+        assert_eq!(s.to_string(), "size=1 user_logs=2 queries=3 urls=4 pairs=5");
+    }
+}

@@ -1,0 +1,70 @@
+//! Per-user behaviour analysis on sanitized logs (schema preservation).
+//!
+//! The paper's headline property: unlike Korolova et al. / Götz et al.,
+//! the output *retains user-IDs*, so analyses that need the association
+//! between queries of the same user — session studies, behaviour
+//! research — run unchanged on the sanitized log. This example runs the
+//! diversity objective (D-UMP/SPE) and compares per-user statistics
+//! before and after.
+//!
+//! ```sh
+//! cargo run --release --example behavior_analysis
+//! ```
+
+use dpsan::core::metrics::diversity_retained;
+use dpsan::prelude::*;
+
+/// A toy "behaviour analysis": distribution of distinct pairs per user.
+fn pairs_per_user_histogram(log: &SearchLog) -> Vec<(usize, usize)> {
+    let mut hist = std::collections::BTreeMap::new();
+    for user in log.users_with_logs() {
+        *hist.entry(log.user_log_len(user)).or_insert(0usize) += 1;
+    }
+    hist.into_iter().collect()
+}
+
+fn main() {
+    let input = generate(&presets::aol_tiny());
+    let params = PrivacyParams::from_e_epsilon(2.0, 0.8);
+
+    let sanitizer = Sanitizer::with_objective(
+        params,
+        UtilityObjective::Diversity { solver: DumpSolver::Spe },
+    );
+    let result = sanitizer.sanitize(&input).expect("sanitization succeeds");
+
+    println!("input (preprocessed): {}", LogStats::of(&result.preprocessed));
+    println!("sanitized output:     {}", LogStats::of(&result.output));
+    println!(
+        "pair diversity retained: {:.1}%",
+        100.0 * diversity_retained(&result.counts)
+    );
+
+    println!("\ndistinct pairs per user (input -> output):");
+    let before = pairs_per_user_histogram(&result.preprocessed);
+    let after = pairs_per_user_histogram(&result.output);
+    println!("  input : {before:?}");
+    println!("  output: {after:?}");
+
+    // the analysis the aggregate-release mechanisms cannot do: follow
+    // one user's (sanitized) footprint across queries
+    if let Some(user) = result.output.users_with_logs().next() {
+        println!(
+            "\nsanitized footprint of pseudonymous user {}:",
+            result.output.users().resolve(user.0)
+        );
+        for e in result.output.user_log(user) {
+            let (q, u) = result.output.pair_key(e.pair);
+            println!(
+                "  {:<20} -> {:<26} x{}",
+                result.output.queries().resolve(q.0),
+                result.output.urls().resolve(u.0),
+                e.count
+            );
+        }
+    }
+    println!(
+        "\n(every sampled user-ID held the pair in the input; the association \
+         between a user's queries survives sanitization)"
+    );
+}

@@ -1,0 +1,70 @@
+//! # dpsan — Differentially Private Search Log Sanitization with Optimal Output Utility
+//!
+//! A from-scratch Rust reproduction of Hong, Vaidya, Lu, Wu (EDBT 2012):
+//! utility-maximizing, `(ε, δ)`-probabilistically differentially private
+//! search-log sanitization whose output has the *identical schema* as
+//! the input (user-IDs preserved via multinomial sampling).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`searchlog`] — the search-log data model (histograms,
+//!   preprocessing, AOL io),
+//! * [`dp`] — differential-privacy primitives (parameters, Laplace,
+//!   multinomial sampling, verification),
+//! * [`lp`] — the LP/MIP solver substrate (revised simplex, branch &
+//!   bound),
+//! * [`core`] — the sanitization mechanism itself (constraints, the
+//!   three UMPs, sampling, metrics, closed-form privacy checks),
+//! * [`datagen`] — synthetic AOL-like log generation,
+//! * [`eval`] — the table/figure reproduction harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dpsan::prelude::*;
+//!
+//! // a toy input log: (user, query, url, count) tuples
+//! let mut b = SearchLogBuilder::new();
+//! for k in 0..8 {
+//!     b.add(&format!("u{k}"), "rust lang", "rust-lang.org", 3).unwrap();
+//!     b.add(&format!("u{k}"), "weather", "weather.com", 2).unwrap();
+//! }
+//! b.add("u0", "my private query", "example.org", 5).unwrap();
+//! let input = b.build();
+//!
+//! // sanitize with the output-size objective at (ε, δ) = (ln 2, 0.5)
+//! let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
+//! let sanitizer = Sanitizer::with_objective(params, UtilityObjective::OutputSize);
+//! let result = sanitizer.sanitize(&input).unwrap();
+//!
+//! // the unique pair is gone; the output keeps the input schema
+//! assert_eq!(result.report.removed_pairs, 1);
+//! for record in result.output.records() {
+//!     assert!(record.count > 0);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dpsan_core as core;
+pub use dpsan_datagen as datagen;
+pub use dpsan_dp as dp;
+pub use dpsan_eval as eval;
+pub use dpsan_lp as lp;
+pub use dpsan_searchlog as searchlog;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use dpsan_core::metrics;
+    pub use dpsan_core::sanitizer::{
+        LaplaceStep, SanitizedOutput, Sanitizer, SanitizerConfig, UtilityObjective,
+    };
+    pub use dpsan_core::ump::diversity::DumpSolver;
+    pub use dpsan_core::PrivacyConstraints;
+    pub use dpsan_datagen::{generate, presets, AolLikeConfig};
+    pub use dpsan_dp::params::PrivacyParams;
+    pub use dpsan_searchlog::{
+        frequent_pairs, preprocess, LogStats, SearchLog, SearchLogBuilder,
+    };
+}

@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: generator → preprocessing →
+//! constraints → UMP solvers → sampling → metrics, end to end.
+
+use dpsan::core::metrics::{diff_ratio_histogram, diversity_retained, precision_recall};
+use dpsan::core::sampling::output_pair_counts;
+use dpsan::core::theory::theorem1_report;
+use dpsan::core::ump::output_size::{solve_oump, OumpOptions};
+use dpsan::prelude::*;
+
+fn tiny_input() -> SearchLog {
+    generate(&presets::aol_tiny())
+}
+
+#[test]
+fn oump_pipeline_is_private_and_schema_preserving() {
+    let input = tiny_input();
+    let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
+    let result = Sanitizer::with_objective(params, UtilityObjective::OutputSize)
+        .sanitize(&input)
+        .unwrap();
+
+    // released counts satisfy Theorem 1 exactly
+    let rep = theorem1_report(&result.preprocessed, &result.counts, params);
+    assert!(rep.ok(), "{rep:?}");
+
+    // sampled output matches the counts and the input schema
+    assert_eq!(output_pair_counts(&result.preprocessed, &result.output), result.counts);
+    for r in result.output.records() {
+        let p = result.preprocessed.pair_id(r.query, r.url).expect("pair from input");
+        assert!(result.preprocessed.holders(p).any(|t| t.user == r.user));
+    }
+}
+
+#[test]
+fn fump_pipeline_tracks_frequent_pairs() {
+    let input = tiny_input();
+    let params = PrivacyParams::from_e_epsilon(2.3, 0.8);
+    let (pre, _) = preprocess(&input);
+    let lambda = solve_oump(&pre, params, &OumpOptions::default()).unwrap().lambda;
+    assert!(lambda > 0);
+
+    // mark the top ~5% of pairs frequent
+    let mut counts: Vec<u64> = pre.pairs().map(|p| p.total).collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let min_support = counts[(counts.len() / 20).max(1) - 1] as f64 / pre.size() as f64;
+
+    let result = Sanitizer::with_objective(
+        params,
+        UtilityObjective::FrequentPairs { min_support, output_size: (lambda * 4 / 5).max(1) },
+    )
+    .sanitize(&input)
+    .unwrap();
+
+    let pr = precision_recall(&result.preprocessed, &result.counts, min_support);
+    assert!(pr.input_frequent > 0);
+    // with a generous budget some head pairs survive flooring
+    assert!(
+        result.counts.iter().sum::<u64>() > 0,
+        "the F-UMP output is non-empty at a loose budget"
+    );
+}
+
+#[test]
+fn dump_pipeline_retains_diversity_monotonically() {
+    let input = tiny_input();
+    let retained = |e_eps: f64| {
+        let params = PrivacyParams::from_e_epsilon(e_eps, 0.5);
+        let result = Sanitizer::with_objective(
+            params,
+            UtilityObjective::Diversity { solver: DumpSolver::Spe },
+        )
+        .sanitize(&input)
+        .unwrap();
+        diversity_retained(&result.counts)
+    };
+    let lo = retained(1.1);
+    let hi = retained(2.3);
+    assert!(hi >= lo, "diversity grows with ε: {lo} -> {hi}");
+}
+
+#[test]
+fn sampled_outputs_vary_by_seed_but_share_totals() {
+    let input = tiny_input();
+    let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
+    let mut cfg = SanitizerConfig::new(params, UtilityObjective::OutputSize);
+    cfg.seed = 1;
+    let a = Sanitizer::new(cfg.clone()).sanitize(&input).unwrap();
+    cfg.seed = 2;
+    let b = Sanitizer::new(cfg).sanitize(&input).unwrap();
+    // same optimal counts, different multinomial draws
+    assert_eq!(a.counts, b.counts);
+    assert_eq!(a.output.size(), b.output.size());
+    let ra: Vec<_> = a.output.records().collect();
+    let rb: Vec<_> = b.output.records().collect();
+    assert_ne!(ra, rb, "different seeds give different user attributions");
+}
+
+#[test]
+fn diff_ratio_histogram_improves_with_output_size() {
+    let input = tiny_input();
+    let (pre, _) = preprocess(&input);
+    let params = PrivacyParams::from_e_epsilon(2.3, 0.8);
+    let lambda = solve_oump(&pre, params, &OumpOptions::default()).unwrap().lambda;
+    if lambda < 4 {
+        return; // not enough room at this scale
+    }
+    let run = |frac: u64| {
+        let result = Sanitizer::with_objective(params, UtilityObjective::OutputSize)
+            .sanitize(&input)
+            .unwrap();
+        let _ = frac;
+        diff_ratio_histogram(&result.preprocessed, &result.output, 0.1, 10)
+    };
+    let h = run(2);
+    assert_eq!(h.total as usize, pre.n_triplets());
+}
+
+#[test]
+fn laplace_step_composes_in_ledger() {
+    let input = tiny_input();
+    let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
+    let mut cfg = SanitizerConfig::new(params, UtilityObjective::OutputSize);
+    cfg.laplace = Some(LaplaceStep { sensitivity: 1.0, epsilon_prime: 0.3 });
+    let result = Sanitizer::new(cfg).sanitize(&input).unwrap();
+    assert_eq!(result.ledger.entries().len(), 2);
+    assert!(result.ledger.within(params.epsilon() + 0.3, params.delta()));
+    // the repaired counts are still private
+    let rep = theorem1_report(&result.preprocessed, &result.counts, params);
+    assert!(rep.ok());
+}
+
+#[test]
+fn tsv_roundtrip_of_sanitized_output() {
+    let input = tiny_input();
+    let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
+    let result =
+        Sanitizer::with_objective(params, UtilityObjective::OutputSize).sanitize(&input).unwrap();
+    let mut buf = Vec::new();
+    dpsan::searchlog::io::write_tsv(&result.output, &mut buf).unwrap();
+    let reread = dpsan::searchlog::io::read_tsv(std::io::Cursor::new(buf)).unwrap();
+    assert_eq!(reread.size(), result.output.size());
+    assert_eq!(reread.n_pairs(), result.output.n_pairs());
+    assert_eq!(reread.n_user_logs(), result.output.n_user_logs());
+}

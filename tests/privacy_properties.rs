@@ -1,0 +1,97 @@
+//! Property-based integration tests of the privacy guarantees on random
+//! tiny logs: the released counts of every objective satisfy Theorem 1,
+//! and exhaustive Definition 2 checks pass for every neighbor.
+
+use dpsan::core::theory::{exhaustive_neighbor_check, output_space_size, theorem1_report};
+use dpsan::core::ump::diversity::{solve_dump, DumpOptions};
+use dpsan::core::ump::output_size::{solve_oump, OumpOptions};
+use dpsan::prelude::*;
+use proptest::prelude::*;
+
+/// A random preprocessed log: `n_pairs` pairs over `n_users` users,
+/// every pair held by 2–3 users with counts 1–4.
+fn random_log(n_users: usize, pairs: Vec<(u8, u8, u8, u8)>) -> SearchLog {
+    let mut b = SearchLogBuilder::new();
+    for (i, &(u1, u2, c1, c2)) in pairs.iter().enumerate() {
+        let a = u1 as usize % n_users;
+        let mut bidx = u2 as usize % n_users;
+        if bidx == a {
+            bidx = (bidx + 1) % n_users;
+        }
+        b.add(&format!("u{a}"), &format!("q{i}"), &format!("q{i}.com"), 1 + (c1 % 4) as u64)
+            .unwrap();
+        b.add(&format!("u{bidx}"), &format!("q{i}"), &format!("q{i}.com"), 1 + (c2 % 4) as u64)
+            .unwrap();
+    }
+    let (log, _) = preprocess(&b.build());
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn oump_counts_always_satisfy_theorem1(
+        pairs in prop::collection::vec((0u8..5, 0u8..5, 0u8..4, 0u8..4), 2..6),
+        e_eps in 1.05f64..3.0,
+        delta in 0.05f64..0.9,
+    ) {
+        let log = random_log(5, pairs);
+        prop_assume!(log.n_pairs() > 0);
+        let params = PrivacyParams::from_e_epsilon(e_eps, delta);
+        let sol = solve_oump(&log, params, &OumpOptions::default()).unwrap();
+        let rep = theorem1_report(&log, &sol.counts, params);
+        prop_assert!(rep.ok(), "{rep:?}");
+    }
+
+    #[test]
+    fn dump_counts_always_satisfy_theorem1(
+        pairs in prop::collection::vec((0u8..5, 0u8..5, 0u8..4, 0u8..4), 2..6),
+        e_eps in 1.05f64..3.0,
+        delta in 0.05f64..0.9,
+    ) {
+        let log = random_log(5, pairs);
+        prop_assume!(log.n_pairs() > 0);
+        let params = PrivacyParams::from_e_epsilon(e_eps, delta);
+        let sol = solve_dump(&log, params, &DumpOptions::default()).unwrap();
+        let rep = theorem1_report(&log, &sol.counts, params);
+        prop_assert!(rep.ok(), "{rep:?}");
+    }
+
+    #[test]
+    fn exhaustive_definition2_holds_for_every_neighbor(
+        pairs in prop::collection::vec((0u8..4, 0u8..4, 0u8..3, 0u8..3), 2..4),
+        e_eps in 1.2f64..2.5,
+        delta in 0.1f64..0.8,
+    ) {
+        let log = random_log(4, pairs);
+        prop_assume!(log.n_pairs() > 0);
+        let params = PrivacyParams::from_e_epsilon(e_eps, delta);
+        let sol = solve_oump(&log, params, &OumpOptions::default()).unwrap();
+        prop_assume!(output_space_size(&log, &sol.counts) <= 60_000.0);
+        for user in log.users_with_logs() {
+            let check = exhaustive_neighbor_check(&log, &sol.counts, user, 80_000);
+            prop_assert!(
+                check.satisfies(params.epsilon(), params.delta()),
+                "user {user}: {check:?} vs (ε={}, δ={})", params.epsilon(), params.delta()
+            );
+        }
+    }
+
+    #[test]
+    fn full_pipeline_never_releases_infeasible_counts(
+        pairs in prop::collection::vec((0u8..6, 0u8..6, 0u8..4, 0u8..4), 2..7),
+        e_eps in 1.05f64..3.0,
+        delta in 0.05f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let log = random_log(6, pairs);
+        prop_assume!(log.n_pairs() > 0);
+        let params = PrivacyParams::from_e_epsilon(e_eps, delta);
+        let mut cfg = SanitizerConfig::new(params, UtilityObjective::OutputSize);
+        cfg.seed = seed;
+        let result = Sanitizer::new(cfg).sanitize(&log).unwrap();
+        let c = PrivacyConstraints::build(&result.preprocessed, params).unwrap();
+        prop_assert!(c.satisfied_by(&result.counts, 1e-9));
+    }
+}
