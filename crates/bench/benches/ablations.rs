@@ -36,11 +36,8 @@ fn bench(c: &mut Criterion) {
         let lp = SimplexOptions { refactor_every: every, ..Default::default() };
         g.bench_with_input(BenchmarkId::new("refactor_every", every), &lp, |b, lp| {
             b.iter(|| {
-                solve_oump_with(
-                    &constraints,
-                    &OumpOptions { lp: lp.clone(), ..Default::default() },
-                )
-                .unwrap()
+                solve_oump_with(&constraints, &OumpOptions { lp: lp.clone(), ..Default::default() })
+                    .unwrap()
             })
         });
     }

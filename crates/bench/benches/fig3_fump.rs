@@ -21,9 +21,7 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("O=lambda/{frac}")),
             &output_size,
             |b, &o| {
-                b.iter(|| {
-                    solve_fump_with(&pre, &constraints, &FumpOptions::new(0.02, o)).unwrap()
-                })
+                b.iter(|| solve_fump_with(&pre, &constraints, &FumpOptions::new(0.02, o)).unwrap())
             },
         );
     }

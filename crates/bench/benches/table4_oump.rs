@@ -10,9 +10,7 @@ use dpsan_searchlog::preprocess;
 fn bench(c: &mut Criterion) {
     let (pre, _) = preprocess(&generate(&presets::aol_tiny()));
     let mut g = c.benchmark_group("table4_oump");
-    for (label, e_eps, delta) in
-        [("tight", 1.01, 1e-2), ("mid", 1.7, 0.2), ("loose", 2.3, 0.8)]
-    {
+    for (label, e_eps, delta) in [("tight", 1.01, 1e-2), ("mid", 1.7, 0.2), ("loose", 2.3, 0.8)] {
         let params = PrivacyParams::from_e_epsilon(e_eps, delta);
         let constraints = PrivacyConstraints::build(&pre, params).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(label), &constraints, |b, cons| {

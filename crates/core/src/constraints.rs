@@ -63,7 +63,13 @@ impl PrivacyConstraints {
 
         let pair_totals: Vec<u64> =
             (0..n_pairs).map(|pi| log.pair_total(PairId::from_index(pi))).collect();
-        Ok(PrivacyConstraints { users, rows, budget: params.budget().value(), n_pairs, pair_totals })
+        Ok(PrivacyConstraints {
+            users,
+            rows,
+            budget: params.budget().value(),
+            n_pairs,
+            pair_totals,
+        })
     }
 
     /// Input totals `c_ij` per pair.
@@ -102,7 +108,7 @@ impl PrivacyConstraints {
         let mut best: Option<(usize, usize, f64)> = None;
         for (i, row) in self.rows.iter().enumerate() {
             for &(p, v) in row {
-                if best.map_or(true, |(_, _, bv)| v > bv) {
+                if best.is_none_or(|(_, _, bv)| v > bv) {
                     best = Some((i, p, v));
                 }
             }
@@ -113,19 +119,13 @@ impl PrivacyConstraints {
     /// Left-hand side `Σ x ln t` of every row at a point.
     pub fn row_activity(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n_pairs, "dimension mismatch");
-        self.rows
-            .iter()
-            .map(|row| row.iter().map(|&(p, v)| v * x[p]).sum())
-            .collect()
+        self.rows.iter().map(|row| row.iter().map(|&(p, v)| v * x[p]).sum()).collect()
     }
 
     /// Worst violation `max_i (Σ x ln t − B)` at a point (≤ 0 means the
     /// point satisfies every privacy constraint).
     pub fn max_violation(&self, x: &[f64]) -> f64 {
-        self.row_activity(x)
-            .into_iter()
-            .map(|a| a - self.budget)
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.row_activity(x).into_iter().map(|a| a - self.budget).fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Check a candidate count vector (integer counts are exact; the
@@ -226,8 +226,8 @@ mod tests {
     fn zero_counts_always_satisfy() {
         let log = shared_log();
         for delta in [0.001, 0.1, 0.8] {
-            let c =
-                PrivacyConstraints::build(&log, PrivacyParams::from_e_epsilon(1.01, delta)).unwrap();
+            let c = PrivacyConstraints::build(&log, PrivacyParams::from_e_epsilon(1.01, delta))
+                .unwrap();
             assert!(c.satisfied_by(&[0, 0], 0.0));
         }
     }

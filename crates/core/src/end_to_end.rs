@@ -61,15 +61,16 @@ pub fn bound_sensitivity(
         let neighbor = solve_oump(&without, params, &opts)?;
         // compare counts pair-by-pair through the id mappings
         let mut worst = 0.0f64;
-        for pi in 0..log.n_pairs() {
-            let a = base.counts[pi] as f64;
-            let b = mapping[pi]
-                .and_then(|mid| {
-                    let (q, u) = log.pair_key(PairId::from_index(pi));
-                    let _ = mid;
-                    without.pair_id(q, u)
-                })
-                .map_or(0.0, |np| neighbor.counts[np.index()] as f64);
+        for (pi, (&bc, &mid)) in base.counts.iter().zip(&mapping).enumerate() {
+            let a = bc as f64;
+            // `mid` only says the pair survived retain_pairs; its target id
+            // is stale after drop_user + preprocess, so re-look-up by key
+            let b = if mid.is_some() {
+                let (q, u) = log.pair_key(PairId::from_index(pi));
+                without.pair_id(q, u).map_or(0.0, |np| neighbor.counts[np.index()] as f64)
+            } else {
+                0.0
+            };
             worst = worst.max((a - b).abs());
         }
         if worst > d {

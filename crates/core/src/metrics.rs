@@ -23,7 +23,11 @@ pub struct PrecisionRecall {
 
 /// Compute Eq. 9 for output counts expressed in the input's pair space.
 /// The output size `|O|` is the realized `Σ x_ij`.
-pub fn precision_recall(input: &SearchLog, output_counts: &[u64], min_support: f64) -> PrecisionRecall {
+pub fn precision_recall(
+    input: &SearchLog,
+    output_counts: &[u64],
+    min_support: f64,
+) -> PrecisionRecall {
     let f: Vec<f64> = output_counts.iter().map(|&c| c as f64).collect();
     precision_recall_f(input, &f, min_support)
 }
@@ -232,9 +236,8 @@ mod tests {
     #[test]
     fn perfect_output_has_perfect_metrics() {
         let log = input_log();
-        let counts: Vec<u64> = (0..log.n_pairs())
-            .map(|i| log.pair_total(PairId::from_index(i)))
-            .collect();
+        let counts: Vec<u64> =
+            (0..log.n_pairs()).map(|i| log.pair_total(PairId::from_index(i))).collect();
         let pr = precision_recall(&log, &counts, 0.15);
         assert_eq!(pr.precision, 1.0);
         assert_eq!(pr.recall, 1.0);
@@ -248,12 +251,9 @@ mod tests {
     fn recall_drops_when_frequent_pair_lost() {
         let log = input_log();
         // kill the most frequent pair entirely
-        let mut counts: Vec<u64> = (0..log.n_pairs())
-            .map(|i| log.pair_total(PairId::from_index(i)))
-            .collect();
-        let a = (0..log.n_pairs())
-            .find(|&i| log.pair_total(PairId::from_index(i)) == 40)
-            .unwrap();
+        let mut counts: Vec<u64> =
+            (0..log.n_pairs()).map(|i| log.pair_total(PairId::from_index(i))).collect();
+        let a = (0..log.n_pairs()).find(|&i| log.pair_total(PairId::from_index(i)) == 40).unwrap();
         counts[a] = 0;
         let pr = precision_recall(&log, &counts, 0.15);
         assert!(pr.recall < 1.0);
@@ -264,9 +264,8 @@ mod tests {
     fn precision_is_one_for_proportional_outputs() {
         // scaled-down proportional output keeps supports equal
         let log = input_log();
-        let counts: Vec<u64> = (0..log.n_pairs())
-            .map(|i| log.pair_total(PairId::from_index(i)) / 10)
-            .collect();
+        let counts: Vec<u64> =
+            (0..log.n_pairs()).map(|i| log.pair_total(PairId::from_index(i)) / 10).collect();
         let pr = precision_recall(&log, &counts, 0.15);
         assert_eq!(pr.precision, 1.0);
         assert_eq!(pr.recall, 1.0);
@@ -277,9 +276,7 @@ mod tests {
         let log = input_log();
         // all-output mass on the "a" pair
         let mut counts = vec![0u64; log.n_pairs()];
-        let a = (0..log.n_pairs())
-            .find(|&i| log.pair_total(PairId::from_index(i)) == 40)
-            .unwrap();
+        let a = (0..log.n_pairs()).find(|&i| log.pair_total(PairId::from_index(i)) == 40).unwrap();
         counts[a] = 50;
         // distances at s = 0.15: a: |1 - 0.4| = 0.6, b: 0.3, c: 0.2
         let d = support_distance_sum(&log, &counts, 0.15, 50);

@@ -136,19 +136,30 @@ impl Sanitizer {
         // step 1: optimal output counts
         let mut counts: Vec<u64> = match &cfg.objective {
             UtilityObjective::OutputSize => {
-                solve_oump_with(&constraints, &OumpOptions { lp: cfg.lp.clone(), ..Default::default() })?.counts
+                solve_oump_with(
+                    &constraints,
+                    &OumpOptions { lp: cfg.lp.clone(), ..Default::default() },
+                )?
+                .counts
             }
-            UtilityObjective::FrequentPairs { min_support, output_size } => solve_fump_with(
-                &pre,
-                &constraints,
-                &FumpOptions { lp: cfg.lp.clone(), ..FumpOptions::new(*min_support, *output_size) },
-            )?
-            .counts,
-            UtilityObjective::Diversity { solver } => solve_dump_with(
-                &constraints,
-                &DumpOptions { solver: solver.clone(), lp: cfg.lp.clone() },
-            )?
-            .counts,
+            UtilityObjective::FrequentPairs { min_support, output_size } => {
+                solve_fump_with(
+                    &pre,
+                    &constraints,
+                    &FumpOptions {
+                        lp: cfg.lp.clone(),
+                        ..FumpOptions::new(*min_support, *output_size)
+                    },
+                )?
+                .counts
+            }
+            UtilityObjective::Diversity { solver } => {
+                solve_dump_with(
+                    &constraints,
+                    &DumpOptions { solver: solver.clone(), lp: cfg.lp.clone() },
+                )?
+                .counts
+            }
         };
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);

@@ -45,9 +45,8 @@ impl Theorem1Report {
 pub fn theorem1_report(log: &SearchLog, counts: &[u64], params: PrivacyParams) -> Theorem1Report {
     assert_eq!(counts.len(), log.n_pairs(), "one count per pair");
     let mut condition1_ok = true;
-    for pi in 0..log.n_pairs() {
-        let p = PairId::from_index(pi);
-        if counts[pi] > 0 && log.n_holders(p) < 2 {
+    for (pi, &c) in counts.iter().enumerate() {
+        if c > 0 && log.n_holders(PairId::from_index(pi)) < 2 {
             condition1_ok = false;
         }
     }
@@ -97,9 +96,8 @@ pub type OutputKey = Vec<u64>;
 /// (`Π_p C(x_p + h_p − 1, h_p − 1)`); used to guard the cross-product.
 pub fn output_space_size(log: &SearchLog, counts: &[u64]) -> f64 {
     let mut total = 1.0f64;
-    for pi in 0..log.n_pairs() {
+    for (pi, &x) in counts.iter().enumerate() {
         let h = log.n_holders(PairId::from_index(pi)) as u64;
-        let x = counts[pi];
         // C(x + h - 1, h - 1)
         let mut ways = 1.0f64;
         for i in 0..h - 1 {
@@ -122,12 +120,12 @@ fn joint_distribution(
 ) -> HashMap<OutputKey, f64> {
     let mut dist: HashMap<OutputKey, f64> = HashMap::new();
     dist.insert(Vec::new(), 1.0);
-    for pi in 0..log.n_pairs() {
+    for (pi, &cnt) in counts.iter().enumerate() {
         let p = PairId::from_index(pi);
         let holders: Vec<UserId> = log.holders(p).map(|t| t.user).collect();
         let weights: Vec<u64> = holders.iter().map(|&u| weight_of(p, u)).collect();
         let mut next: HashMap<OutputKey, f64> = HashMap::new();
-        for comp in enumerate_compositions(counts[pi], holders.len()) {
+        for comp in enumerate_compositions(cnt, holders.len()) {
             let pr = multinomial_pmf(&weights, &comp);
             if pr == 0.0 {
                 continue;
@@ -266,12 +264,11 @@ mod tests {
         let mut hits = 0usize;
         for _ in 0..runs {
             let mut sampled = false;
-            for pi in 0..log.n_pairs() {
+            for (pi, &cnt) in counts.iter().enumerate() {
                 let p = PairId::from_index(pi);
                 let holders: Vec<_> = log.holders(p).collect();
                 let weights: Vec<u64> = holders.iter().map(|t| t.count).collect();
-                let out =
-                    sample_multinomial(&mut rng, &weights, counts[pi], MultinomialStrategy::Auto);
+                let out = sample_multinomial(&mut rng, &weights, cnt, MultinomialStrategy::Auto);
                 for (h, &x) in holders.iter().zip(&out) {
                     if h.user == u2 && x > 0 {
                         sampled = true;

@@ -164,9 +164,9 @@ fn spe(constraints: &PrivacyConstraints, violated_only: bool) -> Vec<u64> {
     let mut row_sum = vec![0.0f64; m];
     // pair -> rows & coefficients (column view for cheap removal)
     let mut pair_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    for i in 0..m {
+    for (i, rs) in row_sum.iter_mut().enumerate() {
         for &(pj, v) in constraints.row(i) {
-            row_sum[i] += v;
+            *rs += v;
             pair_rows[pj].push((i, v));
         }
     }
@@ -232,11 +232,11 @@ mod tests {
     fn diverse_log() -> SearchLog {
         let mut b = SearchLogBuilder::new();
         let spec: [(&str, &[(&str, u64)]); 6] = [
-            ("q0", &[("u1", 9), ("u2", 1)]),   // u1-dominated: large t
-            ("q1", &[("u1", 1), ("u2", 1)]),   // balanced: t = 2
-            ("q2", &[("u2", 3), ("u3", 3)]),   // balanced
-            ("q3", &[("u3", 1), ("u4", 5)]),   // u4-heavy
-            ("q4", &[("u1", 2), ("u4", 2)]),   // balanced
+            ("q0", &[("u1", 9), ("u2", 1)]),            // u1-dominated: large t
+            ("q1", &[("u1", 1), ("u2", 1)]),            // balanced: t = 2
+            ("q2", &[("u2", 3), ("u3", 3)]),            // balanced
+            ("q3", &[("u3", 1), ("u4", 5)]),            // u4-heavy
+            ("q4", &[("u1", 2), ("u4", 2)]),            // balanced
             ("q5", &[("u2", 1), ("u3", 1), ("u4", 1)]), // well spread
         ];
         for (q, holders) in spec {
@@ -267,8 +267,9 @@ mod tests {
         let log = diverse_log();
         let c = PrivacyConstraints::build(&log, params(1.7, 0.2)).unwrap();
         for solver in all_solvers() {
-            let s = solve_dump_with(&c, &DumpOptions { solver: solver.clone(), ..Default::default() })
-                .unwrap();
+            let s =
+                solve_dump_with(&c, &DumpOptions { solver: solver.clone(), ..Default::default() })
+                    .unwrap();
             assert!(c.satisfied_by(&s.counts, 1e-9), "{solver:?} infeasible");
             assert!(s.counts.iter().all(|&v| v <= 1), "{solver:?} not binary");
             assert_eq!(s.retained, s.counts.iter().sum::<u64>() as usize);
@@ -282,13 +283,15 @@ mod tests {
             let c = PrivacyConstraints::build(&log, params(e, d)).unwrap();
             let exact = solve_dump_with(
                 &c,
-                &DumpOptions { solver: DumpSolver::BranchBound { max_nodes: 50_000 }, ..Default::default() },
+                &DumpOptions {
+                    solver: DumpSolver::BranchBound { max_nodes: 50_000 },
+                    ..Default::default()
+                },
             )
             .unwrap();
             assert!(exact.proven_optimal);
             for solver in all_solvers() {
-                let s =
-                    solve_dump_with(&c, &DumpOptions { solver, ..Default::default() }).unwrap();
+                let s = solve_dump_with(&c, &DumpOptions { solver, ..Default::default() }).unwrap();
                 assert!(
                     s.retained <= exact.retained,
                     "heuristic beat the proven optimum at ({e}, {d})"
@@ -312,8 +315,8 @@ mod tests {
     fn generous_budget_keeps_everything() {
         let log = diverse_log();
         // budget far above the sum of all coefficients
-        let s = solve_dump(&log, PrivacyParams::new(50.0, 0.999999), &DumpOptions::default())
-            .unwrap();
+        let s =
+            solve_dump(&log, PrivacyParams::new(50.0, 0.999999), &DumpOptions::default()).unwrap();
         assert_eq!(s.retained, log.n_pairs());
     }
 

@@ -116,8 +116,7 @@ pub fn solve_fump_with(
         let xj = x_cols[f.pair.index()];
         let target = f.count as f64 / size_d;
         // y + x/|O| >= target  and  y - x/|O| >= -target
-        p.add_row(RowBounds::at_least(target), &[(y, 1.0), (xj, 1.0 / size_o)])
-            .expect("valid row");
+        p.add_row(RowBounds::at_least(target), &[(y, 1.0), (xj, 1.0 / size_o)]).expect("valid row");
         p.add_row(RowBounds::at_least(-target), &[(y, 1.0), (xj, -1.0 / size_o)])
             .expect("valid row");
     }

@@ -207,12 +207,9 @@ mod tests {
         let s = solve_oump(&log, generous, &OumpOptions::default()).unwrap();
         assert_eq!(s.lambda, log.size(), "caps saturate λ at Σ c_ij");
         // without caps the same budget yields a larger output
-        let unc = solve_oump(
-            &log,
-            generous,
-            &OumpOptions { cap_at_input: false, ..Default::default() },
-        )
-        .unwrap();
+        let unc =
+            solve_oump(&log, generous, &OumpOptions { cap_at_input: false, ..Default::default() })
+                .unwrap();
         assert!(unc.lambda > s.lambda);
     }
 

@@ -79,7 +79,12 @@ mod tests {
     use rand::rngs::StdRng;
 
     fn small_cfg() -> AolLikeConfig {
-        AolLikeConfig { n_users: 120, n_queries: 800, mean_events_per_user: 30.0, ..Default::default() }
+        AolLikeConfig {
+            n_users: 120,
+            n_queries: 800,
+            mean_events_per_user: 30.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -161,9 +166,6 @@ mod tests {
         counts.sort_unstable_by(|a, b| b.cmp(a));
         assert!(!counts.is_empty());
         let total: u64 = counts.iter().sum();
-        assert!(
-            counts[0] as f64 / total as f64 > 0.5,
-            "top url holds most clicks: {counts:?}"
-        );
+        assert!(counts[0] as f64 / total as f64 > 0.5, "top url holds most clicks: {counts:?}");
     }
 }

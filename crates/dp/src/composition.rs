@@ -62,7 +62,12 @@ impl BudgetLedger {
 
 impl fmt::Display for BudgetLedger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "privacy ledger (ε={:.4}, δ={:.4}):", self.total_epsilon(), self.total_delta())?;
+        writeln!(
+            f,
+            "privacy ledger (ε={:.4}, δ={:.4}):",
+            self.total_epsilon(),
+            self.total_delta()
+        )?;
         for e in &self.entries {
             writeln!(f, "  {:<32} ε={:.4} δ={:.4}", e.label, e.epsilon, e.delta)?;
         }

@@ -110,7 +110,11 @@ where
 
 /// Estimate a mechanism's output distribution by `runs` Monte-Carlo
 /// executions.
-pub fn empirical_distribution<O, R, F>(rng: &mut R, runs: usize, mut mechanism: F) -> HashMap<O, f64>
+pub fn empirical_distribution<O, R, F>(
+    rng: &mut R,
+    runs: usize,
+    mut mechanism: F,
+) -> HashMap<O, f64>
 where
     O: Eq + Hash,
     R: Rng,
@@ -191,8 +195,10 @@ mod tests {
     fn multinomial_pmf_sums_to_one() {
         let weights = [2u64, 3, 5];
         for trials in 0..5u64 {
-            let total: f64 =
-                enumerate_compositions(trials, 3).iter().map(|c| multinomial_pmf(&weights, c)).sum();
+            let total: f64 = enumerate_compositions(trials, 3)
+                .iter()
+                .map(|c| multinomial_pmf(&weights, c))
+                .sum();
             assert!((total - 1.0).abs() < 1e-12, "trials {trials}: total {total}");
         }
     }

@@ -27,10 +27,7 @@ pub fn run(ctx: &Ctx, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let mut t = Table::new(vec!["solver", "runtime", "retained"]);
     for (name, solver) in solver_suite(ctx.scale) {
         let t0 = Instant::now();
-        let sol = solve_dump_with(
-            &constraints,
-            &DumpOptions { solver, lp: ctx.lp.clone() },
-        )?;
+        let sol = solve_dump_with(&constraints, &DumpOptions { solver, lp: ctx.lp.clone() })?;
         let dt = t0.elapsed();
         t.row(vec![name.to_string(), format!("{dt:.2?}"), sol.retained.to_string()]);
     }
@@ -52,11 +49,8 @@ mod tests {
         let constraints = ctx.constraints(fig5_params()).unwrap();
         let time_of = |solver: DumpSolver| {
             let t0 = Instant::now();
-            let _ = solve_dump_with(
-                &constraints,
-                &DumpOptions { solver, lp: ctx.lp.clone() },
-            )
-            .unwrap();
+            let _ =
+                solve_dump_with(&constraints, &DumpOptions { solver, lp: ctx.lp.clone() }).unwrap();
             t0.elapsed()
         };
         // warm up then measure

@@ -3,7 +3,6 @@
 use std::error::Error;
 use std::io::Write;
 
-
 use crate::context::Ctx;
 use crate::table::Table;
 

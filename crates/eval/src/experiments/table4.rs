@@ -60,9 +60,9 @@ mod tests {
             }
             grid.push(row);
         }
-        for r in 0..grid.len() {
-            for c in 1..grid[r].len() {
-                assert!(grid[r][c] >= grid[r][c - 1], "monotone in δ");
+        for row in &grid {
+            for c in 1..row.len() {
+                assert!(row[c] >= row[c - 1], "monotone in δ");
             }
         }
         for c in 0..DELTA_GRID.len() {

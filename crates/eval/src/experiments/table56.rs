@@ -13,10 +13,8 @@ use crate::table::{f4, Table};
 
 fn outputs(ctx: &Ctx) -> Result<(u64, Vec<u64>), Box<dyn Error>> {
     let lambda = ctx.lambda(reference_params())?;
-    let outs = OUTPUT_FRACTIONS
-        .iter()
-        .map(|f| ((lambda as f64 * f).round() as u64).max(1))
-        .collect();
+    let outs =
+        OUTPUT_FRACTIONS.iter().map(|f| ((lambda as f64 * f).round() as u64).max(1)).collect();
     Ok((lambda, outs))
 }
 
@@ -63,7 +61,12 @@ pub fn run_table6(ctx: &Ctx, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
         for &o in &outs {
             match fump_cell(ctx, reference_params(), s, o)? {
                 Some((sol, used_o)) => {
-                    row.push(f4(support_distance_sum_f(&ctx.pre, &sol.lp_counts, s, used_o as f64)));
+                    row.push(f4(support_distance_sum_f(
+                        &ctx.pre,
+                        &sol.lp_counts,
+                        s,
+                        used_o as f64,
+                    )));
                 }
                 None => row.push("-".into()),
             }
@@ -108,6 +111,6 @@ mod tests {
         assert!(s.contains("Table 5"));
         assert!(s.contains("Table 6"));
         // 5 support rows per table
-        assert_eq!(s.matches("0.00").count() >= 2, true);
+        assert!(s.matches("0.00").count() >= 2);
     }
 }

@@ -31,12 +31,14 @@ pub fn solver_suite(scale: Scale) -> Vec<(&'static str, DumpSolver)> {
     ]
 }
 
-fn retained_pct(ctx: &Ctx, params: PrivacyParams, solver: &DumpSolver) -> Result<f64, Box<dyn Error>> {
+fn retained_pct(
+    ctx: &Ctx,
+    params: PrivacyParams,
+    solver: &DumpSolver,
+) -> Result<f64, Box<dyn Error>> {
     let constraints = ctx.constraints(params)?;
-    let sol = solve_dump_with(
-        &constraints,
-        &DumpOptions { solver: solver.clone(), lp: ctx.lp.clone() },
-    )?;
+    let sol =
+        solve_dump_with(&constraints, &DumpOptions { solver: solver.clone(), lp: ctx.lp.clone() })?;
     Ok(sol.retained as f64 / ctx.pre.n_pairs() as f64)
 }
 

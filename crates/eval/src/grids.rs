@@ -15,7 +15,8 @@ pub const E_EPS_SWEEP: [f64; 6] = [1.01, 1.1, 1.4, 1.7, 2.0, 2.3];
 pub const DELTA_CURVES: [f64; 4] = [0.01, 0.1, 0.5, 0.8];
 
 /// Minimum-support grid of Tables 5–6 / Figure 3(c).
-pub const SUPPORT_GRID: [f64; 5] = [1.0 / 1000.0, 1.0 / 750.0, 1.0 / 500.0, 1.0 / 250.0, 1.0 / 100.0];
+pub const SUPPORT_GRID: [f64; 5] =
+    [1.0 / 1000.0, 1.0 / 750.0, 1.0 / 500.0, 1.0 / 250.0, 1.0 / 100.0];
 
 /// The paper's reference cell for Tables 5–6 and Figure 6.
 pub fn reference_params() -> PrivacyParams {

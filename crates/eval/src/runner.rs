@@ -6,8 +6,11 @@ use std::io::Write;
 use crate::context::Ctx;
 use crate::experiments;
 
+/// Signature of an experiment regeneration function.
+pub type ExperimentFn = fn(&Ctx, &mut dyn Write) -> Result<(), Box<dyn Error>>;
+
 /// The experiment registry: id → regeneration function.
-pub const EXPERIMENTS: &[(&str, fn(&Ctx, &mut dyn Write) -> Result<(), Box<dyn Error>>)] = &[
+pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("table3", experiments::table3::run),
     ("table4", experiments::table4::run),
     ("fig3a", experiments::fig3::run_a),
@@ -41,9 +44,10 @@ mod tests {
     #[test]
     fn registry_covers_every_section6_artifact() {
         let ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _)| *id).collect();
-        for required in
-            ["table3", "table4", "fig3a", "fig3b", "fig3c", "table5", "table6", "fig4", "table7", "fig5", "fig6"]
-        {
+        for required in [
+            "table3", "table4", "fig3a", "fig3b", "fig3c", "table5", "table6", "fig4", "table7",
+            "fig5", "fig6",
+        ] {
             assert!(ids.contains(&required), "{required} missing");
         }
     }

@@ -42,16 +42,18 @@ impl DenseLu {
             perm.swap(k, best);
             let pk = perm[k];
             let pivot = lu[pk][k];
+            // take the pivot row out so eliminated rows can borrow it
+            let pivot_row = std::mem::take(&mut lu[pk]);
             for &pi in perm.iter().skip(k + 1) {
                 let factor = lu[pi][k] / pivot;
                 if factor != 0.0 {
-                    for j in k + 1..n {
-                        let upd = factor * lu[pk][j];
-                        lu[pi][j] -= upd;
+                    for (dst, &src) in lu[pi][k + 1..].iter_mut().zip(&pivot_row[k + 1..]) {
+                        *dst -= factor * src;
                     }
                 }
                 lu[pi][k] = factor;
             }
+            lu[pk] = pivot_row;
         }
         Some(DenseLu { n, lu, perm })
     }
@@ -62,20 +64,16 @@ impl DenseLu {
         // forward: L y = P b
         let mut y = vec![0.0; self.n];
         for k in 0..self.n {
-            let mut v = b[self.perm[k]];
-            for j in 0..k {
-                v -= self.lu[self.perm[k]][j] * y[j];
-            }
-            y[k] = v;
+            let row = &self.lu[self.perm[k]];
+            let s: f64 = row[..k].iter().zip(&y[..k]).map(|(&l, &yj)| l * yj).sum();
+            y[k] = b[self.perm[k]] - s;
         }
         // backward: U x = y
         let mut x = vec![0.0; self.n];
         for k in (0..self.n).rev() {
-            let mut v = y[k];
-            for j in k + 1..self.n {
-                v -= self.lu[self.perm[k]][j] * x[j];
-            }
-            x[k] = v / self.lu[self.perm[k]][k];
+            let row = &self.lu[self.perm[k]];
+            let s: f64 = row[k + 1..].iter().zip(&x[k + 1..]).map(|(&u, &xj)| u * xj).sum();
+            x[k] = (y[k] - s) / row[k];
         }
         x
     }
@@ -87,19 +85,14 @@ impl DenseLu {
         // (backward), then x = P' z.
         let mut y = vec![0.0; self.n];
         for k in 0..self.n {
-            let mut v = b[k];
-            for j in 0..k {
-                v -= self.lu[self.perm[j]][k] * y[j];
-            }
-            y[k] = v / self.lu[self.perm[k]][k];
+            let s: f64 = self.perm.iter().zip(&y[..k]).map(|(&pj, &yj)| self.lu[pj][k] * yj).sum();
+            y[k] = (b[k] - s) / self.lu[self.perm[k]][k];
         }
         let mut z = vec![0.0; self.n];
         for k in (0..self.n).rev() {
-            let mut v = y[k];
-            for j in k + 1..self.n {
-                v -= self.lu[self.perm[j]][k] * z[j];
-            }
-            z[k] = v;
+            let s: f64 =
+                self.perm.iter().zip(&z).skip(k + 1).map(|(&pj, &zj)| self.lu[pj][k] * zj).sum();
+            z[k] = y[k] - s;
         }
         let mut x = vec![0.0; self.n];
         for k in 0..self.n {
@@ -121,11 +114,7 @@ pub fn matvec(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
 
 /// Infinity norm of a residual `A x − b`.
 pub fn residual_inf_norm(a: &[Vec<f64>], x: &[f64], b: &[f64]) -> f64 {
-    matvec(a, x)
-        .iter()
-        .zip(b)
-        .map(|(ax, &bi)| (ax - bi).abs())
-        .fold(0.0, f64::max)
+    matvec(a, x).iter().zip(b).map(|(ax, &bi)| (ax - bi).abs()).fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -153,8 +142,7 @@ mod tests {
         let a = sample();
         let x_true = vec![0.5, 2.0, -1.0];
         // b = A' x
-        let at: Vec<Vec<f64>> =
-            (0..3).map(|i| (0..3).map(|j| a[j][i]).collect()).collect();
+        let at: Vec<Vec<f64>> = (0..3).map(|i| (0..3).map(|j| a[j][i]).collect()).collect();
         let b = matvec(&at, &x_true);
         let lu = DenseLu::factor(&a).unwrap();
         let x = lu.solve_transpose(&b);

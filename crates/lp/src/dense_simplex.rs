@@ -161,17 +161,17 @@ pub fn solve_dense(problem: &Problem) -> DenseSolution {
         }
     }
     // objective row: c + M on artificials, then eliminate basic artificials
-    for j in 0..nz {
-        t[m][j] = c[j];
-    }
-    for j in nz + n_slack..nz + n_slack + n_art {
-        t[m][j] = BIG_M;
-    }
-    for i in 0..m {
-        if basis[i] >= nz + n_slack {
-            // subtract M * row from objective to zero out the basic artificial
-            for j in 0..width {
-                t[m][j] -= BIG_M * t[i][j];
+    t[m][..nz].copy_from_slice(&c);
+    t[m][nz + n_slack..nz + n_slack + n_art].fill(BIG_M);
+    {
+        let (rows, obj) = t.split_at_mut(m);
+        let obj = &mut obj[0];
+        for (i, row) in rows.iter().enumerate() {
+            if basis[i] >= nz + n_slack {
+                // subtract M * row from objective to zero out the basic artificial
+                for (dst, &src) in obj.iter_mut().zip(row) {
+                    *dst -= BIG_M * src;
+                }
             }
         }
     }
@@ -181,9 +181,9 @@ pub fn solve_dense(problem: &Problem) -> DenseSolution {
         // entering: most negative reduced cost
         let mut q = usize::MAX;
         let mut best = -TOL;
-        for j in 0..width - 1 {
-            if t[m][j] < best {
-                best = t[m][j];
+        for (j, &red) in t[m][..width - 1].iter().enumerate() {
+            if red < best {
+                best = red;
                 q = j;
             }
         }
@@ -193,9 +193,9 @@ pub fn solve_dense(problem: &Problem) -> DenseSolution {
         // leaving: min ratio
         let mut r = usize::MAX;
         let mut best_ratio = f64::INFINITY;
-        for i in 0..m {
-            if t[i][q] > TOL {
-                let ratio = t[i][width - 1] / t[i][q];
+        for (i, row) in t.iter().enumerate().take(m) {
+            if row[q] > TOL {
+                let ratio = row[width - 1] / row[q];
                 if ratio < best_ratio - 1e-12 {
                     best_ratio = ratio;
                     r = i;
@@ -211,24 +211,30 @@ pub fn solve_dense(problem: &Problem) -> DenseSolution {
         }
         // pivot
         let piv = t[r][q];
-        for j in 0..width {
-            t[r][j] /= piv;
+        for v in &mut t[r] {
+            *v /= piv;
         }
-        for i in 0..=m {
-            if i != r && t[i][q].abs() > 0.0 {
-                let f = t[i][q];
-                for j in 0..width {
-                    t[i][j] -= f * t[r][j];
+        let pivot_row = std::mem::take(&mut t[r]);
+        for (i, row) in t.iter_mut().enumerate() {
+            if i != r && row[q].abs() > 0.0 {
+                let f = row[q];
+                for (dst, &src) in row.iter_mut().zip(&pivot_row) {
+                    *dst -= f * src;
                 }
             }
         }
+        t[r] = pivot_row;
         basis[r] = q;
     }
 
     // infeasible if an artificial is basic at positive level
     for i in 0..m {
         if basis[i] >= nz + n_slack && t[i][width - 1] > 1e-6 {
-            return DenseSolution { status: SolveStatus::Infeasible, objective: f64::NAN, x: vec![] };
+            return DenseSolution {
+                status: SolveStatus::Infeasible,
+                objective: f64::NAN,
+                x: vec![],
+            };
         }
     }
 

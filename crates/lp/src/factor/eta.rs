@@ -98,11 +98,7 @@ mod tests {
         // E = I with column 1 = w. Pick y, compute z = E y, check
         // ftran(z) == y (with base = identity).
         let y = vec![3.0, -2.0, 1.0];
-        let z = vec![
-            y[0] + w[0] * y[1],
-            w[1] * y[1],
-            y[2] + w[2] * y[1],
-        ];
+        let z = vec![y[0] + w[0] * y[1], w[1] * y[1], y[2] + w[2] * y[1]];
         let mut out = z.clone();
         file.ftran(&mut out);
         for (a, b) in out.iter().zip(&y) {

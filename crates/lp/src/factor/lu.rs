@@ -44,9 +44,8 @@ impl SparseLu {
         let mut work = vec![0.0f64; n];
         let mut touched: Vec<usize> = Vec::with_capacity(64);
 
-        for j in 0..n {
+        for (j, &(rows, vals)) in cols.iter().enumerate() {
             // scatter column j
-            let (rows, vals) = cols[j];
             for (&r, &v) in rows.iter().zip(vals) {
                 debug_assert!(r < n);
                 if work[r] == 0.0 && v != 0.0 {
@@ -239,7 +238,8 @@ mod tests {
         let mut z = b.clone();
         lu.ftran(&mut z);
         let dense = m.to_dense();
-        let res: f64 = matvec(&dense, &z).iter().zip(&b).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let res: f64 =
+            matvec(&dense, &z).iter().zip(&b).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(res < 1e-9, "residual {res}");
     }
 

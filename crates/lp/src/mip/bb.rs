@@ -135,7 +135,7 @@ pub fn solve_mip(problem: &Problem, opts: &BbOptions) -> MipSolution {
             None => {
                 // integral: new incumbent
                 let obj = relax.objective;
-                if incumbent.as_ref().map_or(true, |inc| better(obj, inc.objective)) {
+                if incumbent.as_ref().is_none_or(|inc| better(obj, inc.objective)) {
                     incumbent = Some(Incumbent { objective: obj, x: relax.x.clone() });
                 }
             }
@@ -149,7 +149,7 @@ pub fn solve_mip(problem: &Problem, opts: &BbOptions) -> MipSolution {
                     if problem.max_violation(&hx) <= 1e-9 && problem.is_integral(&hx, opts.tol_int)
                     {
                         let obj = problem.objective_value(&hx);
-                        if incumbent.as_ref().map_or(true, |inc| better(obj, inc.objective)) {
+                        if incumbent.as_ref().is_none_or(|inc| better(obj, inc.objective)) {
                             incumbent = Some(Incumbent { objective: obj, x: hx });
                         }
                     }
@@ -251,8 +251,7 @@ mod tests {
         for i in 0..7 {
             p.add_row(RowBounds::at_most(1.0), &[(i, 0.7), (i + 1, 0.7)]).unwrap();
         }
-        let mut o = BbOptions::default();
-        o.max_nodes = 2;
+        let o = BbOptions { max_nodes: 2, ..Default::default() };
         let s = solve_mip(&p, &o);
         assert_eq!(s.status, MipStatus::Feasible);
         assert!(s.objective >= 1.0, "incumbent from packing heuristic");

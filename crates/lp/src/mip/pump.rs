@@ -81,7 +81,7 @@ pub fn pump_packing(problem: &Problem, opts: &PumpOptions) -> Option<Vec<f64>> {
                 if x[c] >= 1.0
                     && problem.integers()[c]
                     && activity[r] > problem.row_bounds()[r].upper + 1e-9
-                    && victim.map_or(true, |(_, bv)| v > bv)
+                    && victim.is_none_or(|(_, bv)| v > bv)
                 {
                     victim = Some((c, v));
                 }
@@ -105,7 +105,7 @@ pub fn pump_packing(problem: &Problem, opts: &PumpOptions) -> Option<Vec<f64>> {
 
         if problem.max_violation(&x) <= 1e-9 {
             let obj = problem.objective_value(&x);
-            if best.as_ref().map_or(true, |(b, _)| obj > *b) {
+            if best.as_ref().is_none_or(|(b, _)| obj > *b) {
                 best = Some((obj, x));
             }
         }

@@ -28,7 +28,7 @@ pub fn round_down(p: &Problem, x: &[f64]) -> Vec<f64> {
 /// Greedily raise integer variables by +1 steps while all rows stay
 /// feasible. Candidates are visited in the given order (e.g. by LP
 /// fractional value); returns the improved point.
-pub fn greedy_raise(p: &Problem, x: &mut Vec<f64>, order: &[usize]) {
+pub fn greedy_raise(p: &Problem, x: &mut [f64], order: &[usize]) {
     debug_assert!(is_packing(p), "greedy_raise requires a packing model");
     let a = p.matrix();
     let mut activity = a.matvec(x);

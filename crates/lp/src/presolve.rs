@@ -192,10 +192,8 @@ pub fn presolve(p: &Problem) -> Presolved {
             if !row_alive[r] {
                 continue;
             }
-            let entries: Vec<(usize, f64)> = row_entries[r]
-                .iter()
-                .filter_map(|&(c, v)| col_map[c].map(|rc| (rc, v)))
-                .collect();
+            let entries: Vec<(usize, f64)> =
+                row_entries[r].iter().filter_map(|&(c, v)| col_map[c].map(|rc| (rc, v))).collect();
             reduced
                 .add_row(RowBounds { lower: row_lower[r], upper: row_upper[r] }, &entries)
                 .expect("presolved row is valid");

@@ -112,7 +112,11 @@ impl Problem {
 
     /// Add a row `rl ≤ Σ coef_j x_j ≤ ru`; returns its index. Duplicate
     /// column references within one row are summed.
-    pub fn add_row(&mut self, bounds: RowBounds, entries: &[(usize, f64)]) -> Result<usize, LpError> {
+    pub fn add_row(
+        &mut self,
+        bounds: RowBounds,
+        entries: &[(usize, f64)],
+    ) -> Result<usize, LpError> {
         if bounds.lower.is_nan() || bounds.upper.is_nan() {
             return Err(LpError::BadNumber { what: "row bound" });
         }
@@ -227,10 +231,7 @@ impl Problem {
     /// Whether every integer-marked column is integral at `x` within
     /// `tol`.
     pub fn is_integral(&self, x: &[f64], tol: f64) -> bool {
-        self.integer
-            .iter()
-            .zip(x)
-            .all(|(&is_int, &v)| !is_int || (v - v.round()).abs() <= tol)
+        self.integer.iter().zip(x).all(|(&is_int, &v)| !is_int || (v - v.round()).abs() <= tol)
     }
 }
 
@@ -271,9 +272,7 @@ mod tests {
         let mut p = Problem::new(Sense::Minimize);
         assert!(p.add_col(f64::NAN, VarBounds::free()).is_err());
         let x = p.add_col(0.0, VarBounds::free()).unwrap();
-        assert!(p
-            .add_row(RowBounds { lower: f64::NAN, upper: 0.0 }, &[(x, 1.0)])
-            .is_err());
+        assert!(p.add_row(RowBounds { lower: f64::NAN, upper: 0.0 }, &[(x, 1.0)]).is_err());
         assert!(p.add_row(RowBounds::equal(0.0), &[(x, f64::NAN)]).is_err());
         assert!(p.set_bounds(x, VarBounds { lower: f64::NAN, upper: 1.0 }).is_err());
     }

@@ -121,7 +121,10 @@ pub fn apply(p: &Problem, f: &ScaleFactors) -> Problem {
             .add_row(RowBounds { lower: rb.lower * f.row[i], upper: rb.upper * f.row[i] }, entries)
             .expect("scaled row is valid");
     }
-    debug_assert_eq!(scaled.sense(), if p.sense() == Sense::Maximize { Sense::Maximize } else { Sense::Minimize });
+    debug_assert_eq!(
+        scaled.sense(),
+        if p.sense() == Sense::Maximize { Sense::Maximize } else { Sense::Minimize }
+    );
     scaled
 }
 

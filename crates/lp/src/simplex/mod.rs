@@ -17,7 +17,7 @@ use crate::problem::{Problem, Sense};
 use crate::scaling::{self, ScaleFactors};
 use crate::sparse::CscMatrix;
 use crate::standard::StandardForm;
-pub(crate) use pricing::{price_dantzig, price_bland, Direction};
+pub(crate) use pricing::{price_bland, price_dantzig, Direction};
 pub(crate) use ratio::{ratio_test, RatioOutcome};
 
 /// Solver tuning knobs.
@@ -212,9 +212,9 @@ impl Core {
 
         // residual r = b - A x_N over all standard-form columns
         let mut residual = sf.b.clone();
-        for j in 0..n {
-            if x_val[j] != 0.0 {
-                sf.a.col_axpy(j, -x_val[j], &mut residual);
+        for (j, &xv) in x_val.iter().enumerate().take(n) {
+            if xv != 0.0 {
+                sf.a.col_axpy(j, -xv, &mut residual);
             }
         }
 
@@ -223,9 +223,9 @@ impl Core {
         let mut basis = Vec::with_capacity(m);
         let mut art_cols: Vec<Vec<(usize, f64)>> = Vec::new();
         let mut phase1_cost = vec![0.0; n];
-        for i in 0..m {
+        for (i, &res) in residual.iter().enumerate() {
             let slack = sf.n_structural + i;
-            let target = x_val[slack] + residual[i];
+            let target = x_val[slack] + res;
             if target >= sf.lower[slack] - 1e-12 && target <= sf.upper[slack] + 1e-12 {
                 // slack absorbs the residual: make it basic
                 x_val[slack] = target;
@@ -286,8 +286,7 @@ impl Core {
                 }
                 PhaseOutcome::Optimal => {}
             }
-            let infeas: f64 =
-                (self.sf.n..self.n_total).map(|j| self.x_val[j].max(0.0)).sum();
+            let infeas: f64 = (self.sf.n..self.n_total).map(|j| self.x_val[j].max(0.0)).sum();
             if infeas > self.opts.tol_primal.max(1e-7) {
                 return Ok(SolveStatus::Infeasible);
             }
@@ -334,11 +333,8 @@ impl Core {
             self.factor.btran(&mut y);
 
             // pricing
-            let pick = if bland {
-                price_bland(self, cost, &y)
-            } else {
-                price_dantzig(self, cost, &y)
-            };
+            let pick =
+                if bland { price_bland(self, cost, &y) } else { price_dantzig(self, cost, &y) };
             let Some((q, dir)) = pick else {
                 return Ok(PhaseOutcome::Optimal);
             };

@@ -65,7 +65,7 @@ pub(crate) fn price_dantzig(core: &Core, cost: &[f64], y: &[f64]) -> Option<(usi
         let d = reduced_cost(core, cost, y, j);
         if let Some(dir) = eligible(core, j, d) {
             let mag = d.abs();
-            if best.map_or(true, |(_, _, m)| mag > m) {
+            if best.is_none_or(|(_, _, m)| mag > m) {
                 best = Some((j, dir, mag));
             }
         }

@@ -277,8 +277,7 @@ fn equality_chain_solved() {
     // x0 = 1; x_{i} - x_{i-1} = 1 -> x_i = i + 1; min sum
     let mut p = Problem::new(Sense::Minimize);
     let n = 10;
-    let cols: Vec<usize> =
-        (0..n).map(|_| p.add_col(1.0, VarBounds::free()).unwrap()).collect();
+    let cols: Vec<usize> = (0..n).map(|_| p.add_col(1.0, VarBounds::free()).unwrap()).collect();
     p.add_row(RowBounds::equal(1.0), &[(cols[0], 1.0)]).unwrap();
     for i in 1..n {
         p.add_row(RowBounds::equal(1.0), &[(cols[i], 1.0), (cols[i - 1], -1.0)]).unwrap();

@@ -130,9 +130,9 @@ impl CscMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols, "dimension mismatch");
         let mut y = vec![0.0; self.nrows];
-        for j in 0..self.ncols {
-            if x[j] != 0.0 {
-                self.col_axpy(j, x[j], &mut y);
+        for (j, &xj) in x.iter().enumerate() {
+            if xj != 0.0 {
+                self.col_axpy(j, xj, &mut y);
             }
         }
         y
@@ -145,6 +145,7 @@ impl CscMatrix {
     }
 
     /// Materialize as a dense row-major matrix (tests and the dense LU).
+    #[allow(clippy::needless_range_loop)] // j scatters a CSC column into row-major rows
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut d = vec![vec![0.0; self.ncols]; self.nrows];
         for j in 0..self.ncols {

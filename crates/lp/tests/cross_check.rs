@@ -17,13 +17,11 @@ fn random_packing_lp(n: usize, m: usize, coefs: Vec<f64>, rhs: Vec<f64>) -> Prob
         p.add_col(1.0, VarBounds::non_negative()).unwrap();
     }
     let mut it = coefs.into_iter();
-    for i in 0..m {
-        let entries: Vec<(usize, f64)> = (0..n)
-            .filter_map(|j| it.next().map(|v| (j, v)))
-            .filter(|&(_, v)| v > 0.01)
-            .collect();
+    for (i, &rhs_i) in rhs.iter().enumerate().take(m) {
+        let entries: Vec<(usize, f64)> =
+            (0..n).filter_map(|j| it.next().map(|v| (j, v))).filter(|&(_, v)| v > 0.01).collect();
         let entries = if entries.is_empty() { vec![(i % n, 0.5)] } else { entries };
-        p.add_row(RowBounds::at_most(rhs[i]), &entries).unwrap();
+        p.add_row(RowBounds::at_most(rhs_i), &entries).unwrap();
     }
     // cover all columns to keep the LP bounded
     let cover: Vec<(usize, f64)> = (0..n).map(|j| (j, 0.1)).collect();
@@ -157,8 +155,10 @@ fn fump_shaped_lp_with_equality_and_abs_split() {
     let total = 10.0;
     let targets = [0.35, 0.25, 0.2, 0.15, 0.05];
     let mut p = Problem::new(Sense::Minimize);
-    let xs: Vec<usize> = (0..n).map(|_| p.add_col(0.0, VarBounds::non_negative()).unwrap()).collect();
-    let ys: Vec<usize> = (0..n).map(|_| p.add_col(1.0, VarBounds::non_negative()).unwrap()).collect();
+    let xs: Vec<usize> =
+        (0..n).map(|_| p.add_col(0.0, VarBounds::non_negative()).unwrap()).collect();
+    let ys: Vec<usize> =
+        (0..n).map(|_| p.add_col(1.0, VarBounds::non_negative()).unwrap()).collect();
     // budget rows
     p.add_row(RowBounds::at_most(6.0), &[(xs[0], 0.9), (xs[1], 0.3)]).unwrap();
     p.add_row(RowBounds::at_most(6.0), &[(xs[2], 0.4), (xs[3], 0.6), (xs[4], 0.2)]).unwrap();
@@ -167,7 +167,8 @@ fn fump_shaped_lp_with_equality_and_abs_split() {
     p.add_row(RowBounds::equal(total), &all).unwrap();
     // |x/T - t| split
     for f in 0..n {
-        p.add_row(RowBounds::at_least(-targets[f]), &[(ys[f], 1.0), (xs[f], -1.0 / total)]).unwrap();
+        p.add_row(RowBounds::at_least(-targets[f]), &[(ys[f], 1.0), (xs[f], -1.0 / total)])
+            .unwrap();
         p.add_row(RowBounds::at_least(targets[f]), &[(ys[f], 1.0), (xs[f], 1.0 / total)]).unwrap();
     }
     let fast = solve(&p, &SimplexOptions::default()).unwrap();

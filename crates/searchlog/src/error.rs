@@ -77,7 +77,7 @@ mod tests {
     #[test]
     fn io_error_has_source() {
         use std::error::Error;
-        let e = LogError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let e = LogError::from(std::io::Error::other("x"));
         assert!(e.source().is_some());
     }
 }

@@ -32,7 +32,11 @@ pub fn frequent_pairs(log: &SearchLog, min_support: f64) -> Vec<FrequentPair> {
         .pairs()
         .filter_map(|pe| {
             let support = pe.total as f64 / size;
-            (support >= min_support).then_some(FrequentPair { pair: pe.pair, count: pe.total, support })
+            (support >= min_support).then_some(FrequentPair {
+                pair: pe.pair,
+                count: pe.total,
+                support,
+            })
         })
         .collect();
     out.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.pair.cmp(&b.pair)));

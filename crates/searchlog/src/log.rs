@@ -160,7 +160,12 @@ impl SearchLog {
         (0..self.n_pairs()).flat_map(move |pi| {
             let p = PairId::from_index(pi);
             let (q, u) = self.pair_key(p);
-            self.holders(p).map(move |t| LogRecord { user: t.user, query: q, url: u, count: t.count })
+            self.holders(p).map(move |t| LogRecord {
+                user: t.user,
+                query: q,
+                url: u,
+                count: t.count,
+            })
         })
     }
 
@@ -381,7 +386,10 @@ mod tests {
         assert_eq!(log.n_user_logs(), 3);
         assert_eq!(log.size(), 2 + 3 + 15 + 7 + 1 + 2 + 5 + 17 + 1); // 53
         let google = log
-            .pair_id(QueryId(log.queries().get("google").unwrap()), UrlId(log.urls().get("google.com").unwrap()))
+            .pair_id(
+                QueryId(log.queries().get("google").unwrap()),
+                UrlId(log.urls().get("google.com").unwrap()),
+            )
             .unwrap();
         assert_eq!(log.pair_total(google), 39);
         assert_eq!(log.n_holders(google), 3);
@@ -440,7 +448,7 @@ mod tests {
     fn triplet_count_absent_is_zero() {
         let log = figure1_log();
         let preg = PairId(0); // first inserted
-        // user 083 never searched the first pair of user 081's log
+                              // user 083 never searched the first pair of user 081's log
         let u083 = UserId(log.users().get("083").unwrap());
         assert_eq!(log.triplet_count(preg, u083), 0);
     }
@@ -482,6 +490,7 @@ mod tests {
     #[should_panic(expected = "user id outside vocabulary")]
     fn add_record_requires_vocabulary() {
         let mut b = SearchLogBuilder::new();
-        let _ = b.add_record(LogRecord { user: UserId(0), query: QueryId(0), url: UrlId(0), count: 1 });
+        let _ =
+            b.add_record(LogRecord { user: UserId(0), query: QueryId(0), url: UrlId(0), count: 1 });
     }
 }

@@ -29,7 +29,8 @@ pub struct PreprocessReport {
 /// whenever no pair became single-holder (holder sets are untouched, so
 /// that is always the case).
 pub fn preprocess(log: &SearchLog) -> (SearchLog, PreprocessReport) {
-    let keep: Vec<bool> = (0..log.n_pairs()).map(|i| log.n_holders(PairId::from_index(i)) > 1).collect();
+    let keep: Vec<bool> =
+        (0..log.n_pairs()).map(|i| log.n_holders(PairId::from_index(i)) > 1).collect();
 
     let removed_pairs = keep.iter().filter(|&&k| !k).count();
     let removed_count: u64 = keep

@@ -46,7 +46,11 @@ impl fmt::Display for LogStats {
         write!(
             f,
             "size={} user_logs={} queries={} urls={} pairs={}",
-            self.total_tuples, self.user_logs, self.distinct_queries, self.distinct_urls, self.pairs
+            self.total_tuples,
+            self.user_logs,
+            self.distinct_queries,
+            self.distinct_urls,
+            self.pairs
         )
     }
 }
@@ -91,7 +95,13 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        let s = LogStats { total_tuples: 1, user_logs: 2, distinct_queries: 3, distinct_urls: 4, pairs: 5 };
+        let s = LogStats {
+            total_tuples: 1,
+            user_logs: 2,
+            distinct_queries: 3,
+            distinct_urls: 4,
+            pairs: 5,
+        };
         assert_eq!(s.to_string(), "size=1 user_logs=2 queries=3 urls=4 pairs=5");
     }
 }

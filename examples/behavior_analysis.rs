@@ -27,18 +27,13 @@ fn main() {
     let input = generate(&presets::aol_tiny());
     let params = PrivacyParams::from_e_epsilon(2.0, 0.8);
 
-    let sanitizer = Sanitizer::with_objective(
-        params,
-        UtilityObjective::Diversity { solver: DumpSolver::Spe },
-    );
+    let sanitizer =
+        Sanitizer::with_objective(params, UtilityObjective::Diversity { solver: DumpSolver::Spe });
     let result = sanitizer.sanitize(&input).expect("sanitization succeeds");
 
     println!("input (preprocessed): {}", LogStats::of(&result.preprocessed));
     println!("sanitized output:     {}", LogStats::of(&result.output));
-    println!(
-        "pair diversity retained: {:.1}%",
-        100.0 * diversity_retained(&result.counts)
-    );
+    println!("pair diversity retained: {:.1}%", 100.0 * diversity_retained(&result.counts));
 
     println!("\ndistinct pairs per user (input -> output):");
     let before = pairs_per_user_histogram(&result.preprocessed);

@@ -60,7 +60,8 @@ fn main() {
         let name = log.users().resolve(user.0);
         let eq2 = pr_user_sampled(&log, &sol.counts, user);
         let check = exhaustive_neighbor_check(&log, &sol.counts, user, 1_000_000);
-        let prop1 = indistinguishability_excess(&log, &sol.counts, user, params.epsilon(), 1_000_000);
+        let prop1 =
+            indistinguishability_excess(&log, &sol.counts, user, params.epsilon(), 1_000_000);
         println!(
             "  vs D - A_{name}: Pr[{name} sampled] = {:.4} (Eq.2 {:.4}), \
              worst Ω₂ |ln ratio| = {:.4}, Prop.1 excess = {:.6}",

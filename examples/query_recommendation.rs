@@ -22,9 +22,8 @@ fn main() {
     let params = PrivacyParams::from_e_epsilon(2.3, 0.9);
 
     // learn the feasible output-size ceiling λ and use most of it
-    let lambda = solve_oump(&pre, params, &OumpOptions::default())
-        .expect("O-UMP always solvable")
-        .lambda;
+    let lambda =
+        solve_oump(&pre, params, &OumpOptions::default()).expect("O-UMP always solvable").lambda;
     let output_size = (lambda * 9 / 10).max(1);
     println!("λ = {lambda}; requesting |O| = {output_size}");
 

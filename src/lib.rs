@@ -64,7 +64,5 @@ pub mod prelude {
     pub use dpsan_core::PrivacyConstraints;
     pub use dpsan_datagen::{generate, presets, AolLikeConfig};
     pub use dpsan_dp::params::PrivacyParams;
-    pub use dpsan_searchlog::{
-        frequent_pairs, preprocess, LogStats, SearchLog, SearchLogBuilder,
-    };
+    pub use dpsan_searchlog::{frequent_pairs, preprocess, LogStats, SearchLog, SearchLogBuilder};
 }

@@ -15,9 +15,8 @@ fn tiny_input() -> SearchLog {
 fn oump_pipeline_is_private_and_schema_preserving() {
     let input = tiny_input();
     let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
-    let result = Sanitizer::with_objective(params, UtilityObjective::OutputSize)
-        .sanitize(&input)
-        .unwrap();
+    let result =
+        Sanitizer::with_objective(params, UtilityObjective::OutputSize).sanitize(&input).unwrap();
 
     // released counts satisfy Theorem 1 exactly
     let rep = theorem1_report(&result.preprocessed, &result.counts, params);

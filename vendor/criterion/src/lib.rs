@@ -1,0 +1,177 @@
+//! A small, self-contained stand-in for the `criterion` crate.
+//!
+//! The build environment for this repository has no crates.io access,
+//! so the workspace vendors the slice of criterion its benches use:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups with
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — warm up, then time batches
+//! until a wall-clock budget is spent, and report the per-iteration
+//! mean and min — but the reported numbers are real and the API is
+//! call-compatible, so benches keep compiling (and `cargo bench`
+//! keeps producing usable relative numbers) until the real harness
+//! can be dropped in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function_name.into()) }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times a closure over repeated iterations.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    min: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (also primes caches/allocator), untimed.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let budget = Duration::from_millis(200);
+        let started = Instant::now();
+        while started.elapsed() < budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            self.iters += 1;
+            self.total += dt;
+            self.min = Some(self.min.map_or(dt, |m| m.min(dt)));
+            if self.iters >= 10_000 {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run_one(&mut self, id: &str, run: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher::default();
+        run(&mut b);
+        let full = format!("{}/{id}", self.name);
+        if b.iters == 0 {
+            println!("{full:<48} (no iterations recorded)");
+            return;
+        }
+        let mean = b.total / u32::try_from(b.iters).unwrap_or(u32::MAX);
+        let min = b.min.unwrap_or_default();
+        println!("{full:<48} iters {:>6}   mean {mean:>12.2?}   min {min:>12.2?}", b.iters);
+    }
+
+    /// Benchmark `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.id, |b| routine(b));
+        self
+    }
+
+    /// Benchmark `routine` under `id`, passing it `input` by reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, |b| routine(b, input));
+        self
+    }
+
+    /// Finish the group (flushes nothing here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name}");
+        BenchmarkGroup { name, _criterion: self }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup { name: "bench".to_owned(), _criterion: self };
+        g.bench_function(id, routine);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `fn main` running the listed groups (ignores CLI args such
+/// as the `--bench` cargo passes to harness-less bench binaries).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,110 @@
+//! The case-running loop behind the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How a single sampled case can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; it counts as neither
+    /// pass nor failure.
+    Reject,
+    /// A `prop_assert!`-family assertion failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A discarded case.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Runtime configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Runs sampled cases until the configured count passes, a case fails,
+/// or too many cases are rejected.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+/// FNV-1a, so each test's seed stream is stable across runs and
+/// independent of sibling tests.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// A runner for the test `name` (used to derive its seed stream).
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        TestRunner { config, name }
+    }
+
+    /// Run `case` until `config.cases` cases pass.
+    ///
+    /// # Panics
+    /// Panics (failing the enclosing `#[test]`) on the first failed
+    /// case, or when rejections outnumber the case budget 16:1.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(self.name.as_bytes());
+        let max_attempts = (self.config.cases as u64) * 16 + 64;
+        let mut passed: u32 = 0;
+        let mut attempt: u64 = 0;
+        while passed < self.config.cases {
+            attempt += 1;
+            assert!(
+                attempt <= max_attempts,
+                "proptest '{}': too many rejected cases ({} accepted of {} wanted after {} attempts)",
+                self.name,
+                passed,
+                self.config.cases,
+                attempt - 1
+            );
+            let seed = base ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut rng = StdRng::seed_from_u64(seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{}' failed at case seed {seed:#x} (attempt {attempt}):\n{msg}",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+}
