@@ -1,0 +1,88 @@
+//! The tracked perf set: the solve hot path end to end.
+//!
+//! This bench is the one CI's `bench-smoke` job runs with
+//! `DPSAN_BENCH_JSON=BENCH_pipeline.json`; every entry here is gated
+//! against the committed baseline by `bench_gate` (>2× median
+//! regression fails the build). Keep it quick — the grid sweeps use the
+//! tiny dataset — and keep entry names stable: they are the JSON keys
+//! the gate matches on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpsan_core::constraints::PrivacyConstraints;
+use dpsan_core::session::SolveSession;
+use dpsan_core::ump::frequent::{solve_fump_with, FumpOptions};
+use dpsan_core::ump::output_size::{solve_oump_session, solve_oump_with, OumpOptions};
+use dpsan_datagen::{generate, presets};
+use dpsan_dp::params::PrivacyParams;
+use dpsan_eval::{run_experiment, Ctx, Scale};
+use dpsan_lp::simplex::SimplexOptions;
+use dpsan_searchlog::{preprocess, SearchLog};
+
+/// The budget sweep used by the warm/cold sweep benches (a Table-4
+/// subgrid: distinct collapsed budgets, ascending).
+const SWEEP: [(f64, f64); 6] =
+    [(1.1, 1e-2), (1.4, 0.1), (1.7, 0.2), (2.0, 0.5), (2.3, 0.5), (2.3, 0.8)];
+
+fn tiny_log() -> SearchLog {
+    let (pre, _) = preprocess(&generate(&presets::aol_tiny()));
+    pre
+}
+
+fn sweep_constraints(pre: &SearchLog) -> Vec<PrivacyConstraints> {
+    SWEEP
+        .iter()
+        .map(|&(e, d)| PrivacyConstraints::build(pre, PrivacyParams::from_e_epsilon(e, d)).unwrap())
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let pre = tiny_log();
+    let constraints = sweep_constraints(&pre);
+    let opts = OumpOptions::default();
+
+    let mut g = c.benchmark_group("pipeline");
+
+    g.bench_function("oump_cold_solve", |b| {
+        b.iter(|| solve_oump_with(&constraints[3], &opts).unwrap())
+    });
+
+    g.bench_function("oump_cold_sweep", |b| {
+        b.iter(|| {
+            constraints.iter().map(|cons| solve_oump_with(cons, &opts).unwrap().lambda).sum::<u64>()
+        })
+    });
+
+    g.bench_function("oump_warm_sweep", |b| {
+        b.iter(|| {
+            let mut session = SolveSession::new(SimplexOptions::default());
+            constraints
+                .iter()
+                .map(|cons| solve_oump_session(cons, &opts, &mut session).unwrap().lambda)
+                .sum::<u64>()
+        })
+    });
+
+    g.bench_function("fump_cell", |b| {
+        let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
+        let cons = PrivacyConstraints::build(&pre, params).unwrap();
+        let lambda = solve_oump_with(&cons, &opts).unwrap().lambda.max(2);
+        let fopts = FumpOptions::new(0.02, lambda / 2);
+        b.iter(|| solve_fump_with(&pre, &cons, &fopts).unwrap())
+    });
+
+    g.bench_function("table4_tiny_end_to_end", |b| {
+        // the full experiment (prefetch + render) on a prebuilt context;
+        // fresh context per iteration so the caches start cold
+        b.iter(|| {
+            let ctx = Ctx::new(Scale::Tiny).with_jobs(1);
+            let mut buf = Vec::new();
+            run_experiment("table4", &ctx, &mut buf).unwrap();
+            buf.len()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

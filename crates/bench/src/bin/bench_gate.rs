@@ -1,0 +1,69 @@
+//! `bench_gate` — fail CI when a tracked bench regresses.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [max_ratio]
+//! ```
+//!
+//! Both files are flat `{"bench id": median_ns}` objects; the baseline
+//! is committed (`BENCH_pipeline.json`), the current file is written by
+//! `DPSAN_BENCH_JSON=... cargo bench --bench pipeline`. Exits non-zero
+//! when any baseline bench is missing from the current run or its
+//! median grew beyond `max_ratio` (default 2.0).
+
+use std::process::ExitCode;
+
+use dpsan_bench::{gate, passes, GateFinding, DEFAULT_MAX_RATIO};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, current_path) = match (args.first(), args.get(1)) {
+        (Some(b), Some(c)) => (b, c),
+        _ => {
+            eprintln!("usage: bench_gate <baseline.json> <current.json> [max_ratio]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let max_ratio = match args.get(2) {
+        None => DEFAULT_MAX_RATIO,
+        Some(r) => match r.parse::<f64>() {
+            Ok(v) if v > 0.0 => v,
+            _ => {
+                eprintln!("max_ratio must be a positive number, got {r:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let findings = gate(&baseline, &current, max_ratio);
+    if findings.is_empty() {
+        eprintln!("bench_gate: baseline {baseline_path} tracks no benches");
+        return ExitCode::FAILURE;
+    }
+    for f in &findings {
+        match f {
+            GateFinding::Ok { name, ratio } => println!("OK        {name:<44} x{ratio:.2}"),
+            GateFinding::Regressed { name, ratio } => {
+                println!("REGRESSED {name:<44} x{ratio:.2} (limit x{max_ratio:.2})");
+            }
+            GateFinding::Missing { name } => println!("MISSING   {name}"),
+        }
+    }
+    if passes(&findings) {
+        println!("bench_gate: {} benches within x{max_ratio:.2}", findings.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("bench_gate: FAILED");
+        ExitCode::FAILURE
+    }
+}

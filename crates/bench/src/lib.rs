@@ -1,2 +1,119 @@
 //! Bench-only crate: see `benches/` for the criterion targets, one per
-//! paper table/figure family plus the ablations of DESIGN.md §5.
+//! paper table/figure family plus the ablations of DESIGN.md §5, and
+//! `benches/pipeline.rs` for the *tracked* set CI gates.
+//!
+//! The library half holds the regression-gate logic consumed by the
+//! `bench_gate` binary: compare a freshly measured `BENCH_pipeline.json`
+//! (written by the vendored criterion shim via `DPSAN_BENCH_JSON`)
+//! against the committed baseline and fail on large median regressions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use criterion::json::parse_flat_object;
+
+/// Maximum tolerated `current / baseline` median ratio before the gate
+/// fails. 2× absorbs shared-runner noise and hardware drift between the
+/// baseline machine and CI while still catching real hot-path
+/// regressions (the warm-start win alone is >3×).
+pub const DEFAULT_MAX_RATIO: f64 = 2.0;
+
+/// Outcome of gating one tracked bench.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateFinding {
+    /// Bench present in both files; ratio within the gate.
+    Ok {
+        /// Bench id.
+        name: String,
+        /// `current / baseline` median ratio.
+        ratio: f64,
+    },
+    /// Bench regressed beyond the allowed ratio.
+    Regressed {
+        /// Bench id.
+        name: String,
+        /// `current / baseline` median ratio.
+        ratio: f64,
+    },
+    /// Bench tracked in the baseline but absent from the current run.
+    Missing {
+        /// Bench id.
+        name: String,
+    },
+}
+
+/// Compare two flat `{"bench": median_ns}` JSON files. Every baseline
+/// entry must appear in `current` and stay within `max_ratio`; entries
+/// only in `current` (newly added benches) are ignored until the
+/// baseline is refreshed.
+pub fn gate(baseline: &str, current: &str, max_ratio: f64) -> Vec<GateFinding> {
+    let base = parse_flat_object(baseline);
+    let cur = parse_flat_object(current);
+    base.into_iter()
+        .map(|(name, base_ns)| match cur.iter().find(|(k, _)| *k == name) {
+            None => GateFinding::Missing { name },
+            Some(&(_, cur_ns)) => {
+                let ratio = if base_ns > 0.0 { cur_ns / base_ns } else { f64::INFINITY };
+                // fail closed: a NaN ratio (corrupt measurement) is not
+                // `> max_ratio` but must not pass the gate either
+                if ratio <= max_ratio {
+                    GateFinding::Ok { name, ratio }
+                } else {
+                    GateFinding::Regressed { name, ratio }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Whether a finding set passes (no regressions, nothing missing).
+pub fn passes(findings: &[GateFinding]) -> bool {
+    findings.iter().all(|f| matches!(f, GateFinding::Ok { .. }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{ "pipeline/a": 100.0, "pipeline/b": 1000.0 }"#;
+
+    #[test]
+    fn within_ratio_passes() {
+        let cur = r#"{ "pipeline/a": 150.0, "pipeline/b": 900.0, "pipeline/new": 5.0 }"#;
+        let f = gate(BASE, cur, 2.0);
+        assert!(passes(&f), "{f:?}");
+        assert_eq!(f.len(), 2, "new benches are not gated yet");
+    }
+
+    #[test]
+    fn regression_fails() {
+        let cur = r#"{ "pipeline/a": 250.0, "pipeline/b": 900.0 }"#;
+        let f = gate(BASE, cur, 2.0);
+        assert!(!passes(&f));
+        assert!(f.iter().any(
+            |x| matches!(x, GateFinding::Regressed { name, ratio } if name == "pipeline/a" && *ratio > 2.4)
+        ));
+    }
+
+    #[test]
+    fn missing_bench_fails() {
+        let cur = r#"{ "pipeline/a": 100.0 }"#;
+        let f = gate(BASE, cur, 2.0);
+        assert!(!passes(&f));
+        assert!(f
+            .iter()
+            .any(|x| matches!(x, GateFinding::Missing { name } if name == "pipeline/b")));
+    }
+
+    #[test]
+    fn zero_baseline_counts_as_regression() {
+        let f = gate(r#"{ "x": 0.0 }"#, r#"{ "x": 1.0 }"#, 2.0);
+        assert!(!passes(&f));
+    }
+
+    #[test]
+    fn nan_measurement_fails_closed() {
+        let f = gate(r#"{ "x": 100.0 }"#, r#"{ "x": NaN }"#, 2.0);
+        assert!(!passes(&f), "a corrupt (NaN) measurement must not pass the gate");
+    }
+}

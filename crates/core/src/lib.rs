@@ -32,12 +32,14 @@ pub mod error;
 pub mod metrics;
 pub mod sampling;
 pub mod sanitizer;
+pub mod session;
 pub mod theory;
 pub mod ump;
 
 pub use constraints::PrivacyConstraints;
 pub use error::CoreError;
 pub use sanitizer::{SanitizedOutput, Sanitizer, SanitizerConfig, UtilityObjective};
+pub use session::{SessionStats, SolveSession};
 pub use ump::diversity::{solve_dump, DumpOptions, DumpSolution, DumpSolver};
 pub use ump::frequent::{solve_fump, FumpOptions, FumpSolution};
 pub use ump::output_size::{solve_oump, OumpOptions, OumpSolution};

@@ -1,0 +1,133 @@
+//! Warm-started solve sessions for parameter sweeps.
+//!
+//! The evaluation workload (Tables 4–6, Figures 3–4) re-solves the same
+//! privacy polytope across an `(ε, δ)`/budget grid: the constraint
+//! matrix is fixed and only the right-hand side (budget, output size)
+//! moves between adjacent grid points. A [`SolveSession`] owns the LP
+//! options plus the [`Basis`] snapshot of the previous optimum and
+//! feeds it to [`dpsan_lp::simplex::solve_with_basis`], so successive
+//! solves skip phase 1 and typically re-optimize in a handful of
+//! pivots. A snapshot that no longer fits (shape change, stale vertex)
+//! silently degrades to a cold solve — sessions never change *what* is
+//! computed, only how fast.
+
+use dpsan_lp::error::LpError;
+use dpsan_lp::problem::Problem;
+use dpsan_lp::simplex::{solve_with_basis, Basis, SimplexOptions, Solution, SolveStatus};
+
+/// Counters describing how a session's solves went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Total solves issued through the session.
+    pub solves: usize,
+    /// Solves that actually started from the previous optimal basis.
+    pub warm_starts: usize,
+    /// Simplex iterations summed over all solves.
+    pub iterations: usize,
+}
+
+/// A solver session that carries the optimal basis (and thereby the
+/// factorization work) from one solve to the next.
+///
+/// Use one session per *sweep of related problems* (e.g. one shard of a
+/// budget grid). Interleaving unrelated problem shapes through a single
+/// session is safe but defeats the warm start, since each shape change
+/// discards the snapshot.
+#[derive(Debug, Clone)]
+pub struct SolveSession {
+    lp: SimplexOptions,
+    basis: Option<Basis>,
+    stats: SessionStats,
+}
+
+impl SolveSession {
+    /// New session with the given LP options and no snapshot.
+    pub fn new(lp: SimplexOptions) -> SolveSession {
+        SolveSession { lp, basis: None, stats: SessionStats::default() }
+    }
+
+    /// The LP options every solve of this session uses.
+    pub fn lp_options(&self) -> &SimplexOptions {
+        &self.lp
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Drop the stored snapshot (the next solve starts cold).
+    pub fn reset(&mut self) {
+        self.basis = None;
+    }
+
+    /// Solve `problem`, warm-starting from the previous optimum when
+    /// possible, and stash the new optimal basis for the next call.
+    pub fn solve(&mut self, problem: &Problem) -> Result<Solution, LpError> {
+        let out = solve_with_basis(problem, &self.lp, self.basis.as_ref())?;
+        self.stats.solves += 1;
+        if out.warm_used {
+            self.stats.warm_starts += 1;
+        }
+        self.stats.iterations += out.solution.iterations;
+        self.basis = if out.solution.status == SolveStatus::Optimal { out.basis } else { None };
+        Ok(out.solution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsan_lp::problem::{RowBounds, Sense, VarBounds};
+
+    /// `max x0 + x1` s.t. `x0 + x1 ≤ rhs`, `x ∈ [0, 10]`.
+    fn capped(rhs: f64) -> Problem {
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_col(1.0, VarBounds { lower: 0.0, upper: 10.0 }).unwrap();
+        let b = p.add_col(1.0, VarBounds { lower: 0.0, upper: 10.0 }).unwrap();
+        p.add_row(RowBounds::at_most(rhs), &[(a, 1.0), (b, 1.0)]).unwrap();
+        p
+    }
+
+    #[test]
+    fn sweep_warm_starts_after_first_solve() {
+        let mut s = SolveSession::new(SimplexOptions::default());
+        for (i, rhs) in [2.0, 3.0, 5.0, 8.0].into_iter().enumerate() {
+            let sol = s.solve(&capped(rhs)).unwrap();
+            assert_eq!(sol.status, SolveStatus::Optimal);
+            assert!((sol.objective - rhs).abs() < 1e-9);
+            let st = s.stats();
+            assert_eq!(st.solves, i + 1);
+        }
+        assert!(s.stats().warm_starts >= 3, "rhs-only sweeps reuse the basis: {:?}", s.stats());
+    }
+
+    #[test]
+    fn shape_change_degrades_to_cold() {
+        let mut s = SolveSession::new(SimplexOptions::default());
+        s.solve(&capped(2.0)).unwrap();
+        // different shape: two rows
+        let mut p = capped(4.0);
+        p.add_row(RowBounds::at_most(3.0), &[(0, 1.0)]).unwrap();
+        let sol = s.solve(&p).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_eq!(s.stats().warm_starts, 0, "mismatched shape cannot warm-start");
+        // and the session recovers: next same-shape solve warms again
+        s.solve(&{
+            let mut q = capped(5.0);
+            q.add_row(RowBounds::at_most(4.0), &[(0, 1.0)]).unwrap();
+            q
+        })
+        .unwrap();
+        assert_eq!(s.stats().warm_starts, 1);
+    }
+
+    #[test]
+    fn reset_forces_cold() {
+        let mut s = SolveSession::new(SimplexOptions::default());
+        s.solve(&capped(2.0)).unwrap();
+        s.reset();
+        s.solve(&capped(3.0)).unwrap();
+        assert_eq!(s.stats().warm_starts, 0);
+    }
+}

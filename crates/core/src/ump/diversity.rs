@@ -20,13 +20,17 @@
 use std::collections::BinaryHeap;
 
 use dpsan_dp::params::PrivacyParams;
-use dpsan_lp::mip::{lp_round_packing, pump_packing, solve_mip, BbOptions, MipStatus, PumpOptions};
+use dpsan_lp::mip::{
+    lp_round_packing, lp_round_packing_from, pump_packing, solve_mip, BbOptions, MipStatus,
+    PumpOptions,
+};
 use dpsan_lp::problem::{Problem, Sense, VarBounds};
-use dpsan_lp::simplex::SimplexOptions;
+use dpsan_lp::simplex::{SimplexOptions, SolveStatus};
 use dpsan_searchlog::SearchLog;
 
 use crate::constraints::PrivacyConstraints;
 use crate::error::CoreError;
+use crate::session::SolveSession;
 use crate::ump::verify_counts;
 
 /// Which solver attacks the BIP.
@@ -100,6 +104,26 @@ pub fn solve_dump_with(
     constraints: &PrivacyConstraints,
     opts: &DumpOptions,
 ) -> Result<DumpSolution, CoreError> {
+    solve_dump_inner(constraints, opts, None)
+}
+
+/// Solve the D-UMP through a [`SolveSession`]. Only the LP-relaxation
+/// solve of [`DumpSolver::LpRound`] can exploit the session's warm
+/// basis across a budget sweep; the combinatorial solvers (SPE, pump,
+/// branch & bound) run exactly as in [`solve_dump_with`].
+pub fn solve_dump_session(
+    constraints: &PrivacyConstraints,
+    opts: &DumpOptions,
+    session: &mut SolveSession,
+) -> Result<DumpSolution, CoreError> {
+    solve_dump_inner(constraints, opts, Some(session))
+}
+
+fn solve_dump_inner(
+    constraints: &PrivacyConstraints,
+    opts: &DumpOptions,
+    session: Option<&mut SolveSession>,
+) -> Result<DumpSolution, CoreError> {
     if constraints.n_pairs() == 0 {
         return Ok(DumpSolution { counts: vec![], retained: 0, proven_optimal: true });
     }
@@ -108,8 +132,17 @@ pub fn solve_dump_with(
         DumpSolver::SpeViolated => (spe(constraints, true), false),
         DumpSolver::LpRound => {
             let p = build_bip(constraints);
-            let x = lp_round_packing(&p, &opts.lp)
-                .ok_or(CoreError::UnexpectedStatus("LP relaxation of D-UMP failed"))?;
+            let x = match session {
+                Some(s) => {
+                    let relax = s.solve(&p)?;
+                    if relax.status != SolveStatus::Optimal {
+                        return Err(CoreError::UnexpectedStatus("LP relaxation of D-UMP failed"));
+                    }
+                    lp_round_packing_from(&p, &relax.x)
+                }
+                None => lp_round_packing(&p, &opts.lp)
+                    .ok_or(CoreError::UnexpectedStatus("LP relaxation of D-UMP failed"))?,
+            };
             (x.iter().map(|&v| v.round() as u64).collect(), false)
         }
         DumpSolver::Pump { restarts, seed } => {
@@ -353,6 +386,32 @@ mod tests {
                 global.retained
             );
         }
+    }
+
+    #[test]
+    fn session_lp_round_stays_feasible_across_budget_sweep() {
+        use crate::session::SolveSession;
+        use dpsan_lp::simplex::SimplexOptions;
+
+        let log = diverse_log();
+        let mut session = SolveSession::new(SimplexOptions::default());
+        let opts = DumpOptions { solver: DumpSolver::LpRound, ..Default::default() };
+        let exact_opts =
+            DumpOptions { solver: DumpSolver::BranchBound { max_nodes: 50_000 }, ..opts.clone() };
+        for e_eps in [1.1, 1.4, 1.7, 2.0, 2.3] {
+            let c = PrivacyConstraints::build(&log, params(e_eps, 0.2)).unwrap();
+            let warm = solve_dump_session(&c, &opts, &mut session).unwrap();
+            // a warm start may reach a different (equally optimal)
+            // relaxation vertex than a cold solve, so the rounded
+            // retained counts need not match the cold path exactly —
+            // what must hold is feasibility, binariness, and the exact
+            // optimum still dominating the heuristic
+            assert!(c.satisfied_by(&warm.counts, 1e-9), "warm LP-round infeasible at {e_eps}");
+            assert!(warm.counts.iter().all(|&v| v <= 1), "not binary at {e_eps}");
+            let exact = solve_dump_with(&c, &exact_opts).unwrap();
+            assert!(exact.retained >= warm.retained, "heuristic beat the optimum at {e_eps}");
+        }
+        assert!(session.stats().warm_starts >= 3, "budget sweep reuses the relaxation basis");
     }
 
     #[test]

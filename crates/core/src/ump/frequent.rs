@@ -23,6 +23,7 @@ use dpsan_searchlog::{frequent_pairs, FrequentPair, SearchLog};
 
 use crate::constraints::PrivacyConstraints;
 use crate::error::CoreError;
+use crate::session::SolveSession;
 use crate::ump::{floor_counts, verify_counts};
 
 /// F-UMP options.
@@ -80,18 +81,35 @@ pub fn solve_fump_with(
     constraints: &PrivacyConstraints,
     opts: &FumpOptions,
 ) -> Result<FumpSolution, CoreError> {
-    assert!(opts.min_support > 0.0 && opts.min_support <= 1.0, "support must be in (0, 1]");
-    if opts.output_size == 0 {
-        return Err(CoreError::OutputSizeInfeasible { requested: 0 });
-    }
-    if constraints.n_pairs() == 0 {
-        return Err(CoreError::OutputSizeInfeasible { requested: opts.output_size });
-    }
+    solve_fump_inner(log, constraints, opts, None)
+}
 
+/// Solve the F-UMP through a [`SolveSession`], warm-starting from the
+/// session's previous optimal basis. Consecutive cells that share the
+/// frequent-pair set (fixed support, varying budget or `|O|`) keep the
+/// same LP shape, so the snapshot carries over; a support change alters
+/// the shape and silently degrades that one solve to a cold start. The
+/// session's LP options override `opts.lp`.
+pub fn solve_fump_session(
+    log: &SearchLog,
+    constraints: &PrivacyConstraints,
+    opts: &FumpOptions,
+    session: &mut SolveSession,
+) -> Result<FumpSolution, CoreError> {
+    solve_fump_inner(log, constraints, opts, Some(session))
+}
+
+/// Build the F-UMP linear program of Section 5.2 (privacy rows, fixed
+/// output size, abs-value split on the frequent pairs).
+fn build_problem(
+    log: &SearchLog,
+    constraints: &PrivacyConstraints,
+    opts: &FumpOptions,
+    frequent: &[FrequentPair],
+) -> Problem {
     let n = constraints.n_pairs();
     let size_d = log.size() as f64;
     let size_o = opts.output_size as f64;
-    let frequent = frequent_pairs(log, opts.min_support);
 
     let mut p = Problem::new(Sense::Minimize);
     let x_cols: Vec<usize> = (0..n)
@@ -111,7 +129,7 @@ pub fn solve_fump_with(
     p.add_row(RowBounds::equal(size_o), &all).expect("valid row");
 
     // abs-value split per frequent pair
-    for f in &frequent {
+    for f in frequent {
         let y = p.add_col(1.0, VarBounds::non_negative()).expect("valid column");
         let xj = x_cols[f.pair.index()];
         let target = f.count as f64 / size_d;
@@ -120,8 +138,31 @@ pub fn solve_fump_with(
         p.add_row(RowBounds::at_least(-target), &[(y, 1.0), (xj, -1.0 / size_o)])
             .expect("valid row");
     }
+    p
+}
 
-    let sol = solve(&p, &opts.lp)?;
+fn solve_fump_inner(
+    log: &SearchLog,
+    constraints: &PrivacyConstraints,
+    opts: &FumpOptions,
+    session: Option<&mut SolveSession>,
+) -> Result<FumpSolution, CoreError> {
+    assert!(opts.min_support > 0.0 && opts.min_support <= 1.0, "support must be in (0, 1]");
+    if opts.output_size == 0 {
+        return Err(CoreError::OutputSizeInfeasible { requested: 0 });
+    }
+    if constraints.n_pairs() == 0 {
+        return Err(CoreError::OutputSizeInfeasible { requested: opts.output_size });
+    }
+
+    let n = constraints.n_pairs();
+    let frequent = frequent_pairs(log, opts.min_support);
+    let p = build_problem(log, constraints, opts, &frequent);
+
+    let sol = match session {
+        Some(s) => s.solve(&p)?,
+        None => solve(&p, &opts.lp)?,
+    };
     match sol.status {
         SolveStatus::Optimal => {}
         SolveStatus::Infeasible => {

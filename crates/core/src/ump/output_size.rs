@@ -12,11 +12,12 @@
 
 use dpsan_dp::params::PrivacyParams;
 use dpsan_lp::problem::{Problem, Sense, VarBounds};
-use dpsan_lp::simplex::{solve, SimplexOptions, SolveStatus};
+use dpsan_lp::simplex::{solve, SimplexOptions, Solution, SolveStatus};
 use dpsan_searchlog::SearchLog;
 
 use crate::constraints::PrivacyConstraints;
 use crate::error::CoreError;
+use crate::session::SolveSession;
 use crate::ump::{floor_counts, verify_counts};
 
 /// O-UMP options.
@@ -74,16 +75,22 @@ pub fn solve_oump_with(
     constraints: &PrivacyConstraints,
     opts: &OumpOptions,
 ) -> Result<OumpSolution, CoreError> {
-    if constraints.n_pairs() == 0 {
-        return Ok(OumpSolution {
-            counts: vec![],
-            lp_counts: vec![],
-            lambda: 0,
-            lp_value: 0.0,
-            iterations: 0,
-        });
-    }
+    solve_oump_inner(constraints, opts, None)
+}
 
+/// Solve the O-UMP through a [`SolveSession`], warm-starting from the
+/// session's previous optimal basis (ideal for budget sweeps over one
+/// constraint system). The session's LP options override `opts.lp`.
+pub fn solve_oump_session(
+    constraints: &PrivacyConstraints,
+    opts: &OumpOptions,
+    session: &mut SolveSession,
+) -> Result<OumpSolution, CoreError> {
+    solve_oump_inner(constraints, opts, Some(session))
+}
+
+/// Build the O-UMP linear program of Section 5.1 over the polytope.
+fn build_problem(constraints: &PrivacyConstraints, opts: &OumpOptions) -> Problem {
     let mut p = Problem::new(Sense::Maximize);
     let cols: Vec<usize> = (0..constraints.n_pairs())
         .map(|pi| {
@@ -96,8 +103,29 @@ pub fn solve_oump_with(
         })
         .collect();
     constraints.add_to_problem(&mut p, &cols);
+    p
+}
 
-    let sol = solve(&p, &opts.lp)?;
+fn solve_oump_inner(
+    constraints: &PrivacyConstraints,
+    opts: &OumpOptions,
+    session: Option<&mut SolveSession>,
+) -> Result<OumpSolution, CoreError> {
+    if constraints.n_pairs() == 0 {
+        return Ok(OumpSolution {
+            counts: vec![],
+            lp_counts: vec![],
+            lambda: 0,
+            lp_value: 0.0,
+            iterations: 0,
+        });
+    }
+
+    let p = build_problem(constraints, opts);
+    let sol: Solution = match session {
+        Some(s) => s.solve(&p)?,
+        None => solve(&p, &opts.lp)?,
+    };
     if sol.status != SolveStatus::Optimal {
         return Err(CoreError::UnexpectedStatus(match sol.status {
             SolveStatus::Infeasible => "O-UMP reported infeasible (impossible for Mx ≤ b, b > 0)",

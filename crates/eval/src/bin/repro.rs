@@ -4,25 +4,34 @@
 //! repro all                      # every experiment at the default scale
 //! repro table4 fig3a --scale tiny
 //! repro fig5 --scale medium
+//! repro all --scale small --jobs 4
 //! ```
+//!
+//! `--jobs N` sets how many worker threads the grid prefetches may use
+//! (default: the machine's available parallelism). Output is
+//! byte-identical for every `N`; jobs only trades wall-clock for CPU.
 
-use std::io::Write;
 use std::process::ExitCode;
 
-use dpsan_eval::{run_experiment, Ctx, Scale, EXPERIMENTS};
+use dpsan_eval::{run_experiments, Ctx, Scale, EXPERIMENTS};
 
 fn usage() -> String {
     let ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _)| *id).collect();
     format!(
-        "usage: repro <experiment>... [--scale tiny|small|medium|paper]\n\
+        "usage: repro <experiment>... [--scale tiny|small|medium|paper] [--jobs N]\n\
          experiments: all, {}",
         ids.join(", ")
     )
 }
 
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
+    let mut jobs = default_jobs();
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -37,6 +46,21 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 scale = s;
+            }
+            "--jobs" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--jobs needs a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                let Ok(n) = v.parse::<usize>() else {
+                    eprintln!("--jobs needs a positive integer, got {v:?}\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                if n == 0 {
+                    eprintln!("--jobs must be at least 1\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                jobs = n;
             }
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -53,17 +77,13 @@ fn main() -> ExitCode {
         wanted = EXPERIMENTS.iter().map(|(id, _)| id.to_string()).collect();
     }
 
-    eprintln!("generating {scale:?}-scale dataset ...");
-    let ctx = Ctx::new(scale);
+    eprintln!("generating {scale:?}-scale dataset ({jobs} jobs) ...");
+    let ctx = Ctx::new(scale).with_jobs(jobs);
     let stdout = std::io::stdout();
-    for name in &wanted {
-        let mut out = stdout.lock();
-        eprintln!("running {name} ...");
-        if let Err(e) = run_experiment(name, &ctx, &mut out) {
-            eprintln!("{name} failed: {e}");
-            return ExitCode::FAILURE;
-        }
-        let _ = writeln!(out);
+    let mut out = stdout.lock();
+    if let Err(e) = run_experiments(&wanted, &ctx, &mut out, true) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -1,22 +1,43 @@
-//! Shared experiment context: dataset, preprocessing, and cached O-UMP
+//! Shared experiment context: dataset, preprocessing, and cached
 //! solves.
 //!
 //! Two `(ε, δ)` pairs with the same collapsed budget
 //! `B = min{ε, ln 1/(1−δ)}` induce identical optimization problems, so
 //! λ solves are cached by the budget's bit pattern — Table 4's 49 cells
-//! need at most 13 LP solves.
+//! need at most 13 LP solves. F-UMP cells are cached by
+//! `(budget, support, |O|)`, which also de-duplicates Figure 3(a)/(b)
+//! (both sweep the same cells).
+//!
+//! The caches are behind mutexes so grid sweeps can be *prefetched* in
+//! parallel (see [`crate::pool`]): the grid is split into data-defined
+//! shards, each shard chains a warm-started [`SolveSession`] over its
+//! cells, and the shard layout never depends on the worker count — so
+//! output is byte-identical for every `--jobs` value.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use dpsan_core::constraints::PrivacyConstraints;
-use dpsan_core::ump::output_size::{solve_oump_with, OumpOptions, OumpSolution};
+use dpsan_core::session::SolveSession;
+use dpsan_core::ump::frequent::{solve_fump_session, solve_fump_with, FumpOptions, FumpSolution};
+use dpsan_core::ump::output_size::{
+    solve_oump_session, solve_oump_with, OumpOptions, OumpSolution,
+};
 use dpsan_core::CoreError;
 use dpsan_datagen::{generate, presets, AolLikeConfig};
 use dpsan_dp::params::PrivacyParams;
 use dpsan_lp::simplex::SimplexOptions;
 use dpsan_searchlog::{preprocess, LogStats, PreprocessReport, SearchLog};
+
+use crate::pool::run_sharded;
+
+/// Budgets per warm-start chain when prefetching an O-UMP grid. The
+/// chunking is over the *sorted distinct budget list*, so it is a
+/// property of the requested grid, not of the worker count — a
+/// determinism requirement (see module docs). 4 balances chain reuse
+/// (longer chains amortize more cold solves) against parallelism
+/// (shorter chains make more shards).
+const OUMP_SHARD_LEN: usize = 4;
 
 /// Dataset scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +75,23 @@ impl Scale {
     }
 }
 
+/// One F-UMP grid cell: parameters, support threshold, output size.
+#[derive(Debug, Clone, Copy)]
+pub struct FumpCell {
+    /// Privacy parameters of the cell.
+    pub params: PrivacyParams,
+    /// Minimum support `s` defining the frequent pairs.
+    pub min_support: f64,
+    /// Output size `|O|` (already clamped by the caller).
+    pub output_size: u64,
+}
+
+type FumpKey = (u64, u64, u64);
+
+fn fump_key(cell: &FumpCell) -> FumpKey {
+    (cell.params.budget().value().to_bits(), cell.min_support.to_bits(), cell.output_size)
+}
+
 /// Shared state for one experiment run.
 pub struct Ctx {
     /// The raw generated log.
@@ -66,12 +104,15 @@ pub struct Ctx {
     pub scale: Scale,
     /// LP options shared by all solves.
     pub lp: SimplexOptions,
-    oump_cache: RefCell<HashMap<u64, Rc<OumpSolution>>>,
-    constraints_cache: RefCell<HashMap<u64, Rc<PrivacyConstraints>>>,
+    jobs: usize,
+    oump_cache: Mutex<HashMap<u64, Arc<OumpSolution>>>,
+    constraints_cache: Mutex<HashMap<u64, Arc<PrivacyConstraints>>>,
+    fump_cache: Mutex<HashMap<FumpKey, Arc<FumpSolution>>>,
 }
 
 impl Ctx {
-    /// Generate the dataset of a scale and preprocess it.
+    /// Generate the dataset of a scale and preprocess it (single
+    /// worker; see [`Ctx::with_jobs`]).
     pub fn new(scale: Scale) -> Ctx {
         let raw = generate(&scale.config());
         let (pre, report) = preprocess(&raw);
@@ -81,9 +122,24 @@ impl Ctx {
             report,
             scale,
             lp: SimplexOptions::default(),
-            oump_cache: RefCell::new(HashMap::new()),
-            constraints_cache: RefCell::new(HashMap::new()),
+            jobs: 1,
+            oump_cache: Mutex::new(HashMap::new()),
+            constraints_cache: Mutex::new(HashMap::new()),
+            fump_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Set the worker count used by grid prefetches. Results are
+    /// byte-identical for every value; `jobs` only trades wall-clock
+    /// for CPU.
+    pub fn with_jobs(mut self, jobs: usize) -> Ctx {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The prefetch worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// Table-3 style statistics of the raw / preprocessed logs.
@@ -92,34 +148,174 @@ impl Ctx {
     }
 
     /// The constraint system at the given parameters (cached by budget).
-    pub fn constraints(&self, params: PrivacyParams) -> Result<Rc<PrivacyConstraints>, CoreError> {
+    pub fn constraints(&self, params: PrivacyParams) -> Result<Arc<PrivacyConstraints>, CoreError> {
         let key = params.budget().value().to_bits();
-        if let Some(c) = self.constraints_cache.borrow().get(&key) {
-            return Ok(Rc::clone(c));
+        if let Some(c) = self.constraints_cache.lock().expect("cache poisoned").get(&key) {
+            return Ok(Arc::clone(c));
         }
-        let c = Rc::new(PrivacyConstraints::build(&self.pre, params)?);
-        self.constraints_cache.borrow_mut().insert(key, Rc::clone(&c));
+        let c = Arc::new(PrivacyConstraints::build(&self.pre, params)?);
+        self.constraints_cache
+            .lock()
+            .expect("cache poisoned")
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&c));
         Ok(c)
     }
 
-    /// The O-UMP solution at the given parameters (cached by budget).
-    pub fn oump(&self, params: PrivacyParams) -> Result<Rc<OumpSolution>, CoreError> {
+    /// The O-UMP solution at the given parameters (cached by budget;
+    /// cache misses solve cold — sweeps should [`Ctx::prefetch_oump`]
+    /// first).
+    pub fn oump(&self, params: PrivacyParams) -> Result<Arc<OumpSolution>, CoreError> {
         let key = params.budget().value().to_bits();
-        if let Some(s) = self.oump_cache.borrow().get(&key) {
-            return Ok(Rc::clone(s));
+        if let Some(s) = self.oump_cache.lock().expect("cache poisoned").get(&key) {
+            return Ok(Arc::clone(s));
         }
         let constraints = self.constraints(params)?;
-        let sol = Rc::new(solve_oump_with(
+        let sol = Arc::new(solve_oump_with(
             &constraints,
             &OumpOptions { lp: self.lp.clone(), ..Default::default() },
         )?);
-        self.oump_cache.borrow_mut().insert(key, Rc::clone(&sol));
+        self.insert_oump(key, &sol);
         Ok(sol)
+    }
+
+    fn insert_oump(&self, key: u64, sol: &Arc<OumpSolution>) {
+        self.oump_cache
+            .lock()
+            .expect("cache poisoned")
+            .entry(key)
+            .or_insert_with(|| Arc::clone(sol));
+    }
+
+    /// Solve the O-UMP for every distinct budget in `grid` that is not
+    /// cached yet, sharding the sorted budget list into fixed-size
+    /// warm-start chains run on up to [`Ctx::jobs`] workers.
+    pub fn prefetch_oump(&self, grid: &[PrivacyParams]) -> Result<(), CoreError> {
+        let mut todo: Vec<PrivacyParams> = Vec::new();
+        {
+            let cache = self.oump_cache.lock().expect("cache poisoned");
+            let mut seen: Vec<u64> = Vec::new();
+            for &p in grid {
+                let key = p.budget().value().to_bits();
+                if !cache.contains_key(&key) && !seen.contains(&key) {
+                    seen.push(key);
+                    todo.push(p);
+                }
+            }
+        }
+        if todo.is_empty() {
+            return Ok(());
+        }
+        // ascending budgets: adjacent chain steps move the rhs least
+        todo.sort_by(|a, b| {
+            a.budget().value().partial_cmp(&b.budget().value()).expect("budgets are finite")
+        });
+        let shards: Vec<Vec<PrivacyParams>> =
+            todo.chunks(OUMP_SHARD_LEN).map(<[PrivacyParams]>::to_vec).collect();
+
+        let results = run_sharded(shards, self.jobs, |shard| {
+            let mut session = SolveSession::new(self.lp.clone());
+            let opts = OumpOptions { lp: self.lp.clone(), ..Default::default() };
+            shard
+                .into_iter()
+                .map(|params| {
+                    let constraints = self.constraints(params)?;
+                    let sol = solve_oump_session(&constraints, &opts, &mut session)?;
+                    Ok((params.budget().value().to_bits(), Arc::new(sol)))
+                })
+                .collect::<Result<Vec<_>, CoreError>>()
+        });
+        for shard in results {
+            for (key, sol) in shard? {
+                self.insert_oump(key, &sol);
+            }
+        }
+        Ok(())
     }
 
     /// The maximum output size λ at the given parameters.
     pub fn lambda(&self, params: PrivacyParams) -> Result<u64, CoreError> {
         Ok(self.oump(params)?.lambda)
+    }
+
+    /// The F-UMP solution of one cell (cached; cache misses solve cold
+    /// — sweeps should [`Ctx::prefetch_fump`] first).
+    pub fn fump(&self, cell: FumpCell) -> Result<Arc<FumpSolution>, CoreError> {
+        let key = fump_key(&cell);
+        if let Some(s) = self.fump_cache.lock().expect("cache poisoned").get(&key) {
+            return Ok(Arc::clone(s));
+        }
+        let constraints = self.constraints(cell.params)?;
+        let sol = Arc::new(solve_fump_with(
+            &self.pre,
+            &constraints,
+            &FumpOptions {
+                lp: self.lp.clone(),
+                ..FumpOptions::new(cell.min_support, cell.output_size)
+            },
+        )?);
+        self.insert_fump(key, &sol);
+        Ok(sol)
+    }
+
+    fn insert_fump(&self, key: FumpKey, sol: &Arc<FumpSolution>) {
+        self.fump_cache
+            .lock()
+            .expect("cache poisoned")
+            .entry(key)
+            .or_insert_with(|| Arc::clone(sol));
+    }
+
+    /// Solve the F-UMP cells of a grid, one warm-start chain per given
+    /// shard (callers pick shards along the axis that keeps the LP
+    /// shape fixed — e.g. one δ-curve, or one support row). Cached
+    /// cells are skipped.
+    pub fn prefetch_fump(&self, shards: Vec<Vec<FumpCell>>) -> Result<(), CoreError> {
+        let shards: Vec<Vec<FumpCell>> = {
+            let cache = self.fump_cache.lock().expect("cache poisoned");
+            shards
+                .into_iter()
+                .map(|shard| {
+                    shard.into_iter().filter(|c| !cache.contains_key(&fump_key(c))).collect()
+                })
+                .filter(|shard: &Vec<FumpCell>| !shard.is_empty())
+                .collect()
+        };
+        if shards.is_empty() {
+            return Ok(());
+        }
+        // warm the constraints cache serially first: shards often share
+        // one budget (e.g. every support row of Tables 5/6 uses the
+        // reference cell), and concurrent cache misses would each
+        // rebuild the same system just to discard all but one
+        for cell in shards.iter().flatten() {
+            self.constraints(cell.params)?;
+        }
+        let results = run_sharded(shards, self.jobs, |shard| {
+            let mut session = SolveSession::new(self.lp.clone());
+            shard
+                .into_iter()
+                .map(|cell| {
+                    let constraints = self.constraints(cell.params)?;
+                    let sol = solve_fump_session(
+                        &self.pre,
+                        &constraints,
+                        &FumpOptions {
+                            lp: self.lp.clone(),
+                            ..FumpOptions::new(cell.min_support, cell.output_size)
+                        },
+                        &mut session,
+                    )?;
+                    Ok((fump_key(&cell), Arc::new(sol)))
+                })
+                .collect::<Result<Vec<_>, CoreError>>()
+        });
+        for shard in results {
+            for (key, sol) in shard? {
+                self.insert_fump(key, &sol);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -138,7 +334,7 @@ mod tests {
         let la = ctx.lambda(a).unwrap();
         let lb = ctx.lambda(b).unwrap();
         assert_eq!(la, lb);
-        assert_eq!(ctx.oump_cache.borrow().len(), 1, "one solve for equal budgets");
+        assert_eq!(ctx.oump_cache.lock().unwrap().len(), 1, "one solve for equal budgets");
     }
 
     #[test]
@@ -146,5 +342,34 @@ mod tests {
         assert_eq!(Scale::parse("small"), Some(Scale::Small));
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn prefetch_matches_on_demand_lambdas() {
+        let grid: Vec<PrivacyParams> = [1.01, 1.4, 1.7, 2.0, 2.3]
+            .iter()
+            .flat_map(|&e| [0.1, 0.5].map(|d| PrivacyParams::from_e_epsilon(e, d)))
+            .collect();
+
+        let cold = Ctx::new(Scale::Tiny);
+        let lambdas_cold: Vec<u64> = grid.iter().map(|&p| cold.lambda(p).unwrap()).collect();
+
+        for jobs in [1, 3] {
+            let ctx = Ctx::new(Scale::Tiny).with_jobs(jobs);
+            ctx.prefetch_oump(&grid).unwrap();
+            let lambdas: Vec<u64> = grid.iter().map(|&p| ctx.lambda(p).unwrap()).collect();
+            assert_eq!(lambdas, lambdas_cold, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn prefetch_is_idempotent() {
+        let ctx = Ctx::new(Scale::Tiny).with_jobs(2);
+        let grid = [PrivacyParams::from_e_epsilon(2.0, 0.5)];
+        ctx.prefetch_oump(&grid).unwrap();
+        let first = ctx.oump(grid[0]).unwrap();
+        ctx.prefetch_oump(&grid).unwrap();
+        let second = ctx.oump(grid[0]).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "second prefetch is a cache no-op");
     }
 }

@@ -11,10 +11,12 @@ use dpsan_core::metrics::{precision_recall_f, support_distance_avg_f, support_di
 use dpsan_dp::params::PrivacyParams;
 
 use crate::context::Ctx;
-use crate::experiments::fump_cell;
+use crate::experiments::{
+    fump_cell, prefetch_fump_rows, prefetch_reference_grid, reference_outputs,
+};
 use crate::grids::{
     reference_params, scaled_support, DELTA_CURVES, E_EPS_SWEEP, FIG3_OUTPUT_FRACTION,
-    FIG3_SUPPORT, OUTPUT_FRACTIONS, SUPPORT_GRID,
+    FIG3_SUPPORT, SUPPORT_GRID,
 };
 use crate::table::{f4, Table};
 
@@ -23,10 +25,33 @@ fn fig3_target_output(ctx: &Ctx) -> Result<u64, Box<dyn Error>> {
     Ok(((lambda_ref as f64 * FIG3_OUTPUT_FRACTION).round() as u64).max(1))
 }
 
+/// Prefetch the Figure 3(a)/(b) sweep: one warm-start chain per
+/// δ-curve, ε ascending (budget-only moves within a chain).
+fn prefetch_sweep(ctx: &Ctx, s_eff: f64, target: u64) -> Result<(), Box<dyn Error>> {
+    let grid: Vec<PrivacyParams> = DELTA_CURVES
+        .iter()
+        .flat_map(|&d| E_EPS_SWEEP.iter().map(move |&e| PrivacyParams::from_e_epsilon(e, d)))
+        .collect();
+    ctx.prefetch_oump(&grid)?;
+    let rows: Vec<(f64, Vec<(PrivacyParams, u64)>)> = DELTA_CURVES
+        .iter()
+        .map(|&d| {
+            let cells = E_EPS_SWEEP
+                .iter()
+                .map(|&e| (PrivacyParams::from_e_epsilon(e, d), target))
+                .collect();
+            (s_eff, cells)
+        })
+        .collect();
+    prefetch_fump_rows(ctx, &rows)?;
+    Ok(())
+}
+
 /// Figure 3(a): Recall on `(ε, δ)`.
 pub fn run_a(ctx: &Ctx, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let target = fig3_target_output(ctx)?;
     let s_eff = scaled_support(&ctx.pre, FIG3_SUPPORT);
+    prefetch_sweep(ctx, s_eff, target)?;
     writeln!(
         out,
         "Figure 3(a): F-UMP Recall vs e^ε (target |O| = {target}, paper s = 1/500 \
@@ -58,6 +83,7 @@ pub fn run_a(ctx: &Ctx, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
 pub fn run_b(ctx: &Ctx, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let target = fig3_target_output(ctx)?;
     let s_eff = scaled_support(&ctx.pre, FIG3_SUPPORT);
+    prefetch_sweep(ctx, s_eff, target)?;
     writeln!(
         out,
         "Figure 3(b): F-UMP sum of support distances vs e^ε (target |O| = {target}, s = {s_eff:.5})"
@@ -88,14 +114,14 @@ pub fn run_b(ctx: &Ctx, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
 /// x in the paper) for several output sizes at the reference cell.
 pub fn run_c(ctx: &Ctx, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let params = reference_params();
-    let lambda = ctx.lambda(params)?;
+    let (lambda, outputs) = reference_outputs(ctx)?;
     writeln!(
         out,
         "Figure 3(c): average support distance vs minimum support (e^ε = 2, δ = 0.5, λ = {lambda})"
     )?;
     writeln!(out)?;
-    let outputs: Vec<u64> =
-        OUTPUT_FRACTIONS.iter().map(|f| ((lambda as f64 * f).round() as u64).max(1)).collect();
+    // shared with Tables 5/6: same cells, same warm-start chain layout
+    prefetch_reference_grid(ctx, &outputs)?;
     let mut headers = vec!["s".to_string()];
     headers.extend(outputs.iter().map(|o| format!("|O|={o}")));
     let mut t = Table::new(headers);
@@ -121,6 +147,19 @@ mod tests {
     use super::*;
     use crate::context::Scale;
 
+    /// Recall at Tiny scale is quantized in steps of `1/|F|` for a
+    /// handful of frequent pairs, and the LP may land on an alternate
+    /// optimal vertex between adjacent ε cells — so "rises with ε" is
+    /// asserted up to one such quantum (|F| ≥ 20 would make this 0.05),
+    /// not strictly.
+    const RECALL_QUANTUM_SLACK: f64 = 0.05;
+
+    /// The paper reports Precision = 1 in all F-UMP experiments; at
+    /// Tiny scale precision is quantized in steps of
+    /// `1/output_frequent`, so the floor is the weaker of "one released
+    /// frequent pair suffices" and this absolute bar.
+    const PRECISION_FLOOR: f64 = 0.3;
+
     #[test]
     fn recall_rises_with_epsilon_at_fixed_output_size() {
         // the clean monotonicity claim needs a FIXED |O| feasible in
@@ -137,7 +176,10 @@ mod tests {
             let params = PrivacyParams::from_e_epsilon(e_eps, 0.8);
             if let Some((sol, _)) = fump_cell(&ctx, params, s_eff, target).unwrap() {
                 let r = precision_recall_f(&ctx.pre, &sol.lp_counts, s_eff).recall;
-                assert!(r >= prev - 0.05, "recall roughly rises with ε: {r} after {prev}");
+                assert!(
+                    r >= prev - RECALL_QUANTUM_SLACK,
+                    "recall roughly rises with ε: {r} after {prev}"
+                );
                 prev = r;
             }
         }
@@ -160,10 +202,7 @@ mod tests {
             }
             if let Some((sol, _)) = fump_cell(&ctx, params, s_eff, lambda / 2).unwrap() {
                 let pr = precision_recall_f(&ctx.pre, &sol.lp_counts, s_eff);
-                // at Tiny scale precision is quantized in steps of
-                // 1/output_frequent; when a single step is coarser than
-                // the 0.3 bar, one released frequent pair must suffice
-                let bar = (1.0 / pr.output_frequent.max(1) as f64).min(0.3);
+                let bar = (1.0 / pr.output_frequent.max(1) as f64).min(PRECISION_FLOOR);
                 assert!(
                     pr.precision >= bar,
                     "precision stays high (got {} >= {bar} at ({e}, {d}))",

@@ -46,6 +46,12 @@ mod tests {
     use super::*;
     use crate::context::Scale;
 
+    /// At the Tiny seed the loose cell retains 7+ of ~150 pairs; the
+    /// bar sits below that but well above the ~1-pair floor a broken
+    /// SPE would produce. Data-dependent by necessity — the exact share
+    /// moves with the generator preset, the trend does not.
+    const MIN_RETAINED_SHARE_LOOSE: f64 = 0.04;
+
     #[test]
     fn diversity_rises_with_budget_and_is_substantial() {
         let ctx = Ctx::new(Scale::Tiny);
@@ -58,7 +64,7 @@ mod tests {
         let hi = retained(2.3, 0.8);
         assert!(hi >= lo, "diversity grows with the budget");
         assert!(
-            hi as f64 / ctx.pre.n_pairs() as f64 > 0.04,
+            hi as f64 / ctx.pre.n_pairs() as f64 > MIN_RETAINED_SHARE_LOOSE,
             "a loose budget retains a visible share ({hi} of {})",
             ctx.pre.n_pairs()
         );

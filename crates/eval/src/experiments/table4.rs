@@ -10,8 +10,15 @@ use crate::grids::{DELTA_GRID, E_EPS_GRID};
 use crate::table::Table;
 
 /// Regenerate Table 4. Cells with identical budgets share one cached LP
-/// solve, which also surfaces the paper's plateau structure directly.
+/// solve, which also surfaces the paper's plateau structure directly;
+/// the distinct budgets are prefetched as parallel warm-start chains.
 pub fn run(ctx: &Ctx, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
+    let grid: Vec<PrivacyParams> = E_EPS_GRID
+        .iter()
+        .flat_map(|&e| DELTA_GRID.iter().map(move |&d| PrivacyParams::from_e_epsilon(e, d)))
+        .collect();
+    ctx.prefetch_oump(&grid)?;
+
     let size = ctx.pre.size();
     writeln!(out, "Table 4: maximum output size λ on e^ε and δ (|D| = {size})")?;
     writeln!(out)?;

@@ -7,20 +7,18 @@ use std::io::Write;
 use dpsan_core::metrics::{precision_recall_f, support_distance_sum_f};
 
 use crate::context::Ctx;
-use crate::experiments::fump_cell;
-use crate::grids::{reference_params, scaled_support, OUTPUT_FRACTIONS, SUPPORT_GRID};
+use crate::experiments::{fump_cell, prefetch_reference_grid, reference_outputs};
+use crate::grids::{reference_params, scaled_support, SUPPORT_GRID};
 use crate::table::{f4, Table};
 
 fn outputs(ctx: &Ctx) -> Result<(u64, Vec<u64>), Box<dyn Error>> {
-    let lambda = ctx.lambda(reference_params())?;
-    let outs =
-        OUTPUT_FRACTIONS.iter().map(|f| ((lambda as f64 * f).round() as u64).max(1)).collect();
-    Ok((lambda, outs))
+    Ok(reference_outputs(ctx)?)
 }
 
 /// Table 5: Recall on output size and minimum support.
 pub fn run_table5(ctx: &Ctx, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let (lambda, outs) = outputs(ctx)?;
+    prefetch_reference_grid(ctx, &outs)?;
     writeln!(out, "Table 5: Recall on |O| and s (e^ε = 2, δ = 0.5, λ = {lambda})")?;
     writeln!(out)?;
     let mut headers = vec!["s \\ |O|".to_string()];
@@ -46,6 +44,7 @@ pub fn run_table5(ctx: &Ctx, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
 /// Table 6: sum of frequent-pair support distances on the same grid.
 pub fn run_table6(ctx: &Ctx, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let (lambda, outs) = outputs(ctx)?;
+    prefetch_reference_grid(ctx, &outs)?;
     writeln!(
         out,
         "Table 6: sum of frequent query-url pair support distances on |O| and s \
@@ -82,6 +81,11 @@ mod tests {
     use super::*;
     use crate::context::Scale;
 
+    /// The distance sums being compared are short sums of `f64` ratios;
+    /// the only admissible "decrease" is accumulated rounding noise,
+    /// orders of magnitude below any real trend reversal.
+    const SUMMATION_NOISE_TOL: f64 = 1e-9;
+
     #[test]
     fn distance_sum_grows_with_output_size_at_fixed_support() {
         // Table 6's trend: fixing s, the sum grows as |O| grows
@@ -96,7 +100,7 @@ mod tests {
         }
         assert!(values.len() >= 3, "need several feasible cells");
         assert!(
-            values[values.len() - 1] >= values[0] - 1e-9,
+            values[values.len() - 1] >= values[0] - SUMMATION_NOISE_TOL,
             "distance sum grows with |O|: {values:?}"
         );
     }

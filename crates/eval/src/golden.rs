@@ -1,0 +1,135 @@
+//! Normalization for golden-output comparisons.
+//!
+//! `repro` output is deterministic except for the wall-clock runtimes
+//! Figure 5 prints. [`normalize`] rewrites every duration token (the
+//! `Debug`/`{:.2?}` rendering of [`std::time::Duration`]: `12ns`,
+//! `3.17µs`, `1.20ms`, `2.05s`) to `<time>` and collapses runs of
+//! spaces — column widths depend on the duration strings, so the
+//! padding must be normalized away with them. The checked-in fixtures
+//! under `tests/golden/` are stored in normalized form.
+
+/// Duration unit suffixes `Duration`'s `Debug` impl can emit, longest
+/// first so `ns`/`µs`/`ms` win over a bare `s`.
+const UNITS: [&str; 5] = ["ns", "µs", "us", "ms", "s"];
+
+/// Whether the chars at `rest` start with a duration unit followed by a
+/// non-alphanumeric boundary; returns the unit length in chars.
+fn unit_len(rest: &[char]) -> Option<usize> {
+    UNITS.iter().find_map(|u| {
+        let ulen = u.chars().count();
+        if rest.len() < ulen || !u.chars().zip(rest).all(|(a, &b)| a == b) {
+            return None;
+        }
+        rest.get(ulen).is_none_or(|c| !c.is_alphanumeric()).then_some(ulen)
+    })
+}
+
+/// Replace duration tokens with `<time>`, collapse space runs, and trim
+/// trailing whitespace per line.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for line in s.lines() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut t = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_ascii_digit() && (i == 0 || !chars[i - 1].is_alphanumeric()) {
+                // scan a number: digits, optionally one dot + digits
+                let mut j = i + 1;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j < chars.len() && chars[j] == '.' {
+                    let mut k = j + 1;
+                    while k < chars.len() && chars[k].is_ascii_digit() {
+                        k += 1;
+                    }
+                    if k > j + 1 {
+                        j = k;
+                    }
+                }
+                if let Some(ul) = unit_len(&chars[j..]) {
+                    t.push_str("<time>");
+                    i = j + ul;
+                    continue;
+                }
+                t.extend(&chars[i..j]);
+                i = j;
+                continue;
+            }
+            t.push(c);
+            i += 1;
+        }
+        // collapse space runs and long dash runs (table padding and
+        // separator rules are sized to the duration strings)
+        let mut prev_space = false;
+        let mut dashes = 0usize;
+        let collapsed: String = t
+            .chars()
+            .filter(|&c| {
+                if c == '-' {
+                    dashes += 1;
+                } else {
+                    dashes = 0;
+                }
+                let keep = !(c == ' ' && prev_space) && dashes <= 4;
+                prev_space = c == ' ';
+                keep
+            })
+            .collect();
+        out.push_str(collapsed.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_are_masked() {
+        assert_eq!(normalize("took 1.23ms total"), "took <time> total\n");
+        assert_eq!(normalize("took 456.78µs"), "took <time>\n");
+        assert_eq!(normalize("took 12ns and 2.05s"), "took <time> and <time>\n");
+        assert_eq!(normalize("took 3us"), "took <time>\n");
+    }
+
+    #[test]
+    fn plain_numbers_survive() {
+        assert_eq!(normalize("0 (0.3)"), "0 (0.3)\n");
+        assert_eq!(normalize("1/500 -> 0.00123"), "1/500 -> 0.00123\n");
+        assert_eq!(normalize("e^ε = 2, δ = 0.5"), "e^ε = 2, δ = 0.5\n");
+        assert_eq!(normalize("λ ranges 0.00%-1.51% of |D|"), "λ ranges 0.00%-1.51% of |D|\n");
+    }
+
+    #[test]
+    fn identifiers_with_digit_suffixes_survive() {
+        // "u1" ends in a digit; "x100s" has a letter boundary before the
+        // digits, so its digit run is not a fresh number token
+        assert_eq!(normalize("user u1 kept x100s"), "user u1 kept x100s\n");
+    }
+
+    #[test]
+    fn space_runs_collapse_and_trailing_space_drops() {
+        assert_eq!(normalize("a    b   \n"), "a b\n");
+    }
+
+    #[test]
+    fn duration_inside_table_cell() {
+        let row = "SPE        12.34µs     17";
+        assert_eq!(normalize(row), "SPE <time> 17\n");
+    }
+
+    #[test]
+    fn unicode_survives_untouched() {
+        assert_eq!(normalize("e^ε \\ δ   0.0001"), "e^ε \\ δ 0.0001\n");
+    }
+
+    #[test]
+    fn separator_rules_clamp_to_four_dashes() {
+        assert_eq!(normalize("----------------"), "----\n");
+        assert_eq!(normalize("a - b -> c"), "a - b -> c\n");
+    }
+}

@@ -28,10 +28,12 @@
 
 pub mod context;
 pub mod experiments;
+pub mod golden;
 pub mod grids;
+pub mod pool;
 pub mod runner;
 pub mod table;
 
-pub use context::{Ctx, Scale};
-pub use runner::{run_experiment, EXPERIMENTS};
+pub use context::{Ctx, FumpCell, Scale};
+pub use runner::{run_experiment, run_experiments, EXPERIMENTS};
 pub use table::Table;

@@ -1,4 +1,11 @@
-//! Experiment dispatch.
+//! Experiment dispatch and the parallel evaluation pipeline.
+//!
+//! Experiments execute *serially* in the requested order — the shared
+//! [`Ctx`] caches are filled in a deterministic sequence, which keeps
+//! `repro` output byte-identical across runs and `--jobs` values — but
+//! each experiment renders into its own buffer and parallelizes its
+//! parameter grid internally through [`crate::pool`] (worker per grid
+//! shard, warm-start chain per shard).
 
 use std::error::Error;
 use std::io::Write;
@@ -36,6 +43,31 @@ pub fn run_experiment(name: &str, ctx: &Ctx, out: &mut dyn Write) -> Result<(), 
     f(ctx, out)
 }
 
+/// Run several experiments and write their outputs (each followed by a
+/// blank line) to `out` in the requested order.
+///
+/// Each experiment renders into a private buffer that is flushed to
+/// `out` only when the experiment succeeds, so a mid-experiment failure
+/// never leaves a half-written table. `progress` echoes a `running …`
+/// line to stderr per experiment (what the `repro` binary shows).
+pub fn run_experiments(
+    names: &[String],
+    ctx: &Ctx,
+    out: &mut dyn Write,
+    progress: bool,
+) -> Result<(), Box<dyn Error>> {
+    for name in names {
+        if progress {
+            eprintln!("running {name} ...");
+        }
+        let mut buf = Vec::new();
+        run_experiment(name, ctx, &mut buf).map_err(|e| format!("{name} failed: {e}"))?;
+        out.write_all(&buf)?;
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,5 +97,32 @@ mod tests {
         let mut buf = Vec::new();
         run_experiment("table3", &ctx, &mut buf).unwrap();
         assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn batch_runner_matches_individual_runs() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let names = vec!["table3".to_string(), "table4".to_string()];
+        let mut batch = Vec::new();
+        run_experiments(&names, &ctx, &mut batch, false).unwrap();
+
+        let mut individual = Vec::new();
+        for n in &names {
+            run_experiment(n, &ctx, &mut individual).unwrap();
+            writeln!(&mut individual).unwrap();
+        }
+        assert_eq!(batch, individual);
+    }
+
+    #[test]
+    fn batch_runner_fails_atomically_on_unknown_name() {
+        let ctx = Ctx::new(Scale::Tiny);
+        let names = vec!["table3".to_string(), "nope".to_string()];
+        let mut out = Vec::new();
+        let err = run_experiments(&names, &ctx, &mut out, false).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+        // table3 flushed, the failing experiment wrote nothing
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("Table 3"));
     }
 }

@@ -43,4 +43,6 @@ pub mod standard;
 
 pub use error::LpError;
 pub use problem::{Problem, RowBounds, Sense, VarBounds};
-pub use simplex::{solve, SimplexOptions, Solution, SolveStatus};
+pub use simplex::{
+    solve, solve_with_basis, Basis, SimplexOptions, Solution, SolveStatus, WarmOutcome,
+};

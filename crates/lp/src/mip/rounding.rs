@@ -66,15 +66,22 @@ pub fn lp_round_packing(p: &Problem, opts: &SimplexOptions) -> Option<Vec<f64>> 
     if relax.status != SolveStatus::Optimal {
         return None;
     }
-    let mut x = round_down(p, &relax.x);
+    Some(lp_round_packing_from(p, &relax.x))
+}
+
+/// The rounding half of [`lp_round_packing`], starting from an already
+/// computed optimal relaxation point (lets callers solve the relaxation
+/// through a warm-started session).
+pub fn lp_round_packing_from(p: &Problem, relax_x: &[f64]) -> Vec<f64> {
+    let mut x = round_down(p, relax_x);
     let mut order: Vec<usize> = (0..p.n_cols()).filter(|&j| p.integers()[j]).collect();
     order.sort_by(|&a, &b| {
-        let fa = relax.x[a] - relax.x[a].floor();
-        let fb = relax.x[b] - relax.x[b].floor();
+        let fa = relax_x[a] - relax_x[a].floor();
+        let fb = relax_x[b] - relax_x[b].floor();
         fb.partial_cmp(&fa).expect("fractional parts are finite")
     });
     greedy_raise(p, &mut x, &order);
-    Some(x)
+    x
 }
 
 #[cfg(test)]

@@ -1,0 +1,94 @@
+//! Basis snapshots for warm-started solves.
+//!
+//! A [`Basis`] records, for every standard-form column (structural and
+//! slack), whether it was basic or parked at a bound when a solve
+//! reached optimality. Re-solving a *related* problem — same rows and
+//! columns, different right-hand side, bounds, or objective, as happens
+//! across a privacy-budget grid — can restore the snapshot, refactorize
+//! once, and skip phase 1 entirely when the old basis is still primal
+//! feasible. When it is not (or the basis went singular under the new
+//! data), the caller falls back to a cold start, so warm starting never
+//! affects correctness, only speed.
+
+use crate::standard::StandardForm;
+
+/// Nonbasic/basic role of one standard-form column in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SnapStatus {
+    /// Basic (its row position is recorded in [`Basis::rows`]).
+    Basic,
+    /// Nonbasic at its lower bound.
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
+    /// Nonbasic free column parked at zero.
+    Free,
+}
+
+/// Snapshot of a simplex basis at optimality, reusable to warm-start a
+/// solve of a problem with the same row/column shape.
+///
+/// Obtain one from [`crate::simplex::solve_with_basis`] and feed it to
+/// the next call. Snapshots are shape-checked on restore; a mismatching
+/// or numerically unusable snapshot silently degrades to a cold start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    /// Row count of the snapshot's standard form.
+    pub(crate) m: usize,
+    /// Standard-form column count (structural + one slack per row).
+    pub(crate) n: usize,
+    /// Structural column count.
+    pub(crate) n_structural: usize,
+    /// Status per standard-form column.
+    pub(crate) statuses: Vec<SnapStatus>,
+    /// `rows[i]` = the column basic in row position `i`.
+    pub(crate) rows: Vec<usize>,
+}
+
+impl Basis {
+    /// Number of constraint rows the snapshot was taken over.
+    pub fn n_rows(&self) -> usize {
+        self.m
+    }
+
+    /// Number of structural (user) columns the snapshot was taken over.
+    pub fn n_structural(&self) -> usize {
+        self.n_structural
+    }
+
+    /// Whether the snapshot is shape-compatible with a standard form.
+    pub(crate) fn fits(&self, sf: &StandardForm) -> bool {
+        self.m == sf.m && self.n == sf.n && self.n_structural == sf.n_structural
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_accessors_and_fit() {
+        let b = Basis {
+            m: 2,
+            n: 5,
+            n_structural: 3,
+            statuses: vec![SnapStatus::AtLower; 5],
+            rows: vec![3, 4],
+        };
+        assert_eq!(b.n_rows(), 2);
+        assert_eq!(b.n_structural(), 3);
+
+        use crate::problem::{Problem, RowBounds, Sense, VarBounds};
+        let mut p = Problem::new(Sense::Minimize);
+        for _ in 0..3 {
+            p.add_col(1.0, VarBounds::non_negative()).unwrap();
+        }
+        p.add_row(RowBounds::at_most(1.0), &[(0, 1.0)]).unwrap();
+        p.add_row(RowBounds::at_most(1.0), &[(1, 1.0)]).unwrap();
+        let sf = StandardForm::from_problem(&p);
+        assert!(b.fits(&sf));
+        let mut p2 = p.clone();
+        p2.add_row(RowBounds::at_most(1.0), &[(2, 1.0)]).unwrap();
+        assert!(!b.fits(&StandardForm::from_problem(&p2)));
+    }
+}

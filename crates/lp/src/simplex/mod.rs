@@ -8,6 +8,7 @@
 //! the basis inverse is maintained as sparse LU + eta file with periodic
 //! refactorization.
 
+mod basis;
 mod pricing;
 mod ratio;
 
@@ -17,8 +18,18 @@ use crate::problem::{Problem, Sense};
 use crate::scaling::{self, ScaleFactors};
 use crate::sparse::CscMatrix;
 use crate::standard::StandardForm;
+pub use basis::Basis;
+use basis::SnapStatus;
 pub(crate) use pricing::{price_bland, price_dantzig, Direction};
 pub(crate) use ratio::{ratio_test, RatioOutcome};
+
+/// Bound-violation tolerance under which a restored basis still counts
+/// as primal feasible. Looser than `tol_primal` because the restored
+/// basic values come from a single FTRAN against freshly scaled data
+/// rather than from a converged solve; violations beyond it mean the
+/// old vertex genuinely left the new polytope, and the solver falls
+/// back to a cold start.
+const WARM_FEASIBILITY_TOL: f64 = 1e-7;
 
 /// Solver tuning knobs.
 #[derive(Debug, Clone)]
@@ -97,9 +108,42 @@ pub(crate) enum VarStatus {
 
 /// Solve an LP (ignores integrality marks; see [`crate::mip`] for those).
 pub fn solve(problem: &Problem, opts: &SimplexOptions) -> Result<Solution, LpError> {
+    Ok(solve_with_basis(problem, opts, None)?.solution)
+}
+
+/// Result of a warm-startable solve: the solution, a basis snapshot to
+/// seed the next related solve, and whether the provided snapshot was
+/// actually usable this time.
+#[derive(Debug, Clone)]
+pub struct WarmOutcome {
+    /// The solution, identical in meaning to what [`solve`] returns.
+    pub solution: Solution,
+    /// Snapshot of the optimal basis (`None` unless the solve ended
+    /// [`SolveStatus::Optimal`] with a snapshotable basis).
+    pub basis: Option<Basis>,
+    /// Whether the supplied snapshot seeded this solve. `false` means a
+    /// cold start ran: no snapshot given, shape mismatch, singular
+    /// restored basis, or the old vertex left the new polytope.
+    pub warm_used: bool,
+}
+
+/// Solve an LP, optionally warm-starting from a [`Basis`] snapshot of a
+/// previous solve over the same row/column shape.
+///
+/// Warm starting is strictly best-effort: whenever the snapshot cannot
+/// be reused *exactly* (shape mismatch, singular basis under the new
+/// coefficients, or primal infeasibility at the restored vertex beyond
+/// `WARM_FEASIBILITY_TOL`), the solve silently falls back to the cold
+/// two-phase path, so the result is always as trustworthy as [`solve`].
+pub fn solve_with_basis(
+    problem: &Problem,
+    opts: &SimplexOptions,
+    warm: Option<&Basis>,
+) -> Result<WarmOutcome, LpError> {
     // trivial case: no rows — every variable goes to its objective-best bound
     if problem.n_rows() == 0 {
-        return solve_unconstrained(problem);
+        let solution = solve_unconstrained(problem)?;
+        return Ok(WarmOutcome { solution, basis: None, warm_used: false });
     }
 
     let (scaled, factors) = if opts.scaling {
@@ -110,7 +154,13 @@ pub fn solve(problem: &Problem, opts: &SimplexOptions) -> Result<Solution, LpErr
     };
 
     let sf = StandardForm::from_problem(&scaled);
-    let mut core = Core::new(sf, opts.clone());
+    let (mut core, warm_used) = match warm {
+        Some(b) => match Core::from_basis(sf, opts.clone(), b) {
+            Ok(core) => (core, true),
+            Err(sf) => (Core::new(sf, opts.clone()), false),
+        },
+        None => (Core::new(sf, opts.clone()), false),
+    };
     let status = core.run()?;
 
     let mut x = factors.unscale_x(&core.structural_x());
@@ -128,7 +178,9 @@ pub fn solve(problem: &Problem, opts: &SimplexOptions) -> Result<Solution, LpErr
     }
     let objective = problem.objective_value(&x);
 
-    Ok(Solution { status, objective, x, duals, iterations: core.iterations })
+    let basis = if status == SolveStatus::Optimal { core.snapshot() } else { None };
+    let solution = Solution { status, objective, x, duals, iterations: core.iterations };
+    Ok(WarmOutcome { solution, basis, warm_used })
 }
 
 fn solve_unconstrained(problem: &Problem) -> Result<Solution, LpError> {
@@ -274,6 +326,133 @@ impl Core {
             iterations: 0,
             n_artificial,
         }
+    }
+
+    /// Restore a snapshotted basis over a (possibly re-scaled) standard
+    /// form. Returns the standard form back when the snapshot cannot be
+    /// used, so the caller can cold-start without recomputing it.
+    ///
+    /// A restored core has no artificial columns: when the old basis is
+    /// still primal feasible, phase 1 is skipped entirely and phase 2
+    /// re-optimizes from the old vertex (usually a handful of pivots on
+    /// grid sweeps).
+    // the Err variant intentionally hands the (large) standard form
+    // back so the cold-start fallback does not rebuild it
+    #[allow(clippy::result_large_err)]
+    fn from_basis(
+        sf: StandardForm,
+        opts: SimplexOptions,
+        snap: &Basis,
+    ) -> Result<Core, StandardForm> {
+        if !snap.fits(&sf) {
+            return Err(sf);
+        }
+        let (m, n) = (sf.m, sf.n);
+        if snap.statuses.iter().filter(|s| matches!(s, SnapStatus::Basic)).count() != m {
+            return Err(sf); // every basic column must appear in exactly one row
+        }
+
+        let mut status = Vec::with_capacity(n);
+        let mut x_val = Vec::with_capacity(n);
+        for j in 0..n {
+            let (st, v) = match snap.statuses[j] {
+                SnapStatus::Basic => (VarStatus::Basic(0), 0.0), // row fixed below
+                SnapStatus::AtLower if sf.lower[j].is_finite() => (VarStatus::AtLower, sf.lower[j]),
+                SnapStatus::AtUpper if sf.upper[j].is_finite() => (VarStatus::AtUpper, sf.upper[j]),
+                SnapStatus::Free if sf.lower[j] <= 0.0 && 0.0 <= sf.upper[j] => {
+                    (VarStatus::Free, 0.0)
+                }
+                // a formerly-free column gained bounds: park it on one
+                // like a fresh nonbasic start
+                SnapStatus::Free if sf.lower[j].is_finite() => (VarStatus::AtLower, sf.lower[j]),
+                SnapStatus::Free if sf.upper[j].is_finite() => (VarStatus::AtUpper, sf.upper[j]),
+                // a bound the snapshot parked this column on no longer
+                // exists; any fallback value could sit outside the new
+                // bounds and the feasibility check below only covers
+                // basic columns — reject rather than risk an infeasible
+                // "optimal"
+                _ => return Err(sf),
+            };
+            status.push(st);
+            x_val.push(v);
+        }
+        let mut seen = vec![false; n];
+        for (i, &col) in snap.rows.iter().enumerate() {
+            if col >= n || seen[col] || !matches!(snap.statuses[col], SnapStatus::Basic) {
+                return Err(sf);
+            }
+            seen[col] = true;
+            status[col] = VarStatus::Basic(i);
+        }
+
+        let basis = snap.rows.clone();
+        let a = sf.a.clone();
+        let Ok(factor) = BasisFactor::factor(&a, &basis) else {
+            return Err(sf); // basis went singular under the new coefficients
+        };
+
+        let lower = sf.lower.clone();
+        let upper = sf.upper.clone();
+        let mut core = Core {
+            sf,
+            opts,
+            a,
+            n_total: n,
+            phase1_cost: vec![0.0; n],
+            lower,
+            upper,
+            status,
+            x_val,
+            basis,
+            factor,
+            iterations: 0,
+            n_artificial: 0,
+        };
+
+        // x_B = B^-1 (b - N x_N); reject the snapshot if the old vertex
+        // is no longer inside the new polytope
+        let mut rhs = core.sf.b.clone();
+        for j in 0..n {
+            if !matches!(core.status[j], VarStatus::Basic(_)) && core.x_val[j] != 0.0 {
+                core.a.col_axpy(j, -core.x_val[j], &mut rhs);
+            }
+        }
+        core.factor.ftran(&mut rhs);
+        for (i, &v) in rhs.iter().enumerate().take(m) {
+            let col = core.basis[i];
+            if v < core.lower[col] - WARM_FEASIBILITY_TOL
+                || v > core.upper[col] + WARM_FEASIBILITY_TOL
+            {
+                return Err(core.sf);
+            }
+            core.x_val[col] = v;
+        }
+        Ok(core)
+    }
+
+    /// Snapshot the current basis for reuse by a later warm start.
+    /// `None` when an artificial column is still basic (rare degenerate
+    /// endings), which a snapshot cannot represent.
+    fn snapshot(&self) -> Option<Basis> {
+        if self.basis.iter().any(|&col| col >= self.sf.n) {
+            return None;
+        }
+        let statuses = self.status[..self.sf.n]
+            .iter()
+            .map(|s| match s {
+                VarStatus::Basic(_) => SnapStatus::Basic,
+                VarStatus::AtLower => SnapStatus::AtLower,
+                VarStatus::AtUpper => SnapStatus::AtUpper,
+                VarStatus::Free => SnapStatus::Free,
+            })
+            .collect();
+        Some(Basis {
+            m: self.sf.m,
+            n: self.sf.n,
+            n_structural: self.sf.n_structural,
+            statuses,
+            rows: self.basis.clone(),
+        })
     }
 
     fn run(&mut self) -> Result<SolveStatus, LpError> {

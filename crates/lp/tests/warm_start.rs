@@ -1,0 +1,212 @@
+//! Warm-start correctness: a solve seeded with the previous optimal
+//! basis must reach the same optimum as a cold solve, across randomized
+//! perturbations of the right-hand side, objective, and bounds.
+
+use dpsan_lp::problem::{Problem, RowBounds, Sense, VarBounds};
+use dpsan_lp::simplex::{solve, solve_with_basis, SimplexOptions, SolveStatus};
+use proptest::prelude::*;
+
+/// Objective agreement tolerance between a cold and a warm solve of the
+/// same LP. Both land on an *optimal* vertex, so the objectives agree
+/// to solver precision even when the vertices differ (degenerate
+/// alternate optima); 1e-9 matches the solver's dual tolerance.
+const WARM_COLD_TOL: f64 = 1e-9;
+
+/// A bounded packing LP in the O-UMP shape: `max Σ x`, non-negative
+/// rows `a'x ≤ rhs_i`, column caps keeping every optimum finite.
+fn capped_packing_lp(n: usize, m: usize, coefs: &[f64], rhs: &[f64]) -> Problem {
+    let mut p = Problem::new(Sense::Maximize);
+    for _ in 0..n {
+        p.add_col(1.0, VarBounds { lower: 0.0, upper: 8.0 }).unwrap();
+    }
+    let mut it = coefs.iter().copied();
+    for (i, &rhs_i) in rhs.iter().enumerate().take(m) {
+        let entries: Vec<(usize, f64)> =
+            (0..n).filter_map(|j| it.next().map(|v| (j, v))).filter(|&(_, v)| v > 0.05).collect();
+        let entries = if entries.is_empty() { vec![(i % n, 0.5)] } else { entries };
+        p.add_row(RowBounds::at_most(rhs_i), &entries).unwrap();
+    }
+    p
+}
+
+/// Rebuild the LP with every row's rhs scaled by `t` (the budget-sweep
+/// perturbation: same matrix, moved polytope).
+fn scale_rhs(p: &Problem, t: f64) -> Problem {
+    let mut q = Problem::new(Sense::Maximize);
+    for (j, b) in p.col_bounds().iter().enumerate() {
+        q.add_col(p.objective()[j], *b).unwrap();
+    }
+    for (i, rb) in p.row_bounds().iter().enumerate() {
+        let entries: Vec<(usize, f64)> =
+            p.triplets().iter().filter(|&&(r, _, _)| r == i).map(|&(_, c, v)| (c, v)).collect();
+        q.add_row(RowBounds::at_most(rb.upper * t), &entries).unwrap();
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn warm_matches_cold_on_rhs_sweeps(
+        n in 2usize..8,
+        m in 1usize..6,
+        coefs in prop::collection::vec(0.0f64..2.0, 48),
+        rhs in prop::collection::vec(0.5f64..4.0, 6),
+        t in 0.3f64..3.0,
+    ) {
+        let p0 = capped_packing_lp(n, m, &coefs, &rhs);
+        let opts = SimplexOptions::default();
+        let first = solve_with_basis(&p0, &opts, None).unwrap();
+        prop_assert_eq!(first.solution.status, SolveStatus::Optimal);
+
+        let p1 = scale_rhs(&p0, t);
+        let cold = solve(&p1, &opts).unwrap();
+        let warm = solve_with_basis(&p1, &opts, first.basis.as_ref()).unwrap();
+        prop_assert_eq!(cold.status, SolveStatus::Optimal);
+        prop_assert_eq!(warm.solution.status, SolveStatus::Optimal);
+        prop_assert!(
+            (warm.solution.objective - cold.objective).abs() <= WARM_COLD_TOL,
+            "warm {} vs cold {} (warm_used={})",
+            warm.solution.objective, cold.objective, warm.warm_used
+        );
+        prop_assert!(p1.max_violation(&warm.solution.x) < 1e-6);
+    }
+
+    #[test]
+    fn warm_matches_cold_on_objective_perturbations(
+        n in 2usize..8,
+        m in 1usize..6,
+        coefs in prop::collection::vec(0.0f64..2.0, 48),
+        rhs in prop::collection::vec(0.5f64..4.0, 6),
+        weights in prop::collection::vec(0.5f64..2.0, 8),
+    ) {
+        let p0 = capped_packing_lp(n, m, &coefs, &rhs);
+        let opts = SimplexOptions::default();
+        let first = solve_with_basis(&p0, &opts, None).unwrap();
+
+        // same polytope, different objective: the old vertex stays
+        // feasible, so the warm start must always engage here
+        let mut p1 = Problem::new(Sense::Maximize);
+        for (j, b) in p0.col_bounds().iter().enumerate() {
+            p1.add_col(weights[j % weights.len()], *b).unwrap();
+        }
+        for (i, rb) in p0.row_bounds().iter().enumerate() {
+            let entries: Vec<(usize, f64)> = p0
+                .triplets().iter().filter(|&&(r, _, _)| r == i).map(|&(_, c, v)| (c, v)).collect();
+            p1.add_row(*rb, &entries).unwrap();
+        }
+        let cold = solve(&p1, &opts).unwrap();
+        let warm = solve_with_basis(&p1, &opts, first.basis.as_ref()).unwrap();
+        prop_assert!(warm.warm_used, "feasible vertex must seed the solve");
+        prop_assert!(
+            (warm.solution.objective - cold.objective).abs() <= WARM_COLD_TOL,
+            "warm {} vs cold {}", warm.solution.objective, cold.objective
+        );
+    }
+
+    #[test]
+    fn mismatched_snapshot_falls_back_to_cold(
+        n in 2usize..6,
+        m in 1usize..5,
+        coefs in prop::collection::vec(0.0f64..2.0, 30),
+        rhs in prop::collection::vec(0.5f64..4.0, 5),
+    ) {
+        let p0 = capped_packing_lp(n, m, &coefs, &rhs);
+        let opts = SimplexOptions::default();
+        let first = solve_with_basis(&p0, &opts, None).unwrap();
+
+        // a problem with one extra row can never fit the snapshot
+        let mut p1 = p0.clone();
+        p1.add_row(RowBounds::at_most(100.0), &[(0, 1.0)]).unwrap();
+        let warm = solve_with_basis(&p1, &opts, first.basis.as_ref()).unwrap();
+        let cold = solve(&p1, &opts).unwrap();
+        prop_assert!(!warm.warm_used);
+        prop_assert_eq!(warm.solution.status, cold.status);
+        prop_assert!((warm.solution.objective - cold.objective).abs() <= WARM_COLD_TOL);
+    }
+}
+
+#[test]
+fn rhs_sweep_reuses_basis_and_saves_iterations() {
+    // deterministic sweep in the Table-4 shape: same matrix, growing
+    // budget; after the first solve every step should warm-start and
+    // re-optimize in (far) fewer iterations than the cold solve took
+    let coefs: Vec<f64> = (0..60).map(|i| 0.1 + 0.03 * (i % 17) as f64).collect();
+    let rhs = vec![1.0, 1.5, 2.0, 1.2, 0.8];
+    let mut base = capped_packing_lp(10, 5, &coefs, &rhs);
+    for j in 0..10 {
+        // caps far above any reachable value, so scaling the rhs scales
+        // the optimal vertex without ever rejecting the warm basis
+        base.set_bounds(j, VarBounds { lower: 0.0, upper: 500.0 }).unwrap();
+    }
+    let opts = SimplexOptions::default();
+
+    let cold0 = solve_with_basis(&base, &opts, None).unwrap();
+    let mut basis = cold0.basis.clone();
+    assert!(basis.is_some(), "optimal solve yields a snapshot");
+    for step in 1..6 {
+        let t = 1.0 + 0.2 * step as f64;
+        let p = scale_rhs(&base, t);
+        let warm = solve_with_basis(&p, &opts, basis.as_ref()).unwrap();
+        let cold = solve(&p, &opts).unwrap();
+        assert!(warm.warm_used, "pure rhs scaling keeps the vertex basis-feasible");
+        assert!(
+            (warm.solution.objective - cold.objective).abs() <= WARM_COLD_TOL,
+            "step {step}: warm {} vs cold {}",
+            warm.solution.objective,
+            cold.objective
+        );
+        assert!(
+            warm.solution.iterations <= cold.iterations,
+            "step {step}: warm used {} iterations, cold {}",
+            warm.solution.iterations,
+            cold.iterations
+        );
+        basis = warm.basis.clone();
+    }
+}
+
+#[test]
+fn removed_bound_rejects_snapshot_instead_of_going_infeasible() {
+    // min x0 + 2 x1 s.t. x0 + x1 >= 3 with x0 in [1, 2]: the optimum
+    // parks x0 nonbasic at its upper bound (x0 = 2, x1 = 1).
+    // Re-solving with x0's upper bound removed must NOT park x0 at 0
+    // (outside its surviving lower bound of 1) — the snapshot is
+    // rejected and the cold path must still deliver a feasible
+    // optimum (x0 = 3, x1 = 0).
+    let build = |upper: f64| {
+        let mut p = Problem::new(Sense::Minimize);
+        let x0 = p.add_col(1.0, VarBounds { lower: 1.0, upper }).unwrap();
+        let x1 = p.add_col(2.0, VarBounds::non_negative()).unwrap();
+        p.add_row(RowBounds::at_least(3.0), &[(x0, 1.0), (x1, 1.0)]).unwrap();
+        p
+    };
+    let opts = SimplexOptions::default();
+    let first = solve_with_basis(&build(2.0), &opts, None).unwrap();
+    assert_eq!(first.solution.status, SolveStatus::Optimal);
+    assert!((first.solution.objective - 4.0).abs() < 1e-9, "x0 at its cap, x1 basic");
+
+    let relaxed = build(f64::INFINITY);
+    let warm = solve_with_basis(&relaxed, &opts, first.basis.as_ref()).unwrap();
+    let cold = solve(&relaxed, &opts).unwrap();
+    assert_eq!(warm.solution.status, SolveStatus::Optimal);
+    assert!(
+        relaxed.max_violation(&warm.solution.x) < 1e-9,
+        "warm result must stay feasible: {:?}",
+        warm.solution.x
+    );
+    assert!((warm.solution.objective - cold.objective).abs() <= WARM_COLD_TOL);
+}
+
+#[test]
+fn snapshot_round_trips_through_identical_problem() {
+    let coefs: Vec<f64> = (0..40).map(|i| 0.2 + 0.05 * (i % 7) as f64).collect();
+    let p = capped_packing_lp(8, 4, &coefs, &[1.0, 2.0, 1.5, 0.9]);
+    let opts = SimplexOptions::default();
+    let first = solve_with_basis(&p, &opts, None).unwrap();
+    let again = solve_with_basis(&p, &opts, first.basis.as_ref()).unwrap();
+    assert!(again.warm_used);
+    assert_eq!(again.solution.iterations, 0, "optimal basis re-verifies in zero pivots");
+    assert!((again.solution.objective - first.solution.objective).abs() <= WARM_COLD_TOL);
+}

@@ -10,11 +10,11 @@
 //! provides:
 //!
 //! * interned, typed identifiers ([`ids`], [`intern`]),
-//! * an immutable aggregated [`SearchLog`](log::SearchLog) with both the
-//!   pair histogram `c_ij` and the triplet histogram `c_ijk` in CSR form,
-//!   indexed by pair *and* by user (the user log `A_k` of Definition 1),
+//! * an immutable aggregated [`SearchLog`] with both the pair histogram
+//!   `c_ij` and the triplet histogram `c_ijk` in CSR form, indexed by
+//!   pair *and* by user (the user log `A_k` of Definition 1),
 //! * Condition-1 preprocessing (removal of pairs held entirely by one
-//!   user) in [`preprocess`],
+//!   user) in [`preprocess`](preprocess()),
 //! * Table-3 style dataset statistics in [`stats`],
 //! * frequent-pair (support) extraction in [`frequent`],
 //! * AOL-format and native TSV io in [`io`].

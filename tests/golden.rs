@@ -1,0 +1,49 @@
+//! Golden-output gate: `repro all --scale tiny` must reproduce the
+//! checked-in fixture exactly (modulo wall-clock durations, which the
+//! normalizer masks — see `dpsan_eval::golden`). Mechanism or solver
+//! refactors that change any released count, λ value, or metric will
+//! show up as a diff here instead of slipping through silently.
+//!
+//! To intentionally refresh the fixture after a reviewed change:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test --release --test golden
+//! ```
+
+use dpsan_eval::golden::normalize;
+use dpsan_eval::{run_experiments, Ctx, Scale, EXPERIMENTS};
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/repro_tiny.txt");
+
+#[test]
+fn repro_tiny_matches_golden_fixture() {
+    // jobs=2 exercises the sharded prefetch path; output is
+    // jobs-independent by design (see dpsan_eval::pool)
+    let ctx = Ctx::new(Scale::Tiny).with_jobs(2);
+    let names: Vec<String> = EXPERIMENTS.iter().map(|(id, _)| id.to_string()).collect();
+    let mut buf = Vec::new();
+    run_experiments(&names, &ctx, &mut buf, false).expect("tiny repro runs");
+    let got = normalize(&String::from_utf8(buf).expect("experiment output is UTF-8"));
+
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::write(FIXTURE, &got).expect("fixture written");
+        eprintln!("golden fixture updated: {FIXTURE}");
+        return;
+    }
+
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("fixture exists (run with GOLDEN_UPDATE=1 to create it)");
+    if got != want {
+        // line-level report keeps the failure actionable without a
+        // multi-kilobyte assert message
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            assert_eq!(g, w, "first divergence at fixture line {}", i + 1);
+        }
+        assert_eq!(
+            got.lines().count(),
+            want.lines().count(),
+            "outputs agree line-by-line but differ in length"
+        );
+        unreachable!("got != want but no line difference found");
+    }
+}

@@ -8,10 +8,18 @@
 //!
 //! Measurement is deliberately simple — warm up, then time batches
 //! until a wall-clock budget is spent, and report the per-iteration
-//! mean and min — but the reported numbers are real and the API is
-//! call-compatible, so benches keep compiling (and `cargo bench`
-//! keeps producing usable relative numbers) until the real harness
-//! can be dropped in.
+//! median, mean, and min — but the reported numbers are real and the
+//! API is call-compatible, so benches keep compiling (and `cargo bench`
+//! keeps producing usable relative numbers) until the real harness can
+//! be dropped in.
+//!
+//! Two environment variables hook the shim into CI:
+//!
+//! * `DPSAN_BENCH_JSON=path` — on drop, merge this process's results
+//!   into `path` as a flat JSON object `{"group/bench": median_ns}`
+//!   (see `dpsan-bench`'s `bench_gate` for the consumer).
+//! * `BENCH_BUDGET_MS=n` — per-bench measurement budget in
+//!   milliseconds (default 200); CI's quick tier uses a small value.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,12 +59,17 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Per-bench measurement budget (milliseconds).
+fn budget() -> Duration {
+    let ms = std::env::var("BENCH_BUDGET_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
 /// Times a closure over repeated iterations.
 #[derive(Debug, Default)]
 pub struct Bencher {
-    iters: u64,
+    samples: Vec<Duration>,
     total: Duration,
-    min: Option<Duration>,
 }
 
 impl Bencher {
@@ -66,26 +79,35 @@ impl Bencher {
         for _ in 0..3 {
             black_box(routine());
         }
-        let budget = Duration::from_millis(200);
+        let budget = budget();
         let started = Instant::now();
         while started.elapsed() < budget {
             let t0 = Instant::now();
             black_box(routine());
             let dt = t0.elapsed();
-            self.iters += 1;
+            self.samples.push(dt);
             self.total += dt;
-            self.min = Some(self.min.map_or(dt, |m| m.min(dt)));
-            if self.iters >= 10_000 {
+            if self.samples.len() >= 10_000 {
                 break;
             }
         }
+    }
+
+    /// Median per-iteration time (`None` before any iteration ran).
+    fn median(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        Some(s[s.len() / 2])
     }
 }
 
 /// A named collection of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -93,13 +115,18 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher::default();
         run(&mut b);
         let full = format!("{}/{id}", self.name);
-        if b.iters == 0 {
+        let Some(median) = b.median() else {
             println!("{full:<48} (no iterations recorded)");
             return;
-        }
-        let mean = b.total / u32::try_from(b.iters).unwrap_or(u32::MAX);
-        let min = b.min.unwrap_or_default();
-        println!("{full:<48} iters {:>6}   mean {mean:>12.2?}   min {min:>12.2?}", b.iters);
+        };
+        let iters = b.samples.len();
+        let mean = b.total / u32::try_from(iters).unwrap_or(u32::MAX);
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{full:<48} iters {iters:>6}   median {median:>12.2?}   mean {mean:>12.2?}   \
+             min {min:>12.2?}"
+        );
+        self.criterion.results.push((full, median.as_nanos() as f64));
     }
 
     /// Benchmark `routine` under `id`.
@@ -133,14 +160,17 @@ impl BenchmarkGroup<'_> {
 
 /// The benchmark harness entry point.
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    /// `(bench id, median ns)` in execution order.
+    results: Vec<(String, f64)>,
+}
 
 impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("-- group: {name}");
-        BenchmarkGroup { name, _criterion: self }
+        BenchmarkGroup { name, criterion: self }
     }
 
     /// Benchmark a single function outside any group.
@@ -148,9 +178,117 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut g = BenchmarkGroup { name: "bench".to_owned(), _criterion: self };
+        let mut g = BenchmarkGroup { name: "bench".to_owned(), criterion: self };
         g.bench_function(id, routine);
         self
+    }
+}
+
+impl Drop for Criterion {
+    /// Merge this run's medians into `$DPSAN_BENCH_JSON` (if set) as a
+    /// flat `{"bench id": median_ns}` object. Merging (rather than
+    /// overwriting) lets several `criterion_group!`s and bench binaries
+    /// accumulate into one file within a `cargo bench` invocation.
+    fn drop(&mut self) {
+        let Ok(path) = std::env::var("DPSAN_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() || self.results.is_empty() {
+            return;
+        }
+        let mut merged: Vec<(String, f64)> = std::fs::read_to_string(&path)
+            .ok()
+            .map(|s| json::parse_flat_object(&s))
+            .unwrap_or_default();
+        for (k, v) in self.results.drain(..) {
+            if let Some(slot) = merged.iter_mut().find(|(mk, _)| *mk == k) {
+                slot.1 = v;
+            } else {
+                merged.push((k, v));
+            }
+        }
+        merged.sort_by(|a, b| a.0.cmp(&b.0));
+        if let Err(e) = std::fs::write(&path, json::write_flat_object(&merged)) {
+            eprintln!("criterion shim: cannot write {path}: {e}");
+        }
+    }
+}
+
+/// Just enough JSON for the flat `{"name": number}` results file.
+pub mod json {
+    /// Parse a flat string→number object, ignoring anything malformed.
+    /// Tolerant by design: a corrupt results file degrades to "start
+    /// fresh", never to a panic inside a bench run.
+    pub fn parse_flat_object(s: &str) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        let inner = s.trim().trim_start_matches('{').trim_end_matches('}');
+        for part in split_top_level(inner) {
+            let Some((key, value)) = part.split_once(':') else { continue };
+            let key = key.trim();
+            if key.len() < 2 || !key.starts_with('"') || !key.ends_with('"') {
+                continue;
+            }
+            let Ok(value) = value.trim().parse::<f64>() else { continue };
+            out.push((key[1..key.len() - 1].to_owned(), value));
+        }
+        out
+    }
+
+    /// Split on commas outside quotes.
+    fn split_top_level(s: &str) -> Vec<&str> {
+        let mut parts = Vec::new();
+        let mut depth_quote = false;
+        let mut start = 0;
+        for (i, c) in s.char_indices() {
+            match c {
+                '"' => depth_quote = !depth_quote,
+                ',' if !depth_quote => {
+                    parts.push(&s[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        parts.push(&s[start..]);
+        parts
+    }
+
+    /// Render a flat string→number object with one entry per line.
+    pub fn write_flat_object(entries: &[(String, f64)]) -> String {
+        let mut s = String::from("{\n");
+        for (i, (k, v)) in entries.iter().enumerate() {
+            let comma = if i + 1 == entries.len() { "" } else { "," };
+            s.push_str(&format!("  \"{k}\": {v:.1}{comma}\n"));
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trips() {
+            let entries =
+                vec![("a/b".to_owned(), 123.5), ("c d".to_owned(), 0.5), ("e".to_owned(), 7.0)];
+            let text = write_flat_object(&entries);
+            assert_eq!(parse_flat_object(&text), entries);
+        }
+
+        #[test]
+        fn tolerates_garbage() {
+            assert!(parse_flat_object("not json at all").is_empty());
+            assert!(parse_flat_object("{\"unterminated: 3").is_empty());
+            assert_eq!(parse_flat_object("{\"ok\": 1, \"bad\": x}"), vec![("ok".to_owned(), 1.0)]);
+        }
+
+        #[test]
+        fn keys_may_contain_commas() {
+            let entries = vec![("a,b".to_owned(), 2.0)];
+            let text = write_flat_object(&entries);
+            assert_eq!(parse_flat_object(&text), entries);
+        }
     }
 }
 
