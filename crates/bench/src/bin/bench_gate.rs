@@ -7,8 +7,10 @@
 //! Both files are flat `{"bench id": median_ns}` objects; the baseline
 //! is committed (`BENCH_pipeline.json`), the current file is written by
 //! `DPSAN_BENCH_JSON=... cargo bench --bench pipeline`. Exits non-zero
-//! when any baseline bench is missing from the current run or its
-//! median grew beyond `max_ratio` (default 2.0).
+//! when any baseline bench is missing from the current run, its median
+//! grew beyond `max_ratio` (default 2.0), or it *improved* beyond
+//! `1/max_ratio` without a baseline refresh (a stale baseline would
+//! silently absorb later regressions of the same size).
 
 use std::process::ExitCode;
 
@@ -55,6 +57,13 @@ fn main() -> ExitCode {
             GateFinding::Ok { name, ratio } => println!("OK        {name:<44} x{ratio:.2}"),
             GateFinding::Regressed { name, ratio } => {
                 println!("REGRESSED {name:<44} x{ratio:.2} (limit x{max_ratio:.2})");
+            }
+            GateFinding::StaleBaseline { name, ratio } => {
+                println!(
+                    "STALE     {name:<44} x{ratio:.2} (>{:.0}% faster than baseline — refresh \
+                     BENCH_pipeline.json in this PR and say why)",
+                    (max_ratio - 1.0) * 100.0
+                );
             }
             GateFinding::Missing { name } => println!("MISSING   {name}"),
         }

@@ -35,6 +35,17 @@ pub enum GateFinding {
         /// `current / baseline` median ratio.
         ratio: f64,
     },
+    /// Bench *improved* beyond `1/max_ratio` without the baseline being
+    /// refreshed. This also fails the gate: a baseline that lags the
+    /// real performance by 2× leaves a silent 2× regression budget —
+    /// the very thing the gate exists to catch. Refresh the committed
+    /// baseline (and say why) in the PR that made the hot path faster.
+    StaleBaseline {
+        /// Bench id.
+        name: String,
+        /// `current / baseline` median ratio (here `< 1/max_ratio`).
+        ratio: f64,
+    },
     /// Bench tracked in the baseline but absent from the current run.
     Missing {
         /// Bench id.
@@ -43,9 +54,10 @@ pub enum GateFinding {
 }
 
 /// Compare two flat `{"bench": median_ns}` JSON files. Every baseline
-/// entry must appear in `current` and stay within `max_ratio`; entries
-/// only in `current` (newly added benches) are ignored until the
-/// baseline is refreshed.
+/// entry must appear in `current` and stay within `[1/max_ratio,
+/// max_ratio]` of it — above is a regression, below a stale baseline
+/// masking future regressions; entries only in `current` (newly added
+/// benches) are ignored until the baseline is refreshed.
 pub fn gate(baseline: &str, current: &str, max_ratio: f64) -> Vec<GateFinding> {
     let base = parse_flat_object(baseline);
     let cur = parse_flat_object(current);
@@ -54,12 +66,15 @@ pub fn gate(baseline: &str, current: &str, max_ratio: f64) -> Vec<GateFinding> {
             None => GateFinding::Missing { name },
             Some(&(_, cur_ns)) => {
                 let ratio = if base_ns > 0.0 { cur_ns / base_ns } else { f64::INFINITY };
-                // fail closed: a NaN ratio (corrupt measurement) is not
-                // `> max_ratio` but must not pass the gate either
-                if ratio <= max_ratio {
+                // fail closed as a regression: a NaN ratio (corrupt
+                // measurement) must neither pass nor be misreported as
+                // an improvement awaiting a baseline refresh
+                if !ratio.is_finite() || ratio > max_ratio {
+                    GateFinding::Regressed { name, ratio }
+                } else if ratio >= 1.0 / max_ratio {
                     GateFinding::Ok { name, ratio }
                 } else {
-                    GateFinding::Regressed { name, ratio }
+                    GateFinding::StaleBaseline { name, ratio }
                 }
             }
         })
@@ -83,6 +98,27 @@ mod tests {
         let f = gate(BASE, cur, 2.0);
         assert!(passes(&f), "{f:?}");
         assert_eq!(f.len(), 2, "new benches are not gated yet");
+    }
+
+    #[test]
+    fn unrefreshed_improvement_fails_as_stale_baseline() {
+        // pipeline/a got 4x faster but the baseline was not refreshed:
+        // the stale entry would hide a later 2-3x regression, so the
+        // gate must flag it
+        let cur = r#"{ "pipeline/a": 25.0, "pipeline/b": 900.0 }"#;
+        let f = gate(BASE, cur, 2.0);
+        assert!(!passes(&f), "{f:?}");
+        assert!(f.iter().any(
+            |x| matches!(x, GateFinding::StaleBaseline { name, ratio } if name == "pipeline/a" && *ratio < 0.5)
+        ));
+    }
+
+    #[test]
+    fn improvement_within_ratio_still_passes() {
+        // a 1.6x improvement is inside the symmetric band: no refresh
+        // required (shared-runner noise can explain it)
+        let cur = r#"{ "pipeline/a": 62.5, "pipeline/b": 1000.0 }"#;
+        assert!(passes(&gate(BASE, cur, 2.0)));
     }
 
     #[test]
@@ -115,5 +151,9 @@ mod tests {
     fn nan_measurement_fails_closed() {
         let f = gate(r#"{ "x": 100.0 }"#, r#"{ "x": NaN }"#, 2.0);
         assert!(!passes(&f), "a corrupt (NaN) measurement must not pass the gate");
+        assert!(
+            f.iter().all(|x| !matches!(x, GateFinding::StaleBaseline { .. })),
+            "a corrupt measurement must not masquerade as an improvement: {f:?}"
+        );
     }
 }

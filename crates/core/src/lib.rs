@@ -39,7 +39,7 @@ pub mod ump;
 pub use constraints::PrivacyConstraints;
 pub use error::CoreError;
 pub use sanitizer::{SanitizedOutput, Sanitizer, SanitizerConfig, UtilityObjective};
-pub use session::{SessionStats, SolveSession};
+pub use session::{SessionStats, SolveSession, Strategy};
 pub use ump::diversity::{solve_dump, DumpOptions, DumpSolution, DumpSolver};
 pub use ump::frequent::{solve_fump, FumpOptions, FumpSolution};
 pub use ump::output_size::{solve_oump, OumpOptions, OumpSolution};

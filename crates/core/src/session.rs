@@ -1,29 +1,132 @@
-//! Warm-started solve sessions for parameter sweeps.
+//! Warm-started solve sessions with algorithm selection for parameter
+//! sweeps.
 //!
 //! The evaluation workload (Tables 4–6, Figures 3–4) re-solves the same
 //! privacy polytope across an `(ε, δ)`/budget grid: the constraint
 //! matrix is fixed and only the right-hand side (budget, output size)
 //! moves between adjacent grid points. A [`SolveSession`] owns the LP
 //! options plus the [`Basis`] snapshot of the previous optimum and
-//! feeds it to [`dpsan_lp::simplex::solve_with_basis`], so successive
-//! solves skip phase 1 and typically re-optimize in a handful of
-//! pivots. A snapshot that no longer fits (shape change, stale vertex)
-//! silently degrades to a cold solve — sessions never change *what* is
-//! computed, only how fast.
+//! picks the cheapest sound path per solve:
+//!
+//! * **dual reoptimization** when the step moved only `b`/`l`/`u` —
+//!   either declared by the caller ([`SolveSession::solve_rhs_step`])
+//!   or detected by fingerprinting the previous problem's matrix,
+//!   objective, and sense ([`SolveSession::solve`]) — restoring the
+//!   previous basis (still dual feasible) and repairing primal
+//!   feasibility in a handful of dual pivots;
+//! * **warm primal** when the shape matches but the step was not
+//!   rhs-only (or the dual attempt bowed out);
+//! * **cold two-phase primal** otherwise.
+//!
+//! Selection never changes *what* is computed, only how fast: every
+//! fast path verifies its own premise on the new data and silently
+//! degrades. [`SessionStats`] counts which paths actually ran so
+//! sweeps can prove their speedup instead of assuming it.
 
 use dpsan_lp::error::LpError;
-use dpsan_lp::problem::Problem;
-use dpsan_lp::simplex::{solve_with_basis, Basis, SimplexOptions, Solution, SolveStatus};
+use dpsan_lp::problem::{Problem, Sense};
+use dpsan_lp::simplex::{
+    solve_parametric, solve_parametric_cached, Algorithm, Basis, ReoptCache, SimplexOptions,
+    Solution, SolveStatus, StepHint,
+};
 
 /// Counters describing how a session's solves went.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Total solves issued through the session.
     pub solves: usize,
-    /// Solves that actually started from the previous optimal basis.
+    /// Solves seeded from the previous optimal basis (dual
+    /// reoptimizations plus warm primal starts).
     pub warm_starts: usize,
-    /// Simplex iterations summed over all solves.
+    /// Solves finished by the dual simplex from the restored basis.
+    pub dual_reopts: usize,
+    /// Solves that ran the full two-phase primal from scratch.
+    pub cold_starts: usize,
+    /// Dual reoptimizations that were attempted but fell back to the
+    /// primal path (lost dual feasibility, stall, unusable snapshot).
+    pub dual_fallbacks: usize,
+    /// Simplex iterations summed over all solves (all algorithms,
+    /// including failed dual attempts).
     pub iterations: usize,
+    /// Basis (re)factorizations summed over all solves.
+    pub refactorizations: usize,
+}
+
+impl SessionStats {
+    /// Accumulate another stats block into this one (used to aggregate
+    /// per-shard sessions into experiment-wide totals).
+    pub fn merge(&mut self, other: &SessionStats) {
+        self.solves += other.solves;
+        self.warm_starts += other.warm_starts;
+        self.dual_reopts += other.dual_reopts;
+        self.cold_starts += other.cold_starts;
+        self.dual_fallbacks += other.dual_fallbacks;
+        self.iterations += other.iterations;
+        self.refactorizations += other.refactorizations;
+    }
+
+    /// Warm primal starts (seeded solves that did not finish dual).
+    pub fn warm_primal(&self) -> usize {
+        self.warm_starts - self.dual_reopts
+    }
+}
+
+/// Which solve paths a session may pick from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Full selection: dual reoptimization on rhs-only steps, warm or
+    /// cold primal otherwise.
+    #[default]
+    Auto,
+    /// Never attempt the dual path — the pre-dual behaviour (warm
+    /// primal when the snapshot fits, cold otherwise). Useful for
+    /// benchmarking the dual path against its predecessor.
+    PrimalOnly,
+}
+
+/// Fingerprint of the parts of a [`Problem`] that must be unchanged for
+/// a step to qualify as rhs/bounds-only: sense, shape, objective, and
+/// matrix, the latter two condensed to an FNV-1a hash so per-solve
+/// bookkeeping allocates nothing.
+///
+/// This fingerprint is *advisory routing only* — it decides whether to
+/// try the dual path, and the LP layer's carried cache re-verifies the
+/// matrix and objective exactly before reusing anything (see
+/// `ReoptCache` in `dpsan_lp::simplex`). A hash collision can therefore
+/// at worst cost one rejected dual attempt, never a wrong answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShapePrint {
+    sense: Sense,
+    n_rows: usize,
+    n_cols: usize,
+    hash: u64,
+}
+
+/// FNV-1a over the objective and matrix triplets (bit patterns, so the
+/// comparison is exact-equality-shaped, like the LP layer's check).
+fn shape_hash(p: &Problem) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mix = |v: u64, h: &mut u64| {
+        *h ^= v;
+        *h = h.wrapping_mul(PRIME);
+    };
+    for &c in p.objective() {
+        mix(c.to_bits(), &mut h);
+    }
+    for &(r, c, v) in p.triplets() {
+        mix(r as u64, &mut h);
+        mix(c as u64, &mut h);
+        mix(v.to_bits(), &mut h);
+    }
+    h
+}
+
+impl ShapePrint {
+    fn of(p: &Problem) -> ShapePrint {
+        ShapePrint { sense: p.sense(), n_rows: p.n_rows(), n_cols: p.n_cols(), hash: shape_hash(p) }
+    }
 }
 
 /// A solver session that carries the optimal basis (and thereby the
@@ -33,17 +136,52 @@ pub struct SessionStats {
 /// budget grid). Interleaving unrelated problem shapes through a single
 /// session is safe but defeats the warm start, since each shape change
 /// discards the snapshot.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SolveSession {
     lp: SimplexOptions,
+    strategy: Strategy,
     basis: Option<Basis>,
+    prev: Option<ShapePrint>,
+    /// Carried scale factors + standard form + LU factorization for the
+    /// dual fast path (self-validating; see [`ReoptCache`]).
+    cache: ReoptCache,
     stats: SessionStats,
+}
+
+impl Clone for SolveSession {
+    /// Clones carry the options, snapshot, and stats — but not the
+    /// factorization cache (it is rebuilt lazily by the clone's first
+    /// solve), so cloning stays cheap and sessions stay `Clone` even
+    /// though a live LU factorization is not.
+    fn clone(&self) -> SolveSession {
+        SolveSession {
+            lp: self.lp.clone(),
+            strategy: self.strategy,
+            basis: self.basis.clone(),
+            prev: self.prev,
+            cache: ReoptCache::new(),
+            stats: self.stats,
+        }
+    }
 }
 
 impl SolveSession {
     /// New session with the given LP options and no snapshot.
     pub fn new(lp: SimplexOptions) -> SolveSession {
-        SolveSession { lp, basis: None, stats: SessionStats::default() }
+        SolveSession {
+            lp,
+            strategy: Strategy::default(),
+            basis: None,
+            prev: None,
+            cache: ReoptCache::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Restrict the session to the given solve paths.
+    pub fn with_strategy(mut self, strategy: Strategy) -> SolveSession {
+        self.strategy = strategy;
+        self
     }
 
     /// The LP options every solve of this session uses.
@@ -56,21 +194,83 @@ impl SolveSession {
         self.stats
     }
 
-    /// Drop the stored snapshot (the next solve starts cold).
+    /// Drop the stored snapshot, fingerprint, and factorization cache
+    /// (the next solve starts cold).
     pub fn reset(&mut self) {
         self.basis = None;
+        self.prev = None;
+        self.cache.clear();
     }
 
-    /// Solve `problem`, warm-starting from the previous optimum when
-    /// possible, and stash the new optimal basis for the next call.
+    /// Solve `problem`, auto-selecting the algorithm: when the problem
+    /// matches the previous one in matrix, objective, and sense (only
+    /// `b`/`l`/`u` moved), the previous basis is restored and the dual
+    /// simplex reoptimizes; otherwise the warm/cold primal path runs.
     pub fn solve(&mut self, problem: &Problem) -> Result<Solution, LpError> {
-        let out = solve_with_basis(problem, &self.lp, self.basis.as_ref())?;
+        // one fingerprint computation serves both the comparison with
+        // the previous solve and the stored print for the next one
+        let fp = (self.strategy == Strategy::Auto).then(|| ShapePrint::of(problem));
+        let rhs_only = self.basis.is_some() && fp.is_some() && fp == self.prev;
+        let hint = if rhs_only { StepHint::RhsOnly } else { StepHint::Fresh };
+        self.solve_with_hint(problem, hint, fp)
+    }
+
+    /// Solve `problem` declaring that, relative to the previous solve,
+    /// only the right-hand side and/or variable bounds moved (a grid
+    /// step). This skips the fingerprint work of [`SolveSession::solve`]
+    /// entirely (neither comparing nor storing one — an interleaved
+    /// `solve` call right after a declared step conservatively runs the
+    /// primal path once) and goes straight to the dual reoptimization
+    /// attempt. The declaration is advisory: the dual path re-verifies
+    /// dual feasibility on the actual new data and falls back to the
+    /// primal path when the claim does not hold, so a wrong declaration
+    /// costs time, never correctness.
+    pub fn solve_rhs_step(&mut self, problem: &Problem) -> Result<Solution, LpError> {
+        let hint = match self.strategy {
+            Strategy::Auto if self.basis.is_some() => StepHint::RhsOnly,
+            _ => StepHint::Fresh,
+        };
+        self.solve_with_hint(problem, hint, None)
+    }
+
+    fn solve_with_hint(
+        &mut self,
+        problem: &Problem,
+        hint: StepHint,
+        fp: Option<ShapePrint>,
+    ) -> Result<Solution, LpError> {
+        // a PrimalOnly session can never consult the carried cache
+        // (every hint is Fresh), so it uses the stateless entry point
+        // and skips cache population entirely — keeping the pinned
+        // PR 2 baseline behaviour honest in benches
+        let out = match self.strategy {
+            Strategy::Auto => solve_parametric_cached(
+                problem,
+                &self.lp,
+                self.basis.as_ref(),
+                hint,
+                &mut self.cache,
+            )?,
+            Strategy::PrimalOnly => {
+                solve_parametric(problem, &self.lp, self.basis.as_ref(), StepHint::Fresh)?
+            }
+        };
         self.stats.solves += 1;
-        if out.warm_used {
-            self.stats.warm_starts += 1;
+        match out.stats.algorithm {
+            Algorithm::DualReopt => {
+                self.stats.dual_reopts += 1;
+                self.stats.warm_starts += 1;
+            }
+            Algorithm::WarmPrimal => self.stats.warm_starts += 1,
+            Algorithm::ColdPrimal => self.stats.cold_starts += 1,
         }
-        self.stats.iterations += out.solution.iterations;
+        if out.stats.dual_fallback {
+            self.stats.dual_fallbacks += 1;
+        }
+        self.stats.iterations += out.stats.iterations;
+        self.stats.refactorizations += out.stats.refactorizations;
         self.basis = if out.solution.status == SolveStatus::Optimal { out.basis } else { None };
+        self.prev = fp;
         Ok(out.solution)
     }
 }
@@ -103,6 +303,63 @@ mod tests {
     }
 
     #[test]
+    fn auto_detection_routes_rhs_sweeps_through_dual() {
+        let mut s = SolveSession::new(SimplexOptions::default());
+        // down-sweep: the old vertex leaves the shrinking polytope every
+        // step, which the warm primal path can only fix by cold
+        // starting — the dual path repairs it in place
+        for rhs in [9.0, 7.0, 5.0, 3.0, 1.0] {
+            let sol = s.solve(&capped(rhs)).unwrap();
+            assert_eq!(sol.status, SolveStatus::Optimal);
+            assert!((sol.objective - rhs).abs() < 1e-9);
+        }
+        let st = s.stats();
+        assert_eq!(st.dual_reopts, 4, "every step after the first goes dual: {st:?}");
+        assert_eq!(st.cold_starts, 1, "only the first solve is cold: {st:?}");
+        assert_eq!(st.dual_fallbacks, 0, "{st:?}");
+    }
+
+    #[test]
+    fn declared_rhs_step_goes_dual_without_fingerprint() {
+        let mut s = SolveSession::new(SimplexOptions::default());
+        s.solve_rhs_step(&capped(4.0)).unwrap();
+        s.solve_rhs_step(&capped(2.0)).unwrap();
+        let st = s.stats();
+        assert_eq!(st.dual_reopts, 1, "{st:?}");
+    }
+
+    #[test]
+    fn primal_only_strategy_never_runs_dual() {
+        let mut s =
+            SolveSession::new(SimplexOptions::default()).with_strategy(Strategy::PrimalOnly);
+        for rhs in [9.0, 7.0, 5.0] {
+            s.solve(&capped(rhs)).unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.dual_reopts, 0, "{st:?}");
+        assert_eq!(st.dual_fallbacks, 0, "{st:?}");
+        assert_eq!(st.solves, 3);
+    }
+
+    #[test]
+    fn objective_change_is_not_treated_as_rhs_step() {
+        let mut s = SolveSession::new(SimplexOptions::default());
+        s.solve(&capped(4.0)).unwrap();
+        // same shape, different objective: fingerprint must refuse the
+        // dual route (the warm primal path still applies)
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_col(3.0, VarBounds { lower: 0.0, upper: 10.0 }).unwrap();
+        let b = p.add_col(1.0, VarBounds { lower: 0.0, upper: 10.0 }).unwrap();
+        p.add_row(RowBounds::at_most(4.0), &[(a, 1.0), (b, 1.0)]).unwrap();
+        let sol = s.solve(&p).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 12.0).abs() < 1e-9);
+        let st = s.stats();
+        assert_eq!(st.dual_reopts, 0, "{st:?}");
+        assert_eq!(st.dual_fallbacks, 0, "no wasted dual attempt either: {st:?}");
+    }
+
+    #[test]
     fn shape_change_degrades_to_cold() {
         let mut s = SolveSession::new(SimplexOptions::default());
         s.solve(&capped(2.0)).unwrap();
@@ -129,5 +386,34 @@ mod tests {
         s.reset();
         s.solve(&capped(3.0)).unwrap();
         assert_eq!(s.stats().warm_starts, 0);
+        assert_eq!(s.stats().cold_starts, 2);
+    }
+
+    #[test]
+    fn stats_merge_adds_fieldwise() {
+        let mut a = SessionStats {
+            solves: 1,
+            warm_starts: 1,
+            dual_reopts: 1,
+            cold_starts: 0,
+            dual_fallbacks: 0,
+            iterations: 5,
+            refactorizations: 2,
+        };
+        let b = SessionStats {
+            solves: 2,
+            warm_starts: 0,
+            dual_reopts: 0,
+            cold_starts: 2,
+            dual_fallbacks: 1,
+            iterations: 11,
+            refactorizations: 3,
+        };
+        a.merge(&b);
+        assert_eq!(a.solves, 3);
+        assert_eq!(a.iterations, 16);
+        assert_eq!(a.refactorizations, 5);
+        assert_eq!(a.dual_fallbacks, 1);
+        assert_eq!(a.warm_primal(), 0);
     }
 }

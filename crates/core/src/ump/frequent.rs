@@ -90,6 +90,14 @@ pub fn solve_fump_with(
 /// same LP shape, so the snapshot carries over; a support change alters
 /// the shape and silently degrades that one solve to a cold start. The
 /// session's LP options override `opts.lp`.
+///
+/// Unlike the O-UMP, an F-UMP grid step is only *sometimes* rhs-only:
+/// a budget move keeps the matrix fixed, but an `|O|` move rewrites the
+/// `1/|O|` coefficients of the abs-value split rows. The session's
+/// fingerprint-based auto-detection therefore decides per step whether
+/// the dual-reoptimization fast path applies (budget sweeps at fixed
+/// `|O|`, e.g. the Figure 3 δ-curves) or the warm primal path runs
+/// (`|O|` sweeps, e.g. the Table 5/6 support rows).
 pub fn solve_fump_session(
     log: &SearchLog,
     constraints: &PrivacyConstraints,

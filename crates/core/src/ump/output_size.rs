@@ -78,9 +78,17 @@ pub fn solve_oump_with(
     solve_oump_inner(constraints, opts, None)
 }
 
-/// Solve the O-UMP through a [`SolveSession`], warm-starting from the
-/// session's previous optimal basis (ideal for budget sweeps over one
-/// constraint system). The session's LP options override `opts.lp`.
+/// Solve the O-UMP through a [`SolveSession`], reusing the session's
+/// previous optimal basis (ideal for budget sweeps over one constraint
+/// system). The session's LP options override `opts.lp`.
+///
+/// O-UMP grid steps are *declared* rhs-only perturbations: for a fixed
+/// preprocessed log the constraint coefficients (`ln t_ijk`), the
+/// all-ones objective, and the `c_ij` caps never depend on the budget —
+/// only the row right-hand side `B` moves. Consecutive solves therefore
+/// restore the previous basis and run the dual simplex, typically
+/// re-optimizing in a handful of pivots (see
+/// [`dpsan_lp::simplex::solve_parametric`]).
 pub fn solve_oump_session(
     constraints: &PrivacyConstraints,
     opts: &OumpOptions,
@@ -123,7 +131,10 @@ fn solve_oump_inner(
 
     let p = build_problem(constraints, opts);
     let sol: Solution = match session {
-        Some(s) => s.solve(&p)?,
+        // budget sweeps move only the row rhs: declare it so the
+        // session skips the fingerprint scan and goes straight to the
+        // dual-reoptimization attempt
+        Some(s) => s.solve_rhs_step(&p)?,
         None => solve(&p, &opts.lp)?,
     };
     if sol.status != SolveStatus::Optimal {

@@ -10,15 +10,20 @@
 //! `--jobs N` sets how many worker threads the grid prefetches may use
 //! (default: the machine's available parallelism). Output is
 //! byte-identical for every `N`; jobs only trades wall-clock for CPU.
+//!
+//! `--stats` prints, after each experiment, the aggregate LP-solver
+//! counters (dual reoptimizations vs warm/cold primal solves, simplex
+//! iterations, refactorizations) to **stderr**, so the golden-gated
+//! stdout stays untouched.
 
 use std::process::ExitCode;
 
-use dpsan_eval::{run_experiments, Ctx, Scale, EXPERIMENTS};
+use dpsan_eval::{run_experiments_opts, Ctx, RunOptions, Scale, EXPERIMENTS};
 
 fn usage() -> String {
     let ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _)| *id).collect();
     format!(
-        "usage: repro <experiment>... [--scale tiny|small|medium|paper] [--jobs N]\n\
+        "usage: repro <experiment>... [--scale tiny|small|medium|paper] [--jobs N] [--stats]\n\
          experiments: all, {}",
         ids.join(", ")
     )
@@ -32,6 +37,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
     let mut jobs = default_jobs();
+    let mut stats = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -62,6 +68,7 @@ fn main() -> ExitCode {
                 }
                 jobs = n;
             }
+            "--stats" => stats = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -81,7 +88,8 @@ fn main() -> ExitCode {
     let ctx = Ctx::new(scale).with_jobs(jobs);
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    if let Err(e) = run_experiments(&wanted, &ctx, &mut out, true) {
+    let opts = RunOptions { progress: true, solver_stats: stats };
+    if let Err(e) = run_experiments_opts(&wanted, &ctx, &mut out, &opts) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }

@@ -10,19 +10,24 @@
 //!
 //! The caches are behind mutexes so grid sweeps can be *prefetched* in
 //! parallel (see [`crate::pool`]): the grid is split into data-defined
-//! shards, each shard chains a warm-started [`SolveSession`] over its
-//! cells, and the shard layout never depends on the worker count — so
-//! output is byte-identical for every `--jobs` value.
+//! shards, each shard chains a [`SolveSession`] over its cells, and the
+//! shard layout never depends on the worker count — so output is
+//! byte-identical for every `--jobs` value. Within a chain the grid
+//! steps are rhs-only perturbations (O-UMP budget moves are declared as
+//! such; F-UMP steps are fingerprint-detected), so consecutive cells
+//! reoptimize with the dual simplex from the previous optimal basis
+//! rather than re-running the primal phases. Every session's
+//! [`SessionStats`] are merged into a context-wide aggregate
+//! ([`Ctx::solve_stats`]) so sweeps can show which path handled their
+//! cells (`repro --stats`).
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use dpsan_core::constraints::PrivacyConstraints;
-use dpsan_core::session::SolveSession;
-use dpsan_core::ump::frequent::{solve_fump_session, solve_fump_with, FumpOptions, FumpSolution};
-use dpsan_core::ump::output_size::{
-    solve_oump_session, solve_oump_with, OumpOptions, OumpSolution,
-};
+use dpsan_core::session::{SessionStats, SolveSession, Strategy};
+use dpsan_core::ump::frequent::{solve_fump_session, FumpOptions, FumpSolution};
+use dpsan_core::ump::output_size::{solve_oump_session, OumpOptions, OumpSolution};
 use dpsan_core::CoreError;
 use dpsan_datagen::{generate, presets, AolLikeConfig};
 use dpsan_dp::params::PrivacyParams;
@@ -108,6 +113,10 @@ pub struct Ctx {
     oump_cache: Mutex<HashMap<u64, Arc<OumpSolution>>>,
     constraints_cache: Mutex<HashMap<u64, Arc<PrivacyConstraints>>>,
     fump_cache: Mutex<HashMap<FumpKey, Arc<FumpSolution>>>,
+    /// Aggregate solver counters across every session this context ran
+    /// (prefetch chains and on-demand cache misses). Sums are
+    /// independent of `jobs` because shard composition is.
+    solve_stats: Mutex<SessionStats>,
 }
 
 impl Ctx {
@@ -126,6 +135,7 @@ impl Ctx {
             oump_cache: Mutex::new(HashMap::new()),
             constraints_cache: Mutex::new(HashMap::new()),
             fump_cache: Mutex::new(HashMap::new()),
+            solve_stats: Mutex::new(SessionStats::default()),
         }
     }
 
@@ -145,6 +155,23 @@ impl Ctx {
     /// Table-3 style statistics of the raw / preprocessed logs.
     pub fn stats(&self) -> (LogStats, LogStats) {
         (LogStats::of(&self.raw), LogStats::of(&self.pre))
+    }
+
+    /// Aggregate LP-solver counters accumulated so far (dual
+    /// reoptimizations vs warm/cold primal solves, iterations,
+    /// refactorizations). Independent of [`Ctx::jobs`].
+    pub fn solve_stats(&self) -> SessionStats {
+        *self.solve_stats.lock().expect("stats poisoned")
+    }
+
+    /// Read and reset the aggregate solver counters — lets a runner
+    /// report per-experiment deltas.
+    pub fn take_solve_stats(&self) -> SessionStats {
+        std::mem::take(&mut *self.solve_stats.lock().expect("stats poisoned"))
+    }
+
+    fn merge_solve_stats(&self, stats: &SessionStats) {
+        self.solve_stats.lock().expect("stats poisoned").merge(stats);
     }
 
     /// The constraint system at the given parameters (cached by budget).
@@ -171,10 +198,16 @@ impl Ctx {
             return Ok(Arc::clone(s));
         }
         let constraints = self.constraints(params)?;
-        let sol = Arc::new(solve_oump_with(
+        // a one-shot session: solves cold exactly like a plain solve
+        // would, but feeds the shared stats aggregate; PrimalOnly skips
+        // populating a reopt cache that is dropped right away
+        let mut session = SolveSession::new(self.lp.clone()).with_strategy(Strategy::PrimalOnly);
+        let sol = Arc::new(solve_oump_session(
             &constraints,
             &OumpOptions { lp: self.lp.clone(), ..Default::default() },
+            &mut session,
         )?);
+        self.merge_solve_stats(&session.stats());
         self.insert_oump(key, &sol);
         Ok(sol)
     }
@@ -216,14 +249,16 @@ impl Ctx {
         let results = run_sharded(shards, self.jobs, |shard| {
             let mut session = SolveSession::new(self.lp.clone());
             let opts = OumpOptions { lp: self.lp.clone(), ..Default::default() };
-            shard
+            let out = shard
                 .into_iter()
                 .map(|params| {
                     let constraints = self.constraints(params)?;
                     let sol = solve_oump_session(&constraints, &opts, &mut session)?;
                     Ok((params.budget().value().to_bits(), Arc::new(sol)))
                 })
-                .collect::<Result<Vec<_>, CoreError>>()
+                .collect::<Result<Vec<_>, CoreError>>();
+            self.merge_solve_stats(&session.stats());
+            out
         });
         for shard in results {
             for (key, sol) in shard? {
@@ -246,14 +281,18 @@ impl Ctx {
             return Ok(Arc::clone(s));
         }
         let constraints = self.constraints(cell.params)?;
-        let sol = Arc::new(solve_fump_with(
+        // one-shot (see the O-UMP cache-miss path above)
+        let mut session = SolveSession::new(self.lp.clone()).with_strategy(Strategy::PrimalOnly);
+        let sol = Arc::new(solve_fump_session(
             &self.pre,
             &constraints,
             &FumpOptions {
                 lp: self.lp.clone(),
                 ..FumpOptions::new(cell.min_support, cell.output_size)
             },
+            &mut session,
         )?);
+        self.merge_solve_stats(&session.stats());
         self.insert_fump(key, &sol);
         Ok(sol)
     }
@@ -293,7 +332,7 @@ impl Ctx {
         }
         let results = run_sharded(shards, self.jobs, |shard| {
             let mut session = SolveSession::new(self.lp.clone());
-            shard
+            let out = shard
                 .into_iter()
                 .map(|cell| {
                     let constraints = self.constraints(cell.params)?;
@@ -308,7 +347,9 @@ impl Ctx {
                     )?;
                     Ok((fump_key(&cell), Arc::new(sol)))
                 })
-                .collect::<Result<Vec<_>, CoreError>>()
+                .collect::<Result<Vec<_>, CoreError>>();
+            self.merge_solve_stats(&session.stats());
+            out
         });
         for shard in results {
             for (key, sol) in shard? {

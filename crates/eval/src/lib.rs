@@ -35,5 +35,5 @@ pub mod runner;
 pub mod table;
 
 pub use context::{Ctx, FumpCell, Scale};
-pub use runner::{run_experiment, run_experiments, EXPERIMENTS};
+pub use runner::{run_experiment, run_experiments, run_experiments_opts, RunOptions, EXPERIMENTS};
 pub use table::Table;

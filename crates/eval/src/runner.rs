@@ -56,16 +56,67 @@ pub fn run_experiments(
     out: &mut dyn Write,
     progress: bool,
 ) -> Result<(), Box<dyn Error>> {
+    run_experiments_opts(names, ctx, out, &RunOptions { progress, solver_stats: false })
+}
+
+/// Knobs of [`run_experiments_opts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Echo a `running …` line to stderr per experiment.
+    pub progress: bool,
+    /// After each experiment, print the aggregate [`solver
+    /// stats`](crate::Ctx::take_solve_stats) delta to **stderr** — kept
+    /// off stdout so the golden-gated output never sees it.
+    pub solver_stats: bool,
+}
+
+/// [`run_experiments`] with explicit options (`repro --stats` uses the
+/// stderr solver-stats report).
+pub fn run_experiments_opts(
+    names: &[String],
+    ctx: &Ctx,
+    out: &mut dyn Write,
+    opts: &RunOptions,
+) -> Result<(), Box<dyn Error>> {
+    if opts.solver_stats {
+        ctx.take_solve_stats(); // start each run from a clean slate
+    }
+    let mut total = dpsan_core::session::SessionStats::default();
     for name in names {
-        if progress {
+        if opts.progress {
             eprintln!("running {name} ...");
         }
         let mut buf = Vec::new();
         run_experiment(name, ctx, &mut buf).map_err(|e| format!("{name} failed: {e}"))?;
         out.write_all(&buf)?;
         writeln!(out)?;
+        if opts.solver_stats {
+            let s = ctx.take_solve_stats();
+            total.merge(&s);
+            eprintln!("{}", format_stats(name, &s));
+        }
+    }
+    if opts.solver_stats && names.len() > 1 {
+        eprintln!("{}", format_stats("total", &total));
     }
     Ok(())
+}
+
+/// One-line rendering of a solver-stats block. Cached cells solve zero
+/// LPs, so later experiments sharing a grid legitimately report
+/// `solves=0`.
+fn format_stats(scope: &str, s: &dpsan_core::session::SessionStats) -> String {
+    format!(
+        "stats[{scope}]: solves={} dual-reopt={} warm-primal={} cold={} dual-fallbacks={} \
+         iterations={} refactorizations={}",
+        s.solves,
+        s.dual_reopts,
+        s.warm_primal(),
+        s.cold_starts,
+        s.dual_fallbacks,
+        s.iterations,
+        s.refactorizations,
+    )
 }
 
 #[cfg(test)]

@@ -44,5 +44,6 @@ pub mod standard;
 pub use error::LpError;
 pub use problem::{Problem, RowBounds, Sense, VarBounds};
 pub use simplex::{
-    solve, solve_with_basis, Basis, SimplexOptions, Solution, SolveStatus, WarmOutcome,
+    solve, solve_parametric, solve_parametric_cached, solve_with_basis, Algorithm, Basis,
+    ReoptCache, SimplexOptions, Solution, SolveStats, SolveStatus, StepHint, WarmOutcome,
 };

@@ -1,0 +1,308 @@
+//! Bounded-variable dual simplex for parametric reoptimization.
+//!
+//! Starting point: a basis restored from a previous optimal solve of a
+//! problem with the *same matrix, objective, and sense* — only the
+//! right-hand side and/or variable bounds moved (a privacy-budget grid
+//! step). Such a basis is still **dual feasible** (reduced costs are
+//! functions of `A`, `c`, and the basis only), while the recomputed
+//! basic values may violate the moved bounds. Each iteration picks the
+//! most-violated basic variable to *leave* at its violated bound, prices
+//! the pivot row via BTRAN, and runs a **bound-flipping dual ratio
+//! test** (Maros/Koberstein style): breakpoints whose boxed nonbasic
+//! variable would turn dual infeasible are flipped to their opposite
+//! bound as long as the dual objective's slope stays positive, and the
+//! breakpoint that exhausts the slope enters the basis. On the grid
+//! workload this restores primal feasibility in a handful of pivots —
+//! no phase 1, no re-pricing of the whole polytope.
+//!
+//! The driver ([`super::solve_parametric`]) treats every non-`Optimal`
+//! outcome as a cue to fall back to the warm/cold primal path, so this
+//! module can afford to be strict about numerical trouble.
+
+use crate::error::LpError;
+
+use super::{Core, VarStatus};
+
+/// Dual-infeasibility tolerance on the restored basis. Looser than
+/// `tol_dual` because the reduced costs come from one fresh BTRAN
+/// against re-scaled data rather than from a converged solve; genuine
+/// objective or matrix changes blow well past it.
+const DUAL_RESTORE_TOL: f64 = 1e-7;
+
+/// Minimum remaining dual-objective slope for a bound flip to be taken
+/// during the ratio test; at or below it the breakpoint column enters
+/// instead (guards against flipping into dual degeneracy).
+const SLOPE_EPS: f64 = 1e-12;
+
+/// Terminal state of a dual reoptimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DualOutcome {
+    /// Primal feasibility restored at a dual-feasible basis: optimal.
+    Optimal,
+    /// The dual is unbounded, i.e. the primal is infeasible. The caller
+    /// re-proves this through the primal phase 1 before reporting it.
+    PrimalInfeasible,
+    /// The iteration cap was hit.
+    IterationLimit,
+    /// The restored basis was not dual feasible (the step was not the
+    /// rhs/bounds-only perturbation the caller claimed, or scaling
+    /// drift won): the primal path must take over.
+    LostDualFeasibility,
+    /// No infeasibility progress for `stall_limit` iterations — hand
+    /// over to the primal path and its Bland safeguard.
+    Stalled,
+}
+
+/// One admissible breakpoint of the dual ratio test.
+struct Breakpoint {
+    /// Entering candidate column.
+    col: usize,
+    /// `d_j / (σ α_j)` — the dual step at which `d_j` changes sign.
+    ratio: f64,
+    /// `|α_j|` — this column's contribution to the slope.
+    alpha_abs: f64,
+    /// `u_j − l_j` when both bounds are finite (flippable), else `None`.
+    range: Option<f64>,
+}
+
+/// Reoptimize a restored (dual-feasible, possibly primal-infeasible)
+/// basis in place. On [`DualOutcome::Optimal`] the core's vertex and
+/// basis describe the new optimum exactly as a finished primal solve
+/// would.
+pub(crate) fn reoptimize(core: &mut Core) -> Result<DualOutcome, LpError> {
+    debug_assert_eq!(core.n_artificial, 0, "dual reopt runs on restored bases only");
+    let m = core.sf.m;
+    let n = core.n_total;
+    // cloned so the borrow does not pin `core` across refactorizations
+    let cost = core.sf.c.clone();
+    let tol_p = core.opts.tol_primal;
+    let tol_pivot = core.opts.tol_pivot;
+
+    let mut stall = 0usize;
+    let mut best_infeasibility = f64::INFINITY;
+    let mut first_iteration = true;
+
+    loop {
+        if core.iterations >= core.opts.max_iter {
+            return Ok(DualOutcome::IterationLimit);
+        }
+        if core.factor.n_updates() >= core.opts.refactor_every {
+            core.refactorize()?;
+        }
+
+        // duals y = B^-T c_B; reduced costs are computed lazily — the
+        // breakpoint loop needs `d_j` only for the few columns passing
+        // its pivot-sign test, so a full O(nnz) `d` pass per iteration
+        // would double the dominant cost of a dual pivot
+        let mut y = vec![0.0; m];
+        for (i, &bcol) in core.basis.iter().enumerate() {
+            y[i] = cost[bcol];
+        }
+        core.factor.btran(&mut y);
+
+        if first_iteration {
+            // the restored basis must be dual feasible, or the premise
+            // of dual reoptimization is void (full scan, once)
+            for (j, &cj) in cost.iter().enumerate().take(n) {
+                let status = core.status[j];
+                if matches!(status, VarStatus::Basic(_)) {
+                    continue;
+                }
+                if core.upper[j] - core.lower[j] <= 0.0 {
+                    // a fixed column (equality-row slack) can never
+                    // move, so its reduced cost may take any sign —
+                    // exactly like an equality constraint's dual
+                    continue;
+                }
+                let dj = cj - core.a.col_dot(j, &y);
+                let ok = match status {
+                    VarStatus::AtLower => dj >= -DUAL_RESTORE_TOL,
+                    VarStatus::AtUpper => dj <= DUAL_RESTORE_TOL,
+                    VarStatus::Free => dj.abs() <= DUAL_RESTORE_TOL,
+                    VarStatus::Basic(_) => unreachable!("basic columns are skipped above"),
+                };
+                if !ok {
+                    return Ok(DualOutcome::LostDualFeasibility);
+                }
+            }
+            first_iteration = false;
+        }
+
+        // leaving row: the most-violated basic variable (ties break on
+        // the lowest row position — deterministic)
+        let mut leaving: Option<(usize, f64)> = None; // (pos, signed violation)
+        let mut total_infeasibility = 0.0;
+        for (i, &col) in core.basis.iter().enumerate() {
+            let v = core.x_val[col];
+            let viol = if v < core.lower[col] - tol_p {
+                v - core.lower[col] // negative: below lower
+            } else if v > core.upper[col] + tol_p {
+                v - core.upper[col] // positive: above upper
+            } else {
+                continue;
+            };
+            total_infeasibility += viol.abs();
+            if leaving.is_none_or(|(_, best)| viol.abs() > best.abs()) {
+                leaving = Some((i, viol));
+            }
+        }
+        let Some((r, delta)) = leaving else {
+            return Ok(DualOutcome::Optimal);
+        };
+
+        // stall detection on the total infeasibility
+        if total_infeasibility < best_infeasibility - 1e-10 {
+            best_infeasibility = total_infeasibility;
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall >= core.opts.stall_limit {
+                return Ok(DualOutcome::Stalled);
+            }
+        }
+
+        // pivot row: rho = B^-T e_r, alpha_j = rho · A_j
+        let mut rho = vec![0.0; m];
+        rho[r] = 1.0;
+        core.factor.btran(&mut rho);
+        let sigma = if delta > 0.0 { 1.0 } else { -1.0 };
+
+        // admissible breakpoints: entering candidates whose reduced
+        // cost hits zero as the dual step grows
+        let mut breakpoints: Vec<Breakpoint> = Vec::new();
+        for (j, &cj) in cost.iter().enumerate().take(n) {
+            let status = core.status[j];
+            if matches!(status, VarStatus::Basic(_)) {
+                continue;
+            }
+            let (lo, hi) = (core.lower[j], core.upper[j]);
+            if hi - lo <= 0.0 {
+                continue; // fixed: can neither enter nor flip
+            }
+            let alpha = core.a.col_dot(j, &rho);
+            let sa = sigma * alpha;
+            let admissible = match status {
+                VarStatus::AtLower => sa > tol_pivot,
+                VarStatus::AtUpper => sa < -tol_pivot,
+                VarStatus::Free => sa.abs() > tol_pivot,
+                VarStatus::Basic(_) => false,
+            };
+            if !admissible {
+                continue;
+            }
+            let ratio = match status {
+                // d_j (computed only for the admissible few) and sa
+                // share a sign by dual feasibility; noise can leave
+                // the quotient barely negative
+                VarStatus::AtLower | VarStatus::AtUpper => {
+                    let dj = cj - core.a.col_dot(j, &y);
+                    (dj / sa).max(0.0)
+                }
+                _ => 0.0, // free: d_j ~ 0, enters at once
+            };
+            let range = (lo.is_finite() && hi.is_finite() && !matches!(status, VarStatus::Free))
+                .then_some(hi - lo);
+            breakpoints.push(Breakpoint { col: j, ratio, alpha_abs: alpha.abs(), range });
+        }
+        if breakpoints.is_empty() {
+            return Ok(DualOutcome::PrimalInfeasible);
+        }
+
+        // bound-flipping ratio test: walk breakpoints in dual-step
+        // order, flipping boxed columns while the slope stays positive
+        breakpoints.sort_by(|a, b| {
+            a.ratio
+                .partial_cmp(&b.ratio)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.col.cmp(&b.col))
+        });
+        let mut slope = delta.abs();
+        let mut entering: Option<&Breakpoint> = None;
+        let mut flips: Vec<&Breakpoint> = Vec::new();
+        for bp in &breakpoints {
+            if let Some(range) = bp.range {
+                if slope - range * bp.alpha_abs > SLOPE_EPS {
+                    slope -= range * bp.alpha_abs;
+                    flips.push(bp);
+                    continue;
+                }
+            }
+            entering = Some(bp);
+            break;
+        }
+        let Some(enter) = entering else {
+            // every breakpoint flips and the row stays infeasible: the
+            // dual objective improves without bound
+            return Ok(DualOutcome::PrimalInfeasible);
+        };
+        let q = enter.col;
+
+        // apply the flips: nonbasic values jump to their opposite
+        // bound, and one combined FTRAN updates the basic values
+        if !flips.is_empty() {
+            let mut delta_b = vec![0.0; m];
+            for bp in &flips {
+                let j = bp.col;
+                let range = core.upper[j] - core.lower[j];
+                let (new_status, step) = match core.status[j] {
+                    VarStatus::AtLower => (VarStatus::AtUpper, range),
+                    VarStatus::AtUpper => (VarStatus::AtLower, -range),
+                    _ => unreachable!("only bound-parked columns are flippable"),
+                };
+                core.a.col_axpy(j, step, &mut delta_b);
+                core.x_val[j] += step;
+                core.status[j] = new_status;
+            }
+            core.factor.ftran(&mut delta_b);
+            for (i, &db) in delta_b.iter().enumerate() {
+                if db != 0.0 {
+                    let col = core.basis[i];
+                    core.x_val[col] -= db;
+                }
+            }
+        }
+
+        // pivot: q enters in row r, the leaving variable exits at the
+        // bound it violated
+        let mut w = vec![0.0; m];
+        {
+            let (rows, vals) = core.a.col(q);
+            for (&row, &v) in rows.iter().zip(vals) {
+                w[row] += v;
+            }
+        }
+        core.factor.ftran(&mut w);
+        let pivot = w[r];
+        if pivot.abs() <= tol_pivot {
+            // the FTRAN'd pivot disagrees with the priced row: numerical
+            // drift — let the primal path take over
+            return Ok(DualOutcome::Stalled);
+        }
+
+        let r_col = core.basis[r];
+        let bound_r = if sigma > 0.0 { core.upper[r_col] } else { core.lower[r_col] };
+        let mut t = (core.x_val[r_col] - bound_r) / pivot;
+        // the entering variable must move off its bound into its range;
+        // clamp away sign noise from dual-degenerate steps
+        t = match core.status[q] {
+            VarStatus::AtLower => t.max(0.0),
+            VarStatus::AtUpper => t.min(0.0),
+            _ => t,
+        };
+        core.x_val[q] += t;
+        for (i, &wi) in w.iter().enumerate() {
+            if wi != 0.0 {
+                let col = core.basis[i];
+                core.x_val[col] -= t * wi;
+            }
+        }
+        core.x_val[r_col] = bound_r; // snap exactly onto the bound
+        core.status[r_col] = if sigma > 0.0 { VarStatus::AtUpper } else { VarStatus::AtLower };
+        core.basis[r] = q;
+        core.status[q] = VarStatus::Basic(r);
+        if core.factor.update(r, &w).is_err() {
+            core.refactorize()?;
+        }
+        core.iterations += 1;
+    }
+}

@@ -1,14 +1,24 @@
-//! Two-phase bounded-variable revised simplex.
+//! Two-phase bounded-variable revised simplex, with a dual simplex for
+//! parametric reoptimization.
 //!
 //! The solver works on the [`StandardForm`] `min c'x, Ax = b, l ≤ x ≤ u`
 //! (one slack per row). A starting basis is built from slacks; rows
 //! whose slack cannot absorb the residual receive an artificial column,
-//! and phase 1 minimizes the sum of artificials. Pricing is Dantzig with
-//! an automatic switch to Bland's rule after a stall (anti-cycling);
-//! the basis inverse is maintained as sparse LU + eta file with periodic
-//! refactorization.
+//! and phase 1 minimizes the sum of artificials. Pricing is devex
+//! (reference weights plus a candidate list) with an automatic switch
+//! to Bland's rule after a stall (anti-cycling); the basis inverse is
+//! maintained as sparse LU + eta file with periodic refactorization.
+//!
+//! For *parametric* re-solves — the same constraint matrix and
+//! objective with only `b`/`l`/`u` moved, as happens across a privacy
+//! budget grid — [`solve_parametric`] with [`StepHint::RhsOnly`]
+//! restores the previous optimal basis (still dual feasible by
+//! construction) and runs a bounded-variable **dual simplex** (the
+//! `dual` submodule), which typically restores primal feasibility in a
+//! handful of pivots instead of re-running both primal phases.
 
 mod basis;
+mod dual;
 mod pricing;
 mod ratio;
 
@@ -20,7 +30,8 @@ use crate::sparse::CscMatrix;
 use crate::standard::StandardForm;
 pub use basis::Basis;
 use basis::SnapStatus;
-pub(crate) use pricing::{price_bland, price_dantzig, Direction};
+use dual::DualOutcome;
+pub(crate) use pricing::{price_bland, Devex, Direction};
 pub(crate) use ratio::{ratio_test, RatioOutcome};
 
 /// Bound-violation tolerance under which a restored basis still counts
@@ -63,6 +74,123 @@ impl Default for SimplexOptions {
             stall_limit: 2_000,
         }
     }
+}
+
+/// Which solve path produced a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Dual simplex reoptimization from a restored (still dual
+    /// feasible) basis — the parametric fast path.
+    DualReopt,
+    /// Primal simplex warm-started from a restored, primal-feasible
+    /// basis (phase 1 skipped).
+    WarmPrimal,
+    /// Full two-phase primal simplex from the slack/artificial basis.
+    ColdPrimal,
+}
+
+/// Per-solve counters describing how a solve went. All counts include
+/// any failed dual-reoptimization attempt that preceded the primal
+/// fallback, so they reflect the true work done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveStats {
+    /// The path that produced the returned solution.
+    pub algorithm: Algorithm,
+    /// Simplex iterations across all phases and attempts.
+    pub iterations: usize,
+    /// Basis (re)factorizations, including the initial one per attempt.
+    pub refactorizations: usize,
+    /// A dual reoptimization was attempted but fell back to the primal
+    /// path (lost dual feasibility, stall, or unusable snapshot).
+    pub dual_fallback: bool,
+}
+
+impl SolveStats {
+    fn cold_trivial() -> SolveStats {
+        SolveStats {
+            algorithm: Algorithm::ColdPrimal,
+            iterations: 0,
+            refactorizations: 0,
+            dual_fallback: false,
+        }
+    }
+}
+
+/// What the caller knows about how a problem relates to the previous
+/// one solved with the basis snapshot being passed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepHint {
+    /// No structural relationship is claimed: warm-start the primal
+    /// simplex when the snapshot fits, else solve cold.
+    #[default]
+    Fresh,
+    /// Only `b` (row bounds) and/or `l`/`u` (column bounds) moved since
+    /// the snapshot's solve; the matrix, objective, and sense are
+    /// unchanged. The previous optimal basis is then still dual
+    /// feasible and the dual simplex reoptimizes from it. A wrong hint
+    /// never corrupts the result — the dual path verifies dual
+    /// feasibility on the *new* data and falls back to the primal path
+    /// when the claim does not hold.
+    RhsOnly,
+}
+
+/// Carry-over state between parametric solves: the scaled standard
+/// form, the optimal basis, and — crucially — the live LU+eta
+/// [`BasisFactor`], so an rhs/bounds-only re-solve skips rescaling,
+/// standard-form construction, *and* refactorization entirely.
+///
+/// Opaque to callers: feed the same cache to consecutive
+/// [`solve_parametric_cached`] calls and it validates itself against
+/// each new problem (sense, objective, and matrix must be unchanged —
+/// verified, not trusted), degrading to the ordinary paths and
+/// repopulating whenever the problem genuinely changed shape.
+#[derive(Debug, Default)]
+pub struct ReoptCache {
+    state: Option<CacheState>,
+}
+
+impl ReoptCache {
+    /// Fresh, empty cache.
+    pub fn new() -> ReoptCache {
+        ReoptCache::default()
+    }
+
+    /// Drop any carried state (the next solve rebuilds from scratch).
+    pub fn clear(&mut self) {
+        self.state = None;
+    }
+}
+
+/// The invariants a cached solve verifies before reusing carried state.
+#[derive(Debug, Clone)]
+struct CacheChecks {
+    sense: Sense,
+    objective: Vec<f64>,
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+impl CacheChecks {
+    fn of(p: &Problem) -> CacheChecks {
+        CacheChecks {
+            sense: p.sense(),
+            objective: p.objective().to_vec(),
+            triplets: p.triplets().to_vec(),
+        }
+    }
+
+    fn matches(&self, p: &Problem) -> bool {
+        self.sense == p.sense() && self.objective == p.objective() && self.triplets == p.triplets()
+    }
+}
+
+#[derive(Debug)]
+struct CacheState {
+    checks: CacheChecks,
+    factors: ScaleFactors,
+    sf: StandardForm,
+    factor: BasisFactor,
+    basis: Vec<usize>,
+    status: Vec<VarStatus>,
 }
 
 /// Terminal status of a solve.
@@ -121,10 +249,16 @@ pub struct WarmOutcome {
     /// Snapshot of the optimal basis (`None` unless the solve ended
     /// [`SolveStatus::Optimal`] with a snapshotable basis).
     pub basis: Option<Basis>,
-    /// Whether the supplied snapshot seeded this solve. `false` means a
-    /// cold start ran: no snapshot given, shape mismatch, singular
-    /// restored basis, or the old vertex left the new polytope.
+    /// Whether carried state seeded this solve — a [`Basis`] snapshot
+    /// (dual reoptimization or warm primal) or a [`ReoptCache`] hit
+    /// (which can seed a dual reoptimization even when no snapshot was
+    /// passed). `false` means a cold start ran: nothing to seed from,
+    /// shape mismatch, singular restored basis, or the old vertex left
+    /// the new polytope. [`SolveStats::algorithm`] has the precise
+    /// path.
     pub warm_used: bool,
+    /// How the solve went: path chosen, iterations, refactorizations.
+    pub stats: SolveStats,
 }
 
 /// Solve an LP, optionally warm-starting from a [`Basis`] snapshot of a
@@ -135,15 +269,129 @@ pub struct WarmOutcome {
 /// coefficients, or primal infeasibility at the restored vertex beyond
 /// `WARM_FEASIBILITY_TOL`), the solve silently falls back to the cold
 /// two-phase path, so the result is always as trustworthy as [`solve`].
+///
+/// Equivalent to [`solve_parametric`] with [`StepHint::Fresh`]; pass
+/// [`StepHint::RhsOnly`] there to unlock dual reoptimization on
+/// rhs/bounds-only sweeps.
 pub fn solve_with_basis(
     problem: &Problem,
     opts: &SimplexOptions,
     warm: Option<&Basis>,
 ) -> Result<WarmOutcome, LpError> {
+    solve_parametric(problem, opts, warm, StepHint::Fresh)
+}
+
+/// Solve an LP with full algorithm selection: dual reoptimization for
+/// declared rhs/bounds-only steps, warm primal when the snapshot's
+/// vertex is still feasible, cold two-phase primal otherwise.
+///
+/// The hint is advisory. [`StepHint::RhsOnly`] with a fitting snapshot
+/// tries the dual simplex first; any failure (dual infeasibility on the
+/// new data, stall, iteration cap, shape mismatch) falls back to the
+/// primal path and is recorded in [`SolveStats::dual_fallback`], so a
+/// wrong hint costs time, never correctness.
+///
+/// Stateless convenience over [`solve_parametric_cached`]: without a
+/// carried [`ReoptCache`] every dual reoptimization pays one rescale +
+/// refactorization to restore the snapshot. Sweep drivers should hold a
+/// cache and call the cached variant.
+pub fn solve_parametric(
+    problem: &Problem,
+    opts: &SimplexOptions,
+    warm: Option<&Basis>,
+    hint: StepHint,
+) -> Result<WarmOutcome, LpError> {
+    solve_parametric_inner(problem, opts, warm, hint, None)
+}
+
+/// [`solve_parametric`] with carried state: consecutive rhs/bounds-only
+/// solves reuse the cached scale factors, standard form, **and** LU+eta
+/// factorization, so a grid step costs one verification scan of the
+/// matrix/objective (they must be unchanged — checked, not trusted),
+/// an `O(m+n)` bound refresh, one FTRAN for the basic values, and the
+/// few dual pivots the step actually needs.
+///
+/// The cache is self-validating: on any mismatch (changed matrix,
+/// objective, sense, or shape) or dual setback the solve transparently
+/// degrades to the snapshot/warm/cold paths and repopulates the cache
+/// from the finished solve, so callers may feed *any* problem sequence
+/// through one cache without correctness risk.
+pub fn solve_parametric_cached(
+    problem: &Problem,
+    opts: &SimplexOptions,
+    warm: Option<&Basis>,
+    hint: StepHint,
+    cache: &mut ReoptCache,
+) -> Result<WarmOutcome, LpError> {
+    solve_parametric_inner(problem, opts, warm, hint, Some(cache))
+}
+
+fn solve_parametric_inner(
+    problem: &Problem,
+    opts: &SimplexOptions,
+    warm: Option<&Basis>,
+    hint: StepHint,
+    mut cache: Option<&mut ReoptCache>,
+) -> Result<WarmOutcome, LpError> {
     // trivial case: no rows — every variable goes to its objective-best bound
     if problem.n_rows() == 0 {
         let solution = solve_unconstrained(problem)?;
-        return Ok(WarmOutcome { solution, basis: None, warm_used: false });
+        return Ok(WarmOutcome {
+            solution,
+            basis: None,
+            warm_used: false,
+            stats: SolveStats::cold_trivial(),
+        });
+    }
+
+    let mut dual_fallback = false;
+    let mut spent_iterations = 0;
+    let mut spent_refactorizations = 0;
+
+    // fastest path: rhs-only step with carried state — no rescale, no
+    // standard-form rebuild, no refactorization
+    if hint == StepHint::RhsOnly {
+        if let Some(state) = cache.as_deref_mut().and_then(|c| c.state.take()) {
+            if state.checks.matches(problem)
+                && state.sf.m == problem.n_rows()
+                && state.sf.n_structural == problem.n_cols()
+            {
+                // a rejected cache restore (`Err`, e.g. a parked bound
+                // vanished) is NOT a dual fallback: the snapshot path
+                // below can re-park such columns and still run the
+                // dual simplex
+                if let Ok((mut core, factors, checks)) =
+                    Core::from_cache(state, opts.clone(), problem)
+                {
+                    match dual::reoptimize(&mut core)? {
+                        DualOutcome::Optimal => {
+                            let (solution, basis) =
+                                finish(&core, SolveStatus::Optimal, problem, &factors);
+                            let stats = SolveStats {
+                                algorithm: Algorithm::DualReopt,
+                                iterations: core.iterations,
+                                refactorizations: core.refactor_count,
+                                dual_fallback: false,
+                            };
+                            if let Some(c) = cache.as_deref_mut() {
+                                c.state = core.into_cache_state(factors, checks);
+                            }
+                            return Ok(WarmOutcome { solution, basis, warm_used: true, stats });
+                        }
+                        DualOutcome::PrimalInfeasible
+                        | DualOutcome::IterationLimit
+                        | DualOutcome::LostDualFeasibility
+                        | DualOutcome::Stalled => {
+                            dual_fallback = true;
+                            spent_iterations = core.iterations;
+                            spent_refactorizations = core.refactor_count;
+                        }
+                    }
+                }
+            }
+            // on any miss the carried state is dropped; the slow path
+            // below repopulates it
+        }
     }
 
     let (scaled, factors) = if opts.scaling {
@@ -153,16 +401,86 @@ pub fn solve_with_basis(
         (problem.clone(), ScaleFactors::identity(problem.n_rows(), problem.n_cols()))
     };
 
-    let sf = StandardForm::from_problem(&scaled);
+    let mut sf = StandardForm::from_problem(&scaled);
+
+    // snapshot-seeded dual path (no carried state, e.g. the first
+    // rhs-only step after a cache miss elsewhere in the sweep)
+    if hint == StepHint::RhsOnly && !dual_fallback {
+        if let Some(b) = warm {
+            // scaling factors depend only on the matrix, so an honest
+            // rhs-only step scales the costs identically and the old
+            // basis stays dual feasible in scaled space too
+            match Core::from_basis(sf, opts.clone(), b, RestoreMode::Dual) {
+                Ok(mut core) => match dual::reoptimize(&mut core)? {
+                    DualOutcome::Optimal => {
+                        let (solution, basis) =
+                            finish(&core, SolveStatus::Optimal, problem, &factors);
+                        let stats = SolveStats {
+                            algorithm: Algorithm::DualReopt,
+                            iterations: core.iterations,
+                            refactorizations: core.refactor_count,
+                            dual_fallback: false,
+                        };
+                        if let Some(c) = cache.as_deref_mut() {
+                            c.state = core.into_cache_state(factors, CacheChecks::of(problem));
+                        }
+                        return Ok(WarmOutcome { solution, basis, warm_used: true, stats });
+                    }
+                    // `PrimalInfeasible` (dual unbounded) proves
+                    // infeasibility in exact arithmetic, but the primal
+                    // phase 1 is the arbiter here: fall through so a
+                    // numerically marginal ray cannot misreport a
+                    // feasible problem.
+                    DualOutcome::PrimalInfeasible
+                    | DualOutcome::IterationLimit
+                    | DualOutcome::LostDualFeasibility
+                    | DualOutcome::Stalled => {
+                        dual_fallback = true;
+                        spent_iterations += core.iterations;
+                        spent_refactorizations += core.refactor_count;
+                        sf = core.into_standard_form();
+                    }
+                },
+                Err(returned) => {
+                    dual_fallback = true;
+                    sf = returned;
+                }
+            }
+        }
+    }
+
     let (mut core, warm_used) = match warm {
-        Some(b) => match Core::from_basis(sf, opts.clone(), b) {
+        Some(b) => match Core::from_basis(sf, opts.clone(), b, RestoreMode::Primal) {
             Ok(core) => (core, true),
             Err(sf) => (Core::new(sf, opts.clone()), false),
         },
         None => (Core::new(sf, opts.clone()), false),
     };
     let status = core.run()?;
+    let (solution, basis) = finish(&core, status, problem, &factors);
+    let stats = SolveStats {
+        algorithm: if warm_used { Algorithm::WarmPrimal } else { Algorithm::ColdPrimal },
+        iterations: solution.iterations + spent_iterations,
+        refactorizations: core.refactor_count + spent_refactorizations,
+        dual_fallback,
+    };
+    if status == SolveStatus::Optimal {
+        // only a caller-carried cache is worth populating; one-shot
+        // solves would clone the matrix fingerprint just to drop it
+        if let Some(c) = cache {
+            c.state = core.into_cache_state(factors, CacheChecks::of(problem));
+        }
+    }
+    Ok(WarmOutcome { solution, basis, warm_used, stats })
+}
 
+/// Unscale, clamp, and package a finished core into user-space terms.
+fn finish(
+    core: &Core,
+    status: SolveStatus,
+    problem: &Problem,
+    factors: &ScaleFactors,
+) -> (Solution, Option<Basis>) {
     let mut x = factors.unscale_x(&core.structural_x());
     let mut duals = factors.unscale_duals(&core.row_duals());
     if problem.sense() == Sense::Maximize {
@@ -180,7 +498,7 @@ pub fn solve_with_basis(
 
     let basis = if status == SolveStatus::Optimal { core.snapshot() } else { None };
     let solution = Solution { status, objective, x, duals, iterations: core.iterations };
-    Ok(WarmOutcome { solution, basis, warm_used })
+    (solution, basis)
 }
 
 fn solve_unconstrained(problem: &Problem) -> Result<Solution, LpError> {
@@ -214,6 +532,18 @@ fn solve_unconstrained(problem: &Problem) -> Result<Solution, LpError> {
     Ok(Solution { status: SolveStatus::Optimal, objective, x, duals: vec![], iterations: 0 })
 }
 
+/// How a snapshot restore treats the recomputed basic values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RestoreMode {
+    /// Reject the snapshot when the restored vertex violates a bound
+    /// beyond `WARM_FEASIBILITY_TOL` (the warm-primal contract: phase 2
+    /// requires a primal-feasible start).
+    Primal,
+    /// Keep the restored vertex even when it is primal infeasible —
+    /// the dual simplex's whole job is to repair that.
+    Dual,
+}
+
 /// Internal solver state over the standard form plus artificials.
 pub(crate) struct Core {
     sf: StandardForm,
@@ -232,6 +562,8 @@ pub(crate) struct Core {
     basis: Vec<usize>,
     factor: BasisFactor,
     pub(crate) iterations: usize,
+    /// Basis factorizations performed (initial factor + refactors).
+    pub(crate) refactor_count: usize,
     n_artificial: usize,
 }
 
@@ -324,6 +656,7 @@ impl Core {
             basis,
             factor,
             iterations: 0,
+            refactor_count: 1,
             n_artificial,
         }
     }
@@ -332,10 +665,11 @@ impl Core {
     /// form. Returns the standard form back when the snapshot cannot be
     /// used, so the caller can cold-start without recomputing it.
     ///
-    /// A restored core has no artificial columns: when the old basis is
-    /// still primal feasible, phase 1 is skipped entirely and phase 2
-    /// re-optimizes from the old vertex (usually a handful of pivots on
-    /// grid sweeps).
+    /// A restored core has no artificial columns. In
+    /// [`RestoreMode::Primal`] the restored vertex must be (near)
+    /// feasible: phase 1 is skipped and phase 2 re-optimizes from the
+    /// old vertex. In [`RestoreMode::Dual`] a primal-infeasible vertex
+    /// is accepted as the dual simplex's starting point.
     // the Err variant intentionally hands the (large) standard form
     // back so the cold-start fallback does not rebuild it
     #[allow(clippy::result_large_err)]
@@ -343,6 +677,7 @@ impl Core {
         sf: StandardForm,
         opts: SimplexOptions,
         snap: &Basis,
+        mode: RestoreMode,
     ) -> Result<Core, StandardForm> {
         if !snap.fits(&sf) {
             return Err(sf);
@@ -406,28 +741,107 @@ impl Core {
             basis,
             factor,
             iterations: 0,
+            refactor_count: 1,
             n_artificial: 0,
         };
 
-        // x_B = B^-1 (b - N x_N); reject the snapshot if the old vertex
-        // is no longer inside the new polytope
-        let mut rhs = core.sf.b.clone();
-        for j in 0..n {
-            if !matches!(core.status[j], VarStatus::Basic(_)) && core.x_val[j] != 0.0 {
-                core.a.col_axpy(j, -core.x_val[j], &mut rhs);
+        // x_B = B^-1 (b - N x_N); in Primal mode, reject the snapshot
+        // if the old vertex is no longer inside the new polytope
+        core.recompute_basic_values();
+        if mode == RestoreMode::Primal {
+            for &col in &core.basis {
+                let v = core.x_val[col];
+                if v < core.lower[col] - WARM_FEASIBILITY_TOL
+                    || v > core.upper[col] + WARM_FEASIBILITY_TOL
+                {
+                    return Err(core.sf);
+                }
             }
-        }
-        core.factor.ftran(&mut rhs);
-        for (i, &v) in rhs.iter().enumerate().take(m) {
-            let col = core.basis[i];
-            if v < core.lower[col] - WARM_FEASIBILITY_TOL
-                || v > core.upper[col] + WARM_FEASIBILITY_TOL
-            {
-                return Err(core.sf);
-            }
-            core.x_val[col] = v;
         }
         Ok(core)
+    }
+
+    /// Hand the standard form back after a failed dual attempt so the
+    /// primal fallback does not rebuild it.
+    fn into_standard_form(self) -> StandardForm {
+        self.sf
+    }
+
+    /// Rebuild a core from carried parametric state: the cached scaled
+    /// standard form gets its `b`/`l`/`u` refreshed from the new
+    /// problem, the cached LU+eta factorization is reused as-is (the
+    /// matrix is unchanged — the caller verified that), and only one
+    /// FTRAN recomputes the basic values. `Err` means a parked bound
+    /// vanished and the slow path must take over.
+    #[allow(clippy::result_unit_err, clippy::type_complexity)]
+    fn from_cache(
+        state: CacheState,
+        opts: SimplexOptions,
+        problem: &Problem,
+    ) -> Result<(Core, ScaleFactors, CacheChecks), ()> {
+        let CacheState { checks, factors, mut sf, factor, basis, status } = state;
+        sf.update_parametric(problem, &factors);
+        let (m, n) = (sf.m, sf.n);
+        debug_assert_eq!(status.len(), n);
+        debug_assert_eq!(basis.len(), m);
+
+        // nonbasic values re-park on the (possibly moved) bounds; the
+        // same rejection rules as a snapshot restore apply
+        let mut x_val = vec![0.0; n];
+        for (j, st) in status.iter().enumerate() {
+            match st {
+                VarStatus::Basic(_) => {}
+                VarStatus::AtLower if sf.lower[j].is_finite() => x_val[j] = sf.lower[j],
+                VarStatus::AtUpper if sf.upper[j].is_finite() => x_val[j] = sf.upper[j],
+                VarStatus::Free if sf.lower[j] <= 0.0 && 0.0 <= sf.upper[j] => {}
+                _ => return Err(()),
+            }
+        }
+
+        let a = sf.a.clone();
+        let lower = sf.lower.clone();
+        let upper = sf.upper.clone();
+        let mut core = Core {
+            sf,
+            opts,
+            a,
+            n_total: n,
+            phase1_cost: vec![0.0; n],
+            lower,
+            upper,
+            status,
+            x_val,
+            basis,
+            factor,
+            iterations: 0,
+            refactor_count: 0,
+            n_artificial: 0,
+        };
+
+        // x_B = B^-1 (b - N x_N) through the carried factorization
+        core.recompute_basic_values();
+        Ok((core, factors, checks))
+    }
+
+    /// Package a finished core into carry-over state for the next
+    /// parametric solve. `None` when an artificial column is still
+    /// basic (the factorization would not be representable over the
+    /// standard form alone).
+    fn into_cache_state(self, factors: ScaleFactors, checks: CacheChecks) -> Option<CacheState> {
+        let n = self.sf.n;
+        if self.basis.iter().any(|&col| col >= n) {
+            return None;
+        }
+        let mut status = self.status;
+        status.truncate(n);
+        Some(CacheState {
+            checks,
+            factors,
+            sf: self.sf,
+            factor: self.factor,
+            basis: self.basis,
+            status,
+        })
     }
 
     /// Snapshot the current basis for reuse by a later warm start.
@@ -495,6 +909,7 @@ impl Core {
         let mut stall = 0usize;
         let mut bland = false;
         let mut best_obj = f64::INFINITY;
+        let mut devex = Devex::new(self.n_total);
 
         loop {
             if self.iterations >= self.opts.max_iter {
@@ -513,7 +928,7 @@ impl Core {
 
             // pricing
             let pick =
-                if bland { price_bland(self, cost, &y) } else { price_dantzig(self, cost, &y) };
+                if bland { price_bland(self, cost, &y) } else { devex.price(self, cost, &y) };
             let Some((q, dir)) = pick else {
                 return Ok(PhaseOutcome::Optimal);
             };
@@ -540,6 +955,15 @@ impl Core {
                 }
                 RatioOutcome::Pivot { t, leaving_pos, to_upper } => {
                     self.apply_step(q, dir, t, &w);
+                    // devex reference weights need the pivot row of the
+                    // *outgoing* basis; compute it before the basis and
+                    // factorization change underneath
+                    if !bland {
+                        let mut rho = vec![0.0; m];
+                        rho[leaving_pos] = 1.0;
+                        self.factor.btran(&mut rho);
+                        devex.update(self, q, leaving_pos, &w, &rho);
+                    }
                     let leaving = self.basis[leaving_pos];
                     // snap the leaving variable exactly onto its bound
                     self.x_val[leaving] =
@@ -596,7 +1020,15 @@ impl Core {
     /// basic values from scratch (numerical hygiene).
     fn refactorize(&mut self) -> Result<(), LpError> {
         self.factor = BasisFactor::factor(&self.a, &self.basis)?;
-        // x_B = B^-1 (b - N x_N)
+        self.refactor_count += 1;
+        self.recompute_basic_values();
+        Ok(())
+    }
+
+    /// Recompute `x_B = B^-1 (b - N x_N)` from the current statuses and
+    /// nonbasic values through the current factorization (shared by
+    /// snapshot restore, cache restore, and refactorization).
+    fn recompute_basic_values(&mut self) {
         let mut rhs = self.sf.b.clone();
         for j in 0..self.n_total {
             if matches!(self.status[j], VarStatus::Basic(_)) {
@@ -610,7 +1042,6 @@ impl Core {
         for (i, &col) in self.basis.iter().enumerate() {
             self.x_val[col] = rhs[i];
         }
-        Ok(())
     }
 
     /// Structural part of the current point.

@@ -1,9 +1,12 @@
 //! Entering-variable selection (pricing).
 //!
-//! Dantzig pricing picks the most-violated reduced cost; Bland's rule
-//! picks the eligible column with the smallest index and guarantees
-//! finiteness under degeneracy. The driver switches from the former to
-//! the latter after a stall.
+//! The workhorse is **devex pricing** (Forrest–Goldfarb): each column
+//! carries a reference weight approximating `‖B⁻¹ A_j‖²` over the
+//! current reference framework, and the entering column maximizes
+//! `d_j² / w_j` — steepest-edge-like behaviour at a fraction of the
+//! cost. A small candidate list amortizes the full pricing scan across
+//! iterations. Bland's rule (smallest eligible index) remains as the
+//! anti-cycling fallback the driver switches to after a stall.
 
 use super::{Core, VarStatus};
 
@@ -55,24 +58,6 @@ fn reduced_cost(core: &Core, cost: &[f64], y: &[f64], j: usize) -> f64 {
     cost[j] - core.matrix().col_dot(j, y)
 }
 
-/// Dantzig rule: eligible column with the largest `|d_j|`.
-pub(crate) fn price_dantzig(core: &Core, cost: &[f64], y: &[f64]) -> Option<(usize, Direction)> {
-    let mut best: Option<(usize, Direction, f64)> = None;
-    for j in 0..core.n_total() {
-        if matches!(core.status_of(j), VarStatus::Basic(_)) {
-            continue;
-        }
-        let d = reduced_cost(core, cost, y, j);
-        if let Some(dir) = eligible(core, j, d) {
-            let mag = d.abs();
-            if best.is_none_or(|(_, _, m)| mag > m) {
-                best = Some((j, dir, mag));
-            }
-        }
-    }
-    best.map(|(j, dir, _)| (j, dir))
-}
-
 /// Bland rule: eligible column with the smallest index.
 pub(crate) fn price_bland(core: &Core, cost: &[f64], y: &[f64]) -> Option<(usize, Direction)> {
     for j in 0..core.n_total() {
@@ -85,4 +70,127 @@ pub(crate) fn price_bland(core: &Core, cost: &[f64], y: &[f64]) -> Option<(usize
         }
     }
     None
+}
+
+/// Shortlist size kept after a full pricing scan. Big enough that grid
+/// LPs (hundreds to low thousands of columns) rarely exhaust it between
+/// refreshes, small enough that partial scans stay cheap.
+const CANDIDATE_LIST_LEN: usize = 32;
+
+/// Partial-pricing scans allowed before the next mandatory full scan.
+/// Bounds how stale the shortlist's *selection pool* can get (reduced
+/// costs themselves are recomputed fresh every call).
+const PARTIAL_SCANS: usize = 12;
+
+/// Weight magnitude that triggers a reference-framework reset. Devex
+/// weights only ever grow between resets; past this they stop
+/// discriminating and risk overflow-ish scores.
+const WEIGHT_RESET: f64 = 1e8;
+
+/// Devex pricing state: reference weights plus a candidate shortlist.
+///
+/// Weights approximate steepest-edge norms relative to the reference
+/// framework (the nonbasic set at the last reset, where all weights are
+/// 1). Selection maximizes `d_j²/w_j`; ties break toward the smallest
+/// column index so pricing is deterministic.
+pub(crate) struct Devex {
+    weights: Vec<f64>,
+    candidates: Vec<usize>,
+    partial_scans_left: usize,
+}
+
+impl Devex {
+    pub(crate) fn new(n_total: usize) -> Devex {
+        Devex { weights: vec![1.0; n_total], candidates: Vec::new(), partial_scans_left: 0 }
+    }
+
+    /// Pick the entering column: scan the candidate shortlist while it
+    /// stays fresh, falling back to (and refreshing from) a full scan.
+    /// `None` is only ever returned after a full scan found no eligible
+    /// column, so it is a sound optimality certificate.
+    pub(crate) fn price(
+        &mut self,
+        core: &Core,
+        cost: &[f64],
+        y: &[f64],
+    ) -> Option<(usize, Direction)> {
+        if self.partial_scans_left > 0 {
+            let mut best: Option<(usize, Direction, f64)> = None;
+            for &j in &self.candidates {
+                if matches!(core.status_of(j), VarStatus::Basic(_)) {
+                    continue;
+                }
+                let d = reduced_cost(core, cost, y, j);
+                if let Some(dir) = eligible(core, j, d) {
+                    let score = d * d / self.weights[j];
+                    if best.is_none_or(|(_, _, s)| score > s) {
+                        best = Some((j, dir, score));
+                    }
+                }
+            }
+            if let Some((j, dir, _)) = best {
+                self.partial_scans_left -= 1;
+                return Some((j, dir));
+            }
+            // shortlist exhausted: only a full scan may declare optimality
+        }
+
+        let mut scored: Vec<(usize, Direction, f64)> = Vec::new();
+        for j in 0..core.n_total() {
+            if matches!(core.status_of(j), VarStatus::Basic(_)) {
+                continue;
+            }
+            let d = reduced_cost(core, cost, y, j);
+            if let Some(dir) = eligible(core, j, d) {
+                scored.push((j, dir, d * d / self.weights[j]));
+            }
+        }
+        // descending score, ascending index on ties (deterministic)
+        scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(CANDIDATE_LIST_LEN);
+        self.candidates = scored.iter().map(|&(j, _, _)| j).collect();
+        self.partial_scans_left = PARTIAL_SCANS;
+        scored.first().map(|&(j, dir, _)| (j, dir))
+    }
+
+    /// Update reference weights after a pivot that enters `q` in basis
+    /// row `leaving_pos`. `w_col` is `B⁻¹ A_q` (the FTRAN'd entering
+    /// column) and `rho` is `B⁻ᵀ e_r` — both against the *pre-pivot*
+    /// basis — so `rho · A_j` is the pivot-row entry `α_j`.
+    pub(crate) fn update(
+        &mut self,
+        core: &Core,
+        q: usize,
+        leaving_pos: usize,
+        w_col: &[f64],
+        rho: &[f64],
+    ) {
+        let alpha_q = w_col[leaving_pos];
+        if alpha_q.abs() < 1e-12 {
+            return; // degenerate pivot row: keep the old weights
+        }
+        let gamma_q = self.weights[q].max(1.0);
+        let ratio2 = gamma_q / (alpha_q * alpha_q);
+        let mut max_weight = 0.0f64;
+        for j in 0..core.n_total() {
+            if j == q || matches!(core.status_of(j), VarStatus::Basic(_)) {
+                continue;
+            }
+            let alpha_j = core.matrix().col_dot(j, rho);
+            if alpha_j != 0.0 {
+                let cand = alpha_j * alpha_j * ratio2;
+                if cand > self.weights[j] {
+                    self.weights[j] = cand;
+                }
+            }
+            max_weight = max_weight.max(self.weights[j]);
+        }
+        // the leaving variable joins the nonbasic set with the weight
+        // the entering edge had, scaled by the pivot
+        let leaving = core.basis_col(leaving_pos);
+        self.weights[leaving] = ratio2.max(1.0);
+        if max_weight.max(self.weights[leaving]) > WEIGHT_RESET {
+            self.weights.fill(1.0);
+        }
+    }
 }

@@ -148,6 +148,66 @@ fn moderate_lp_solves_quickly_and_feasibly() {
 }
 
 #[test]
+fn dual_reopt_matches_dense_on_fump_shaped_rhs_sweep() {
+    // the F-UMP shape (packing rows + equality + abs-split ≥ rows)
+    // swept over its budget rhs: dual reoptimization from the previous
+    // basis must track the independent dense solver at every step
+    use dpsan_lp::simplex::{solve_parametric_cached, ReoptCache, StepHint};
+    let build = |budget: f64| {
+        let n = 4;
+        let total = 6.0;
+        let targets = [0.4, 0.3, 0.2, 0.1];
+        let mut p = Problem::new(Sense::Minimize);
+        let xs: Vec<usize> =
+            (0..n).map(|_| p.add_col(0.0, VarBounds { lower: 0.0, upper: 9.0 }).unwrap()).collect();
+        let ys: Vec<usize> =
+            (0..n).map(|_| p.add_col(1.0, VarBounds::non_negative()).unwrap()).collect();
+        p.add_row(RowBounds::at_most(budget), &[(xs[0], 0.8), (xs[1], 0.4)]).unwrap();
+        p.add_row(RowBounds::at_most(budget), &[(xs[2], 0.5), (xs[3], 0.3)]).unwrap();
+        let all: Vec<(usize, f64)> = xs.iter().map(|&j| (j, 1.0)).collect();
+        p.add_row(RowBounds::equal(total), &all).unwrap();
+        for f in 0..n {
+            p.add_row(RowBounds::at_least(-targets[f]), &[(ys[f], 1.0), (xs[f], -1.0 / total)])
+                .unwrap();
+            p.add_row(RowBounds::at_least(targets[f]), &[(ys[f], 1.0), (xs[f], 1.0 / total)])
+                .unwrap();
+        }
+        p
+    };
+    let opts = SimplexOptions::default();
+    let mut cache = ReoptCache::new();
+    let first =
+        solve_parametric_cached(&build(4.0), &opts, None, StepHint::Fresh, &mut cache).unwrap();
+    assert_eq!(first.solution.status, SolveStatus::Optimal);
+    let mut basis = first.basis;
+    for budget in [3.0, 2.2, 2.8, 1.9, 3.5] {
+        let p = build(budget);
+        let fast =
+            solve_parametric_cached(&p, &opts, basis.as_ref(), StepHint::RhsOnly, &mut cache)
+                .unwrap();
+        let slow = solve_dense(&p);
+        assert_eq!(fast.solution.status, SolveStatus::Optimal, "budget {budget}");
+        assert_eq!(slow.status, SolveStatus::Optimal, "budget {budget}");
+        // the equality row's fixed slack must not scare the dual path
+        // off (its reduced cost is an equality dual — any sign is fine)
+        assert_eq!(
+            fast.stats.algorithm,
+            dpsan_lp::simplex::Algorithm::DualReopt,
+            "budget {budget}: rhs-only F-UMP steps ride the dual path: {:?}",
+            fast.stats
+        );
+        assert!(
+            (fast.solution.objective - slow.objective).abs() < 1e-9,
+            "budget {budget}: dual {} vs dense {}",
+            fast.solution.objective,
+            slow.objective
+        );
+        assert!(p.max_violation(&fast.solution.x) < 1e-7, "budget {budget}");
+        basis = fast.basis;
+    }
+}
+
+#[test]
 fn fump_shaped_lp_with_equality_and_abs_split() {
     // minimize sum |x_f/T - target_f| with a fixed total T and packing
     // rows — the F-UMP shape — cross-checked against the dense solver.

@@ -2,8 +2,12 @@
 //! basis must reach the same optimum as a cold solve, across randomized
 //! perturbations of the right-hand side, objective, and bounds.
 
+use dpsan_lp::dense_simplex::solve_dense;
 use dpsan_lp::problem::{Problem, RowBounds, Sense, VarBounds};
-use dpsan_lp::simplex::{solve, solve_with_basis, SimplexOptions, SolveStatus};
+use dpsan_lp::simplex::{
+    solve, solve_parametric, solve_parametric_cached, solve_with_basis, ReoptCache, SimplexOptions,
+    SolveStatus, StepHint,
+};
 use proptest::prelude::*;
 
 /// Objective agreement tolerance between a cold and a warm solve of the
@@ -124,6 +128,104 @@ proptest! {
         prop_assert!(!warm.warm_used);
         prop_assert_eq!(warm.solution.status, cold.status);
         prop_assert!((warm.solution.objective - cold.objective).abs() <= WARM_COLD_TOL);
+    }
+}
+
+/// Rebuild the LP with rhs scaled by `t` and every column cap scaled by
+/// `s` — the full rhs/bounds-only perturbation class the dual
+/// reoptimizer must handle.
+fn perturb_rhs_and_caps(p: &Problem, t: f64, s: f64) -> Problem {
+    let mut q = Problem::new(Sense::Maximize);
+    for (j, b) in p.col_bounds().iter().enumerate() {
+        q.add_col(p.objective()[j], VarBounds { lower: b.lower, upper: b.upper * s }).unwrap();
+    }
+    for (i, rb) in p.row_bounds().iter().enumerate() {
+        let entries: Vec<(usize, f64)> =
+            p.triplets().iter().filter(|&&(r, _, _)| r == i).map(|&(_, c, v)| (c, v)).collect();
+        q.add_row(RowBounds::at_most(rb.upper * t), &entries).unwrap();
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Four independent paths onto the same optimum: dual
+    /// reoptimization from the old basis, warm primal from the old
+    /// basis, cold two-phase primal, and the dense tableau reference.
+    /// The three revised-simplex paths must agree to solver precision;
+    /// the dense implementation shares no code with them, so it anchors
+    /// the value itself.
+    #[test]
+    fn dual_warm_cold_and_dense_agree_on_rhs_and_bound_moves(
+        n in 2usize..8,
+        m in 1usize..6,
+        coefs in prop::collection::vec(0.0f64..2.0, 48),
+        rhs in prop::collection::vec(0.5f64..4.0, 6),
+        t in 0.2f64..3.0,
+        s in 0.3f64..2.0,
+    ) {
+        let p0 = capped_packing_lp(n, m, &coefs, &rhs);
+        let opts = SimplexOptions::default();
+        let first = solve_with_basis(&p0, &opts, None).unwrap();
+        prop_assert_eq!(first.solution.status, SolveStatus::Optimal);
+        let basis = first.basis;
+
+        let p1 = perturb_rhs_and_caps(&p0, t, s);
+        let dual = solve_parametric(&p1, &opts, basis.as_ref(), StepHint::RhsOnly).unwrap();
+        let warm = solve_with_basis(&p1, &opts, basis.as_ref()).unwrap();
+        let cold = solve(&p1, &opts).unwrap();
+        let dense = solve_dense(&p1);
+
+        prop_assert_eq!(dual.solution.status, SolveStatus::Optimal);
+        prop_assert_eq!(warm.solution.status, SolveStatus::Optimal);
+        prop_assert_eq!(cold.status, SolveStatus::Optimal);
+        prop_assert_eq!(dense.status, SolveStatus::Optimal);
+
+        let d = dual.solution.objective;
+        prop_assert!((d - cold.objective).abs() <= WARM_COLD_TOL,
+            "dual {d} vs cold {}", cold.objective);
+        prop_assert!((d - warm.solution.objective).abs() <= WARM_COLD_TOL,
+            "dual {d} vs warm {}", warm.solution.objective);
+        prop_assert!((d - dense.objective).abs() <= WARM_COLD_TOL,
+            "dual {d} vs dense {}", dense.objective);
+        prop_assert!(p1.max_violation(&dual.solution.x) < 1e-6,
+            "dual vertex feasible: {}", p1.max_violation(&dual.solution.x));
+    }
+
+    /// A chained sweep (each step re-seeded from the previous optimum,
+    /// like a real budget grid shard) stays glued to the cold and dense
+    /// answers at every step. The chain carries a [`ReoptCache`], so
+    /// this exercises the production fast path: cached scale factors,
+    /// cached standard form, and the reused LU+eta factorization.
+    #[test]
+    fn chained_dual_sweep_tracks_cold_and_dense(
+        n in 2usize..7,
+        m in 1usize..5,
+        coefs in prop::collection::vec(0.0f64..2.0, 35),
+        rhs in prop::collection::vec(0.5f64..4.0, 5),
+        steps in prop::collection::vec((0.3f64..3.0, 0.4f64..1.8), 1..5),
+    ) {
+        let p0 = capped_packing_lp(n, m, &coefs, &rhs);
+        let opts = SimplexOptions::default();
+        let mut cache = ReoptCache::new();
+        let mut basis =
+            solve_parametric_cached(&p0, &opts, None, StepHint::Fresh, &mut cache).unwrap().basis;
+        for (k, &(t, s)) in steps.iter().enumerate() {
+            let p1 = perturb_rhs_and_caps(&p0, t, s);
+            let dual =
+                solve_parametric_cached(&p1, &opts, basis.as_ref(), StepHint::RhsOnly, &mut cache)
+                    .unwrap();
+            let cold = solve(&p1, &opts).unwrap();
+            let dense = solve_dense(&p1);
+            prop_assert_eq!(dual.solution.status, SolveStatus::Optimal, "step {}", k);
+            prop_assert!((dual.solution.objective - cold.objective).abs() <= WARM_COLD_TOL,
+                "step {k}: dual {} vs cold {}", dual.solution.objective, cold.objective);
+            prop_assert!((dual.solution.objective - dense.objective).abs() <= WARM_COLD_TOL,
+                "step {k}: dual {} vs dense {}", dual.solution.objective, dense.objective);
+            prop_assert!(p1.max_violation(&dual.solution.x) < 1e-6, "step {k}");
+            basis = dual.basis;
+        }
     }
 }
 
