@@ -12,11 +12,12 @@ use dpsan_core::constraints::PrivacyConstraints;
 use dpsan_core::session::{SolveSession, Strategy};
 use dpsan_core::ump::frequent::{solve_fump_session, solve_fump_with, FumpOptions};
 use dpsan_core::ump::output_size::{solve_oump_session, solve_oump_with, OumpOptions};
-use dpsan_datagen::{generate, presets};
+use dpsan_datagen::{generate, presets, write_log_tsv};
 use dpsan_dp::params::PrivacyParams;
 use dpsan_eval::{run_experiment, Ctx, Scale};
 use dpsan_lp::simplex::SimplexOptions;
 use dpsan_searchlog::{preprocess, SearchLog};
+use dpsan_stream::{ingest_tsv, PairSketch, StreamConfig};
 
 /// The budget sweep used by the cold/warm/dual sweep benches: twelve
 /// `(e^ε, δ)` cells with distinct, ascending collapsed budgets —
@@ -126,6 +127,41 @@ fn bench(c: &mut Criterion) {
         let lambda = solve_oump_with(&cons, &opts).unwrap().lambda.max(2);
         let fopts = FumpOptions::new(0.02, lambda / 2);
         b.iter(|| solve_fump_with(&pre, &cons, &fopts).unwrap())
+    });
+
+    g.bench_function("ingest_stream", |b| {
+        // the sharded bounded-memory intake on a spooled tiny log:
+        // chunked parse → user-hash shards → drain → deterministic
+        // merge (single worker so the entry tracks work, not threads)
+        let mut tsv = Vec::new();
+        write_log_tsv(&presets::aol_tiny(), &mut tsv).expect("spool tiny log");
+        let cfg = StreamConfig { shards: 8, jobs: 1, ..Default::default() };
+        b.iter(|| {
+            let r = ingest_tsv(std::io::Cursor::new(&tsv[..]), &cfg).unwrap();
+            r.log.size()
+        })
+    });
+
+    g.bench_function("sketch_merge", |b| {
+        // merging 8 shard sketches at a capacity that forces real
+        // evictions and subtraction rounds (the drain's merge step)
+        let shard_sketches: Vec<PairSketch> = (0..8)
+            .map(|s| {
+                let mut sk = PairSketch::new(256);
+                for i in 0..2_000u64 {
+                    let q = (i * 7 + s * 13) % 600; // zipf-free but overlapping keys
+                    sk.offer(&format!("q{q}"), &format!("l{}", q % 40), 1 + i % 3);
+                }
+                sk
+            })
+            .collect();
+        b.iter(|| {
+            let mut merged = shard_sketches[0].clone();
+            for sk in &shard_sketches[1..] {
+                merged.merge(sk);
+            }
+            merged.len()
+        })
     });
 
     g.bench_function("table4_tiny_end_to_end", |b| {

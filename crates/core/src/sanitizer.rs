@@ -38,6 +38,22 @@ pub enum UtilityObjective {
         /// Target output size `|O| ∈ (0, λ]`.
         output_size: u64,
     },
+    /// F-UMP over an externally supplied frequent-pair set — the
+    /// streaming entrypoint: `dpsan-stream` mines candidates with its
+    /// heavy-hitters sketch and exactifies them against the
+    /// preprocessed log, so the solve skips the full-histogram scan.
+    /// Pair ids must refer to the *preprocessed* input (preprocessing
+    /// is idempotent and id-stable, so passing an already-preprocessed
+    /// log through [`Sanitizer::sanitize`] keeps them valid).
+    SketchedFrequentPairs {
+        /// The frequent pairs to protect (exact counts/supports).
+        frequent: Vec<dpsan_searchlog::FrequentPair>,
+        /// The support threshold the set was mined at (reporting /
+        /// validation only; the LP uses the supplied set as-is).
+        min_support: f64,
+        /// Target output size `|O| ∈ (0, λ]`.
+        output_size: u64,
+    },
     /// D-UMP: maximize pair diversity.
     Diversity {
         /// BIP solver choice.
@@ -153,6 +169,18 @@ impl Sanitizer {
                 )?
                 .counts
             }
+            UtilityObjective::SketchedFrequentPairs { frequent, min_support, output_size } => {
+                solve_fump_with(
+                    &pre,
+                    &constraints,
+                    &FumpOptions {
+                        lp: cfg.lp.clone(),
+                        ..FumpOptions::new(*min_support, *output_size)
+                            .with_frequent(frequent.clone())
+                    },
+                )?
+                .counts
+            }
             UtilityObjective::Diversity { solver } => {
                 solve_dump_with(
                     &constraints,
@@ -247,6 +275,42 @@ mod tests {
         assert!(total <= lambda / 2);
         let pr = precision_recall(&out.preprocessed, &out.counts, 0.1);
         assert!(pr.precision > 0.0);
+    }
+
+    #[test]
+    fn sketched_frequent_set_matches_mined_pipeline() {
+        let input = input_log();
+        let lambda: u64 = Sanitizer::with_objective(params(), UtilityObjective::OutputSize)
+            .sanitize(&input)
+            .unwrap()
+            .counts
+            .iter()
+            .sum();
+        let mined = Sanitizer::with_objective(
+            params(),
+            UtilityObjective::FrequentPairs { min_support: 0.1, output_size: lambda / 2 },
+        )
+        .sanitize(&input)
+        .unwrap();
+        // supply the exact frequent set of the preprocessed log — the
+        // streamed-ingestion contract — and expect identical output
+        let (pre, _) = dpsan_searchlog::preprocess(&input);
+        let frequent = dpsan_searchlog::frequent_pairs(&pre, 0.1);
+        let sketched = Sanitizer::with_objective(
+            params(),
+            UtilityObjective::SketchedFrequentPairs {
+                frequent,
+                min_support: 0.1,
+                output_size: lambda / 2,
+            },
+        )
+        .sanitize(&input)
+        .unwrap();
+        assert_eq!(sketched.counts, mined.counts);
+        assert_eq!(
+            output_pair_counts(&sketched.preprocessed, &sketched.output),
+            output_pair_counts(&mined.preprocessed, &mined.output),
+        );
     }
 
     #[test]

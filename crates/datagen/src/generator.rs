@@ -16,12 +16,26 @@ use crate::zipf::Zipf;
 
 /// Generate a synthetic search log (deterministic given the config).
 pub fn generate(cfg: &AolLikeConfig) -> SearchLog {
+    let mut builder = SearchLogBuilder::new();
+    for_each_event(cfg, |user_id, query, url| {
+        builder.add(user_id, query, url, 1).expect("unit counts are valid");
+    });
+    builder.build()
+}
+
+/// Drive the click-event stream of a configuration through a visitor,
+/// one `(user, query, url)` click at a time, in generation order.
+///
+/// This is the single source of the event sequence: [`generate`]
+/// aggregates it in memory, the streaming file writer in
+/// [`crate::stream_writer`] spools it to disk — both see the exact
+/// same deterministic stream for a given config.
+pub fn for_each_event<F: FnMut(&str, &str, &str)>(cfg: &AolLikeConfig, mut visit: F) {
     cfg.validate();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let query_dist = Zipf::new(cfg.n_queries, cfg.query_zipf);
     let url_dist = Zipf::new(cfg.urls_per_query, cfg.url_zipf);
 
-    let mut builder = SearchLogBuilder::new();
     for user in 0..cfg.n_users {
         let user_id = format!("{:06}", user);
         let events = sample_activity(&mut rng, cfg.mean_events_per_user, cfg.activity_sigma);
@@ -48,10 +62,9 @@ pub fn generate(cfg: &AolLikeConfig) -> SearchLog {
             // string forms keep the io layer honest without a lookup table
             let query = format!("query_{q}");
             let url = format!("www.site{q}-{u}.com");
-            builder.add(&user_id, &query, &url, 1).expect("unit counts are valid");
+            visit(&user_id, &query, &url);
         }
     }
-    builder.build()
 }
 
 /// Log-normal activity with the requested mean: `round(mean · exp(σz −

@@ -15,7 +15,10 @@
 //! * [`config`] — generator knobs,
 //! * [`generator`] — the click-event generator,
 //! * [`presets`] — `aol_tiny`/`aol_small`/`aol_medium`/`aol_paper`,
-//!   the latter calibrated to the proportions of the paper's Table 3.
+//!   the latter calibrated to the proportions of the paper's Table 3,
+//! * [`stream_writer`] — the same event stream spooled to a TSV file
+//!   with bounded memory, for exercising the out-of-core ingestion
+//!   path (`dpsan-stream`, the `sanitize` CLI).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,8 +26,10 @@
 pub mod config;
 pub mod generator;
 pub mod presets;
+pub mod stream_writer;
 pub mod zipf;
 
 pub use config::AolLikeConfig;
-pub use generator::generate;
+pub use generator::{for_each_event, generate};
+pub use stream_writer::{write_log_file, write_log_tsv};
 pub use zipf::Zipf;

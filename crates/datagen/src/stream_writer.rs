@@ -1,0 +1,145 @@
+//! Streaming log file writer: generated logs spooled to disk in the
+//! native TSV line format, without materializing a
+//! [`SearchLog`](dpsan_searchlog::SearchLog).
+//!
+//! The writer replays the exact event stream of
+//! [`generate`](crate::generate) (same RNG sequence, via
+//! [`crate::generator::for_each_event`]) but holds
+//! only **one user's aggregation** in memory at a time: events
+//! accumulate per `(query, url)` in first-occurrence order and flush
+//! as a block of TSV rows when the user completes. Reading the file
+//! back with [`read_tsv`](dpsan_searchlog::io::read_tsv) — or
+//! streaming it through `dpsan-stream` — reconstructs a log identical
+//! to the in-memory `generate` build: per-user blocks in user order
+//! with rows in per-user first-occurrence order preserve every
+//! category's global first-occurrence order, which is all the
+//! interners observe.
+
+use std::collections::HashMap;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::config::AolLikeConfig;
+use crate::generator::for_each_event;
+
+/// Write the configured log to any sink in native TSV
+/// (`user \t query \t url \t count`).
+///
+/// Deterministic given the config; peak memory is one user's distinct
+/// pair set, not the whole log.
+pub fn write_log_tsv<W: Write>(cfg: &AolLikeConfig, mut w: W) -> io::Result<()> {
+    // per-user aggregation in first-occurrence order
+    let mut current_user = String::new();
+    let mut order: Vec<(String, String, u64)> = Vec::new();
+    let mut index: HashMap<(String, String), usize> = HashMap::new();
+    let mut result: io::Result<()> = Ok(());
+
+    let flush_user = |user: &str,
+                      order: &mut Vec<(String, String, u64)>,
+                      index: &mut HashMap<(String, String), usize>,
+                      w: &mut W|
+     -> io::Result<()> {
+        for (query, url, count) in order.drain(..) {
+            writeln!(w, "{user}\t{query}\t{url}\t{count}")?;
+        }
+        index.clear();
+        Ok(())
+    };
+
+    for_each_event(cfg, |user, query, url| {
+        if result.is_err() {
+            return;
+        }
+        if user != current_user {
+            if !current_user.is_empty() {
+                result = flush_user(&current_user, &mut order, &mut index, &mut w);
+            }
+            current_user = user.to_string();
+        }
+        let key = (query.to_string(), url.to_string());
+        match index.get(&key) {
+            Some(&i) => order[i].2 += 1,
+            None => {
+                index.insert(key, order.len());
+                order.push((query.to_string(), url.to_string(), 1));
+            }
+        }
+    });
+    result?;
+    if !current_user.is_empty() {
+        flush_user(&current_user, &mut order, &mut index, &mut w)?;
+    }
+    w.flush()
+}
+
+/// Write the configured log to a file at `path` (buffered).
+pub fn write_log_file(cfg: &AolLikeConfig, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_log_tsv(cfg, BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use dpsan_searchlog::io::read_tsv;
+    use dpsan_searchlog::Interner;
+    use std::io::Cursor;
+
+    fn small_cfg() -> AolLikeConfig {
+        AolLikeConfig {
+            n_users: 50,
+            n_queries: 400,
+            mean_events_per_user: 20.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_reproduces_the_in_memory_log() {
+        let cfg = small_cfg();
+        let reference = generate(&cfg);
+        let mut buf = Vec::new();
+        write_log_tsv(&cfg, &mut buf).unwrap();
+        let reread = read_tsv(Cursor::new(buf)).unwrap();
+        // identical interning order (the property the sanitize CLI's
+        // byte-identity rests on), not just equal multisets
+        let vocab = |i: &Interner| i.iter().map(|(_, s)| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(vocab(reread.users()), vocab(reference.users()));
+        assert_eq!(vocab(reread.queries()), vocab(reference.queries()));
+        assert_eq!(vocab(reread.urls()), vocab(reference.urls()));
+        let recs = |l: &dpsan_searchlog::SearchLog| l.records().collect::<Vec<_>>();
+        assert_eq!(recs(&reread), recs(&reference));
+    }
+
+    #[test]
+    fn writer_is_deterministic() {
+        let cfg = small_cfg();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_log_tsv(&cfg, &mut a).unwrap();
+        write_log_tsv(&cfg, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rows_are_valid_tsv() {
+        let cfg = AolLikeConfig { n_users: 3, mean_events_per_user: 5.0, ..small_cfg() };
+        let mut buf = Vec::new();
+        write_log_tsv(&cfg, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for line in text.lines() {
+            assert_eq!(line.split('\t').count(), 4, "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn write_log_file_creates_readable_file() {
+        let cfg = AolLikeConfig { n_users: 4, mean_events_per_user: 3.0, ..small_cfg() };
+        let path = std::env::temp_dir().join("dpsan_datagen_writer_test.tsv");
+        write_log_file(&cfg, &path).unwrap();
+        let log = read_tsv(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+        assert_eq!(log.size(), generate(&cfg).size());
+        std::fs::remove_file(&path).ok();
+    }
+}

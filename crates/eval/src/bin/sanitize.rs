@@ -1,0 +1,317 @@
+//! `sanitize` — the production entrypoint: read a search-log file, run
+//! `(ε, δ)`-private sanitization, write the sanitized log.
+//!
+//! ```text
+//! sanitize access.tsv --out sanitized.tsv
+//! sanitize access.tsv --objective fump --min-support 0.02 --e-epsilon 1.7
+//! sanitize access.tsv --ingest in-memory --out reference.tsv   # cross-check
+//! ```
+//!
+//! Unlike `repro` (which regenerates the paper's tables on synthetic
+//! data), `sanitize` is a file-in/file-out tool. The default ingestion
+//! path is the `dpsan-stream` sharded engine: chunked intake, user-hash
+//! shards (user-complete, so the privacy accounting is untouched), a
+//! mergeable heavy-hitters sketch that mines F-UMP frequent-pair
+//! candidates in the same bounded-memory pass, and a deterministic
+//! merge. `--ingest in-memory` runs the one-shot `read_tsv` build
+//! instead; **both paths produce byte-identical output** for every
+//! `--jobs`/`--shards` value (CI diffs them).
+//!
+//! Output is the sanitized log in the same 4-column TSV schema as the
+//! input — the paper's headline property.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use dpsan_core::sanitizer::{Sanitizer, SanitizerConfig, UtilityObjective};
+use dpsan_core::ump::diversity::DumpSolver;
+use dpsan_core::ump::output_size::{solve_oump, OumpOptions};
+use dpsan_dp::params::PrivacyParams;
+use dpsan_searchlog::{frequent_pairs, io::read_tsv, preprocess, FrequentPair, SearchLog};
+use dpsan_stream::{ingest_path, sketch_frequent_pairs, StreamConfig};
+
+const USAGE: &str = "usage: sanitize <input.tsv> [options]
+  --out <path>             write the sanitized log here (default: stdout)
+  --objective <obj>        oump | fump | dump        (default: oump)
+  --e-epsilon <v>          privacy parameter e^eps, > 1      (default: 2.0)
+  --delta <v>              privacy parameter delta, in (0,1) (default: 0.5)
+  --min-support <v>        F-UMP support threshold, in (0,1] (default: 0.05)
+  --output-size <n|auto>   F-UMP output size |O|     (default: auto = lambda/2)
+  --seed <n>               sampling seed             (default: fixed)
+  --ingest <mode>          streaming | in-memory     (default: streaming)
+  --shards <n>             user-hash shards          (default: 16)
+  --chunk-rows <n>         max raw rows in memory    (default: 8192)
+  --sketch-capacity <n>    heavy-hitter counters (default: 4096 for fump,
+                           0 = off otherwise; only fump reads the sketch)
+  --jobs <n>               shard-drain workers       (default: available cores)
+  --stats                  ingestion + run report to stderr";
+
+struct Args {
+    input: String,
+    out: Option<String>,
+    objective: String,
+    e_epsilon: f64,
+    delta: f64,
+    min_support: f64,
+    output_size: Option<u64>,
+    seed: Option<u64>,
+    ingest: String,
+    shards: usize,
+    chunk_rows: usize,
+    sketch_capacity: Option<usize>,
+    jobs: usize,
+    stats: bool,
+}
+
+impl Args {
+    /// Per-shard sketch capacity: an explicit `--sketch-capacity`
+    /// wins; otherwise sketching runs only for the objective that
+    /// consumes it (fump) and stays off the oump/dump hot path.
+    fn effective_sketch_capacity(&self) -> usize {
+        self.sketch_capacity.unwrap_or(if self.objective == "fump" { 4096 } else { 0 })
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: String::new(),
+        out: None,
+        objective: "oump".into(),
+        e_epsilon: 2.0,
+        delta: 0.5,
+        min_support: 0.05,
+        output_size: None,
+        seed: None,
+        ingest: "streaming".into(),
+        shards: 16,
+        chunk_rows: 8192,
+        sketch_capacity: None,
+        jobs: std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+        stats: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
+        it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--out" => args.out = Some(value("--out", &mut it)?),
+            "--objective" => args.objective = value("--objective", &mut it)?,
+            "--e-epsilon" => {
+                args.e_epsilon = parse_num(&value("--e-epsilon", &mut it)?, "--e-epsilon")?
+            }
+            "--delta" => args.delta = parse_num(&value("--delta", &mut it)?, "--delta")?,
+            "--min-support" => {
+                args.min_support = parse_num(&value("--min-support", &mut it)?, "--min-support")?
+            }
+            "--output-size" => {
+                let v = value("--output-size", &mut it)?;
+                args.output_size = if v == "auto" {
+                    None
+                } else {
+                    Some(v.parse().map_err(|e| format!("bad --output-size {v:?}: {e}"))?)
+                };
+            }
+            "--seed" => {
+                args.seed = Some(
+                    value("--seed", &mut it)?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                )
+            }
+            "--ingest" => args.ingest = value("--ingest", &mut it)?,
+            "--shards" => args.shards = parse_count(&value("--shards", &mut it)?, "--shards")?,
+            "--chunk-rows" => {
+                args.chunk_rows = parse_count(&value("--chunk-rows", &mut it)?, "--chunk-rows")?
+            }
+            "--sketch-capacity" => {
+                args.sketch_capacity = Some(
+                    value("--sketch-capacity", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("bad --sketch-capacity: {e}"))?,
+                )
+            }
+            "--jobs" => args.jobs = parse_count(&value("--jobs", &mut it)?, "--jobs")?,
+            "--stats" => args.stats = true,
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            other => {
+                if !args.input.is_empty() {
+                    return Err(format!("unexpected extra input {other:?}"));
+                }
+                args.input = other.to_string();
+            }
+        }
+    }
+    if args.input.is_empty() {
+        return Err("missing input file".into());
+    }
+    if !matches!(args.objective.as_str(), "oump" | "fump" | "dump") {
+        return Err(format!("unknown objective {:?}", args.objective));
+    }
+    if !matches!(args.ingest.as_str(), "streaming" | "in-memory") {
+        return Err(format!("unknown ingest mode {:?}", args.ingest));
+    }
+    // numeric domains, mirrored from the library asserts so a typo
+    // gets the usage path, not a panic + backtrace
+    if !(args.e_epsilon.is_finite() && args.e_epsilon > 1.0) {
+        return Err(format!("--e-epsilon must be > 1, got {}", args.e_epsilon));
+    }
+    if !(args.delta.is_finite() && args.delta > 0.0 && args.delta < 1.0) {
+        return Err(format!("--delta must be in (0, 1), got {}", args.delta));
+    }
+    if !(args.min_support.is_finite() && args.min_support > 0.0 && args.min_support <= 1.0) {
+        return Err(format!("--min-support must be in (0, 1], got {}", args.min_support));
+    }
+    if args.output_size == Some(0) {
+        return Err("--output-size must be at least 1 (or auto)".into());
+    }
+    Ok(args)
+}
+
+fn parse_num(v: &str, flag: &str) -> Result<f64, String> {
+    v.parse().map_err(|e| format!("bad {flag} {v:?}: {e}"))
+}
+
+fn parse_count(v: &str, flag: &str) -> Result<usize, String> {
+    let n: usize = v.parse().map_err(|e| format!("bad {flag} {v:?}: {e}"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be at least 1"));
+    }
+    Ok(n)
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let params = PrivacyParams::from_e_epsilon(args.e_epsilon, args.delta);
+
+    // 1. ingestion: streamed sharded engine or one-shot in-memory —
+    //    both yield the identical SearchLog (tested + CI-diffed)
+    let (raw, sketch): (SearchLog, Option<dpsan_stream::PairSketch>) = if args.ingest == "streaming"
+    {
+        let cfg = StreamConfig {
+            shards: args.shards,
+            chunk_rows: args.chunk_rows,
+            sketch_capacity: args.effective_sketch_capacity(),
+            jobs: args.jobs,
+        };
+        let r = ingest_path(&args.input, &cfg)?;
+        if args.stats {
+            eprintln!(
+                "ingest[streaming]: rows={} shards={} peak_chunk_rows={} \
+                     max_shard_triplets={} sketch_entries={}",
+                r.report.rows,
+                args.shards,
+                r.report.peak_chunk_rows,
+                r.report.max_shard_triplets,
+                r.report.sketch_entries,
+            );
+        }
+        (r.log, r.sketch)
+    } else {
+        let file = std::fs::File::open(&args.input)?;
+        let log = read_tsv(std::io::BufReader::new(file))?;
+        if args.stats {
+            eprintln!("ingest[in-memory]: triplets={}", log.n_triplets());
+        }
+        (log, None)
+    };
+
+    // 2. preprocess once here: the F-UMP frequent set and the auto
+    //    output size refer to the preprocessed log, and preprocessing
+    //    is idempotent + id-stable, so the sanitizer's internal pass
+    //    is a no-op on `pre`
+    let (pre, report) = preprocess(&raw);
+    if args.stats {
+        eprintln!(
+            "preprocess: removed_pairs={} removed_clicks={} kept_pairs={} kept_size={}",
+            report.removed_pairs,
+            report.removed_count,
+            pre.n_pairs(),
+            pre.size()
+        );
+    }
+
+    let objective = match args.objective.as_str() {
+        "oump" => UtilityObjective::OutputSize,
+        "dump" => UtilityObjective::Diversity { solver: DumpSolver::Spe },
+        "fump" => {
+            let output_size = match args.output_size {
+                Some(o) => o,
+                None => {
+                    let lambda = solve_oump(&pre, params, &OumpOptions::default())?.lambda;
+                    (lambda / 2).max(1)
+                }
+            };
+            // sketch-mined candidates, exactified against the log;
+            // identical to the exact scan (the in-memory path) by the
+            // sketch's completeness guarantee
+            let frequent: Vec<FrequentPair> = match &sketch {
+                Some(sk) => sketch_frequent_pairs(&pre, sk, args.min_support),
+                None => frequent_pairs(&pre, args.min_support),
+            };
+            if args.stats {
+                eprintln!(
+                    "fump: frequent_pairs={} output_size={output_size} mined_via={}",
+                    frequent.len(),
+                    if sketch.is_some() { "sketch" } else { "exact-scan" },
+                );
+            }
+            UtilityObjective::SketchedFrequentPairs {
+                frequent,
+                min_support: args.min_support,
+                output_size,
+            }
+        }
+        _ => unreachable!("validated in parse_args"),
+    };
+
+    let mut cfg = SanitizerConfig::new(params, objective);
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    let result = Sanitizer::new(cfg).sanitize(&pre)?;
+    if args.stats {
+        eprintln!(
+            "sanitize: output_size={} output_pairs={} epsilon={:.6} delta={}",
+            result.output.size(),
+            result.output.n_pairs(),
+            params.epsilon(),
+            params.delta()
+        );
+    }
+
+    // 3. release: same schema as the input
+    match &args.out {
+        Some(path) => {
+            let file = std::fs::File::create(path)?;
+            let mut w = std::io::BufWriter::new(file);
+            dpsan_searchlog::io::write_tsv(&result.output, &mut w)?;
+            w.flush()?;
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut w = stdout.lock();
+            dpsan_searchlog::io::write_tsv(&result.output, &mut w)?;
+            w.flush()?;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("{msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = run(&args) {
+        eprintln!("sanitize: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -10,6 +10,13 @@
 //!   `ClickURL`) are kept, matching the paper's "only collect the tuples
 //!   with clicks"; each click row contributes count 1 and duplicates
 //!   aggregate.
+//!
+//! TSV parsing is exposed at two altitudes: [`read_tsv`] materializes a
+//! whole [`SearchLog`] in one shot, and [`TsvStream`] yields parsed
+//! [`RawRecord`]s one line (or one bounded chunk) at a time so callers
+//! like `dpsan-stream` can ingest logs far larger than memory. Both run
+//! the identical parser, so a streamed-then-merged log can be proven
+//! equal to the one-shot build.
 
 use std::io::{BufRead, Write};
 
@@ -17,33 +24,128 @@ use crate::error::LogError;
 use crate::ids::PairId;
 use crate::log::{SearchLog, SearchLogBuilder};
 
-/// Parse the native 4-column TSV format.
-pub fn read_tsv<R: BufRead>(reader: R) -> Result<SearchLog, LogError> {
-    let mut b = SearchLogBuilder::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+/// One parsed-but-uninterned line of the native TSV format: owned
+/// strings, exactly as they appeared in the file.
+///
+/// This is the unit the streaming reader hands out; interning happens
+/// downstream (per shard, in `dpsan-stream`) so the reader itself holds
+/// no vocabulary state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawRecord {
+    /// Pseudonymous user id string.
+    pub user: String,
+    /// Query string.
+    pub query: String,
+    /// Clicked url string.
+    pub url: String,
+    /// Click-through count (strictly positive).
+    pub count: u64,
+}
+
+/// An incremental reader of the native 4-column TSV format.
+///
+/// Yields one [`RawRecord`] per data line (comments and blank lines are
+/// skipped), in file order, without buffering more than the current
+/// line. [`TsvStream::read_chunk`] bounds the resident row count for
+/// chunked intake.
+#[derive(Debug)]
+pub struct TsvStream<R> {
+    reader: R,
+    lineno: usize,
+    // reusable line buffer: one allocation for the whole stream, not
+    // one per physical line (this is the ingestion hot loop)
+    line: String,
+}
+
+impl<R: BufRead> TsvStream<R> {
+    /// Wrap a buffered reader.
+    pub fn new(reader: R) -> Self {
+        TsvStream { reader, lineno: 0, line: String::new() }
+    }
+
+    /// The number of physical lines consumed so far (including skipped
+    /// comments/blanks).
+    pub fn lines_read(&self) -> usize {
+        self.lineno
+    }
+
+    /// Read up to `max` records into `buf` (which is cleared first).
+    /// Returns the number of records read; `0` means end of input.
+    ///
+    /// This is the bounded-memory intake primitive: a caller that
+    /// re-uses one buffer never holds more than `max` raw rows at once.
+    pub fn read_chunk(&mut self, buf: &mut Vec<RawRecord>, max: usize) -> Result<usize, LogError> {
+        buf.clear();
+        while buf.len() < max {
+            match self.next() {
+                Some(rec) => buf.push(rec?),
+                None => break,
+            }
+        }
+        Ok(buf.len())
+    }
+
+    fn parse_line(&self, line: &str) -> Result<Option<RawRecord>, LogError> {
         let line = line.trim_end_matches(['\r', '\n']);
         if line.is_empty() || line.starts_with('#') {
-            continue;
+            return Ok(None);
         }
         let mut f = line.split('\t');
         let (user, query, url, count) = match (f.next(), f.next(), f.next(), f.next(), f.next()) {
             (Some(u), Some(q), Some(l), Some(c), None) => (u, q, l, c),
             _ => {
                 return Err(LogError::Parse {
-                    line: lineno + 1,
+                    line: self.lineno,
                     message: "expected 4 tab-separated fields: user, query, url, count".into(),
                 })
             }
         };
         let count: u64 = count.parse().map_err(|e| LogError::Parse {
-            line: lineno + 1,
+            line: self.lineno,
             message: format!("bad count {count:?}: {e}"),
         })?;
         if count == 0 {
-            return Err(LogError::ZeroCount { line: lineno + 1 });
+            return Err(LogError::ZeroCount { line: self.lineno });
         }
-        b.add(user, query, url, count)?;
+        Ok(Some(RawRecord {
+            user: user.to_string(),
+            query: query.to_string(),
+            url: url.to_string(),
+            count,
+        }))
+    }
+}
+
+impl<R: BufRead> Iterator for TsvStream<R> {
+    type Item = Result<RawRecord, LogError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => return Some(Err(e.into())),
+            }
+            self.lineno += 1;
+            match self.parse_line(&self.line) {
+                Ok(Some(rec)) => return Some(Ok(rec)),
+                Ok(None) => continue,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// Parse the native 4-column TSV format into a whole [`SearchLog`].
+///
+/// Built on [`TsvStream`], so the one-shot and streaming paths share
+/// one parser; interning order is file order (first occurrence).
+pub fn read_tsv<R: BufRead>(reader: R) -> Result<SearchLog, LogError> {
+    let mut b = SearchLogBuilder::new();
+    for rec in TsvStream::new(reader) {
+        let r = rec?;
+        b.add(&r.user, &r.query, &r.url, r.count)?;
     }
     Ok(b.build())
 }
@@ -172,5 +274,63 @@ mod tests {
         let text = "9\t \t2006-03-01 10:01:00\t1\thttp://x.com\n";
         let log = read_aol(Cursor::new(text)).unwrap();
         assert_eq!(log.n_pairs(), 0);
+    }
+
+    #[test]
+    fn stream_yields_records_in_file_order() {
+        let text = "# header\nu1\tq1\tl1\t5\n\nu2\tq2\tl2\t3\n";
+        let recs: Result<Vec<_>, _> = TsvStream::new(Cursor::new(text)).collect();
+        let recs = recs.unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].user, "u1");
+        assert_eq!(recs[0].count, 5);
+        assert_eq!(recs[1].query, "q2");
+    }
+
+    #[test]
+    fn stream_chunking_bounds_resident_rows() {
+        let text: String = (0..10).map(|i| format!("u{i}\tq\tl\t1\n")).collect();
+        let mut stream = TsvStream::new(Cursor::new(text));
+        let mut buf = Vec::new();
+        let mut total = 0;
+        let mut chunks = 0;
+        loop {
+            let n = stream.read_chunk(&mut buf, 4).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert!(n <= 4, "chunk never exceeds the requested bound");
+            total += n;
+            chunks += 1;
+        }
+        assert_eq!(total, 10);
+        assert_eq!(chunks, 3);
+        assert_eq!(stream.lines_read(), 10);
+    }
+
+    #[test]
+    fn stream_errors_carry_line_numbers() {
+        let text = "u1\tq\tl\t2\nu2\tq\tl\t0\n";
+        let err = TsvStream::new(Cursor::new(text)).collect::<Result<Vec<_>, _>>().unwrap_err();
+        assert!(matches!(err, LogError::ZeroCount { line: 2 }));
+    }
+
+    #[test]
+    fn stream_and_one_shot_agree() {
+        let text = "u1\tgoogle\tgoogle.com\t5\nu2\tgoogle\tgoogle.com\t3\nu2\tcars\tkbb.com\t1\n";
+        let via_stream = {
+            let mut b = SearchLogBuilder::new();
+            for rec in TsvStream::new(Cursor::new(text)) {
+                let r = rec.unwrap();
+                b.add(&r.user, &r.query, &r.url, r.count).unwrap();
+            }
+            b.build()
+        };
+        let one_shot = read_tsv(Cursor::new(text)).unwrap();
+        assert_eq!(via_stream.size(), one_shot.size());
+        assert_eq!(via_stream.n_pairs(), one_shot.n_pairs());
+        let r1: Vec<_> = via_stream.records().collect();
+        let r2: Vec<_> = one_shot.records().collect();
+        assert_eq!(r1, r2, "identical interning order, ids and counts");
     }
 }

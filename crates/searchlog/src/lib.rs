@@ -17,7 +17,9 @@
 //!   user) in [`preprocess`](preprocess()),
 //! * Table-3 style dataset statistics in [`stats`],
 //! * frequent-pair (support) extraction in [`frequent`],
-//! * AOL-format and native TSV io in [`io`].
+//! * AOL-format and native TSV io in [`io`], including the chunked
+//!   [`TsvStream`] reader that feeds the `dpsan-stream` bounded-memory
+//!   ingestion engine.
 //!
 //! Everything downstream (privacy constraints, utility-maximizing
 //! problems, multinomial sampling) is a pure function of the histograms
@@ -40,6 +42,7 @@ pub use error::LogError;
 pub use frequent::{frequent_pairs, FrequentPair};
 pub use ids::{PairId, QueryId, UrlId, UserId};
 pub use intern::Interner;
+pub use io::{RawRecord, TsvStream};
 pub use log::{PairEntry, SearchLog, SearchLogBuilder, TripletRef, UserLogRef};
 pub use preprocess::{preprocess, PreprocessReport};
 pub use record::LogRecord;

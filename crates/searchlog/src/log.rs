@@ -256,6 +256,18 @@ impl SearchLogBuilder {
         }
     }
 
+    /// Builder over explicitly supplied interners.
+    ///
+    /// This is the merge entrypoint of the streaming ingestion engine:
+    /// shards intern independently, the merger reconstructs the global
+    /// first-occurrence interners, and then replays the aggregated
+    /// records through [`SearchLogBuilder::add_record`]. Pair ids are
+    /// assigned in record-insertion order (first occurrence of each
+    /// `(query, url)` key), exactly as with [`SearchLogBuilder::add`].
+    pub fn with_vocabulary(users: Interner, queries: Interner, urls: Interner) -> Self {
+        SearchLogBuilder { users, queries, urls, ..Default::default() }
+    }
+
     /// Add one tuple by strings, interning as needed. Duplicate tuples
     /// accumulate their counts.
     pub fn add(&mut self, user: &str, query: &str, url: &str, count: u64) -> Result<(), LogError> {

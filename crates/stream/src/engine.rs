@@ -1,0 +1,375 @@
+//! The ingestion engine: chunked intake → user-hash shards → parallel
+//! drain → deterministic merge.
+//!
+//! The merge is the load-bearing step. Shards intern independently, so
+//! their local ids are meaningless globally; what each shard *does*
+//! keep is the global row index of every first occurrence. Sorting the
+//! union of those tables by first row (unique per category — one row
+//! introduces at most one new user/query/url/pair) reconstructs
+//! exactly the interning order a sequential [`read_tsv`] build would
+//! have produced, and replaying the aggregated records in pair-first
+//! order through [`SearchLogBuilder::with_vocabulary`] reproduces the
+//! pair-id assignment too. The result: the streamed [`SearchLog`] is
+//! structurally identical to the one-shot in-memory build — same
+//! interners, same ids, same CSR arrays — for **any** shard count and
+//! any drain parallelism, so everything downstream (constraints, LP,
+//! sampling) is byte-identical.
+//!
+//! [`read_tsv`]: dpsan_searchlog::io::read_tsv
+
+use std::collections::HashMap;
+use std::io::BufRead;
+
+use dpsan_searchlog::{
+    Interner, LogError, LogRecord, QueryId, SearchLog, SearchLogBuilder, TsvStream, UrlId, UserId,
+};
+
+use crate::pool::run_sharded;
+use crate::shard::{shard_of, DrainedShard, ShardIntake, ShardStats};
+use crate::sketch::PairSketch;
+
+/// Ingestion knobs.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Number of user-hash shards (≥ 1). Shard assignment depends only
+    /// on the user string, never on this machine or run.
+    pub shards: usize,
+    /// Maximum raw records resident at once (the chunk buffer bound).
+    pub chunk_rows: usize,
+    /// Heavy-hitters sketch capacity per shard; `0` disables sketching.
+    pub sketch_capacity: usize,
+    /// Worker threads for the shard drain (results are identical for
+    /// every value; see [`crate::pool`]).
+    pub jobs: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { shards: 16, chunk_rows: 8 * 1024, sketch_capacity: 1024, jobs: 1 }
+    }
+}
+
+impl StreamConfig {
+    /// Panic on nonsense values (the config is programmer input).
+    pub fn validate(&self) {
+        assert!(self.shards >= 1, "need at least one shard");
+        assert!(self.chunk_rows >= 1, "need a positive chunk size");
+        assert!(self.jobs >= 1, "need at least one worker");
+    }
+}
+
+/// Whole-stream statistics assembled during the merge: the additive
+/// shard part plus the exact distinct counts from the union tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Summed per-shard statistics (rows, clicks, users, triplets —
+    /// all exactly additive under user-complete sharding).
+    pub shard: ShardStats,
+    /// Distinct queries across all shards.
+    pub queries: usize,
+    /// Distinct urls across all shards.
+    pub urls: usize,
+    /// Distinct query–url pairs across all shards.
+    pub pairs: usize,
+}
+
+/// Bounded-memory accounting of one ingestion run. The bounds are
+/// *counters*, not RSS guesses: tests assert them directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestReport {
+    /// Records ingested.
+    pub rows: u64,
+    /// Physical lines consumed (including comments/blanks).
+    pub lines: u64,
+    /// Largest number of raw records resident at once — never exceeds
+    /// the configured `chunk_rows`.
+    pub peak_chunk_rows: usize,
+    /// Largest per-shard aggregated triplet count at end of intake —
+    /// the per-shard memory footprint.
+    pub max_shard_triplets: usize,
+    /// Live counters in the merged sketch (≤ configured capacity), 0
+    /// when sketching is disabled.
+    pub sketch_entries: usize,
+}
+
+/// Everything one ingestion run produces.
+#[derive(Debug)]
+pub struct IngestResult {
+    /// The merged log — identical to the one-shot in-memory build.
+    pub log: SearchLog,
+    /// The merged heavy-hitters sketch over the whole stream (`None`
+    /// when `sketch_capacity` is 0).
+    pub sketch: Option<PairSketch>,
+    /// Merged whole-stream statistics.
+    pub stats: StreamStats,
+    /// Memory-bound counters.
+    pub report: IngestReport,
+}
+
+/// Ingest a native-TSV stream through the sharded engine.
+pub fn ingest_tsv<R: BufRead>(reader: R, cfg: &StreamConfig) -> Result<IngestResult, LogError> {
+    cfg.validate();
+    let mut shards: Vec<ShardIntake> = (0..cfg.shards).map(|_| ShardIntake::new()).collect();
+    let mut sketches: Vec<PairSketch> = if cfg.sketch_capacity > 0 {
+        (0..cfg.shards).map(|_| PairSketch::new(cfg.sketch_capacity)).collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut stream = TsvStream::new(reader);
+    let mut buf = Vec::with_capacity(cfg.chunk_rows.min(64 * 1024));
+    let mut report = IngestReport::default();
+    let mut row: u64 = 0;
+    loop {
+        let n = stream.read_chunk(&mut buf, cfg.chunk_rows)?;
+        if n == 0 {
+            break;
+        }
+        report.peak_chunk_rows = report.peak_chunk_rows.max(n);
+        for rec in &buf {
+            let s = shard_of(&rec.user, cfg.shards);
+            shards[s].add(row, rec);
+            if let Some(sk) = sketches.get_mut(s) {
+                sk.offer(&rec.query, &rec.url, rec.count);
+            }
+            row += 1;
+        }
+    }
+    report.rows = row;
+    report.lines = stream.lines_read() as u64;
+    report.max_shard_triplets = shards.iter().map(ShardIntake::staged_triplets).max().unwrap_or(0);
+
+    // drain shards in parallel (deterministic: one worker per shard,
+    // results in shard order), then merge sequentially in shard order
+    let drained: Vec<DrainedShard> = run_sharded(shards, cfg.jobs, ShardIntake::drain);
+    let (log, stats) = merge_shards(&drained);
+
+    let sketch = merge_sketches(sketches);
+    report.sketch_entries = sketch.as_ref().map_or(0, PairSketch::len);
+
+    Ok(IngestResult { log, sketch, stats, report })
+}
+
+/// Ingest a native-TSV file from disk.
+pub fn ingest_path(
+    path: impl AsRef<std::path::Path>,
+    cfg: &StreamConfig,
+) -> Result<IngestResult, LogError> {
+    let file = std::fs::File::open(path)?;
+    ingest_tsv(std::io::BufReader::new(file), cfg)
+}
+
+fn merge_sketches(mut sketches: Vec<PairSketch>) -> Option<PairSketch> {
+    let mut merged = if sketches.is_empty() { None } else { Some(sketches.remove(0)) };
+    if let Some(m) = merged.as_mut() {
+        for sk in &sketches {
+            m.merge(sk);
+        }
+    }
+    merged
+}
+
+/// Rebuild the global log from drained shards (see module docs for why
+/// this reproduces the sequential build exactly).
+fn merge_shards(shards: &[DrainedShard]) -> (SearchLog, StreamStats) {
+    // 1. global interners in first-occurrence order. Users are disjoint
+    //    across shards; queries/urls take the min first row per string.
+    let users = merge_disjoint_vocab(shards, |s| (&s.users, &s.user_first));
+    let queries = merge_overlapping_vocab(shards, |s| (&s.queries, &s.query_first));
+    let urls = merge_overlapping_vocab(shards, |s| (&s.urls, &s.url_first));
+
+    // 2. global pair order: min first row per (global query, global url)
+    let mut pair_min: HashMap<(u32, u32), u64> = HashMap::new();
+    for s in shards {
+        for (i, &(lq, lu)) in s.pair_keys.iter().enumerate() {
+            let gq = queries.get(s.queries.resolve(lq)).expect("merged vocabulary is complete");
+            let gu = urls.get(s.urls.resolve(lu)).expect("merged vocabulary is complete");
+            let e = pair_min.entry((gq, gu)).or_insert(u64::MAX);
+            *e = (*e).min(s.pair_first[i]);
+        }
+    }
+
+    // 3. records with global ids, ordered by (pair first row, user id):
+    //    pair ids get assigned in pair-first-occurrence order, which is
+    //    exactly the sequential assignment
+    let mut records: Vec<(u64, LogRecord)> = Vec::new();
+    for s in shards {
+        for &(lp, lu, count) in &s.records {
+            let (lq, lurl) = s.pair_keys[lp as usize];
+            let gq = queries.get(s.queries.resolve(lq)).expect("merged vocabulary is complete");
+            let gu = urls.get(s.urls.resolve(lurl)).expect("merged vocabulary is complete");
+            let guser = users.get(s.users.resolve(lu)).expect("merged vocabulary is complete");
+            let first = pair_min[&(gq, gu)];
+            records.push((
+                first,
+                LogRecord { user: UserId(guser), query: QueryId(gq), url: UrlId(gu), count },
+            ));
+        }
+    }
+    records.sort_unstable_by_key(|&(first, r)| (first, r.user.0));
+
+    let stats = StreamStats {
+        shard: shards.iter().fold(ShardStats::default(), |mut acc, s| {
+            acc.merge(&s.stats);
+            acc
+        }),
+        queries: queries.len(),
+        urls: urls.len(),
+        pairs: pair_min.len(),
+    };
+
+    let mut builder = SearchLogBuilder::with_vocabulary(users, queries, urls);
+    for (_, r) in records {
+        builder.add_record(r).expect("counts validated at intake");
+    }
+    (builder.build(), stats)
+}
+
+/// Union of shard vocabularies whose strings are disjoint (users).
+fn merge_disjoint_vocab<'a>(
+    shards: &'a [DrainedShard],
+    view: impl Fn(&'a DrainedShard) -> (&'a Interner, &'a Vec<u64>),
+) -> Interner {
+    let mut entries: Vec<(u64, &str)> = Vec::new();
+    for s in shards {
+        let (interner, first) = view(s);
+        for (id, string) in interner.iter() {
+            entries.push((first[id as usize], string));
+        }
+    }
+    build_ordered(entries)
+}
+
+/// Union of shard vocabularies that may overlap (queries, urls): the
+/// global first row of a string is the min over shards.
+fn merge_overlapping_vocab<'a>(
+    shards: &'a [DrainedShard],
+    view: impl Fn(&'a DrainedShard) -> (&'a Interner, &'a Vec<u64>),
+) -> Interner {
+    let mut min_first: HashMap<&str, u64> = HashMap::new();
+    for s in shards {
+        let (interner, first) = view(s);
+        for (id, string) in interner.iter() {
+            let e = min_first.entry(string).or_insert(u64::MAX);
+            *e = (*e).min(first[id as usize]);
+        }
+    }
+    build_ordered(min_first.into_iter().map(|(s, f)| (f, s)).collect())
+}
+
+/// Interner from `(first_row, string)` entries, ordered by first row.
+/// First rows are unique within one category (a row introduces at most
+/// one new string per category), so the order is total and
+/// deterministic regardless of hash-map iteration.
+fn build_ordered(mut entries: Vec<(u64, &str)>) -> Interner {
+    entries.sort_unstable_by_key(|&(first, _)| first);
+    let mut interner = Interner::with_capacity(entries.len());
+    for (_, s) in entries {
+        interner.intern(s);
+    }
+    interner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsan_searchlog::io::read_tsv;
+    use std::io::Cursor;
+
+    fn sample_tsv() -> String {
+        let mut s = String::new();
+        // interleaved users so shard-local and global first-occurrence
+        // orders genuinely differ
+        for i in 0..30 {
+            let user = format!("user{:02}", i % 7);
+            let q = format!("q{}", i % 5);
+            let url = format!("site{}.com", (i * 3) % 4);
+            s.push_str(&format!("{user}\t{q}\t{url}\t{}\n", 1 + i % 3));
+        }
+        s
+    }
+
+    /// Structural equality: interners (content *and* order), ids,
+    /// triplets. This is the property that makes everything downstream
+    /// byte-identical.
+    fn assert_logs_identical(a: &SearchLog, b: &SearchLog) {
+        let vocab = |i: &Interner| i.iter().map(|(_, s)| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(vocab(a.users()), vocab(b.users()), "user interner order");
+        assert_eq!(vocab(a.queries()), vocab(b.queries()), "query interner order");
+        assert_eq!(vocab(a.urls()), vocab(b.urls()), "url interner order");
+        let recs = |l: &SearchLog| l.records().collect::<Vec<_>>();
+        assert_eq!(recs(a), recs(b), "pair-major records incl. all ids");
+        assert_eq!(a.size(), b.size());
+    }
+
+    #[test]
+    fn streamed_log_equals_one_shot_build() {
+        let text = sample_tsv();
+        let reference = read_tsv(Cursor::new(text.as_str())).unwrap();
+        for shards in [1usize, 2, 3, 8] {
+            for jobs in [1usize, 4] {
+                let cfg = StreamConfig { shards, chunk_rows: 4, jobs, ..Default::default() };
+                let got = ingest_tsv(Cursor::new(text.as_str()), &cfg).unwrap();
+                assert_logs_identical(&got.log, &reference);
+            }
+        }
+    }
+
+    #[test]
+    fn report_respects_configured_bounds() {
+        let text = sample_tsv();
+        let cfg = StreamConfig { shards: 4, chunk_rows: 5, sketch_capacity: 8, jobs: 2 };
+        let got = ingest_tsv(Cursor::new(text.as_str()), &cfg).unwrap();
+        assert_eq!(got.report.rows, 30);
+        assert!(got.report.peak_chunk_rows <= 5, "chunk buffer bound");
+        assert!(got.report.sketch_entries <= 8, "sketch capacity bound");
+        assert!(got.report.max_shard_triplets <= got.log.n_triplets());
+    }
+
+    #[test]
+    fn merged_stats_match_whole_log() {
+        let text = sample_tsv();
+        let cfg = StreamConfig { shards: 5, ..Default::default() };
+        let got = ingest_tsv(Cursor::new(text.as_str()), &cfg).unwrap();
+        let stats = dpsan_searchlog::LogStats::of(&got.log);
+        assert_eq!(got.stats.shard.clicks, stats.total_tuples);
+        assert_eq!(got.stats.shard.users, stats.user_logs);
+        assert_eq!(got.stats.shard.triplets, got.log.n_triplets());
+        assert_eq!(got.stats.queries, stats.distinct_queries);
+        assert_eq!(got.stats.urls, stats.distinct_urls);
+        assert_eq!(got.stats.pairs, stats.pairs);
+    }
+
+    #[test]
+    fn sketch_sees_the_whole_stream() {
+        let text = sample_tsv();
+        let cfg = StreamConfig { shards: 3, sketch_capacity: 64, ..Default::default() };
+        let got = ingest_tsv(Cursor::new(text.as_str()), &cfg).unwrap();
+        let sk = got.sketch.expect("sketching enabled");
+        assert_eq!(sk.total_weight(), got.log.size());
+        assert_eq!(sk.error_bound(), 0, "capacity 64 >> distinct pairs: sketch is exact");
+    }
+
+    #[test]
+    fn sketching_can_be_disabled() {
+        let cfg = StreamConfig { sketch_capacity: 0, ..Default::default() };
+        let got = ingest_tsv(Cursor::new("u1\tq\tl\t1\nu2\tq\tl\t2\n"), &cfg).unwrap();
+        assert!(got.sketch.is_none());
+        assert_eq!(got.report.sketch_entries, 0);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let cfg = StreamConfig::default();
+        let err = ingest_tsv(Cursor::new("u1\tq\tl\tnope\n"), &cfg).unwrap_err();
+        assert!(err.to_string().contains("bad count"));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_log() {
+        let got = ingest_tsv(Cursor::new(""), &StreamConfig::default()).unwrap();
+        assert_eq!(got.log.size(), 0);
+        assert_eq!(got.report.rows, 0);
+        assert_eq!(got.stats, StreamStats::default());
+    }
+}

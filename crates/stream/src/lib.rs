@@ -1,0 +1,54 @@
+//! # dpsan-stream
+//!
+//! Bounded-memory, sharded search-log ingestion for the `dpsan`
+//! workspace: the layer that feeds the sanitization pipeline from disk
+//! without ever materializing the raw stream.
+//!
+//! ```text
+//! TSV file ──chunked reader──▶ user-hash shards ──parallel drain──▶
+//!     deterministic merge ──▶ SearchLog (≡ in-memory build) + sketch
+//! ```
+//!
+//! * [`engine`] — the driver: chunked intake through
+//!   [`dpsan_searchlog::TsvStream`], per-shard aggregation, parallel
+//!   drain, and a first-occurrence merge that reproduces the one-shot
+//!   in-memory [`read_tsv`](dpsan_searchlog::io::read_tsv) build *bit
+//!   for bit* (same interners, same ids) for any shard count and any
+//!   `jobs` value,
+//! * [`shard`] — user-hash shards with per-shard interning and
+//!   mergeable statistics,
+//! * [`sketch`] — a mergeable weighted Misra–Gries heavy-hitters
+//!   sketch over query–url pairs with the standard `N/(k+1)` error
+//!   bound, plus exactified frequent-pair mining,
+//! * [`pool`] — the scoped worker pool (shared with `dpsan-eval`,
+//!   which re-exports it).
+//!
+//! ## Privacy invariant: shards are user-complete
+//!
+//! The differential-privacy unit of the paper is the **user**: the
+//! mechanism's guarantee (Definition 2) is over the presence of one
+//! user log `A_k`, and every privacy constraint row in `dpsan-core` /
+//! `dpsan-dp` is a per-user row. Ingestion shards partition *users* —
+//! `shard_of(user)` hashes the user id, so all of a user's records
+//! land in exactly one shard and every shard holds only complete user
+//! logs. The merged log therefore contains exactly the same per-user
+//! logs as a one-shot build (in fact the identical `SearchLog`), and
+//! the privacy accounting downstream is untouched: sharding is an
+//! ingestion-layout choice, not a change to the mechanism. Splitting a
+//! user *across* shards would be equally safe here only because the
+//! merge re-aggregates before anything privacy-relevant happens — but
+//! user-completeness is what would let a future out-of-core pipeline
+//! build per-user constraint rows shard-locally, so it is the
+//! invariant this crate commits to and tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod pool;
+pub mod shard;
+pub mod sketch;
+
+pub use engine::{ingest_path, ingest_tsv, IngestReport, IngestResult, StreamConfig, StreamStats};
+pub use shard::{shard_of, user_hash, ShardIntake, ShardStats};
+pub use sketch::{sketch_frequent_pairs, PairSketch, SketchEntry};

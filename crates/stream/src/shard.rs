@@ -1,0 +1,235 @@
+//! User-hash shards: per-shard interning and aggregation.
+//!
+//! The intake routes every record to `shard_of(user) = fnv1a(user) mod
+//! n_shards`, so a shard holds *complete* user logs — the invariant
+//! that keeps sharding privacy-neutral (see the crate docs). Each
+//! shard interns its own vocabulary and aggregates its own triplets,
+//! remembering the **global row index of every first occurrence**
+//! (user, query, url, and pair). Those first-row tables are what lets
+//! the merger rebuild the exact interning order a sequential one-shot
+//! build would have produced, making the streamed log bit-compatible
+//! with the in-memory path for any shard count.
+
+use std::collections::HashMap;
+
+use dpsan_searchlog::{Interner, RawRecord};
+
+/// FNV-1a over the user string: a stable, seedless hash so shard
+/// assignment is identical across runs, platforms and processes (the
+/// std `DefaultHasher` promises none of that).
+#[inline]
+pub fn user_hash(user: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in user.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The shard index of a user.
+#[inline]
+pub fn shard_of(user: &str, n_shards: usize) -> usize {
+    assert!(n_shards >= 1, "need at least one shard");
+    (user_hash(user) % n_shards as u64) as usize
+}
+
+/// Additive per-shard statistics. Because shards are user-complete,
+/// `users` and `triplets` are disjoint across shards and every field
+/// sums exactly; distinct query/url/pair counts are *not* additive
+/// (vocabularies overlap) and live on the merged
+/// [`StreamStats`](crate::StreamStats) instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Raw records routed to this shard.
+    pub rows: u64,
+    /// Click volume `Σ count` of those records.
+    pub clicks: u64,
+    /// Distinct users (each user appears in exactly one shard).
+    pub users: usize,
+    /// Distinct `(pair, user)` triplets after aggregation.
+    pub triplets: usize,
+}
+
+impl ShardStats {
+    /// Sum another shard's statistics into this one.
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.rows += other.rows;
+        self.clicks += other.clicks;
+        self.users += other.users;
+        self.triplets += other.triplets;
+    }
+}
+
+/// One shard mid-intake: local interners, aggregation map, first-row
+/// tables. Memory is proportional to the shard's *aggregated* content,
+/// never to the raw stream length.
+#[derive(Debug, Default)]
+pub struct ShardIntake {
+    users: Interner,
+    queries: Interner,
+    urls: Interner,
+    user_first: Vec<u64>,
+    query_first: Vec<u64>,
+    url_first: Vec<u64>,
+    pair_index: HashMap<(u32, u32), u32>,
+    pair_keys: Vec<(u32, u32)>,
+    pair_first: Vec<u64>,
+    triplets: HashMap<(u32, u32), u64>,
+    rows: u64,
+    clicks: u64,
+}
+
+impl ShardIntake {
+    /// An empty shard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one record that `row` (the global 0-based record index)
+    /// introduced. The caller is responsible for routing: every record
+    /// of one user must reach the same shard.
+    pub fn add(&mut self, row: u64, r: &RawRecord) {
+        debug_assert!(r.count > 0, "zero counts are rejected by the reader");
+        self.rows += 1;
+        self.clicks += r.count;
+        let u = intern_tracked(&mut self.users, &mut self.user_first, &r.user, row);
+        let q = intern_tracked(&mut self.queries, &mut self.query_first, &r.query, row);
+        let l = intern_tracked(&mut self.urls, &mut self.url_first, &r.url, row);
+        let next = u32::try_from(self.pair_keys.len()).expect("pair id overflow");
+        let pair = *self.pair_index.entry((q, l)).or_insert_with(|| {
+            self.pair_keys.push((q, l));
+            self.pair_first.push(row);
+            next
+        });
+        *self.triplets.entry((pair, u)).or_insert(0) += r.count;
+    }
+
+    /// Number of distinct `(pair, user)` triplets staged so far — the
+    /// quantity that actually occupies memory (raw rows are never
+    /// retained).
+    pub fn staged_triplets(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Finalize into an immutable, deterministically-ordered
+    /// [`DrainedShard`].
+    pub fn drain(self) -> DrainedShard {
+        let stats = ShardStats {
+            rows: self.rows,
+            clicks: self.clicks,
+            users: self.users.len(),
+            triplets: self.triplets.len(),
+        };
+        let mut records: Vec<(u32, u32, u64)> =
+            self.triplets.into_iter().map(|((p, u), c)| (p, u, c)).collect();
+        records.sort_unstable_by_key(|&(p, u, _)| (p, u));
+        DrainedShard {
+            users: self.users,
+            queries: self.queries,
+            urls: self.urls,
+            user_first: self.user_first,
+            query_first: self.query_first,
+            url_first: self.url_first,
+            pair_keys: self.pair_keys,
+            pair_first: self.pair_first,
+            records,
+            stats,
+        }
+    }
+}
+
+/// A finalized shard: everything the merger needs, in deterministic
+/// order (records sorted by local `(pair, user)` id).
+#[derive(Debug)]
+pub struct DrainedShard {
+    /// Shard-local user interner.
+    pub users: Interner,
+    /// Shard-local query interner.
+    pub queries: Interner,
+    /// Shard-local url interner.
+    pub urls: Interner,
+    /// Global row of each local user's first occurrence.
+    pub user_first: Vec<u64>,
+    /// Global row of each local query's first occurrence.
+    pub query_first: Vec<u64>,
+    /// Global row of each local url's first occurrence.
+    pub url_first: Vec<u64>,
+    /// Local `(query, url)` id pair of each local pair id.
+    pub pair_keys: Vec<(u32, u32)>,
+    /// Global row of each local pair's first occurrence.
+    pub pair_first: Vec<u64>,
+    /// Aggregated `(local pair, local user, count)`, sorted by ids.
+    pub records: Vec<(u32, u32, u64)>,
+    /// Additive shard statistics.
+    pub stats: ShardStats,
+}
+
+fn intern_tracked(interner: &mut Interner, first: &mut Vec<u64>, s: &str, row: u64) -> u32 {
+    let before = interner.len();
+    let id = interner.intern(s);
+    if interner.len() > before {
+        debug_assert_eq!(id as usize, first.len());
+        first.push(row);
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(user: &str, query: &str, url: &str, count: u64) -> RawRecord {
+        RawRecord { user: user.to_string(), query: query.to_string(), url: url.to_string(), count }
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        // pinned values: shard routing must never drift between builds
+        assert_eq!(user_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(user_hash("081"), user_hash("081"));
+        assert_ne!(user_hash("081"), user_hash("082"));
+    }
+
+    #[test]
+    fn shard_of_covers_range() {
+        for n in [1usize, 2, 7, 16] {
+            for u in 0..100 {
+                let s = shard_of(&format!("user{u}"), n);
+                assert!(s < n);
+            }
+        }
+    }
+
+    #[test]
+    fn first_rows_track_first_occurrence() {
+        let mut s = ShardIntake::new();
+        s.add(0, &rec("a", "q1", "l1", 2));
+        s.add(3, &rec("b", "q1", "l2", 1));
+        s.add(7, &rec("a", "q1", "l1", 4));
+        let d = s.drain();
+        assert_eq!(d.user_first, vec![0, 3]);
+        assert_eq!(d.query_first, vec![0]);
+        assert_eq!(d.url_first, vec![0, 3]);
+        assert_eq!(d.pair_first, vec![0, 3]);
+        assert_eq!(d.records, vec![(0, 0, 6), (1, 1, 1)], "duplicates aggregate");
+        assert_eq!(d.stats, ShardStats { rows: 3, clicks: 7, users: 2, triplets: 2 });
+    }
+
+    #[test]
+    fn staged_triplets_counts_aggregates_not_rows() {
+        let mut s = ShardIntake::new();
+        for row in 0..50 {
+            s.add(row, &rec("a", "q", "l", 1));
+        }
+        assert_eq!(s.staged_triplets(), 1, "memory tracks aggregation, not stream length");
+    }
+
+    #[test]
+    fn stats_merge_is_additive() {
+        let mut a = ShardStats { rows: 3, clicks: 10, users: 2, triplets: 3 };
+        let b = ShardStats { rows: 1, clicks: 4, users: 1, triplets: 1 };
+        a.merge(&b);
+        assert_eq!(a, ShardStats { rows: 4, clicks: 14, users: 3, triplets: 4 });
+    }
+}

@@ -16,7 +16,10 @@
 //! * [`core`] — the sanitization mechanism itself (constraints, the
 //!   three UMPs, sampling, metrics, closed-form privacy checks),
 //! * [`datagen`] — synthetic AOL-like log generation,
-//! * [`eval`] — the table/figure reproduction harness.
+//! * [`stream`] — bounded-memory sharded ingestion (chunked intake,
+//!   user-hash shards, mergeable heavy-hitter sketches),
+//! * [`eval`] — the table/figure reproduction harness and the
+//!   `sanitize` / `genlog` / `repro` binaries.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +56,7 @@ pub use dpsan_dp as dp;
 pub use dpsan_eval as eval;
 pub use dpsan_lp as lp;
 pub use dpsan_searchlog as searchlog;
+pub use dpsan_stream as stream;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -62,7 +66,8 @@ pub mod prelude {
     };
     pub use dpsan_core::ump::diversity::DumpSolver;
     pub use dpsan_core::PrivacyConstraints;
-    pub use dpsan_datagen::{generate, presets, AolLikeConfig};
+    pub use dpsan_datagen::{generate, presets, write_log_file, AolLikeConfig};
     pub use dpsan_dp::params::PrivacyParams;
     pub use dpsan_searchlog::{frequent_pairs, preprocess, LogStats, SearchLog, SearchLogBuilder};
+    pub use dpsan_stream::{ingest_path, ingest_tsv, sketch_frequent_pairs, StreamConfig};
 }

@@ -1,0 +1,99 @@
+//! End-to-end contract of the streaming ingestion engine: a sanitize
+//! run fed through `dpsan-stream` (any shard count, any `jobs`)
+//! produces **byte-identical** released output to the all-in-memory
+//! path, and the ingestion-side memory stays bounded by the configured
+//! chunk size + sketch capacity (asserted via the engine's counters,
+//! not RSS).
+
+use std::io::Cursor;
+
+use dpsan::prelude::*;
+use dpsan::searchlog::io::{read_tsv, write_tsv};
+
+fn generated_tsv() -> Vec<u8> {
+    let cfg = AolLikeConfig { n_users: 70, mean_events_per_user: 25.0, ..presets::aol_tiny() };
+    let mut buf = Vec::new();
+    dpsan::datagen::write_log_tsv(&cfg, &mut buf).expect("spool the generated log");
+    buf
+}
+
+/// Sanitize a log and render the released TSV bytes.
+fn release(log: &SearchLog, objective: UtilityObjective) -> Vec<u8> {
+    let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
+    let out =
+        Sanitizer::with_objective(params, objective).sanitize(log).expect("sanitization succeeds");
+    let mut bytes = Vec::new();
+    write_tsv(&out.output, &mut bytes).expect("render TSV");
+    bytes
+}
+
+#[test]
+fn streaming_and_in_memory_releases_are_byte_identical() {
+    let file = generated_tsv();
+    let reference_log = read_tsv(Cursor::new(&file[..])).unwrap();
+    let reference = release(&reference_log, UtilityObjective::OutputSize);
+    assert!(!reference.is_empty(), "a generous budget releases something");
+
+    for shards in [1usize, 4, 9] {
+        for jobs in [1usize, 3] {
+            let cfg = StreamConfig { shards, jobs, chunk_rows: 128, sketch_capacity: 512 };
+            let got = ingest_tsv(Cursor::new(&file[..]), &cfg).unwrap();
+            let released = release(&got.log, UtilityObjective::OutputSize);
+            assert_eq!(
+                released, reference,
+                "shards={shards} jobs={jobs}: released bytes must match the in-memory path"
+            );
+        }
+    }
+}
+
+#[test]
+fn fump_release_via_sketch_matches_exact_mining() {
+    let file = generated_tsv();
+    let min_support = 0.01;
+
+    // in-memory path: exact frequent-pair scan inside the sanitizer
+    let reference_log = read_tsv(Cursor::new(&file[..])).unwrap();
+    let (pre, _) = preprocess(&reference_log);
+    let output_size = (pre.size() / 20).max(1);
+    let reference =
+        release(&reference_log, UtilityObjective::FrequentPairs { min_support, output_size });
+
+    // streaming path: sketch-mined candidates, exactified
+    for jobs in [1usize, 4] {
+        let cfg = StreamConfig { shards: 6, jobs, chunk_rows: 256, sketch_capacity: 256 };
+        let got = ingest_tsv(Cursor::new(&file[..]), &cfg).unwrap();
+        let (pre_s, _) = preprocess(&got.log);
+        let frequent = sketch_frequent_pairs(&pre_s, &got.sketch.unwrap(), min_support);
+        let released = release(
+            &got.log,
+            UtilityObjective::SketchedFrequentPairs { frequent, min_support, output_size },
+        );
+        assert_eq!(released, reference, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn ingestion_memory_is_bounded_by_chunk_and_sketch_capacity() {
+    let file = generated_tsv();
+    let chunk_rows = 64;
+    let sketch_capacity = 32;
+    let cfg = StreamConfig { shards: 8, jobs: 2, chunk_rows, sketch_capacity };
+    let got = ingest_tsv(Cursor::new(&file[..]), &cfg).unwrap();
+
+    // raw rows never pile up beyond one chunk
+    assert!(got.report.rows > chunk_rows as u64, "the log is larger than one chunk");
+    assert!(
+        got.report.peak_chunk_rows <= chunk_rows,
+        "peak resident raw rows {} exceed the chunk bound {chunk_rows}",
+        got.report.peak_chunk_rows
+    );
+    // the sketch respects its counter budget despite seeing every row
+    assert!(got.report.sketch_entries <= sketch_capacity);
+    let sketch = got.sketch.unwrap();
+    assert_eq!(sketch.total_weight(), got.log.size());
+    // per-shard aggregation holds only the shard's triplets, which
+    // together partition the log's triplets (user-complete shards)
+    assert!(got.report.max_shard_triplets <= got.log.n_triplets());
+    assert_eq!(got.stats.shard.triplets, got.log.n_triplets());
+}
