@@ -9,9 +9,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dpsan_core::constraints::PrivacyConstraints;
+use dpsan_core::mechanism::{LdpSanitizer, Sanitizer, ZealousSanitizer};
 use dpsan_core::session::{SolveSession, Strategy};
-use dpsan_core::ump::frequent::{solve_fump_session, solve_fump_with, FumpOptions};
-use dpsan_core::ump::output_size::{solve_oump_session, solve_oump_with, OumpOptions};
+use dpsan_core::ump::frequent::{solve_fump_with, FumpOptions};
+use dpsan_core::ump::output_size::{solve_oump_with, OumpOptions};
 use dpsan_datagen::{generate, presets, write_log_tsv};
 use dpsan_dp::params::PrivacyParams;
 use dpsan_eval::{run_experiment, Ctx, Scale};
@@ -79,7 +80,7 @@ fn bench(c: &mut Criterion) {
                 SolveSession::new(SimplexOptions::default()).with_strategy(Strategy::PrimalOnly);
             constraints
                 .iter()
-                .map(|cons| solve_oump_session(cons, &opts, &mut session).unwrap().lambda)
+                .map(|cons| session.solve_oump(cons, &opts).unwrap().lambda)
                 .sum::<u64>()
         })
     });
@@ -92,7 +93,7 @@ fn bench(c: &mut Criterion) {
             let mut session = SolveSession::new(SimplexOptions::default());
             constraints
                 .iter()
-                .map(|cons| solve_oump_session(cons, &opts, &mut session).unwrap().lambda)
+                .map(|cons| session.solve_oump(cons, &opts).unwrap().lambda)
                 .sum::<u64>()
         })
     });
@@ -114,9 +115,7 @@ fn bench(c: &mut Criterion) {
             let mut session = SolveSession::new(SimplexOptions::default());
             feasible
                 .iter()
-                .map(|cons| {
-                    solve_fump_session(&pre, cons, &fopts, &mut session).unwrap().lp_objective
-                })
+                .map(|cons| session.solve_fump(&pre, cons, &fopts).unwrap().lp_objective)
                 .sum::<f64>()
         })
     });
@@ -127,6 +126,23 @@ fn bench(c: &mut Criterion) {
         let lambda = solve_oump_with(&cons, &opts).unwrap().lambda.max(2);
         let fopts = FumpOptions::new(0.02, lambda / 2);
         b.iter(|| solve_fump_with(&pre, &cons, &fopts).unwrap())
+    });
+
+    g.bench_function("zealous_release", |b| {
+        // the full non-LP mechanism path: contribution capping, one
+        // Laplace draw per surviving candidate, threshold filter,
+        // pseudonymized rebuild
+        let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
+        let mech = ZealousSanitizer::new();
+        b.iter(|| mech.sanitize(&pre, params, 7).unwrap().output.size())
+    });
+
+    g.bench_function("ldp_rr_release", |b| {
+        // the local-model path: one randomized-response draw per
+        // (user, pair) bit — the O(users × pairs) report matrix
+        let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
+        let mech = LdpSanitizer::new();
+        b.iter(|| mech.sanitize(&pre, params, 7).unwrap().output.size())
     });
 
     g.bench_function("ingest_stream", |b| {

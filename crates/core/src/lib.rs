@@ -14,14 +14,22 @@
 //!    see [`sampling`] — so the output has the *identical schema* as the
 //!    input search log.
 //!
-//! [`sanitizer`] wires the pipeline together (preprocessing → UMP →
-//! optional Section-4.2 Laplace step → sampling); [`metrics`] implements
-//! every utility measure of the evaluation (precision/recall of
-//! frequent pairs, support distances, diversity, `DiffRatio`
-//! histograms); [`theory`] computes the probabilities of Eqs. (1)–(3)
-//! in closed form and exhaustively checks Definition 2 on tiny logs;
-//! [`end_to_end`] implements the leave-one-out sensitivity bounding and
-//! Laplace noising of the count-computation step.
+//! [`mechanism`] is the mechanism API: the [`Sanitizer`]
+//! trait plus three impls — the paper's pipeline
+//! ([`mechanism::UmpSanitizer`]: preprocessing → UMP → optional
+//! Section-4.2 Laplace step → sampling), Götz et al.'s ZEALOUS
+//! noisy-threshold release ([`mechanism::ZealousSanitizer`]), and a
+//! local-model randomized-response baseline
+//! ([`mechanism::LdpSanitizer`]) — so the evaluation harness can score
+//! rival mechanisms on shared metrics. [`sanitizer`] is the deprecated
+//! config-struct front-end shimmed over the trait. [`metrics`]
+//! implements every utility measure of the evaluation (precision/recall
+//! of frequent pairs, support distances, diversity, `DiffRatio`
+//! histograms, the cross-mechanism [`metrics::MechanismScore`]);
+//! [`theory`] computes the probabilities of Eqs. (1)–(3) in closed form
+//! and exhaustively checks Definition 2 on tiny logs; [`end_to_end`]
+//! implements the leave-one-out sensitivity bounding and Laplace
+//! noising of the count-computation step.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +37,7 @@
 pub mod constraints;
 pub mod end_to_end;
 pub mod error;
+pub mod mechanism;
 pub mod metrics;
 pub mod sampling;
 pub mod sanitizer;
@@ -38,7 +47,10 @@ pub mod ump;
 
 pub use constraints::PrivacyConstraints;
 pub use error::CoreError;
-pub use sanitizer::{SanitizedOutput, Sanitizer, SanitizerConfig, UtilityObjective};
+pub use mechanism::{
+    LdpSanitizer, MechanismInfo, PrivacyModel, Release, Sanitizer, UmpSanitizer, UtilityObjective,
+    ZealousSanitizer,
+};
 pub use session::{SessionStats, SolveSession, Strategy};
 pub use ump::diversity::{solve_dump, DumpOptions, DumpSolution, DumpSolver};
 pub use ump::frequent::{solve_fump, FumpOptions, FumpSolution};

@@ -1,0 +1,380 @@
+//! The paper's mechanism behind the [`Sanitizer`] trait: utility-
+//! maximizing LP solve + multinomial sampling (Algorithm 1).
+//!
+//! ```text
+//! input log ──preprocess──▶ D ──build constraints──▶ UMP solve ──▶ x*
+//!      x* ──(optional Laplace, §4.2)──▶ x̃ ──multinomial sampling──▶ O
+//! ```
+//!
+//! One [`UmpSanitizer`] owns a [`SolveSession`], so consecutive
+//! releases at nearby parameters warm-start from the previous optimal
+//! basis exactly like the evaluation harness's grid sweeps; a single
+//! release solves cold and is byte-identical to the plain
+//! [`solve_oump`](crate::ump::output_size::solve_oump)-style pipeline.
+
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dpsan_dp::composition::BudgetLedger;
+use dpsan_dp::multinomial::MultinomialStrategy;
+use dpsan_dp::params::PrivacyParams;
+use dpsan_lp::simplex::SimplexOptions;
+use dpsan_searchlog::{preprocess, SearchLog};
+
+use crate::constraints::PrivacyConstraints;
+use crate::end_to_end::{noisy_counts, repair_counts};
+use crate::error::CoreError;
+use crate::mechanism::{MechanismInfo, PrivacyModel, Release, Sanitizer};
+use crate::sampling::sample_output;
+use crate::session::{SessionStats, SolveSession};
+use crate::ump::diversity::{DumpOptions, DumpSolver};
+use crate::ump::frequent::FumpOptions;
+use crate::ump::output_size::OumpOptions;
+
+/// Which utility-maximizing problem drives the sanitization.
+#[derive(Debug, Clone)]
+pub enum UtilityObjective {
+    /// O-UMP: maximize the output size.
+    OutputSize,
+    /// F-UMP: preserve frequent-pair supports at a fixed output size.
+    FrequentPairs {
+        /// Minimum support `s`.
+        min_support: f64,
+        /// Target output size `|O| ∈ (0, λ]`.
+        output_size: u64,
+    },
+    /// F-UMP over an externally supplied frequent-pair set — the
+    /// streaming entrypoint: `dpsan-stream` mines candidates with its
+    /// heavy-hitters sketch and exactifies them against the
+    /// preprocessed log, so the solve skips the full-histogram scan.
+    /// Pair ids must refer to the *preprocessed* input (preprocessing
+    /// is idempotent and id-stable, so passing an already-preprocessed
+    /// log through [`Sanitizer::sanitize`] keeps them valid).
+    SketchedFrequentPairs {
+        /// The frequent pairs to protect (exact counts/supports).
+        frequent: Vec<dpsan_searchlog::FrequentPair>,
+        /// The support threshold the set was mined at (reporting /
+        /// validation only; the LP uses the supplied set as-is).
+        min_support: f64,
+        /// Target output size `|O| ∈ (0, λ]`.
+        output_size: u64,
+    },
+    /// D-UMP: maximize pair diversity.
+    Diversity {
+        /// BIP solver choice.
+        solver: DumpSolver,
+    },
+}
+
+/// Optional Section-4.2 end-to-end step: Laplace noise on the optimal
+/// counts (the count *computation* becomes ε′-differentially private
+/// given sensitivity `d`).
+#[derive(Debug, Clone, Copy)]
+pub struct LaplaceStep {
+    /// Count sensitivity bound `d`.
+    pub sensitivity: f64,
+    /// Privacy parameter ε′ of the count-computation step.
+    pub epsilon_prime: f64,
+}
+
+/// The paper's mechanism: UMP solve + multinomial sampling, as a
+/// [`Sanitizer`] impl.
+pub struct UmpSanitizer {
+    objective: UtilityObjective,
+    strategy: MultinomialStrategy,
+    laplace: Option<LaplaceStep>,
+    session: Mutex<SolveSession>,
+}
+
+impl UmpSanitizer {
+    /// A sanitizer with default sampling strategy, no Laplace step, and
+    /// default LP options.
+    pub fn new(objective: UtilityObjective) -> Self {
+        UmpSanitizer {
+            objective,
+            strategy: MultinomialStrategy::Auto,
+            laplace: None,
+            session: Mutex::new(SolveSession::new(SimplexOptions::default())),
+        }
+    }
+
+    /// Override the multinomial sampling strategy.
+    pub fn with_strategy(mut self, strategy: MultinomialStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Add the §4.2 Laplace step on the optimal counts (debits a second
+    /// ledger entry per release).
+    pub fn with_laplace(mut self, laplace: LaplaceStep) -> Self {
+        self.laplace = Some(laplace);
+        self
+    }
+
+    /// Override the LP options of the wrapped [`SolveSession`]
+    /// (resets any accumulated warm-start state).
+    pub fn with_lp_options(mut self, lp: SimplexOptions) -> Self {
+        self.session = Mutex::new(SolveSession::new(lp));
+        self
+    }
+
+    /// The utility objective in use.
+    pub fn objective(&self) -> &UtilityObjective {
+        &self.objective
+    }
+
+    /// Cumulative LP-solver counters across every release of this
+    /// instance (per-release deltas are on [`Release::solver`]).
+    pub fn session_stats(&self) -> SessionStats {
+        self.session.lock().expect("session poisoned").stats()
+    }
+}
+
+impl Sanitizer for UmpSanitizer {
+    fn info(&self) -> MechanismInfo {
+        let (id, name) = match &self.objective {
+            UtilityObjective::OutputSize => ("oump", "O-UMP (max output size)"),
+            UtilityObjective::FrequentPairs { .. }
+            | UtilityObjective::SketchedFrequentPairs { .. } => {
+                ("fump", "F-UMP (frequent-pair preservation)")
+            }
+            UtilityObjective::Diversity { .. } => ("dump", "D-UMP (max pair diversity)"),
+        };
+        MechanismInfo {
+            id,
+            name,
+            paper: "Hong, Vaidya, Lu, Wu (EDBT 2012)",
+            privacy: PrivacyModel::ProbabilisticDp,
+            uses_lp: true,
+        }
+    }
+
+    fn sanitize(
+        &self,
+        log: &SearchLog,
+        params: PrivacyParams,
+        seed: u64,
+    ) -> Result<Release, CoreError> {
+        let (pre, report) = preprocess(log);
+        let constraints = PrivacyConstraints::build(&pre, params)?;
+
+        // step 1: optimal output counts, through the shared session
+        let (mut counts, solver) = {
+            let mut session = self.session.lock().expect("session poisoned");
+            let before = session.stats();
+            let lp = session.lp_options().clone();
+            let counts = match &self.objective {
+                UtilityObjective::OutputSize => {
+                    session
+                        .solve_oump(&constraints, &OumpOptions { lp, ..Default::default() })?
+                        .counts
+                }
+                UtilityObjective::FrequentPairs { min_support, output_size } => {
+                    session
+                        .solve_fump(
+                            &pre,
+                            &constraints,
+                            &FumpOptions { lp, ..FumpOptions::new(*min_support, *output_size) },
+                        )?
+                        .counts
+                }
+                UtilityObjective::SketchedFrequentPairs { frequent, min_support, output_size } => {
+                    session
+                        .solve_fump(
+                            &pre,
+                            &constraints,
+                            &FumpOptions {
+                                lp,
+                                ..FumpOptions::new(*min_support, *output_size)
+                                    .with_frequent(frequent.clone())
+                            },
+                        )?
+                        .counts
+                }
+                UtilityObjective::Diversity { solver } => {
+                    session
+                        .solve_dump(&constraints, &DumpOptions { solver: solver.clone(), lp })?
+                        .counts
+                }
+            };
+            (counts, session.stats().delta(&before))
+        };
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ledger = BudgetLedger::new();
+        ledger.spend("multinomial sampling (Theorem 1)", params.epsilon(), params.delta());
+
+        // optional §4.2 Laplace step on the counts
+        if let Some(lap) = self.laplace {
+            let noisy = noisy_counts(&mut rng, &counts, lap.sensitivity, lap.epsilon_prime);
+            counts = repair_counts(&constraints, &noisy);
+            ledger.spend("Laplace on optimal counts (§4.2)", lap.epsilon_prime, 0.0);
+        }
+
+        // the released counts must satisfy Theorem 1 — always re-checked
+        crate::ump::verify_counts(&constraints, &counts)?;
+
+        // step 2: multinomial sampling
+        let output = sample_output(&mut rng, &pre, &counts, self.strategy);
+
+        Ok(Release { output, reference: pre, counts, report, ledger, solver })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::testutil::input_log;
+    use crate::metrics::{diversity_retained, precision_recall};
+    use crate::sampling::output_pair_counts;
+
+    fn params() -> PrivacyParams {
+        PrivacyParams::from_e_epsilon(2.0, 0.5)
+    }
+
+    const SEED: u64 = 0xd95a_11ce;
+
+    #[test]
+    fn oump_pipeline_end_to_end() {
+        let input = input_log();
+        let s = UmpSanitizer::new(UtilityObjective::OutputSize);
+        let out = s.sanitize(&input, params(), SEED).unwrap();
+        assert_eq!(out.report.removed_pairs, 1, "the unique pair is dropped");
+        assert_eq!(out.reference.n_pairs(), 4);
+        // output totals equal the computed counts
+        assert_eq!(output_pair_counts(&out.reference, &out.output), out.counts);
+        // constraints hold on the released counts
+        let c = PrivacyConstraints::build(&out.reference, params()).unwrap();
+        assert!(c.satisfied_by(&out.counts, 1e-9));
+        assert!(out.output.size() > 0, "a generous budget yields a non-empty output");
+        // one release = one LP solve, cold
+        assert_eq!(out.solver.solves, 1);
+        assert_eq!(out.solver.cold_starts, 1);
+    }
+
+    #[test]
+    fn fump_pipeline_respects_output_size() {
+        let input = input_log();
+        // first learn λ, then ask for half of it
+        let o = UmpSanitizer::new(UtilityObjective::OutputSize)
+            .sanitize(&input, params(), SEED)
+            .unwrap();
+        let lambda: u64 = o.counts.iter().sum();
+        assert!(lambda > 2);
+        let s = UmpSanitizer::new(UtilityObjective::FrequentPairs {
+            min_support: 0.1,
+            output_size: lambda / 2,
+        });
+        let out = s.sanitize(&input, params(), SEED).unwrap();
+        let total: u64 = out.counts.iter().sum();
+        assert!(total <= lambda / 2);
+        let pr = precision_recall(&out.reference, &out.counts, 0.1);
+        assert!(pr.precision > 0.0);
+    }
+
+    #[test]
+    fn sketched_frequent_set_matches_mined_pipeline() {
+        let input = input_log();
+        let lambda: u64 = UmpSanitizer::new(UtilityObjective::OutputSize)
+            .sanitize(&input, params(), SEED)
+            .unwrap()
+            .counts
+            .iter()
+            .sum();
+        let mined = UmpSanitizer::new(UtilityObjective::FrequentPairs {
+            min_support: 0.1,
+            output_size: lambda / 2,
+        })
+        .sanitize(&input, params(), SEED)
+        .unwrap();
+        // supply the exact frequent set of the preprocessed log — the
+        // streamed-ingestion contract — and expect identical output
+        let (pre, _) = dpsan_searchlog::preprocess(&input);
+        let frequent = dpsan_searchlog::frequent_pairs(&pre, 0.1);
+        let sketched = UmpSanitizer::new(UtilityObjective::SketchedFrequentPairs {
+            frequent,
+            min_support: 0.1,
+            output_size: lambda / 2,
+        })
+        .sanitize(&input, params(), SEED)
+        .unwrap();
+        assert_eq!(sketched.counts, mined.counts);
+        assert_eq!(
+            output_pair_counts(&sketched.reference, &sketched.output),
+            output_pair_counts(&mined.reference, &mined.output),
+        );
+    }
+
+    #[test]
+    fn dump_pipeline_keeps_distinct_pairs() {
+        let input = input_log();
+        let s = UmpSanitizer::new(UtilityObjective::Diversity { solver: DumpSolver::Spe });
+        let out = s.sanitize(&input, params(), SEED).unwrap();
+        assert!(out.counts.iter().all(|&c| c <= 1), "D-UMP counts are binary");
+        assert!(diversity_retained(&out.counts) > 0.0);
+        // SPE never runs the LP
+        assert_eq!(out.solver.solves, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let input = input_log();
+        let s = UmpSanitizer::new(UtilityObjective::OutputSize);
+        let a = s.sanitize(&input, params(), SEED).unwrap();
+        let b = s.sanitize(&input, params(), SEED).unwrap();
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.output.size(), b.output.size());
+    }
+
+    #[test]
+    fn consecutive_releases_warm_start() {
+        let input = input_log();
+        let s = UmpSanitizer::new(UtilityObjective::OutputSize);
+        let a = s.sanitize(&input, PrivacyParams::from_e_epsilon(1.4, 0.5), SEED).unwrap();
+        assert_eq!(a.solver.cold_starts, 1);
+        // a budget move on the same log is an rhs-only perturbation:
+        // the second release reoptimizes from the previous basis
+        let b = s.sanitize(&input, PrivacyParams::from_e_epsilon(2.0, 0.5), SEED).unwrap();
+        assert_eq!(b.solver.cold_starts, 0, "second release reuses the session basis");
+        assert_eq!(b.solver.solves, 1);
+        assert_eq!(s.session_stats().solves, 2, "cumulative counters span releases");
+    }
+
+    #[test]
+    fn laplace_step_records_ledger_and_stays_private() {
+        let input = input_log();
+        let s = UmpSanitizer::new(UtilityObjective::OutputSize)
+            .with_laplace(LaplaceStep { sensitivity: 1.0, epsilon_prime: 0.5 });
+        let out = s.sanitize(&input, params(), SEED).unwrap();
+        assert_eq!(out.ledger.entries().len(), 2);
+        assert!((out.ledger.total_epsilon() - (params().epsilon() + 0.5)).abs() < 1e-12);
+        let c = PrivacyConstraints::build(&out.reference, params()).unwrap();
+        assert!(c.satisfied_by(&out.counts, 1e-9), "repair keeps noisy counts private");
+    }
+
+    #[test]
+    fn output_schema_identical_to_input() {
+        let input = input_log();
+        let s = UmpSanitizer::new(UtilityObjective::OutputSize);
+        let out = s.sanitize(&input, params(), SEED).unwrap();
+        // every output record is a (user, query, url, count) tuple over
+        // the input vocabulary — write + re-read as TSV to prove schema
+        let mut buf = Vec::new();
+        dpsan_searchlog::io::write_tsv(&out.output, &mut buf).unwrap();
+        let reread = dpsan_searchlog::io::read_tsv(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(reread.size(), out.output.size());
+        assert_eq!(reread.n_pairs(), out.output.n_pairs());
+    }
+
+    #[test]
+    fn info_tracks_objective() {
+        assert_eq!(UmpSanitizer::new(UtilityObjective::OutputSize).info().id, "oump");
+        assert_eq!(
+            UmpSanitizer::new(UtilityObjective::Diversity { solver: DumpSolver::Spe }).info().id,
+            "dump"
+        );
+        assert!(UmpSanitizer::new(UtilityObjective::OutputSize).info().uses_lp);
+    }
+}

@@ -210,6 +210,79 @@ pub fn diff_ratio_histogram(
     DiffRatioHistogram { bin_width, bins, total }
 }
 
+/// The shared cross-mechanism utility score of `repro compare`: every
+/// [`Sanitizer`](crate::mechanism::Sanitizer) impl is measured on the
+/// same released-counts frame (the preprocessed input's pair space),
+/// so LP sampling, noisy thresholds, and local randomizers become
+/// directly comparable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MechanismScore {
+    /// Frequent-pair precision at the shared support threshold.
+    pub precision: f64,
+    /// Frequent-pair recall at the shared support threshold.
+    pub recall: f64,
+    /// Released volume `Σ x_ij / |D|` (may exceed 1 for mechanisms
+    /// whose released counts are noisy rather than subsampled).
+    pub retained_volume: f64,
+    /// Query-frequency KL divergence (input ‖ release); see
+    /// [`query_frequency_kl`].
+    pub query_kl: f64,
+}
+
+/// Score released counts on the shared utility metrics at a minimum
+/// support `s`. `counts` must be in the pair space of `reference`
+/// (i.e. [`Release::counts`](crate::mechanism::Release::counts)
+/// against [`Release::reference`](crate::mechanism::Release::reference)).
+pub fn mechanism_score(reference: &SearchLog, counts: &[u64], min_support: f64) -> MechanismScore {
+    let pr = precision_recall(reference, counts, min_support);
+    let retained_volume = if reference.size() == 0 {
+        0.0
+    } else {
+        counts.iter().sum::<u64>() as f64 / reference.size() as f64
+    };
+    MechanismScore {
+        precision: pr.precision,
+        recall: pr.recall,
+        retained_volume,
+        query_kl: query_frequency_kl(reference, counts),
+    }
+}
+
+/// Distributional fidelity of a release: KL divergence
+/// `KL(P ‖ Q)` between the input's query-frequency distribution `P`
+/// and the release's `Q`, both obtained by marginalizing pair counts
+/// over queries. The released side is add-α smoothed (α = ½ per query
+/// active in the input) so queries a mechanism suppressed entirely
+/// contribute a large-but-finite penalty. Zero iff the release
+/// reproduces the input's query mix exactly.
+pub fn query_frequency_kl(reference: &SearchLog, counts: &[u64]) -> f64 {
+    assert_eq!(counts.len(), reference.n_pairs(), "counts must cover the reference pair space");
+    let nq = reference.queries().len();
+    let mut p = vec![0.0f64; nq];
+    let mut q = vec![0.0f64; nq];
+    for pe in reference.pairs() {
+        let (qid, _) = reference.pair_key(pe.pair);
+        p[qid.index()] += pe.total as f64;
+        q[qid.index()] += counts[pe.pair.index()] as f64;
+    }
+    let p_sum: f64 = p.iter().sum();
+    if p_sum == 0.0 {
+        return 0.0;
+    }
+    const ALPHA: f64 = 0.5;
+    let active = p.iter().filter(|&&v| v > 0.0).count() as f64;
+    let q_sum: f64 = q.iter().sum::<f64>() + ALPHA * active;
+    let mut kl = 0.0;
+    for i in 0..nq {
+        if p[i] > 0.0 {
+            let pi = p[i] / p_sum;
+            let qi = (q[i] + ALPHA) / q_sum;
+            kl += pi * (pi / qi).ln();
+        }
+    }
+    kl.max(0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,5 +400,41 @@ mod tests {
         let pr = precision_recall(&log, &vec![0; log.n_pairs()], 0.15);
         assert_eq!(pr.precision, 1.0, "no output-frequent pairs -> vacuous precision");
         assert_eq!(pr.recall, 0.0);
+    }
+
+    #[test]
+    fn query_kl_is_zero_for_identity_release() {
+        let log = input_log();
+        let counts: Vec<u64> = log.pairs().map(|pe| pe.total).collect();
+        let kl = query_frequency_kl(&log, &counts);
+        assert!((0.0..0.05).contains(&kl), "identity release has near-zero KL, got {kl}");
+    }
+
+    #[test]
+    fn query_kl_grows_when_queries_are_suppressed() {
+        let log = input_log();
+        let full: Vec<u64> = log.pairs().map(|pe| pe.total).collect();
+        let mut head_only = full.clone();
+        // suppress everything but the first pair's query
+        for c in head_only.iter_mut().skip(1) {
+            *c = 0;
+        }
+        assert!(
+            query_frequency_kl(&log, &head_only) > query_frequency_kl(&log, &full),
+            "suppressing query mass must increase the divergence"
+        );
+    }
+
+    #[test]
+    fn mechanism_score_bundles_shared_metrics() {
+        let log = input_log();
+        let counts: Vec<u64> = log.pairs().map(|pe| pe.total).collect();
+        let score = mechanism_score(&log, &counts, 0.15);
+        assert!((score.retained_volume - 1.0).abs() < 1e-12, "full release retains everything");
+        assert_eq!(score.recall, 1.0);
+        assert_eq!(score.precision, 1.0);
+        let empty = mechanism_score(&log, &vec![0; log.n_pairs()], 0.15);
+        assert_eq!(empty.retained_volume, 0.0);
+        assert!(empty.query_kl > score.query_kl);
     }
 }

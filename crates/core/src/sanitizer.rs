@@ -1,78 +1,33 @@
-//! The end-to-end sanitization pipeline (Algorithm 1).
+//! Deprecated config-style front-end of the paper's pipeline.
+//!
+//! The mechanism API was redesigned around the
+//! [`Sanitizer`](crate::mechanism::Sanitizer) **trait** in
+//! [`crate::mechanism`]; the paper's pipeline is
+//! [`UmpSanitizer`]. The struct here is
+//! a thin shim over that impl — byte-identical output for identical
+//! configuration — kept for one release to ease migration:
 //!
 //! ```text
-//! input log ──preprocess──▶ D ──build constraints──▶ UMP solve ──▶ x*
-//!      x* ──(optional Laplace, §4.2)──▶ x̃ ──multinomial sampling──▶ O
+//! old: Sanitizer::with_objective(params, obj).sanitize(&log)
+//! new: UmpSanitizer::new(obj).sanitize(&log, params, seed)
 //! ```
 //!
-//! The output `O` has the identical schema as the input; the sampled
-//! counts are differentially private by Theorem 1 (re-verified on the
-//! final integer counts before any sampling happens).
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! [`UtilityObjective`] and [`LaplaceStep`] moved to the mechanism
+//! module and are re-exported here unchanged.
 
 use dpsan_dp::composition::BudgetLedger;
 use dpsan_dp::multinomial::MultinomialStrategy;
 use dpsan_dp::params::PrivacyParams;
 use dpsan_lp::simplex::SimplexOptions;
-use dpsan_searchlog::{preprocess, PreprocessReport, SearchLog};
+use dpsan_searchlog::{PreprocessReport, SearchLog};
 
-use crate::constraints::PrivacyConstraints;
-use crate::end_to_end::{noisy_counts, repair_counts};
 use crate::error::CoreError;
-use crate::sampling::sample_output;
-use crate::ump::diversity::{solve_dump_with, DumpOptions, DumpSolver};
-use crate::ump::frequent::{solve_fump_with, FumpOptions};
-use crate::ump::output_size::{solve_oump_with, OumpOptions};
+use crate::mechanism::{Sanitizer as _, UmpSanitizer};
 
-/// Which utility-maximizing problem drives the sanitization.
-#[derive(Debug, Clone)]
-pub enum UtilityObjective {
-    /// O-UMP: maximize the output size.
-    OutputSize,
-    /// F-UMP: preserve frequent-pair supports at a fixed output size.
-    FrequentPairs {
-        /// Minimum support `s`.
-        min_support: f64,
-        /// Target output size `|O| ∈ (0, λ]`.
-        output_size: u64,
-    },
-    /// F-UMP over an externally supplied frequent-pair set — the
-    /// streaming entrypoint: `dpsan-stream` mines candidates with its
-    /// heavy-hitters sketch and exactifies them against the
-    /// preprocessed log, so the solve skips the full-histogram scan.
-    /// Pair ids must refer to the *preprocessed* input (preprocessing
-    /// is idempotent and id-stable, so passing an already-preprocessed
-    /// log through [`Sanitizer::sanitize`] keeps them valid).
-    SketchedFrequentPairs {
-        /// The frequent pairs to protect (exact counts/supports).
-        frequent: Vec<dpsan_searchlog::FrequentPair>,
-        /// The support threshold the set was mined at (reporting /
-        /// validation only; the LP uses the supplied set as-is).
-        min_support: f64,
-        /// Target output size `|O| ∈ (0, λ]`.
-        output_size: u64,
-    },
-    /// D-UMP: maximize pair diversity.
-    Diversity {
-        /// BIP solver choice.
-        solver: DumpSolver,
-    },
-}
-
-/// Optional Section-4.2 end-to-end step: Laplace noise on the optimal
-/// counts (the count *computation* becomes ε′-differentially private
-/// given sensitivity `d`).
-#[derive(Debug, Clone, Copy)]
-pub struct LaplaceStep {
-    /// Count sensitivity bound `d`.
-    pub sensitivity: f64,
-    /// Privacy parameter ε′ of the count-computation step.
-    pub epsilon_prime: f64,
-}
+pub use crate::mechanism::{LaplaceStep, UtilityObjective};
 
 /// Sanitizer configuration.
+#[deprecated(note = "configure `dpsan_core::mechanism::UmpSanitizer` with its builder methods")]
 #[derive(Debug, Clone)]
 pub struct SanitizerConfig {
     /// The `(ε, δ)` parameters of the sampling mechanism.
@@ -89,6 +44,7 @@ pub struct SanitizerConfig {
     pub lp: SimplexOptions,
 }
 
+#[allow(deprecated)]
 impl SanitizerConfig {
     /// A sensible default configuration for the given parameters and
     /// objective.
@@ -105,12 +61,17 @@ impl SanitizerConfig {
 }
 
 /// The sanitizer: a configured instance of Algorithm 1.
+#[deprecated(note = "use the `dpsan_core::mechanism::Sanitizer` trait and `UmpSanitizer`")]
 #[derive(Debug, Clone)]
+#[allow(deprecated)]
 pub struct Sanitizer {
     config: SanitizerConfig,
 }
 
 /// Everything produced by one sanitization run.
+#[deprecated(
+    note = "use `dpsan_core::mechanism::Release` (field `preprocessed` became `reference`)"
+)]
 #[derive(Debug)]
 pub struct SanitizedOutput {
     /// The sanitized search log (identical schema as the input).
@@ -127,6 +88,7 @@ pub struct SanitizedOutput {
     pub ledger: BudgetLedger,
 }
 
+#[allow(deprecated)]
 impl Sanitizer {
     /// Create a sanitizer from a configuration.
     pub fn new(config: SanitizerConfig) -> Self {
@@ -143,221 +105,66 @@ impl Sanitizer {
         &self.config
     }
 
-    /// Run Algorithm 1 on a raw input log.
+    /// Run Algorithm 1 on a raw input log (delegates to
+    /// [`UmpSanitizer`]; output is byte-identical for identical
+    /// configuration).
     pub fn sanitize(&self, input: &SearchLog) -> Result<SanitizedOutput, CoreError> {
         let cfg = &self.config;
-        let (pre, report) = preprocess(input);
-        let constraints = PrivacyConstraints::build(&pre, cfg.params)?;
-
-        // step 1: optimal output counts
-        let mut counts: Vec<u64> = match &cfg.objective {
-            UtilityObjective::OutputSize => {
-                solve_oump_with(
-                    &constraints,
-                    &OumpOptions { lp: cfg.lp.clone(), ..Default::default() },
-                )?
-                .counts
-            }
-            UtilityObjective::FrequentPairs { min_support, output_size } => {
-                solve_fump_with(
-                    &pre,
-                    &constraints,
-                    &FumpOptions {
-                        lp: cfg.lp.clone(),
-                        ..FumpOptions::new(*min_support, *output_size)
-                    },
-                )?
-                .counts
-            }
-            UtilityObjective::SketchedFrequentPairs { frequent, min_support, output_size } => {
-                solve_fump_with(
-                    &pre,
-                    &constraints,
-                    &FumpOptions {
-                        lp: cfg.lp.clone(),
-                        ..FumpOptions::new(*min_support, *output_size)
-                            .with_frequent(frequent.clone())
-                    },
-                )?
-                .counts
-            }
-            UtilityObjective::Diversity { solver } => {
-                solve_dump_with(
-                    &constraints,
-                    &DumpOptions { solver: solver.clone(), lp: cfg.lp.clone() },
-                )?
-                .counts
-            }
-        };
-
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut ledger = BudgetLedger::new();
-        ledger.spend("multinomial sampling (Theorem 1)", cfg.params.epsilon(), cfg.params.delta());
-
-        // optional §4.2 Laplace step on the counts
+        let mut mech = UmpSanitizer::new(cfg.objective.clone())
+            .with_strategy(cfg.strategy)
+            .with_lp_options(cfg.lp.clone());
         if let Some(lap) = cfg.laplace {
-            let noisy = noisy_counts(&mut rng, &counts, lap.sensitivity, lap.epsilon_prime);
-            counts = repair_counts(&constraints, &noisy);
-            ledger.spend("Laplace on optimal counts (§4.2)", lap.epsilon_prime, 0.0);
+            mech = mech.with_laplace(lap);
         }
-
-        // the released counts must satisfy Theorem 1 — always re-checked
-        crate::ump::verify_counts(&constraints, &counts)?;
-
-        // step 2: multinomial sampling
-        let output = sample_output(&mut rng, &pre, &counts, cfg.strategy);
-
-        Ok(SanitizedOutput { output, preprocessed: pre, counts, report, ledger })
+        let r = mech.sanitize(input, cfg.params, cfg.seed)?;
+        Ok(SanitizedOutput {
+            output: r.output,
+            preprocessed: r.reference,
+            counts: r.counts,
+            report: r.report,
+            ledger: r.ledger,
+        })
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::metrics::{diversity_retained, precision_recall};
+    use crate::mechanism::testutil::input_log;
     use crate::sampling::output_pair_counts;
-    use dpsan_searchlog::SearchLogBuilder;
-
-    fn input_log() -> SearchLog {
-        // pairs spread across many holders with small shares so that
-        // the LP optima survive flooring (the regime of real logs)
-        let mut b = SearchLogBuilder::new();
-        for k in 0..10 {
-            b.add(&format!("u{k}"), "google", "google.com", 10).unwrap();
-        }
-        for k in 0..8 {
-            b.add(&format!("u{k}"), "weather", "weather.com", 5).unwrap();
-        }
-        for k in 3..9 {
-            b.add(&format!("u{k}"), "news", "cnn.com", 4).unwrap();
-        }
-        for k in 5..10 {
-            b.add(&format!("u{k}"), "maps", "maps.google.com", 3).unwrap();
-        }
-        b.add("u99", "unique", "unique.org", 4).unwrap(); // removed by preprocessing
-        b.build()
-    }
 
     fn params() -> PrivacyParams {
         PrivacyParams::from_e_epsilon(2.0, 0.5)
     }
 
+    /// The shim's contract: identical configuration produces output
+    /// byte-identical to the trait path it delegates to.
     #[test]
-    fn oump_pipeline_end_to_end() {
+    fn shim_matches_trait_path_exactly() {
+        use crate::mechanism::{Sanitizer as _, UmpSanitizer, UtilityObjective};
         let input = input_log();
-        let s = Sanitizer::with_objective(params(), UtilityObjective::OutputSize);
-        let out = s.sanitize(&input).unwrap();
-        assert_eq!(out.report.removed_pairs, 1, "the unique pair is dropped");
-        assert_eq!(out.preprocessed.n_pairs(), 4);
-        // output totals equal the computed counts
-        assert_eq!(output_pair_counts(&out.preprocessed, &out.output), out.counts);
-        // constraints hold on the released counts
-        let c = PrivacyConstraints::build(&out.preprocessed, params()).unwrap();
-        assert!(c.satisfied_by(&out.counts, 1e-9));
-        assert!(out.output.size() > 0, "a generous budget yields a non-empty output");
-    }
-
-    #[test]
-    fn fump_pipeline_respects_output_size() {
-        let input = input_log();
-        // first learn λ, then ask for half of it
-        let o = Sanitizer::with_objective(params(), UtilityObjective::OutputSize)
+        let old = Sanitizer::with_objective(params(), UtilityObjective::OutputSize)
             .sanitize(&input)
             .unwrap();
-        let lambda: u64 = o.counts.iter().sum();
-        assert!(lambda > 2);
-        let s = Sanitizer::with_objective(
-            params(),
-            UtilityObjective::FrequentPairs { min_support: 0.1, output_size: lambda / 2 },
-        );
-        let out = s.sanitize(&input).unwrap();
-        let total: u64 = out.counts.iter().sum();
-        assert!(total <= lambda / 2);
-        let pr = precision_recall(&out.preprocessed, &out.counts, 0.1);
-        assert!(pr.precision > 0.0);
+        let new = UmpSanitizer::new(UtilityObjective::OutputSize)
+            .sanitize(&input, params(), 0xd95a_11ce)
+            .unwrap();
+        assert_eq!(old.counts, new.counts);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        dpsan_searchlog::io::write_tsv(&old.output, &mut a).unwrap();
+        dpsan_searchlog::io::write_tsv(&new.output, &mut b).unwrap();
+        assert_eq!(a, b, "shim and trait releases are byte-identical");
     }
 
     #[test]
-    fn sketched_frequent_set_matches_mined_pipeline() {
-        let input = input_log();
-        let lambda: u64 = Sanitizer::with_objective(params(), UtilityObjective::OutputSize)
-            .sanitize(&input)
-            .unwrap()
-            .counts
-            .iter()
-            .sum();
-        let mined = Sanitizer::with_objective(
-            params(),
-            UtilityObjective::FrequentPairs { min_support: 0.1, output_size: lambda / 2 },
-        )
-        .sanitize(&input)
-        .unwrap();
-        // supply the exact frequent set of the preprocessed log — the
-        // streamed-ingestion contract — and expect identical output
-        let (pre, _) = dpsan_searchlog::preprocess(&input);
-        let frequent = dpsan_searchlog::frequent_pairs(&pre, 0.1);
-        let sketched = Sanitizer::with_objective(
-            params(),
-            UtilityObjective::SketchedFrequentPairs {
-                frequent,
-                min_support: 0.1,
-                output_size: lambda / 2,
-            },
-        )
-        .sanitize(&input)
-        .unwrap();
-        assert_eq!(sketched.counts, mined.counts);
-        assert_eq!(
-            output_pair_counts(&sketched.preprocessed, &sketched.output),
-            output_pair_counts(&mined.preprocessed, &mined.output),
-        );
-    }
-
-    #[test]
-    fn dump_pipeline_keeps_distinct_pairs() {
-        let input = input_log();
-        let s = Sanitizer::with_objective(
-            params(),
-            UtilityObjective::Diversity { solver: DumpSolver::Spe },
-        );
-        let out = s.sanitize(&input).unwrap();
-        assert!(out.counts.iter().all(|&c| c <= 1), "D-UMP counts are binary");
-        assert!(diversity_retained(&out.counts) > 0.0);
-    }
-
-    #[test]
-    fn deterministic_given_seed() {
-        let input = input_log();
-        let s = Sanitizer::with_objective(params(), UtilityObjective::OutputSize);
-        let a = s.sanitize(&input).unwrap();
-        let b = s.sanitize(&input).unwrap();
-        assert_eq!(a.counts, b.counts);
-        assert_eq!(a.output.size(), b.output.size());
-    }
-
-    #[test]
-    fn laplace_step_records_ledger_and_stays_private() {
+    fn shim_laplace_step_composes_in_ledger() {
         let input = input_log();
         let mut cfg = SanitizerConfig::new(params(), UtilityObjective::OutputSize);
         cfg.laplace = Some(LaplaceStep { sensitivity: 1.0, epsilon_prime: 0.5 });
         let out = Sanitizer::new(cfg).sanitize(&input).unwrap();
         assert_eq!(out.ledger.entries().len(), 2);
-        assert!((out.ledger.total_epsilon() - (params().epsilon() + 0.5)).abs() < 1e-12);
-        let c = PrivacyConstraints::build(&out.preprocessed, params()).unwrap();
-        assert!(c.satisfied_by(&out.counts, 1e-9), "repair keeps noisy counts private");
-    }
-
-    #[test]
-    fn output_schema_identical_to_input() {
-        let input = input_log();
-        let s = Sanitizer::with_objective(params(), UtilityObjective::OutputSize);
-        let out = s.sanitize(&input).unwrap();
-        // every output record is a (user, query, url, count) tuple over
-        // the input vocabulary — write + re-read as TSV to prove schema
-        let mut buf = Vec::new();
-        dpsan_searchlog::io::write_tsv(&out.output, &mut buf).unwrap();
-        let reread = dpsan_searchlog::io::read_tsv(std::io::Cursor::new(buf)).unwrap();
-        assert_eq!(reread.size(), out.output.size());
-        assert_eq!(reread.n_pairs(), out.output.n_pairs());
+        assert_eq!(output_pair_counts(&out.preprocessed, &out.output), out.counts);
     }
 }

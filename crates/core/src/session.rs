@@ -69,6 +69,21 @@ impl SessionStats {
     pub fn warm_primal(&self) -> usize {
         self.warm_starts - self.dual_reopts
     }
+
+    /// The counter increments since `before` (a snapshot of the same
+    /// monotone session). Used to attribute per-release solver work
+    /// when a session spans several releases.
+    pub fn delta(&self, before: &SessionStats) -> SessionStats {
+        SessionStats {
+            solves: self.solves - before.solves,
+            warm_starts: self.warm_starts - before.warm_starts,
+            dual_reopts: self.dual_reopts - before.dual_reopts,
+            cold_starts: self.cold_starts - before.cold_starts,
+            dual_fallbacks: self.dual_fallbacks - before.dual_fallbacks,
+            iterations: self.iterations - before.iterations,
+            refactorizations: self.refactorizations - before.refactorizations,
+        }
+    }
 }
 
 /// Which solve paths a session may pick from.

@@ -111,12 +111,27 @@ pub fn solve_dump_with(
 /// solve of [`DumpSolver::LpRound`] can exploit the session's warm
 /// basis across a budget sweep; the combinatorial solvers (SPE, pump,
 /// branch & bound) run exactly as in [`solve_dump_with`].
+#[deprecated(note = "use `SolveSession::solve_dump` instead")]
 pub fn solve_dump_session(
     constraints: &PrivacyConstraints,
     opts: &DumpOptions,
     session: &mut SolveSession,
 ) -> Result<DumpSolution, CoreError> {
-    solve_dump_inner(constraints, opts, Some(session))
+    session.solve_dump(constraints, opts)
+}
+
+impl SolveSession {
+    /// Solve the D-UMP through this session. Only the LP-relaxation
+    /// solve of [`DumpSolver::LpRound`] can exploit the session's warm
+    /// basis across a budget sweep; the combinatorial solvers (SPE,
+    /// pump, branch & bound) run exactly as in [`solve_dump_with`].
+    pub fn solve_dump(
+        &mut self,
+        constraints: &PrivacyConstraints,
+        opts: &DumpOptions,
+    ) -> Result<DumpSolution, CoreError> {
+        solve_dump_inner(constraints, opts, Some(self))
+    }
 }
 
 fn solve_dump_inner(
@@ -400,7 +415,7 @@ mod tests {
             DumpOptions { solver: DumpSolver::BranchBound { max_nodes: 50_000 }, ..opts.clone() };
         for e_eps in [1.1, 1.4, 1.7, 2.0, 2.3] {
             let c = PrivacyConstraints::build(&log, params(e_eps, 0.2)).unwrap();
-            let warm = solve_dump_session(&c, &opts, &mut session).unwrap();
+            let warm = session.solve_dump(&c, &opts).unwrap();
             // a warm start may reach a different (equally optimal)
             // relaxation vertex than a cold solve, so the rounded
             // retained counts need not match the cold path exactly —

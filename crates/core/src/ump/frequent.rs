@@ -117,13 +117,35 @@ pub fn solve_fump_with(
 /// the dual-reoptimization fast path applies (budget sweeps at fixed
 /// `|O|`, e.g. the Figure 3 δ-curves) or the warm primal path runs
 /// (`|O|` sweeps, e.g. the Table 5/6 support rows).
+#[deprecated(note = "use `SolveSession::solve_fump` instead")]
 pub fn solve_fump_session(
     log: &SearchLog,
     constraints: &PrivacyConstraints,
     opts: &FumpOptions,
     session: &mut SolveSession,
 ) -> Result<FumpSolution, CoreError> {
-    solve_fump_inner(log, constraints, opts, Some(session))
+    session.solve_fump(log, constraints, opts)
+}
+
+impl SolveSession {
+    /// Solve the F-UMP through this session, warm-starting from the
+    /// previous optimal basis. Consecutive cells that share the
+    /// frequent-pair set keep the same LP shape, so the snapshot
+    /// carries over; a support change silently degrades that one solve
+    /// to a cold start. Unlike the O-UMP, an F-UMP grid step is only
+    /// *sometimes* rhs-only (budget moves keep the matrix fixed, `|O|`
+    /// moves rewrite the abs-value-split coefficients), so the
+    /// session's fingerprint-based auto-detection decides per step
+    /// whether the dual fast path applies. The session's LP options
+    /// override `opts.lp`.
+    pub fn solve_fump(
+        &mut self,
+        log: &SearchLog,
+        constraints: &PrivacyConstraints,
+        opts: &FumpOptions,
+    ) -> Result<FumpSolution, CoreError> {
+        solve_fump_inner(log, constraints, opts, Some(self))
+    }
 }
 
 /// Build the F-UMP linear program of Section 5.2 (privacy rows, fixed

@@ -89,12 +89,30 @@ pub fn solve_oump_with(
 /// restore the previous basis and run the dual simplex, typically
 /// re-optimizing in a handful of pivots (see
 /// [`dpsan_lp::simplex::solve_parametric`]).
+#[deprecated(note = "use `SolveSession::solve_oump` instead")]
 pub fn solve_oump_session(
     constraints: &PrivacyConstraints,
     opts: &OumpOptions,
     session: &mut SolveSession,
 ) -> Result<OumpSolution, CoreError> {
-    solve_oump_inner(constraints, opts, Some(session))
+    session.solve_oump(constraints, opts)
+}
+
+impl SolveSession {
+    /// Solve the O-UMP through this session, reusing the previous
+    /// optimal basis (ideal for budget sweeps over one constraint
+    /// system). O-UMP grid steps are *declared* rhs-only
+    /// perturbations: for a fixed preprocessed log only the row
+    /// right-hand side `B` moves, so consecutive solves restore the
+    /// previous basis and dual-reoptimize in a handful of pivots. The
+    /// session's LP options override `opts.lp`.
+    pub fn solve_oump(
+        &mut self,
+        constraints: &PrivacyConstraints,
+        opts: &OumpOptions,
+    ) -> Result<OumpSolution, CoreError> {
+        solve_oump_inner(constraints, opts, Some(self))
+    }
 }
 
 /// Build the O-UMP linear program of Section 5.1 over the polytope.

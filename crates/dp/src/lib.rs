@@ -14,6 +14,10 @@
 //!   step 2, with both alias and CDF-scan strategies,
 //! * [`composition`] — sequential composition bookkeeping for pipelines
 //!   that consume several `(ε, δ)` budgets,
+//! * [`threshold`] — ZEALOUS-style noisy-threshold calibration (noise
+//!   scale, release threshold, Laplace tail / reliability margins),
+//! * [`response`] — one-bit randomized response with the linear
+//!   reduction to user-level ε-LDP,
 //! * [`verify`] — Monte-Carlo and exhaustive estimators of the
 //!   probability ratios of Definition 2, used to validate mechanisms on
 //!   tiny inputs.
@@ -26,6 +30,8 @@ pub mod composition;
 pub mod laplace;
 pub mod multinomial;
 pub mod params;
+pub mod response;
+pub mod threshold;
 pub mod verify;
 
 pub use alias::AliasTable;
@@ -33,3 +39,4 @@ pub use composition::BudgetLedger;
 pub use laplace::{laplace_mechanism, sample_laplace, LaplaceNoise};
 pub use multinomial::{sample_multinomial, MultinomialStrategy};
 pub use params::{PrivacyBudget, PrivacyParams};
+pub use response::RandomizedResponse;

@@ -1,0 +1,122 @@
+//! Randomized response — the local-model primitive behind the LDP
+//! mechanism (Ding et al.'s linear reduction applies it bit-wise to a
+//! bounded-weight presence vector).
+//!
+//! A single bit is reported truthfully with probability
+//! `p = e^ε′ / (1 + e^ε′)` and flipped otherwise, which satisfies
+//! ε′-LDP for that bit. Two presence vectors with at most `d` ones each
+//! differ in at most `2d` positions, so randomizing every bit at
+//! `ε′ = ε / (2d)` makes the whole report ε-LDP at the user level —
+//! the *linear reduction* from a user record to independent bits.
+
+use rand::{Rng, RngExt};
+
+/// A calibrated one-bit randomized-response channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomizedResponse {
+    keep: f64,
+}
+
+impl RandomizedResponse {
+    /// Channel that is ε′-LDP per bit: keep probability
+    /// `e^ε′ / (1 + e^ε′)`.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(epsilon.is_finite() && epsilon > 0.0, "epsilon must be finite and > 0");
+        let e = epsilon.exp();
+        RandomizedResponse { keep: e / (1.0 + e) }
+    }
+
+    /// Channel for a user-level ε guarantee over a presence vector with
+    /// at most `cap` ones: per-bit budget `ε′ = ε / (2·cap)` (linear
+    /// reduction — neighboring capped records differ in ≤ 2·cap bits).
+    pub fn per_item(epsilon_user: f64, cap: u64) -> Self {
+        assert!(cap > 0, "item cap must be at least 1");
+        Self::with_epsilon(epsilon_user / (2.0 * cap as f64))
+    }
+
+    /// Probability of reporting the true bit.
+    pub fn keep_probability(self) -> f64 {
+        self.keep
+    }
+
+    /// Probability of reporting the flipped bit.
+    pub fn flip_probability(self) -> f64 {
+        1.0 - self.keep
+    }
+
+    /// Randomize one bit: truthful with probability `keep`, flipped
+    /// otherwise. Consumes exactly one `f64` draw from the RNG.
+    pub fn randomize<R: Rng>(self, rng: &mut R, bit: bool) -> bool {
+        let truthful = rng.random::<f64>() < self.keep;
+        bit == truthful
+    }
+
+    /// Unbiased estimate of the true number of ones from `observed`
+    /// reported ones among `total` bits:
+    /// `(observed − total·(1−p)) / (2p − 1)`.
+    pub fn debias(self, observed: u64, total: u64) -> f64 {
+        let p = self.keep;
+        (observed as f64 - total as f64 * (1.0 - p)) / (2.0 * p - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keep_probability_formula() {
+        let rr = RandomizedResponse::with_epsilon(2.0f64.ln());
+        assert!((rr.keep_probability() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((rr.flip_probability() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_item_uses_linear_reduction() {
+        let direct = RandomizedResponse::with_epsilon(0.25);
+        let reduced = RandomizedResponse::per_item(2.0, 4); // 2 / (2·4)
+        assert!((direct.keep_probability() - reduced.keep_probability()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_bit_ratio_is_bounded_by_e_epsilon() {
+        let eps = 0.7;
+        let rr = RandomizedResponse::with_epsilon(eps);
+        let ratio = rr.keep_probability() / rr.flip_probability();
+        assert!((ratio - eps.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn randomize_is_deterministic_given_seed() {
+        let rr = RandomizedResponse::with_epsilon(0.5);
+        let run = |seed: u64| -> Vec<bool> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..64).map(|i| rr.randomize(&mut rng, i % 3 == 0)).collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds randomize differently");
+    }
+
+    #[test]
+    fn debias_recovers_expectation() {
+        let rr = RandomizedResponse::with_epsilon(1.0);
+        let p = rr.keep_probability();
+        let (ones, total) = (30u64, 100u64);
+        // expected observed ones = ones·p + (total−ones)·(1−p)
+        let expected = ones as f64 * p + (total - ones) as f64 * (1.0 - p);
+        let est = rr.debias(expected.round() as u64, total);
+        assert!((est - ones as f64).abs() < 1.0, "{est}");
+    }
+
+    #[test]
+    fn empirical_keep_rate_matches() {
+        let rr = RandomizedResponse::with_epsilon(1.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let kept = (0..n).filter(|_| rr.randomize(&mut rng, true)).count();
+        let rate = kept as f64 / n as f64;
+        assert!((rate - rr.keep_probability()).abs() < 0.02, "{rate}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Noisy-threshold calibration for ZEALOUS-style heavy-hitter release
+//! (Götz, Machanavajjhala, Wang, Xiao, Gehrke — *Publishing Search
+//! Logs: A Comparative Study of Privacy Guarantees*).
+//!
+//! ZEALOUS releases an item's (capped) count only when the count plus
+//! Laplace noise clears a threshold. With a per-user contribution cap
+//! `d`, the capped histogram has user-level sensitivity `d`, and the
+//! conservative two-sided calibration uses noise scale `b = 2d/ε`.
+//! The release threshold is raised above the coarse candidate cutoff
+//! `τ′` by the Laplace tail margin `b·ln(1/(2δ))`, so an item that the
+//! coarse phase would have suppressed passes the noisy test with
+//! probability at most `δ` — the failure mass of the `(ε, δ)`
+//! guarantee.
+//!
+//! The same tail bound, read in the other direction, is the paper's
+//! *reliability* statement: an item whose capped count exceeds the
+//! threshold by `b·ln(1/(2β))` is released with probability at least
+//! `1 − β`.
+
+use crate::laplace::LaplaceNoise;
+
+/// Laplace noise scale of the ZEALOUS histogram: `b = 2d/ε` for
+/// per-user contribution cap `d` (the conservative two-sided
+/// calibration of the original analysis).
+pub fn noise_scale(contribution_cap: u64, epsilon: f64) -> f64 {
+    assert!(contribution_cap > 0, "contribution cap must be at least 1");
+    assert!(epsilon.is_finite() && epsilon > 0.0, "epsilon must be finite and > 0");
+    2.0 * contribution_cap as f64 / epsilon
+}
+
+/// The release threshold `τ = τ′ + max(0, b·ln(1/(2δ)))`.
+///
+/// The margin is clamped at zero: for δ ≥ 1/2 the tail bound is vacuous
+/// and the coarse cutoff itself is already the binding test.
+pub fn release_threshold(coarse_threshold: u64, scale: f64, delta: f64) -> f64 {
+    assert!(scale.is_finite() && scale > 0.0, "scale must be finite and > 0");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    coarse_threshold as f64 + tail_margin(scale, delta)
+}
+
+/// The Laplace tail margin `max(0, b·ln(1/(2p)))`: a `Lap(b)` draw
+/// exceeds this margin with probability at most `p` (exactly
+/// `½·e^(−t/b)` for margin `t ≥ 0`).
+pub fn tail_margin(scale: f64, p: f64) -> f64 {
+    assert!(scale.is_finite() && scale > 0.0, "scale must be finite and > 0");
+    assert!(p > 0.0 && p < 1.0, "tail probability must be in (0, 1)");
+    (scale * (1.0 / (2.0 * p)).ln()).max(0.0)
+}
+
+/// Probability that a capped count `h` survives the noisy test
+/// `h + Lap(b) ≥ τ`, in closed form from the Laplace CDF.
+pub fn release_probability(count: f64, threshold: f64, scale: f64) -> f64 {
+    assert!(scale.is_finite() && scale > 0.0, "scale must be finite and > 0");
+    let t = threshold - count;
+    if t >= 0.0 {
+        0.5 * (-t / scale).exp()
+    } else {
+        1.0 - 0.5 * (t / scale).exp()
+    }
+}
+
+/// The calibrated noise distribution: `Lap(2d/ε)`.
+pub fn noise(contribution_cap: u64, epsilon: f64) -> LaplaceNoise {
+    LaplaceNoise::with_scale(noise_scale(contribution_cap, epsilon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_is_2d_over_epsilon() {
+        assert!((noise_scale(4, 0.5) - 16.0).abs() < 1e-12);
+        assert!((noise(4, 0.5).scale() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_adds_tail_margin_for_small_delta() {
+        let b = noise_scale(2, 1.0); // 4
+        let tau = release_threshold(10, b, 0.01);
+        assert!((tau - (10.0 + 4.0 * (1.0 / 0.02f64).ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_clamps_at_coarse_cutoff_for_large_delta() {
+        let b = noise_scale(2, 1.0);
+        assert!((release_threshold(10, b, 0.8) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_margin_matches_release_probability() {
+        // a count sitting exactly margin(β) above τ is released w.p. 1−β
+        let b = 3.0;
+        for beta in [0.01, 0.1, 0.3] {
+            let m = tail_margin(b, beta);
+            let p = release_probability(m, 0.0, b);
+            assert!((p - (1.0 - beta)).abs() < 1e-9, "beta={beta}: {p}");
+        }
+    }
+
+    #[test]
+    fn suppressed_items_pass_with_probability_at_most_delta() {
+        // a count at the coarse cutoff passes τ w.p. ≤ δ
+        let b = noise_scale(8, 0.5);
+        for delta in [0.001, 0.05, 0.2] {
+            let tau = release_threshold(5, b, delta);
+            let p = release_probability(5.0, tau, b);
+            assert!(p <= delta + 1e-12, "delta={delta}: {p}");
+        }
+    }
+
+    #[test]
+    fn release_probability_is_monotone_in_count() {
+        let b = 2.0;
+        let ps: Vec<f64> = (0..20).map(|h| release_probability(h as f64, 10.0, b)).collect();
+        assert!(ps.windows(2).all(|w| w[0] <= w[1]));
+        assert!((release_probability(10.0, 10.0, b) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,29 +1,36 @@
 //! `sanitize` — the production entrypoint: read a search-log file, run
-//! `(ε, δ)`-private sanitization, write the sanitized log.
+//! a differentially private sanitization mechanism, write the output.
 //!
 //! ```text
 //! sanitize access.tsv --out sanitized.tsv
-//! sanitize access.tsv --objective fump --min-support 0.02 --e-epsilon 1.7
+//! sanitize access.tsv --mechanism fump --min-support 0.02 --e-epsilon 1.7
+//! sanitize access.tsv --mechanism zealous --zealous-cap 8
 //! sanitize access.tsv --ingest in-memory --out reference.tsv   # cross-check
 //! ```
 //!
 //! Unlike `repro` (which regenerates the paper's tables on synthetic
-//! data), `sanitize` is a file-in/file-out tool. The default ingestion
-//! path is the `dpsan-stream` sharded engine: chunked intake, user-hash
-//! shards (user-complete, so the privacy accounting is untouched), a
-//! mergeable heavy-hitters sketch that mines F-UMP frequent-pair
-//! candidates in the same bounded-memory pass, and a deterministic
-//! merge. `--ingest in-memory` runs the one-shot `read_tsv` build
-//! instead; **both paths produce byte-identical output** for every
-//! `--jobs`/`--shards` value (CI diffs them).
+//! data), `sanitize` is a file-in/file-out tool. `--mechanism` selects
+//! any [`Sanitizer`] impl — the paper's three UMP objectives, the
+//! ZEALOUS noisy-threshold baseline, or local randomized response; all
+//! emit the same 4-column TSV schema as the input (the paper's headline
+//! property).
 //!
-//! Output is the sanitized log in the same 4-column TSV schema as the
-//! input — the paper's headline property.
+//! The default ingestion path is the `dpsan-stream` sharded engine:
+//! chunked intake, user-hash shards (user-complete, so the privacy
+//! accounting of every mechanism is untouched), a mergeable
+//! heavy-hitters sketch that mines candidate pairs for fump/zealous in
+//! the same bounded-memory pass, and a deterministic merge. `--ingest
+//! in-memory` runs the one-shot `read_tsv` build instead; **both paths
+//! produce byte-identical output** for every `--jobs`/`--shards` value
+//! (CI diffs them).
 
 use std::io::Write;
 use std::process::ExitCode;
 
-use dpsan_core::sanitizer::{Sanitizer, SanitizerConfig, UtilityObjective};
+use dpsan_core::mechanism::{
+    LdpOptions, LdpSanitizer, Sanitizer, UmpSanitizer, UtilityObjective, ZealousOptions,
+    ZealousSanitizer,
+};
 use dpsan_core::ump::diversity::DumpSolver;
 use dpsan_core::ump::output_size::{solve_oump, OumpOptions};
 use dpsan_dp::params::PrivacyParams;
@@ -32,29 +39,38 @@ use dpsan_stream::{ingest_path, sketch_frequent_pairs, StreamConfig};
 
 const USAGE: &str = "usage: sanitize <input.tsv> [options]
   --out <path>             write the sanitized log here (default: stdout)
-  --objective <obj>        oump | fump | dump        (default: oump)
+  --mechanism <m>          oump | fump | dump | zealous | ldp-rr (default: oump)
   --e-epsilon <v>          privacy parameter e^eps, > 1      (default: 2.0)
   --delta <v>              privacy parameter delta, in (0,1) (default: 0.5)
-  --min-support <v>        F-UMP support threshold, in (0,1] (default: 0.05)
-  --output-size <n|auto>   F-UMP output size |O|     (default: auto = lambda/2)
-  --seed <n>               sampling seed             (default: fixed)
+  --min-support <v>        fump support threshold, in (0,1]  (default: 0.05)
+  --output-size <n|auto>   fump output size |O|      (default: auto = lambda/2)
+  --zealous-cap <n>        zealous per-user contribution cap (default: 8)
+  --zealous-coarse <n>     zealous coarse cutoff tau'        (default: 2)
+  --ldp-cap <n>            ldp-rr per-user pair cap          (default: 4)
+  --seed <n>               sampling / noise seed     (default: fixed)
   --ingest <mode>          streaming | in-memory     (default: streaming)
   --shards <n>             user-hash shards          (default: 16)
   --chunk-rows <n>         max raw rows in memory    (default: 8192)
-  --sketch-capacity <n>    heavy-hitter counters (default: 4096 for fump,
-                           0 = off otherwise; only fump reads the sketch)
+  --sketch-capacity <n>    heavy-hitter counters (default: 4096 for fump and
+                           zealous, 0 = off otherwise)
   --jobs <n>               shard-drain workers       (default: available cores)
-  --stats                  ingestion + run report to stderr";
+  --stats                  ingestion + run + solver report to stderr";
+
+/// The default RNG seed — the repository-wide determinism convention.
+const DEFAULT_SEED: u64 = 0xd95a_11ce;
 
 struct Args {
     input: String,
     out: Option<String>,
-    objective: String,
+    mechanism: String,
     e_epsilon: f64,
     delta: f64,
     min_support: f64,
     output_size: Option<u64>,
-    seed: Option<u64>,
+    zealous_cap: u64,
+    zealous_coarse: u64,
+    ldp_cap: u64,
+    seed: u64,
     ingest: String,
     shards: usize,
     chunk_rows: usize,
@@ -65,10 +81,15 @@ struct Args {
 
 impl Args {
     /// Per-shard sketch capacity: an explicit `--sketch-capacity`
-    /// wins; otherwise sketching runs only for the objective that
-    /// consumes it (fump) and stays off the oump/dump hot path.
+    /// wins; otherwise sketching runs only for the mechanisms that
+    /// consume mined candidates (fump, zealous) and stays off the
+    /// oump/dump/ldp-rr hot path.
     fn effective_sketch_capacity(&self) -> usize {
-        self.sketch_capacity.unwrap_or(if self.objective == "fump" { 4096 } else { 0 })
+        self.sketch_capacity.unwrap_or(if matches!(self.mechanism.as_str(), "fump" | "zealous") {
+            4096
+        } else {
+            0
+        })
     }
 }
 
@@ -76,12 +97,15 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         input: String::new(),
         out: None,
-        objective: "oump".into(),
+        mechanism: "oump".into(),
         e_epsilon: 2.0,
         delta: 0.5,
         min_support: 0.05,
         output_size: None,
-        seed: None,
+        zealous_cap: 8,
+        zealous_coarse: 2,
+        ldp_cap: 4,
+        seed: DEFAULT_SEED,
         ingest: "streaming".into(),
         shards: 16,
         chunk_rows: 8192,
@@ -98,7 +122,13 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--help" | "-h" => return Err(String::new()),
             "--out" => args.out = Some(value("--out", &mut it)?),
-            "--objective" => args.objective = value("--objective", &mut it)?,
+            "--mechanism" => args.mechanism = value("--mechanism", &mut it)?,
+            // pre-trait-redesign spelling; kept one release as a hidden
+            // alias so existing scripts keep working
+            "--objective" => {
+                eprintln!("sanitize: --objective is deprecated; use --mechanism");
+                args.mechanism = value("--objective", &mut it)?;
+            }
             "--e-epsilon" => {
                 args.e_epsilon = parse_num(&value("--e-epsilon", &mut it)?, "--e-epsilon")?
             }
@@ -114,10 +144,20 @@ fn parse_args() -> Result<Args, String> {
                     Some(v.parse().map_err(|e| format!("bad --output-size {v:?}: {e}"))?)
                 };
             }
+            "--zealous-cap" => {
+                args.zealous_cap =
+                    parse_count64(&value("--zealous-cap", &mut it)?, "--zealous-cap")?
+            }
+            "--zealous-coarse" => {
+                args.zealous_coarse =
+                    parse_count64(&value("--zealous-coarse", &mut it)?, "--zealous-coarse")?
+            }
+            "--ldp-cap" => {
+                args.ldp_cap = parse_count64(&value("--ldp-cap", &mut it)?, "--ldp-cap")?
+            }
             "--seed" => {
-                args.seed = Some(
-                    value("--seed", &mut it)?.parse().map_err(|e| format!("bad --seed: {e}"))?,
-                )
+                args.seed =
+                    value("--seed", &mut it)?.parse().map_err(|e| format!("bad --seed: {e}"))?
             }
             "--ingest" => args.ingest = value("--ingest", &mut it)?,
             "--shards" => args.shards = parse_count(&value("--shards", &mut it)?, "--shards")?,
@@ -145,8 +185,8 @@ fn parse_args() -> Result<Args, String> {
     if args.input.is_empty() {
         return Err("missing input file".into());
     }
-    if !matches!(args.objective.as_str(), "oump" | "fump" | "dump") {
-        return Err(format!("unknown objective {:?}", args.objective));
+    if !matches!(args.mechanism.as_str(), "oump" | "fump" | "dump" | "zealous" | "ldp-rr") {
+        return Err(format!("unknown mechanism {:?}", args.mechanism));
     }
     if !matches!(args.ingest.as_str(), "streaming" | "in-memory") {
         return Err(format!("unknown ingest mode {:?}", args.ingest));
@@ -178,6 +218,81 @@ fn parse_count(v: &str, flag: &str) -> Result<usize, String> {
         return Err(format!("{flag} must be at least 1"));
     }
     Ok(n)
+}
+
+fn parse_count64(v: &str, flag: &str) -> Result<u64, String> {
+    parse_count(v, flag).map(|n| n as u64)
+}
+
+/// Build the selected mechanism. `sketch`-mined candidates feed the
+/// fump LP and the zealous coarse phase; both re-filter exactly against
+/// the preprocessed log, so the sketch path stays byte-identical to the
+/// exact scan.
+fn build_mechanism(
+    args: &Args,
+    pre: &SearchLog,
+    params: PrivacyParams,
+    sketch: Option<&dpsan_stream::PairSketch>,
+) -> Result<Box<dyn Sanitizer>, Box<dyn std::error::Error>> {
+    Ok(match args.mechanism.as_str() {
+        "oump" => Box::new(UmpSanitizer::new(UtilityObjective::OutputSize)),
+        "dump" => {
+            Box::new(UmpSanitizer::new(UtilityObjective::Diversity { solver: DumpSolver::Spe }))
+        }
+        "fump" => {
+            let output_size = match args.output_size {
+                Some(o) => o,
+                None => {
+                    let lambda = solve_oump(pre, params, &OumpOptions::default())?.lambda;
+                    (lambda / 2).max(1)
+                }
+            };
+            let frequent: Vec<FrequentPair> = match sketch {
+                Some(sk) => sketch_frequent_pairs(pre, sk, args.min_support),
+                None => frequent_pairs(pre, args.min_support),
+            };
+            if args.stats {
+                eprintln!(
+                    "fump: frequent_pairs={} output_size={output_size} mined_via={}",
+                    frequent.len(),
+                    if sketch.is_some() { "sketch" } else { "exact-scan" },
+                );
+            }
+            Box::new(UmpSanitizer::new(UtilityObjective::SketchedFrequentPairs {
+                frequent,
+                min_support: args.min_support,
+                output_size,
+            }))
+        }
+        "zealous" => {
+            // streamed runs mine the coarse-phase candidates from the
+            // sketch at support tau'/|D| — a (division is monotone)
+            // exact match of `total >= tau'`, and zealous re-filters
+            // against exact totals anyway, so both paths draw the
+            // identical noise stream
+            let candidates = match sketch {
+                Some(sk) if pre.size() > 0 => {
+                    let support = (args.zealous_coarse as f64 / pre.size() as f64)
+                        .clamp(f64::MIN_POSITIVE, 1.0);
+                    let mined = sketch_frequent_pairs(pre, sk, support);
+                    if args.stats {
+                        eprintln!("zealous: candidates={} mined_via=sketch", mined.len());
+                    }
+                    Some(mined)
+                }
+                _ => None,
+            };
+            Box::new(ZealousSanitizer::with_options(ZealousOptions {
+                contribution_cap: args.zealous_cap,
+                coarse_threshold: args.zealous_coarse,
+                candidates,
+            }))
+        }
+        "ldp-rr" => {
+            Box::new(LdpSanitizer::with_options(LdpOptions { max_pairs_per_user: args.ldp_cap }))
+        }
+        _ => unreachable!("validated in parse_args"),
+    })
 }
 
 fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
@@ -215,10 +330,10 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         (log, None)
     };
 
-    // 2. preprocess once here: the F-UMP frequent set and the auto
-    //    output size refer to the preprocessed log, and preprocessing
-    //    is idempotent + id-stable, so the sanitizer's internal pass
-    //    is a no-op on `pre`
+    // 2. preprocess once here: the fump frequent set and the zealous
+    //    candidate mining refer to the preprocessed log, and
+    //    preprocessing is idempotent + id-stable, so the mechanism's
+    //    internal pass is a no-op on `pre`
     let (pre, report) = preprocess(&raw);
     if args.stats {
         eprintln!(
@@ -230,52 +345,32 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let objective = match args.objective.as_str() {
-        "oump" => UtilityObjective::OutputSize,
-        "dump" => UtilityObjective::Diversity { solver: DumpSolver::Spe },
-        "fump" => {
-            let output_size = match args.output_size {
-                Some(o) => o,
-                None => {
-                    let lambda = solve_oump(&pre, params, &OumpOptions::default())?.lambda;
-                    (lambda / 2).max(1)
-                }
-            };
-            // sketch-mined candidates, exactified against the log;
-            // identical to the exact scan (the in-memory path) by the
-            // sketch's completeness guarantee
-            let frequent: Vec<FrequentPair> = match &sketch {
-                Some(sk) => sketch_frequent_pairs(&pre, sk, args.min_support),
-                None => frequent_pairs(&pre, args.min_support),
-            };
-            if args.stats {
-                eprintln!(
-                    "fump: frequent_pairs={} output_size={output_size} mined_via={}",
-                    frequent.len(),
-                    if sketch.is_some() { "sketch" } else { "exact-scan" },
-                );
-            }
-            UtilityObjective::SketchedFrequentPairs {
-                frequent,
-                min_support: args.min_support,
-                output_size,
-            }
-        }
-        _ => unreachable!("validated in parse_args"),
-    };
-
-    let mut cfg = SanitizerConfig::new(params, objective);
-    if let Some(seed) = args.seed {
-        cfg.seed = seed;
-    }
-    let result = Sanitizer::new(cfg).sanitize(&pre)?;
+    let mechanism = build_mechanism(args, &pre, params, sketch.as_ref())?;
+    let release = mechanism.sanitize(&pre, params, args.seed)?;
     if args.stats {
+        let info = mechanism.info();
         eprintln!(
-            "sanitize: output_size={} output_pairs={} epsilon={:.6} delta={}",
-            result.output.size(),
-            result.output.n_pairs(),
+            "sanitize: mechanism={} ({}) output_size={} output_pairs={} epsilon={:.6} delta={}",
+            info.id,
+            info.privacy,
+            release.output.size(),
+            release.output.n_pairs(),
             params.epsilon(),
             params.delta()
+        );
+        // always printed — all-zero for non-LP mechanisms, so scripted
+        // consumers see one stable line per run instead of a missing one
+        let s = &release.solver;
+        eprintln!(
+            "solver: solves={} dual-reopt={} warm-primal={} cold={} dual-fallbacks={} \
+             iterations={} refactorizations={}",
+            s.solves,
+            s.dual_reopts,
+            s.warm_primal(),
+            s.cold_starts,
+            s.dual_fallbacks,
+            s.iterations,
+            s.refactorizations,
         );
     }
 
@@ -284,13 +379,13 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         Some(path) => {
             let file = std::fs::File::create(path)?;
             let mut w = std::io::BufWriter::new(file);
-            dpsan_searchlog::io::write_tsv(&result.output, &mut w)?;
+            dpsan_searchlog::io::write_tsv(&release.output, &mut w)?;
             w.flush()?;
         }
         None => {
             let stdout = std::io::stdout();
             let mut w = stdout.lock();
-            dpsan_searchlog::io::write_tsv(&result.output, &mut w)?;
+            dpsan_searchlog::io::write_tsv(&release.output, &mut w)?;
             w.flush()?;
         }
     }

@@ -26,8 +26,8 @@ use std::sync::{Arc, Mutex};
 
 use dpsan_core::constraints::PrivacyConstraints;
 use dpsan_core::session::{SessionStats, SolveSession, Strategy};
-use dpsan_core::ump::frequent::{solve_fump_session, FumpOptions, FumpSolution};
-use dpsan_core::ump::output_size::{solve_oump_session, OumpOptions, OumpSolution};
+use dpsan_core::ump::frequent::{FumpOptions, FumpSolution};
+use dpsan_core::ump::output_size::{OumpOptions, OumpSolution};
 use dpsan_core::CoreError;
 use dpsan_datagen::{generate, presets, AolLikeConfig};
 use dpsan_dp::params::PrivacyParams;
@@ -170,7 +170,10 @@ impl Ctx {
         std::mem::take(&mut *self.solve_stats.lock().expect("stats poisoned"))
     }
 
-    fn merge_solve_stats(&self, stats: &SessionStats) {
+    /// Merge solver counters from a session run outside the context's
+    /// own caches (e.g. a [`dpsan_core::mechanism::Release`] produced
+    /// by the comparison suite) into the aggregate.
+    pub fn record_solve_stats(&self, stats: &SessionStats) {
         self.solve_stats.lock().expect("stats poisoned").merge(stats);
     }
 
@@ -202,12 +205,11 @@ impl Ctx {
         // would, but feeds the shared stats aggregate; PrimalOnly skips
         // populating a reopt cache that is dropped right away
         let mut session = SolveSession::new(self.lp.clone()).with_strategy(Strategy::PrimalOnly);
-        let sol = Arc::new(solve_oump_session(
+        let sol = Arc::new(session.solve_oump(
             &constraints,
             &OumpOptions { lp: self.lp.clone(), ..Default::default() },
-            &mut session,
         )?);
-        self.merge_solve_stats(&session.stats());
+        self.record_solve_stats(&session.stats());
         self.insert_oump(key, &sol);
         Ok(sol)
     }
@@ -253,11 +255,11 @@ impl Ctx {
                 .into_iter()
                 .map(|params| {
                     let constraints = self.constraints(params)?;
-                    let sol = solve_oump_session(&constraints, &opts, &mut session)?;
+                    let sol = session.solve_oump(&constraints, &opts)?;
                     Ok((params.budget().value().to_bits(), Arc::new(sol)))
                 })
                 .collect::<Result<Vec<_>, CoreError>>();
-            self.merge_solve_stats(&session.stats());
+            self.record_solve_stats(&session.stats());
             out
         });
         for shard in results {
@@ -283,16 +285,15 @@ impl Ctx {
         let constraints = self.constraints(cell.params)?;
         // one-shot (see the O-UMP cache-miss path above)
         let mut session = SolveSession::new(self.lp.clone()).with_strategy(Strategy::PrimalOnly);
-        let sol = Arc::new(solve_fump_session(
+        let sol = Arc::new(session.solve_fump(
             &self.pre,
             &constraints,
             &FumpOptions {
                 lp: self.lp.clone(),
                 ..FumpOptions::new(cell.min_support, cell.output_size)
             },
-            &mut session,
         )?);
-        self.merge_solve_stats(&session.stats());
+        self.record_solve_stats(&session.stats());
         self.insert_fump(key, &sol);
         Ok(sol)
     }
@@ -336,19 +337,18 @@ impl Ctx {
                 .into_iter()
                 .map(|cell| {
                     let constraints = self.constraints(cell.params)?;
-                    let sol = solve_fump_session(
+                    let sol = session.solve_fump(
                         &self.pre,
                         &constraints,
                         &FumpOptions {
                             lp: self.lp.clone(),
                             ..FumpOptions::new(cell.min_support, cell.output_size)
                         },
-                        &mut session,
                     )?;
                     Ok((fump_key(&cell), Arc::new(sol)))
                 })
                 .collect::<Result<Vec<_>, CoreError>>();
-            self.merge_solve_stats(&session.stats());
+            self.record_solve_stats(&session.stats());
             out
         });
         for shard in results {

@@ -1,5 +1,7 @@
-//! One module per table/figure of Section 6.
+//! One module per table/figure of Section 6, plus the cross-mechanism
+//! comparison suite ([`compare`]).
 
+pub mod compare;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -29,6 +29,10 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("table7", experiments::table7::run),
     ("fig5", experiments::fig5::run),
     ("fig6", experiments::fig6::run),
+    // not a Section 6 artifact: the cross-mechanism comparison suite.
+    // Registered last so adding it kept the golden fixture diff
+    // append-only.
+    ("compare", experiments::compare::run),
 ];
 
 /// Run one experiment by id; `Err` for unknown ids.
@@ -129,7 +133,7 @@ mod tests {
         let ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _)| *id).collect();
         for required in [
             "table3", "table4", "fig3a", "fig3b", "fig3c", "table5", "table6", "fig4", "table7",
-            "fig5", "fig6",
+            "fig5", "fig6", "compare",
         ] {
             assert!(ids.contains(&required), "{required} missing");
         }

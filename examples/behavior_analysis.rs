@@ -27,16 +27,15 @@ fn main() {
     let input = generate(&presets::aol_tiny());
     let params = PrivacyParams::from_e_epsilon(2.0, 0.8);
 
-    let sanitizer =
-        Sanitizer::with_objective(params, UtilityObjective::Diversity { solver: DumpSolver::Spe });
-    let result = sanitizer.sanitize(&input).expect("sanitization succeeds");
+    let mechanism = UmpSanitizer::new(UtilityObjective::Diversity { solver: DumpSolver::Spe });
+    let result = mechanism.sanitize(&input, params, 7).expect("sanitization succeeds");
 
-    println!("input (preprocessed): {}", LogStats::of(&result.preprocessed));
+    println!("input (preprocessed): {}", LogStats::of(&result.reference));
     println!("sanitized output:     {}", LogStats::of(&result.output));
     println!("pair diversity retained: {:.1}%", 100.0 * diversity_retained(&result.counts));
 
     println!("\ndistinct pairs per user (input -> output):");
-    let before = pairs_per_user_histogram(&result.preprocessed);
+    let before = pairs_per_user_histogram(&result.reference);
     let after = pairs_per_user_histogram(&result.output);
     println!("  input : {before:?}");
     println!("  output: {after:?}");

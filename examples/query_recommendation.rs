@@ -35,21 +35,18 @@ fn main() {
         counts[k - 1] as f64 / pre.size() as f64
     };
 
-    let sanitizer = Sanitizer::with_objective(
-        params,
-        UtilityObjective::FrequentPairs { min_support, output_size },
-    );
-    let result = sanitizer.sanitize(&input).expect("sanitization succeeds");
+    let mechanism = UmpSanitizer::new(UtilityObjective::FrequentPairs { min_support, output_size });
+    let result = mechanism.sanitize(&input, params, 7).expect("sanitization succeeds");
 
     // mine "recommendations" (frequent pairs) from both sides
-    let input_top = frequent_pairs(&result.preprocessed, min_support);
+    let input_top = frequent_pairs(&result.reference, min_support);
     println!("\nfrequent query-url pairs in the input (support >= {min_support:.4}):");
     for f in input_top.iter().take(8) {
-        let (q, u) = result.preprocessed.pair_key(f.pair);
+        let (q, u) = result.reference.pair_key(f.pair);
         println!(
             "  {:<18} -> {:<24} support {:.4}",
-            result.preprocessed.queries().resolve(q.0),
-            result.preprocessed.urls().resolve(u.0),
+            result.reference.queries().resolve(q.0),
+            result.reference.urls().resolve(u.0),
             f.support
         );
     }
@@ -66,7 +63,7 @@ fn main() {
         );
     }
 
-    let pr = precision_recall(&result.preprocessed, &result.counts, min_support);
+    let pr = precision_recall(&result.reference, &result.counts, min_support);
     println!(
         "\nfrequent-pair precision = {:.3}, recall = {:.3} ({} input-frequent pairs)",
         pr.precision, pr.recall, pr.input_frequent

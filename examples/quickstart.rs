@@ -33,8 +33,8 @@ fn main() {
     );
 
     // Algorithm 1 with the output-size objective (O-UMP).
-    let sanitizer = Sanitizer::with_objective(params, UtilityObjective::OutputSize);
-    let result = sanitizer.sanitize(&input).expect("sanitization succeeds");
+    let mechanism = UmpSanitizer::new(UtilityObjective::OutputSize);
+    let result = mechanism.sanitize(&input, params, 7).expect("sanitization succeeds");
 
     println!(
         "preprocessing removed {} unique pair(s) carrying {} click(s)",

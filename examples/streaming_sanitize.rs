@@ -58,11 +58,12 @@ fn main() {
     // sanitize with the sketch-mined set
     let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
     let output_size = (pre.size() / 20).max(1);
-    let sanitizer = Sanitizer::with_objective(
-        params,
-        UtilityObjective::SketchedFrequentPairs { frequent, min_support, output_size },
-    );
-    let result = sanitizer.sanitize(&pre).expect("sanitization succeeds");
+    let mechanism = UmpSanitizer::new(UtilityObjective::SketchedFrequentPairs {
+        frequent,
+        min_support,
+        output_size,
+    });
+    let result = mechanism.sanitize(&pre, params, 7).expect("sanitization succeeds");
     println!(
         "sanitized: |O| = {} over {} pairs (input size {})",
         result.output.size(),

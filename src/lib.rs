@@ -13,8 +13,12 @@
 //!   multinomial sampling, verification),
 //! * [`lp`] — the LP/MIP solver substrate (revised simplex, branch &
 //!   bound),
-//! * [`core`] — the sanitization mechanism itself (constraints, the
-//!   three UMPs, sampling, metrics, closed-form privacy checks),
+//! * [`core`] — the sanitization mechanisms (the [`Sanitizer`]
+//!   trait with UMP / ZEALOUS / local-randomized-response impls,
+//!   constraints, the three UMPs, sampling, metrics, closed-form
+//!   privacy checks),
+//!
+//! [`Sanitizer`]: prelude::Sanitizer
 //! * [`datagen`] — synthetic AOL-like log generation,
 //! * [`stream`] — bounded-memory sharded ingestion (chunked intake,
 //!   user-hash shards, mergeable heavy-hitter sketches),
@@ -37,14 +41,20 @@
 //!
 //! // sanitize with the output-size objective at (ε, δ) = (ln 2, 0.5)
 //! let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
-//! let sanitizer = Sanitizer::with_objective(params, UtilityObjective::OutputSize);
-//! let result = sanitizer.sanitize(&input).unwrap();
+//! let mechanism = UmpSanitizer::new(UtilityObjective::OutputSize);
+//! let release = mechanism.sanitize(&input, params, 7).unwrap();
 //!
 //! // the unique pair is gone; the output keeps the input schema
-//! assert_eq!(result.report.removed_pairs, 1);
-//! for record in result.output.records() {
+//! assert_eq!(release.report.removed_pairs, 1);
+//! for record in release.output.records() {
 //!     assert!(record.count > 0);
 //! }
+//!
+//! // rival mechanisms implement the same trait and are scored on the
+//! // same released-counts frame
+//! let zealous = ZealousSanitizer::new().sanitize(&input, params, 7).unwrap();
+//! let score = metrics::mechanism_score(&zealous.reference, &zealous.counts, 0.05);
+//! assert!(score.precision >= 0.0 && score.recall <= 1.0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -60,10 +70,12 @@ pub use dpsan_stream as stream;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use dpsan_core::metrics;
-    pub use dpsan_core::sanitizer::{
-        LaplaceStep, SanitizedOutput, Sanitizer, SanitizerConfig, UtilityObjective,
+    pub use dpsan_core::mechanism::{
+        LaplaceStep, LdpOptions, LdpSanitizer, MechanismInfo, PrivacyModel, Release, Sanitizer,
+        UmpSanitizer, UtilityObjective, ZealousOptions, ZealousSanitizer,
     };
+    pub use dpsan_core::metrics;
+    pub use dpsan_core::metrics::{mechanism_score, MechanismScore, PrecisionRecall};
     pub use dpsan_core::ump::diversity::DumpSolver;
     pub use dpsan_core::PrivacyConstraints;
     pub use dpsan_datagen::{generate, presets, write_log_file, AolLikeConfig};

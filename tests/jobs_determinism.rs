@@ -9,8 +9,9 @@ use dpsan_eval::{run_experiments, Ctx, Scale};
 #[test]
 fn repro_output_is_byte_identical_across_jobs() {
     // table4 exercises the O-UMP budget shards, fig3a the F-UMP δ-curve
-    // chains — the two parallel paths of the pipeline
-    let names: Vec<String> = ["table4", "fig3a"].iter().map(|s| s.to_string()).collect();
+    // chains — the two parallel paths of the pipeline; compare runs
+    // every mechanism serially over a prefetched grid
+    let names: Vec<String> = ["table4", "fig3a", "compare"].iter().map(|s| s.to_string()).collect();
     let render = |jobs: usize| {
         let ctx = Ctx::new(Scale::Tiny).with_jobs(jobs);
         let mut buf = Vec::new();

@@ -7,6 +7,8 @@ use dpsan::core::theory::theorem1_report;
 use dpsan::core::ump::output_size::{solve_oump, OumpOptions};
 use dpsan::prelude::*;
 
+const SEED: u64 = 0xd95a_11ce;
+
 fn tiny_input() -> SearchLog {
     generate(&presets::aol_tiny())
 }
@@ -15,18 +17,18 @@ fn tiny_input() -> SearchLog {
 fn oump_pipeline_is_private_and_schema_preserving() {
     let input = tiny_input();
     let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
-    let result =
-        Sanitizer::with_objective(params, UtilityObjective::OutputSize).sanitize(&input).unwrap();
+    let release =
+        UmpSanitizer::new(UtilityObjective::OutputSize).sanitize(&input, params, SEED).unwrap();
 
     // released counts satisfy Theorem 1 exactly
-    let rep = theorem1_report(&result.preprocessed, &result.counts, params);
+    let rep = theorem1_report(&release.reference, &release.counts, params);
     assert!(rep.ok(), "{rep:?}");
 
     // sampled output matches the counts and the input schema
-    assert_eq!(output_pair_counts(&result.preprocessed, &result.output), result.counts);
-    for r in result.output.records() {
-        let p = result.preprocessed.pair_id(r.query, r.url).expect("pair from input");
-        assert!(result.preprocessed.holders(p).any(|t| t.user == r.user));
+    assert_eq!(output_pair_counts(&release.reference, &release.output), release.counts);
+    for r in release.output.records() {
+        let p = release.reference.pair_id(r.query, r.url).expect("pair from input");
+        assert!(release.reference.holders(p).any(|t| t.user == r.user));
     }
 }
 
@@ -43,18 +45,18 @@ fn fump_pipeline_tracks_frequent_pairs() {
     counts.sort_unstable_by(|a, b| b.cmp(a));
     let min_support = counts[(counts.len() / 20).max(1) - 1] as f64 / pre.size() as f64;
 
-    let result = Sanitizer::with_objective(
-        params,
-        UtilityObjective::FrequentPairs { min_support, output_size: (lambda * 4 / 5).max(1) },
-    )
-    .sanitize(&input)
+    let release = UmpSanitizer::new(UtilityObjective::FrequentPairs {
+        min_support,
+        output_size: (lambda * 4 / 5).max(1),
+    })
+    .sanitize(&input, params, SEED)
     .unwrap();
 
-    let pr = precision_recall(&result.preprocessed, &result.counts, min_support);
+    let pr = precision_recall(&release.reference, &release.counts, min_support);
     assert!(pr.input_frequent > 0);
     // with a generous budget some head pairs survive flooring
     assert!(
-        result.counts.iter().sum::<u64>() > 0,
+        release.counts.iter().sum::<u64>() > 0,
         "the F-UMP output is non-empty at a loose budget"
     );
 }
@@ -64,13 +66,10 @@ fn dump_pipeline_retains_diversity_monotonically() {
     let input = tiny_input();
     let retained = |e_eps: f64| {
         let params = PrivacyParams::from_e_epsilon(e_eps, 0.5);
-        let result = Sanitizer::with_objective(
-            params,
-            UtilityObjective::Diversity { solver: DumpSolver::Spe },
-        )
-        .sanitize(&input)
-        .unwrap();
-        diversity_retained(&result.counts)
+        let release = UmpSanitizer::new(UtilityObjective::Diversity { solver: DumpSolver::Spe })
+            .sanitize(&input, params, SEED)
+            .unwrap();
+        diversity_retained(&release.counts)
     };
     let lo = retained(1.1);
     let hi = retained(2.3);
@@ -81,11 +80,9 @@ fn dump_pipeline_retains_diversity_monotonically() {
 fn sampled_outputs_vary_by_seed_but_share_totals() {
     let input = tiny_input();
     let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
-    let mut cfg = SanitizerConfig::new(params, UtilityObjective::OutputSize);
-    cfg.seed = 1;
-    let a = Sanitizer::new(cfg.clone()).sanitize(&input).unwrap();
-    cfg.seed = 2;
-    let b = Sanitizer::new(cfg).sanitize(&input).unwrap();
+    let mech = UmpSanitizer::new(UtilityObjective::OutputSize);
+    let a = mech.sanitize(&input, params, 1).unwrap();
+    let b = mech.sanitize(&input, params, 2).unwrap();
     // same optimal counts, different multinomial draws
     assert_eq!(a.counts, b.counts);
     assert_eq!(a.output.size(), b.output.size());
@@ -103,14 +100,9 @@ fn diff_ratio_histogram_improves_with_output_size() {
     if lambda < 4 {
         return; // not enough room at this scale
     }
-    let run = |frac: u64| {
-        let result = Sanitizer::with_objective(params, UtilityObjective::OutputSize)
-            .sanitize(&input)
-            .unwrap();
-        let _ = frac;
-        diff_ratio_histogram(&result.preprocessed, &result.output, 0.1, 10)
-    };
-    let h = run(2);
+    let release =
+        UmpSanitizer::new(UtilityObjective::OutputSize).sanitize(&input, params, SEED).unwrap();
+    let h = diff_ratio_histogram(&release.reference, &release.output, 0.1, 10);
     assert_eq!(h.total as usize, pre.n_triplets());
 }
 
@@ -118,13 +110,14 @@ fn diff_ratio_histogram_improves_with_output_size() {
 fn laplace_step_composes_in_ledger() {
     let input = tiny_input();
     let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
-    let mut cfg = SanitizerConfig::new(params, UtilityObjective::OutputSize);
-    cfg.laplace = Some(LaplaceStep { sensitivity: 1.0, epsilon_prime: 0.3 });
-    let result = Sanitizer::new(cfg).sanitize(&input).unwrap();
-    assert_eq!(result.ledger.entries().len(), 2);
-    assert!(result.ledger.within(params.epsilon() + 0.3, params.delta()));
+    let release = UmpSanitizer::new(UtilityObjective::OutputSize)
+        .with_laplace(LaplaceStep { sensitivity: 1.0, epsilon_prime: 0.3 })
+        .sanitize(&input, params, SEED)
+        .unwrap();
+    assert_eq!(release.ledger.entries().len(), 2);
+    assert!(release.ledger.within(params.epsilon() + 0.3, params.delta()));
     // the repaired counts are still private
-    let rep = theorem1_report(&result.preprocessed, &result.counts, params);
+    let rep = theorem1_report(&release.reference, &release.counts, params);
     assert!(rep.ok());
 }
 
@@ -132,12 +125,36 @@ fn laplace_step_composes_in_ledger() {
 fn tsv_roundtrip_of_sanitized_output() {
     let input = tiny_input();
     let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
-    let result =
-        Sanitizer::with_objective(params, UtilityObjective::OutputSize).sanitize(&input).unwrap();
+    let release =
+        UmpSanitizer::new(UtilityObjective::OutputSize).sanitize(&input, params, SEED).unwrap();
     let mut buf = Vec::new();
-    dpsan::searchlog::io::write_tsv(&result.output, &mut buf).unwrap();
+    dpsan::searchlog::io::write_tsv(&release.output, &mut buf).unwrap();
     let reread = dpsan::searchlog::io::read_tsv(std::io::Cursor::new(buf)).unwrap();
-    assert_eq!(reread.size(), result.output.size());
-    assert_eq!(reread.n_pairs(), result.output.n_pairs());
-    assert_eq!(reread.n_user_logs(), result.output.n_user_logs());
+    assert_eq!(reread.size(), release.output.size());
+    assert_eq!(reread.n_pairs(), release.output.n_pairs());
+    assert_eq!(reread.n_user_logs(), release.output.n_user_logs());
+}
+
+#[test]
+fn rival_mechanisms_share_the_released_counts_frame() {
+    let input = tiny_input();
+    let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
+    let mechanisms: [Box<dyn Sanitizer>; 3] = [
+        Box::new(UmpSanitizer::new(UtilityObjective::OutputSize)),
+        Box::new(ZealousSanitizer::new()),
+        Box::new(LdpSanitizer::new()),
+    ];
+    for mech in &mechanisms {
+        let release = mech.sanitize(&input, params, SEED).unwrap();
+        assert_eq!(
+            release.counts.len(),
+            release.reference.n_pairs(),
+            "{}: counts cover the reference pair space",
+            mech.info().id
+        );
+        let score = mechanism_score(&release.reference, &release.counts, 0.02);
+        assert!(score.precision >= 0.0 && score.precision <= 1.0, "{}", mech.info().id);
+        assert!(score.recall >= 0.0 && score.recall <= 1.0, "{}", mech.info().id);
+        assert!(score.query_kl >= 0.0, "{}", mech.info().id);
+    }
 }

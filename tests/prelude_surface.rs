@@ -10,9 +10,21 @@ fn prelude_reexports_resolve() {
     // constructible types
     let _builder: SearchLogBuilder = SearchLogBuilder::new();
     let params: PrivacyParams = PrivacyParams::from_e_epsilon(2.0, 0.5);
-    let _sanitizer: Sanitizer = Sanitizer::with_objective(params, UtilityObjective::OutputSize);
-    let _cfg: SanitizerConfig = SanitizerConfig::new(params, UtilityObjective::OutputSize);
+    let ump: UmpSanitizer = UmpSanitizer::new(UtilityObjective::OutputSize);
+    let zealous: ZealousSanitizer = ZealousSanitizer::new();
+    let ldp: LdpSanitizer = LdpSanitizer::new();
     let _solver: DumpSolver = DumpSolver::Spe;
+    let _zopts: ZealousOptions = ZealousOptions::default();
+    let _lopts: LdpOptions = LdpOptions::default();
+    let _ = params;
+
+    // every mechanism is a trait object with static metadata
+    let mechanisms: [&dyn Sanitizer; 3] = [&ump, &zealous, &ldp];
+    for m in mechanisms {
+        let info: MechanismInfo = m.info();
+        let _: PrivacyModel = info.privacy;
+        assert!(!info.id.is_empty());
+    }
 
     // objective variants all name-resolve
     let _objs =
@@ -22,6 +34,7 @@ fn prelude_reexports_resolve() {
     let _ = preprocess;
     let _: fn(&SearchLog, f64) -> Vec<_> = frequent_pairs;
     let _ = metrics::precision_recall;
+    let _: fn(&SearchLog, &[u64], f64) -> MechanismScore = mechanism_score;
     let _ = generate;
     let _ = presets::aol_tiny;
     let _cfg: AolLikeConfig = presets::aol_tiny();
@@ -41,19 +54,21 @@ fn minimal_sanitize_roundtrip() {
     let input = b.build();
 
     let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
-    let sanitizer = Sanitizer::with_objective(params, UtilityObjective::OutputSize);
-    let result = sanitizer.sanitize(&input).unwrap();
+    let mechanism = UmpSanitizer::new(UtilityObjective::OutputSize);
+    let release: Release = mechanism.sanitize(&input, params, 7).unwrap();
 
     // the single-holder pair is preprocessed away
-    assert_eq!(result.report.removed_pairs, 1);
+    assert_eq!(release.report.removed_pairs, 1);
     // identical output schema: every record is a positive-count tuple
-    for record in result.output.records() {
+    for record in release.output.records() {
         assert!(record.count > 0);
     }
     // released counts lie in the privacy polytope of the preprocessed log
-    let constraints = PrivacyConstraints::build(&result.preprocessed, params).unwrap();
-    assert!(constraints.satisfied_by(&result.counts, 1e-9));
+    let constraints = PrivacyConstraints::build(&release.reference, params).unwrap();
+    assert!(constraints.satisfied_by(&release.counts, 1e-9));
     // stats view of the output agrees with the log itself
-    let stats = LogStats::of(&result.output);
-    assert_eq!(stats.total_tuples, result.output.size());
+    let stats = LogStats::of(&release.output);
+    assert_eq!(stats.total_tuples, release.output.size());
+    // exactly one budget debit for the release
+    assert_eq!(release.ledger.entries().len(), 1);
 }

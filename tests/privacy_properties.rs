@@ -2,9 +2,11 @@
 //! tiny logs: the released counts of every objective satisfy Theorem 1,
 //! and exhaustive Definition 2 checks pass for every neighbor.
 
+use dpsan::core::mechanism::zealous_plan;
 use dpsan::core::theory::{exhaustive_neighbor_check, output_space_size, theorem1_report};
 use dpsan::core::ump::diversity::{solve_dump, DumpOptions};
 use dpsan::core::ump::output_size::{solve_oump, OumpOptions};
+use dpsan::dp::threshold::{release_probability, tail_margin};
 use dpsan::prelude::*;
 use proptest::prelude::*;
 
@@ -88,10 +90,90 @@ proptest! {
         let log = random_log(6, pairs);
         prop_assume!(log.n_pairs() > 0);
         let params = PrivacyParams::from_e_epsilon(e_eps, delta);
-        let mut cfg = SanitizerConfig::new(params, UtilityObjective::OutputSize);
-        cfg.seed = seed;
-        let result = Sanitizer::new(cfg).sanitize(&log).unwrap();
-        let c = PrivacyConstraints::build(&result.preprocessed, params).unwrap();
-        prop_assert!(c.satisfied_by(&result.counts, 1e-9));
+        let release = UmpSanitizer::new(UtilityObjective::OutputSize)
+            .sanitize(&log, params, seed)
+            .unwrap();
+        let c = PrivacyConstraints::build(&release.reference, params).unwrap();
+        prop_assert!(c.satisfied_by(&release.counts, 1e-9));
+    }
+
+    /// Mechanism-API contract: every `Sanitizer` impl debits its budget
+    /// ledger exactly once per release (the base spend; only the
+    /// optional UMP Laplace step may add a second entry), at the ε the
+    /// release was asked for.
+    #[test]
+    fn every_mechanism_debits_the_ledger_exactly_once(
+        pairs in prop::collection::vec((0u8..6, 0u8..6, 0u8..4, 0u8..4), 2..7),
+        e_eps in 1.05f64..3.0,
+        delta in 0.05f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let log = random_log(6, pairs);
+        prop_assume!(log.n_pairs() > 0);
+        let params = PrivacyParams::from_e_epsilon(e_eps, delta);
+        let mechanisms: [Box<dyn Sanitizer>; 3] = [
+            Box::new(UmpSanitizer::new(UtilityObjective::OutputSize)),
+            Box::new(ZealousSanitizer::new()),
+            Box::new(LdpSanitizer::new()),
+        ];
+        for mech in &mechanisms {
+            let release = mech.sanitize(&log, params, seed).unwrap();
+            prop_assert_eq!(
+                release.ledger.entries().len(), 1,
+                "{}: one debit per release", mech.info().id
+            );
+            prop_assert!(
+                (release.ledger.total_epsilon() - params.epsilon()).abs() < 1e-12,
+                "{}: debits the requested ε", mech.info().id
+            );
+        }
+    }
+
+    /// ZEALOUS threshold contract on random logs: a pair is released
+    /// iff its noisy count clears τ, every decided pair passed the
+    /// coarse phase, and the released output contains exactly the
+    /// released decisions.
+    #[test]
+    fn zealous_releases_only_above_noisy_threshold(
+        pairs in prop::collection::vec((0u8..6, 0u8..6, 0u8..4, 0u8..4), 2..7),
+        e_eps in 1.05f64..3.0,
+        delta in 0.05f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let log = random_log(6, pairs);
+        prop_assume!(log.n_pairs() > 0);
+        let params = PrivacyParams::from_e_epsilon(e_eps, delta);
+        let opts = ZealousOptions::default();
+        let plan = zealous_plan(&log, params, seed, &opts);
+        let release = ZealousSanitizer::with_options(opts).sanitize(&log, params, seed).unwrap();
+        for d in &plan.decisions {
+            prop_assert_eq!(d.released, d.noisy_count >= plan.threshold);
+            prop_assert!(d.capped_count >= plan.coarse_threshold, "coarse phase filters first");
+            prop_assert_eq!(release.counts[d.pair.index()] > 0, d.released);
+        }
+        let decided: Vec<usize> = plan.decisions.iter().map(|d| d.pair.index()).collect();
+        for idx in 0..release.counts.len() {
+            if !decided.contains(&idx) {
+                prop_assert_eq!(release.counts[idx], 0, "undecided pairs are never released");
+            }
+        }
+    }
+
+    /// The paper's reliability bound, in closed form: a count sitting
+    /// `b·ln(1/(2β))` above the release threshold τ is released with
+    /// probability at least 1 − β.
+    #[test]
+    fn zealous_reliability_bound_closed_form(
+        cap in 1u64..20,
+        epsilon in 0.05f64..3.0,
+        tau_prime in 1u64..50,
+        delta in 0.001f64..0.49,
+        beta in 0.001f64..0.49,
+    ) {
+        let b = 2.0 * cap as f64 / epsilon;
+        let tau = tau_prime as f64 + tail_margin(b, delta);
+        let count = tau + tail_margin(b, beta);
+        let p = release_probability(count, tau, b);
+        prop_assert!(p >= 1.0 - beta - 1e-12, "p = {p} vs 1 - β = {}", 1.0 - beta);
     }
 }

@@ -17,14 +17,21 @@ fn generated_tsv() -> Vec<u8> {
     buf
 }
 
-/// Sanitize a log and render the released TSV bytes.
-fn release(log: &SearchLog, objective: UtilityObjective) -> Vec<u8> {
+const SEED: u64 = 0xd95a_11ce;
+
+/// Sanitize a log through any mechanism and render the released TSV
+/// bytes.
+fn release_with(log: &SearchLog, mechanism: &dyn Sanitizer) -> Vec<u8> {
     let params = PrivacyParams::from_e_epsilon(2.0, 0.5);
-    let out =
-        Sanitizer::with_objective(params, objective).sanitize(log).expect("sanitization succeeds");
+    let out = mechanism.sanitize(log, params, SEED).expect("sanitization succeeds");
     let mut bytes = Vec::new();
     write_tsv(&out.output, &mut bytes).expect("render TSV");
     bytes
+}
+
+/// UMP releases by objective (the original streaming contract).
+fn release(log: &SearchLog, objective: UtilityObjective) -> Vec<u8> {
+    release_with(log, &UmpSanitizer::new(objective))
 }
 
 #[test]
@@ -70,6 +77,64 @@ fn fump_release_via_sketch_matches_exact_mining() {
             UtilityObjective::SketchedFrequentPairs { frequent, min_support, output_size },
         );
         assert_eq!(released, reference, "jobs={jobs}");
+    }
+}
+
+/// The trait contract extends to the non-LP mechanisms: ZEALOUS and
+/// per-user randomized response release byte-identical output whether
+/// the log arrived in memory or through any sharded streaming layout.
+/// (ZEALOUS draws one Laplace sample per candidate in pair-id order and
+/// ldp-rr seeds per-user RNGs from the user *name*, so neither depends
+/// on shard composition.)
+#[test]
+fn zealous_and_ldp_releases_are_shard_and_jobs_invariant() {
+    let file = generated_tsv();
+    let reference_log = read_tsv(Cursor::new(&file[..])).unwrap();
+    let mechanisms: [Box<dyn Sanitizer>; 2] =
+        [Box::new(ZealousSanitizer::new()), Box::new(LdpSanitizer::new())];
+
+    for mech in &mechanisms {
+        let reference = release_with(&reference_log, mech.as_ref());
+        assert!(!reference.is_empty(), "{}: releases something", mech.info().id);
+        for shards in [1usize, 4, 9] {
+            for jobs in [1usize, 3] {
+                let cfg = StreamConfig { shards, jobs, chunk_rows: 128, sketch_capacity: 512 };
+                let got = ingest_tsv(Cursor::new(&file[..]), &cfg).unwrap();
+                let released = release_with(&got.log, mech.as_ref());
+                assert_eq!(
+                    released,
+                    reference,
+                    "{} shards={shards} jobs={jobs}: released bytes must match the in-memory path",
+                    mech.info().id
+                );
+            }
+        }
+    }
+}
+
+/// The zealous sketch-candidate path (what `sanitize --mechanism
+/// zealous` runs on streamed input) is byte-identical to the exact
+/// coarse scan: the candidate mask is re-filtered against exact totals,
+/// so the noise stream cannot drift.
+#[test]
+fn zealous_release_via_sketch_candidates_matches_exact_scan() {
+    let file = generated_tsv();
+    let reference_log = read_tsv(Cursor::new(&file[..])).unwrap();
+    let exact = release_with(&reference_log, &ZealousSanitizer::new());
+
+    let tau_prime = ZealousOptions::default().coarse_threshold;
+    for jobs in [1usize, 4] {
+        let cfg = StreamConfig { shards: 6, jobs, chunk_rows: 256, sketch_capacity: 256 };
+        let got = ingest_tsv(Cursor::new(&file[..]), &cfg).unwrap();
+        let (pre_s, _) = preprocess(&got.log);
+        let support = tau_prime as f64 / pre_s.size() as f64;
+        let candidates = sketch_frequent_pairs(&pre_s, &got.sketch.unwrap(), support);
+        let mech = ZealousSanitizer::with_options(ZealousOptions {
+            candidates: Some(candidates),
+            ..Default::default()
+        });
+        let released = release_with(&got.log, &mech);
+        assert_eq!(released, exact, "jobs={jobs}");
     }
 }
 
