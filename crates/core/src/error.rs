@@ -28,6 +28,10 @@ pub enum CoreError {
         /// The worst violation found.
         violation: f64,
     },
+    /// A release was refused because it would exceed the caller
+    /// ledger's lifetime `(ε, δ)` budget. Nothing was charged and no
+    /// output was produced.
+    Budget(dpsan_dp::BudgetError),
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +49,7 @@ impl fmt::Display for CoreError {
             CoreError::ConstraintViolation { violation } => {
                 write!(f, "solution violates privacy constraints by {violation}")
             }
+            CoreError::Budget(e) => write!(f, "release refused: {e}"),
         }
     }
 }
@@ -53,6 +58,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Solver(e) => Some(e),
+            CoreError::Budget(e) => Some(e),
             _ => None,
         }
     }
@@ -61,6 +67,12 @@ impl std::error::Error for CoreError {
 impl From<dpsan_lp::LpError> for CoreError {
     fn from(e: dpsan_lp::LpError) -> Self {
         CoreError::Solver(e)
+    }
+}
+
+impl From<dpsan_dp::BudgetError> for CoreError {
+    fn from(e: dpsan_dp::BudgetError) -> Self {
+        CoreError::Budget(e)
     }
 }
 

@@ -21,8 +21,10 @@
 //! noisy-threshold release ([`mechanism::ZealousSanitizer`]), and a
 //! local-model randomized-response baseline
 //! ([`mechanism::LdpSanitizer`]) — so the evaluation harness can score
-//! rival mechanisms on shared metrics. [`sanitizer`] is the deprecated
-//! config-struct front-end shimmed over the trait. [`metrics`]
+//! rival mechanisms on shared metrics. For a service that re-releases
+//! an evolving log, [`mechanism::ReleasePlanner`] drives repeated
+//! releases through one mechanism, a trigger policy, and an *enforced*
+//! cross-release budget ledger. [`metrics`]
 //! implements every utility measure of the evaluation (precision/recall
 //! of frequent pairs, support distances, diversity, `DiffRatio`
 //! histograms, the cross-mechanism [`metrics::MechanismScore`]);
@@ -40,7 +42,6 @@ pub mod error;
 pub mod mechanism;
 pub mod metrics;
 pub mod sampling;
-pub mod sanitizer;
 pub mod session;
 pub mod theory;
 pub mod ump;
@@ -48,8 +49,8 @@ pub mod ump;
 pub use constraints::PrivacyConstraints;
 pub use error::CoreError;
 pub use mechanism::{
-    LdpSanitizer, MechanismInfo, PrivacyModel, Release, Sanitizer, UmpSanitizer, UtilityObjective,
-    ZealousSanitizer,
+    LdpSanitizer, MechanismInfo, PrivacyModel, Release, ReleasePlanner, Sanitizer, TriggerPolicy,
+    UmpSanitizer, UtilityObjective, ZealousSanitizer,
 };
 pub use session::{SessionStats, SolveSession, Strategy};
 pub use ump::diversity::{solve_dump, DumpOptions, DumpSolution, DumpSolver};

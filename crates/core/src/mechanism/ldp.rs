@@ -97,12 +97,16 @@ impl Sanitizer for LdpSanitizer {
         }
     }
 
-    fn sanitize(
+    fn sanitize_into(
         &self,
         log: &SearchLog,
         params: PrivacyParams,
         seed: u64,
+        caller: &mut BudgetLedger,
     ) -> Result<Release, CoreError> {
+        // One pure-ε debit per release; refuse over-budget up front.
+        caller.try_spend("per-user randomized response (ε-LDP)", params.epsilon(), 0.0)?;
+
         let (pre, report) = preprocess(log);
         let n = pre.n_pairs();
         let cap = self.opts.max_pairs_per_user;

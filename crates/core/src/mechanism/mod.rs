@@ -40,10 +40,12 @@
 //! ```
 
 pub mod ldp;
+pub mod planner;
 pub mod ump;
 pub mod zealous;
 
 pub use ldp::{LdpOptions, LdpSanitizer};
+pub use planner::{ReleasePlanner, TriggerPolicy};
 pub use ump::{LaplaceStep, UmpSanitizer, UtilityObjective};
 pub use zealous::{zealous_plan, ZealousDecision, ZealousOptions, ZealousPlan, ZealousSanitizer};
 
@@ -137,17 +139,75 @@ pub struct Release {
 /// system consumes the collapsed form ([`PrivacyParams::budget`]),
 /// while threshold and local mechanisms calibrate on ε and δ
 /// separately.
+///
+/// # Budget accounting
+///
+/// [`sanitize_into`](Sanitizer::sanitize_into) is the required method:
+/// it charges the release's full expenditure to a **caller-owned**
+/// [`BudgetLedger`] *before* doing any mechanism work, atomically (a
+/// release that spends twice, e.g. sampling + Laplace, either charges
+/// both entries or neither). On a ledger with a lifetime cap
+/// ([`BudgetLedger::with_lifetime`]) an over-budget release is refused
+/// with [`CoreError::Budget`] — cheaply, with no LP solve and no state
+/// mutated. This is how a service composes privacy loss across repeated
+/// publication of the same evolving log; [`ReleasePlanner`] drives it.
+///
+/// [`sanitize`](Sanitizer::sanitize) is the one-shot convenience: it
+/// forwards to `sanitize_into` with a fresh uncapped ledger, so a single
+/// release can never be refused.
 pub trait Sanitizer {
     /// Static mechanism metadata.
     fn info(&self) -> MechanismInfo;
 
-    /// Run one release.
+    /// Run one release, charging its expenditure to `ledger`.
+    ///
+    /// On `Err` — including a [`CoreError::Budget`] refusal — `ledger`
+    /// is left exactly as it was. The returned [`Release::ledger`]
+    /// records this release's own entries (a per-release view of what
+    /// was just appended to `ledger`).
+    fn sanitize_into(
+        &self,
+        log: &SearchLog,
+        params: PrivacyParams,
+        seed: u64,
+        ledger: &mut BudgetLedger,
+    ) -> Result<Release, CoreError>;
+
+    /// Run one stand-alone release against a fresh uncapped ledger.
     fn sanitize(
         &self,
         log: &SearchLog,
         params: PrivacyParams,
         seed: u64,
-    ) -> Result<Release, CoreError>;
+    ) -> Result<Release, CoreError> {
+        let mut ledger = BudgetLedger::new();
+        self.sanitize_into(log, params, seed, &mut ledger)
+    }
+}
+
+impl<S: Sanitizer + ?Sized> Sanitizer for Box<S> {
+    fn info(&self) -> MechanismInfo {
+        (**self).info()
+    }
+
+    fn sanitize_into(
+        &self,
+        log: &SearchLog,
+        params: PrivacyParams,
+        seed: u64,
+        ledger: &mut BudgetLedger,
+    ) -> Result<Release, CoreError> {
+        (**self).sanitize_into(log, params, seed, ledger)
+    }
+
+    fn sanitize(
+        &self,
+        log: &SearchLog,
+        params: PrivacyParams,
+        seed: u64,
+    ) -> Result<Release, CoreError> {
+        (**self).sanitize(log, params, seed)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,260 @@
+//! Re-release planning for an always-on sanitization service.
+//!
+//! A one-shot [`Sanitizer`] answers "sanitize this log"; a service
+//! under continuous traffic must answer two more questions — *when* to
+//! re-release, and *whether the privacy budget allows it*. Repeated
+//! publication composes sequentially (Götz et al.), so each re-release
+//! of the evolving log debits the same lifetime `(ε, δ)` ledger, and a
+//! release that would overdraw it must be refused outright rather than
+//! quietly weakening the guarantee.
+//!
+//! [`ReleasePlanner`] owns all three pieces: the mechanism, a
+//! [`TriggerPolicy`] fed by observed ingest volume, and a cross-release
+//! [`BudgetLedger`]. The ingest layer calls
+//! [`observe_rows`](ReleasePlanner::observe_rows) as chunks arrive and
+//! [`release`](ReleasePlanner::release) when [`due`](ReleasePlanner::due)
+//! fires (or unconditionally, for a final flush). A refused release is
+//! a clean no-op: the ledger, trigger state, and the caller's ingest
+//! state are all left untouched, so the service keeps ingesting and can
+//! surface the refusal without losing data.
+//!
+//! Wall-clock window triggers live in the serve layer (`dpsan-serve`),
+//! which has a clock; this planner is deliberately clock-free so its
+//! behavior is fully deterministic under test.
+
+use dpsan_dp::composition::BudgetLedger;
+use dpsan_dp::params::PrivacyParams;
+use dpsan_searchlog::SearchLog;
+
+use crate::error::CoreError;
+use crate::mechanism::{Release, Sanitizer};
+
+/// When the planner considers a re-release due.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriggerPolicy {
+    /// Re-release once this many new input rows have been observed
+    /// since the last successful release. `0` means "never due on row
+    /// count" — the caller triggers explicitly (e.g. on a wall-clock
+    /// window).
+    pub every_rows: u64,
+}
+
+impl TriggerPolicy {
+    /// An event-count trigger: due after `every_rows` new rows.
+    pub fn every_rows(every_rows: u64) -> Self {
+        TriggerPolicy { every_rows }
+    }
+
+    /// A manual trigger: never due on its own.
+    pub fn manual() -> Self {
+        TriggerPolicy { every_rows: 0 }
+    }
+}
+
+/// Drives repeated releases of an evolving log through one mechanism,
+/// one trigger policy, and one cross-release budget ledger.
+#[derive(Debug)]
+pub struct ReleasePlanner<S> {
+    mechanism: S,
+    trigger: TriggerPolicy,
+    ledger: BudgetLedger,
+    pending_rows: u64,
+    releases: u64,
+}
+
+impl<S: Sanitizer> ReleasePlanner<S> {
+    /// A planner with an *uncapped* ledger: every release is granted,
+    /// composition is recorded but not enforced.
+    pub fn new(mechanism: S, trigger: TriggerPolicy) -> Self {
+        ReleasePlanner {
+            mechanism,
+            trigger,
+            ledger: BudgetLedger::new(),
+            pending_rows: 0,
+            releases: 0,
+        }
+    }
+
+    /// A planner that *enforces* the lifetime budget `(ε, δ)` across
+    /// all its releases: a release whose debit would overdraw the
+    /// ledger fails with [`CoreError::Budget`] and changes nothing.
+    pub fn with_lifetime_budget(
+        mechanism: S,
+        trigger: TriggerPolicy,
+        epsilon: f64,
+        delta: f64,
+    ) -> Self {
+        ReleasePlanner {
+            mechanism,
+            trigger,
+            ledger: BudgetLedger::with_lifetime(epsilon, delta),
+            pending_rows: 0,
+            releases: 0,
+        }
+    }
+
+    /// Record that `rows` new input rows were ingested.
+    pub fn observe_rows(&mut self, rows: u64) {
+        self.pending_rows += rows;
+    }
+
+    /// Whether the trigger policy calls for a re-release now.
+    pub fn due(&self) -> bool {
+        self.trigger.every_rows > 0 && self.pending_rows >= self.trigger.every_rows
+    }
+
+    /// Run one release of `log` (the current snapshot of the evolving
+    /// input), debiting the cross-release ledger.
+    ///
+    /// On success the pending-row counter resets. On *any* error —
+    /// including a budget refusal — the planner's ledger, trigger
+    /// state, and release count are exactly as before the call.
+    pub fn release(
+        &mut self,
+        log: &SearchLog,
+        params: PrivacyParams,
+        seed: u64,
+    ) -> Result<Release, CoreError> {
+        let release = self.mechanism.sanitize_into(log, params, seed, &mut self.ledger)?;
+        self.pending_rows = 0;
+        self.releases += 1;
+        Ok(release)
+    }
+
+    /// The mechanism driven by this planner.
+    pub fn mechanism(&self) -> &S {
+        &self.mechanism
+    }
+
+    /// The cross-release budget ledger (every successful release has
+    /// appended its entries here).
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
+    }
+
+    /// The trigger policy in use.
+    pub fn trigger(&self) -> TriggerPolicy {
+        self.trigger
+    }
+
+    /// Rows observed since the last successful release.
+    pub fn pending_rows(&self) -> u64 {
+        self.pending_rows
+    }
+
+    /// Number of successful releases so far.
+    pub fn releases(&self) -> u64 {
+        self.releases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::testutil::input_log;
+    use crate::mechanism::{UmpSanitizer, UtilityObjective, ZealousSanitizer};
+
+    fn params() -> PrivacyParams {
+        PrivacyParams::from_e_epsilon(2.0, 0.5)
+    }
+
+    const SEED: u64 = 0xd95a_11ce;
+
+    #[test]
+    fn trigger_fires_on_accumulated_rows() {
+        let mut p = ReleasePlanner::new(ZealousSanitizer::new(), TriggerPolicy::every_rows(100));
+        assert!(!p.due());
+        p.observe_rows(60);
+        assert!(!p.due());
+        p.observe_rows(60);
+        assert!(p.due(), "120 ≥ 100 rows pending");
+        p.release(&input_log(), params(), SEED).unwrap();
+        assert!(!p.due(), "successful release resets the counter");
+        assert_eq!(p.pending_rows(), 0);
+        assert_eq!(p.releases(), 1);
+    }
+
+    #[test]
+    fn manual_trigger_is_never_due() {
+        let mut p = ReleasePlanner::new(ZealousSanitizer::new(), TriggerPolicy::manual());
+        p.observe_rows(1_000_000);
+        assert!(!p.due());
+        // ...but an explicit release still works
+        p.release(&input_log(), params(), SEED).unwrap();
+        assert_eq!(p.releases(), 1);
+    }
+
+    #[test]
+    fn ledger_composes_across_releases() {
+        let mut p = ReleasePlanner::new(ZealousSanitizer::new(), TriggerPolicy::manual());
+        for _ in 0..3 {
+            p.release(&input_log(), params(), SEED).unwrap();
+        }
+        assert_eq!(p.ledger().entries().len(), 3);
+        assert!((p.ledger().total_epsilon() - 3.0 * params().epsilon()).abs() < 1e-9);
+        assert!((p.ledger().total_delta() - 3.0 * params().delta()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn over_budget_release_is_refused_cleanly() {
+        // lifetime admits exactly two releases
+        let pp = PrivacyParams::from_e_epsilon(2.0, 0.2);
+        let mut p = ReleasePlanner::with_lifetime_budget(
+            ZealousSanitizer::new(),
+            TriggerPolicy::every_rows(10),
+            2.0 * pp.epsilon(),
+            2.0 * pp.delta(),
+        );
+        p.observe_rows(10);
+        p.release(&input_log(), pp, SEED).unwrap();
+        p.observe_rows(10);
+        p.release(&input_log(), pp, SEED).unwrap();
+        p.observe_rows(10);
+        let before_entries = p.ledger().entries().len();
+        let err = p.release(&input_log(), pp, SEED).unwrap_err();
+        assert!(matches!(err, CoreError::Budget(_)), "got {err}");
+        assert_eq!(p.ledger().entries().len(), before_entries, "ledger unchanged");
+        assert_eq!(p.releases(), 2, "release count unchanged");
+        assert_eq!(p.pending_rows(), 10, "trigger state unchanged — data not lost");
+    }
+
+    #[test]
+    fn planner_releases_match_one_shot_sanitize() {
+        // routing through the planner must not perturb the mechanism
+        let mechanism = UmpSanitizer::new(UtilityObjective::OutputSize);
+        let one_shot = mechanism.sanitize(&input_log(), params(), SEED).unwrap();
+        let mut p = ReleasePlanner::new(
+            UmpSanitizer::new(UtilityObjective::OutputSize),
+            TriggerPolicy::manual(),
+        );
+        let planned = p.release(&input_log(), params(), SEED).unwrap();
+        assert_eq!(planned.counts, one_shot.counts);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        dpsan_searchlog::io::write_tsv(&planned.output, &mut a).unwrap();
+        dpsan_searchlog::io::write_tsv(&one_shot.output, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn boxed_mechanism_works_through_planner() {
+        let boxed: Box<dyn Sanitizer> = Box::new(ZealousSanitizer::new());
+        let mut p = ReleasePlanner::new(boxed, TriggerPolicy::manual());
+        p.release(&input_log(), params(), SEED).unwrap();
+        assert_eq!(p.mechanism().info().id, "zealous");
+    }
+
+    #[test]
+    fn ump_refusal_spends_nothing_and_skips_the_solver() {
+        let mut p = ReleasePlanner::with_lifetime_budget(
+            UmpSanitizer::new(UtilityObjective::OutputSize),
+            TriggerPolicy::manual(),
+            params().epsilon() / 2.0,
+            0.999,
+        );
+        let err = p.release(&input_log(), params(), SEED).unwrap_err();
+        assert!(matches!(err, CoreError::Budget(_)));
+        assert!(p.ledger().entries().is_empty());
+        assert_eq!(p.mechanism().session_stats().solves, 0, "refusal happens before any LP work");
+    }
+}

@@ -151,12 +151,31 @@ impl Sanitizer for UmpSanitizer {
         }
     }
 
-    fn sanitize(
+    fn sanitize_into(
         &self,
         log: &SearchLog,
         params: PrivacyParams,
         seed: u64,
+        caller: &mut BudgetLedger,
     ) -> Result<Release, CoreError> {
+        // This release's full expenditure, known up front: the sampling
+        // debit plus the optional Laplace debit. Refuse an over-budget
+        // release *before* any LP work (probe on a copy so a solver
+        // error later cannot leave the caller ledger half-charged).
+        let mut batch = vec![dpsan_dp::BudgetEntry {
+            label: "multinomial sampling (Theorem 1)".into(),
+            epsilon: params.epsilon(),
+            delta: params.delta(),
+        }];
+        if let Some(lap) = self.laplace {
+            batch.push(dpsan_dp::BudgetEntry {
+                label: "Laplace on optimal counts (§4.2)".into(),
+                epsilon: lap.epsilon_prime,
+                delta: 0.0,
+            });
+        }
+        caller.clone().try_spend_all(&batch)?;
+
         let (pre, report) = preprocess(log);
         let constraints = PrivacyConstraints::build(&pre, params)?;
 
@@ -203,14 +222,11 @@ impl Sanitizer for UmpSanitizer {
         };
 
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut ledger = BudgetLedger::new();
-        ledger.spend("multinomial sampling (Theorem 1)", params.epsilon(), params.delta());
 
         // optional §4.2 Laplace step on the counts
         if let Some(lap) = self.laplace {
             let noisy = noisy_counts(&mut rng, &counts, lap.sensitivity, lap.epsilon_prime);
             counts = repair_counts(&constraints, &noisy);
-            ledger.spend("Laplace on optimal counts (§4.2)", lap.epsilon_prime, 0.0);
         }
 
         // the released counts must satisfy Theorem 1 — always re-checked
@@ -218,6 +234,13 @@ impl Sanitizer for UmpSanitizer {
 
         // step 2: multinomial sampling
         let output = sample_output(&mut rng, &pre, &counts, self.strategy);
+
+        // Success: charge the caller (the probe above proved this fits,
+        // and we hold the only reference, so it cannot fail now) and
+        // mirror the entries into the per-release ledger.
+        caller.try_spend_all(&batch).expect("pre-flight budget probe passed");
+        let mut ledger = BudgetLedger::new();
+        ledger.try_spend_all(&batch).expect("fresh ledger is uncapped");
 
         Ok(Release { output, reference: pre, counts, report, ledger, solver })
     }

@@ -198,12 +198,17 @@ impl Sanitizer for ZealousSanitizer {
         }
     }
 
-    fn sanitize(
+    fn sanitize_into(
         &self,
         log: &SearchLog,
         params: PrivacyParams,
         seed: u64,
+        caller: &mut BudgetLedger,
     ) -> Result<Release, CoreError> {
+        // One debit per release; refuse an over-budget release before
+        // building the histogram.
+        caller.try_spend("ZEALOUS noisy-threshold release", params.epsilon(), params.delta())?;
+
         let (pre, report) = preprocess(log);
         let plan = zealous_plan(&pre, params, seed, &self.opts);
 
@@ -235,6 +240,22 @@ impl Sanitizer for ZealousSanitizer {
             ledger,
             solver: SessionStats::default(),
         })
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use crate::mechanism::testutil::input_log;
+
+    #[test]
+    fn refused_release_charges_nothing() {
+        let p = PrivacyParams::from_e_epsilon(2.0, 0.1);
+        let mut ledger = BudgetLedger::with_lifetime(p.epsilon() / 2.0, 0.5);
+        let err =
+            ZealousSanitizer::new().sanitize_into(&input_log(), p, 7, &mut ledger).unwrap_err();
+        assert!(matches!(err, CoreError::Budget(_)));
+        assert!(ledger.entries().is_empty());
     }
 }
 

@@ -107,19 +107,6 @@ pub fn solve_dump_with(
     solve_dump_inner(constraints, opts, None)
 }
 
-/// Solve the D-UMP through a [`SolveSession`]. Only the LP-relaxation
-/// solve of [`DumpSolver::LpRound`] can exploit the session's warm
-/// basis across a budget sweep; the combinatorial solvers (SPE, pump,
-/// branch & bound) run exactly as in [`solve_dump_with`].
-#[deprecated(note = "use `SolveSession::solve_dump` instead")]
-pub fn solve_dump_session(
-    constraints: &PrivacyConstraints,
-    opts: &DumpOptions,
-    session: &mut SolveSession,
-) -> Result<DumpSolution, CoreError> {
-    session.solve_dump(constraints, opts)
-}
-
 impl SolveSession {
     /// Solve the D-UMP through this session. Only the LP-relaxation
     /// solve of [`DumpSolver::LpRound`] can exploit the session's warm

@@ -103,30 +103,6 @@ pub fn solve_fump_with(
     solve_fump_inner(log, constraints, opts, None)
 }
 
-/// Solve the F-UMP through a [`SolveSession`], warm-starting from the
-/// session's previous optimal basis. Consecutive cells that share the
-/// frequent-pair set (fixed support, varying budget or `|O|`) keep the
-/// same LP shape, so the snapshot carries over; a support change alters
-/// the shape and silently degrades that one solve to a cold start. The
-/// session's LP options override `opts.lp`.
-///
-/// Unlike the O-UMP, an F-UMP grid step is only *sometimes* rhs-only:
-/// a budget move keeps the matrix fixed, but an `|O|` move rewrites the
-/// `1/|O|` coefficients of the abs-value split rows. The session's
-/// fingerprint-based auto-detection therefore decides per step whether
-/// the dual-reoptimization fast path applies (budget sweeps at fixed
-/// `|O|`, e.g. the Figure 3 δ-curves) or the warm primal path runs
-/// (`|O|` sweeps, e.g. the Table 5/6 support rows).
-#[deprecated(note = "use `SolveSession::solve_fump` instead")]
-pub fn solve_fump_session(
-    log: &SearchLog,
-    constraints: &PrivacyConstraints,
-    opts: &FumpOptions,
-    session: &mut SolveSession,
-) -> Result<FumpSolution, CoreError> {
-    session.solve_fump(log, constraints, opts)
-}
-
 impl SolveSession {
     /// Solve the F-UMP through this session, warm-starting from the
     /// previous optimal basis. Consecutive cells that share the

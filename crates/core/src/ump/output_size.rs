@@ -78,26 +78,6 @@ pub fn solve_oump_with(
     solve_oump_inner(constraints, opts, None)
 }
 
-/// Solve the O-UMP through a [`SolveSession`], reusing the session's
-/// previous optimal basis (ideal for budget sweeps over one constraint
-/// system). The session's LP options override `opts.lp`.
-///
-/// O-UMP grid steps are *declared* rhs-only perturbations: for a fixed
-/// preprocessed log the constraint coefficients (`ln t_ijk`), the
-/// all-ones objective, and the `c_ij` caps never depend on the budget —
-/// only the row right-hand side `B` moves. Consecutive solves therefore
-/// restore the previous basis and run the dual simplex, typically
-/// re-optimizing in a handful of pivots (see
-/// [`dpsan_lp::simplex::solve_parametric`]).
-#[deprecated(note = "use `SolveSession::solve_oump` instead")]
-pub fn solve_oump_session(
-    constraints: &PrivacyConstraints,
-    opts: &OumpOptions,
-    session: &mut SolveSession,
-) -> Result<OumpSolution, CoreError> {
-    session.solve_oump(constraints, opts)
-}
-
 impl SolveSession {
     /// Solve the O-UMP through this session, reusing the previous
     /// optimal basis (ideal for budget sweeps over one constraint

@@ -1,11 +1,21 @@
-//! Sequential composition bookkeeping.
+//! Sequential composition bookkeeping and enforcement.
 //!
 //! The paper's full pipeline can spend privacy budget in two places: the
 //! multinomial sanitization itself (`(ε, δ)`-probabilistic DP, Theorem 1)
 //! and the optional Laplace step on the optimal counts (`ε′`-DP,
 //! Section 4.2). [`BudgetLedger`] tracks the standard sequential
 //! composition `(Σ ε_i, Σ δ_i)` so callers can assert a total budget.
+//!
+//! A ledger can additionally be given a **lifetime budget** with
+//! [`BudgetLedger::with_lifetime`]. A capped ledger *enforces* sequential
+//! composition: [`try_spend`](BudgetLedger::try_spend) and
+//! [`try_spend_all`](BudgetLedger::try_spend_all) refuse (return
+//! [`BudgetError`] and record nothing) any expenditure whose composed
+//! total would exceed the cap. This is what keeps repeated publication
+//! from silently eroding the guarantee — a re-release past the lifetime
+//! `(ε, δ)` is an error, not a bigger number in a report.
 
+use std::error::Error;
 use std::fmt;
 
 /// One recorded expenditure.
@@ -19,24 +29,127 @@ pub struct BudgetEntry {
     pub delta: f64,
 }
 
+/// A refused expenditure: composing it onto the ledger would exceed the
+/// configured lifetime budget. The ledger is unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetError {
+    /// Label of the refused expenditure (first offending entry for a
+    /// batch refusal).
+    pub label: String,
+    /// Composed ε the refused spend would have reached.
+    pub would_epsilon: f64,
+    /// Composed δ the refused spend would have reached.
+    pub would_delta: f64,
+    /// Lifetime ε cap.
+    pub cap_epsilon: f64,
+    /// Lifetime δ cap.
+    pub cap_delta: f64,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "budget exhausted: \"{}\" would compose to (ε={:.6}, δ={:.6}) past the lifetime cap (ε={:.6}, δ={:.6})",
+            self.label, self.would_epsilon, self.would_delta, self.cap_epsilon, self.cap_delta
+        )
+    }
+}
+
+impl Error for BudgetError {}
+
 /// An append-only ledger of `(ε, δ)` expenditures with sequential
-/// composition totals.
+/// composition totals and an optional enforced lifetime cap.
 #[derive(Debug, Default, Clone)]
 pub struct BudgetLedger {
     entries: Vec<BudgetEntry>,
+    /// Lifetime `(ε, δ)` cap enforced by the fallible spend paths;
+    /// `None` means record-only (the seed behavior).
+    lifetime: Option<(f64, f64)>,
 }
 
 impl BudgetLedger {
-    /// New empty ledger.
+    /// New empty ledger with no lifetime cap (record-only).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Record an expenditure.
+    /// New empty ledger that enforces the lifetime budget `(ε, δ)`:
+    /// fallible spends past the cap are refused.
+    pub fn with_lifetime(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon.is_finite() && epsilon >= 0.0, "lifetime epsilon must be finite and >= 0");
+        assert!(
+            delta.is_finite() && (0.0..1.0).contains(&delta),
+            "lifetime delta must be in [0, 1)"
+        );
+        BudgetLedger { entries: Vec::new(), lifetime: Some((epsilon, delta)) }
+    }
+
+    /// The lifetime `(ε, δ)` cap, if one is enforced.
+    pub fn lifetime(&self) -> Option<(f64, f64)> {
+        self.lifetime
+    }
+
+    /// Record an expenditure unconditionally (one-shot paths).
+    ///
+    /// Panics on out-of-domain values; never refuses. On a capped ledger
+    /// prefer [`try_spend`](Self::try_spend), which enforces the cap.
     pub fn spend(&mut self, label: impl Into<String>, epsilon: f64, delta: f64) {
+        Self::check_domain(epsilon, delta);
+        self.entries.push(BudgetEntry { label: label.into(), epsilon, delta });
+    }
+
+    /// Record an expenditure, refusing it (ledger unchanged) if the
+    /// composed total would exceed the lifetime cap.
+    pub fn try_spend(
+        &mut self,
+        label: impl Into<String>,
+        epsilon: f64,
+        delta: f64,
+    ) -> Result<(), BudgetError> {
+        self.try_spend_all(&[BudgetEntry { label: label.into(), epsilon, delta }])
+    }
+
+    /// Record a batch of expenditures **atomically**: either every entry
+    /// fits under the lifetime cap and all are appended, or none are and
+    /// the composed overflow is reported. A release that spends twice
+    /// (sampling + Laplace) charges both entries through one call so a
+    /// refusal can never leave a half-charged ledger.
+    pub fn try_spend_all(&mut self, batch: &[BudgetEntry]) -> Result<(), BudgetError> {
+        for e in batch {
+            Self::check_domain(e.epsilon, e.delta);
+        }
+        if let Some((cap_e, cap_d)) = self.lifetime {
+            let mut eps = self.total_epsilon();
+            let mut del = self.total_delta();
+            for e in batch {
+                eps += e.epsilon;
+                del += e.delta;
+                if eps > cap_e + 1e-12 || del > cap_d + 1e-12 {
+                    return Err(BudgetError {
+                        label: e.label.clone(),
+                        would_epsilon: eps,
+                        would_delta: del,
+                        cap_epsilon: cap_e,
+                        cap_delta: cap_d,
+                    });
+                }
+            }
+        }
+        self.entries.extend_from_slice(batch);
+        Ok(())
+    }
+
+    /// Remaining `(ε, δ)` under the lifetime cap, or `None` if the
+    /// ledger is uncapped.
+    pub fn remaining(&self) -> Option<(f64, f64)> {
+        self.lifetime
+            .map(|(e, d)| ((e - self.total_epsilon()).max(0.0), (d - self.total_delta()).max(0.0)))
+    }
+
+    fn check_domain(epsilon: f64, delta: f64) {
         assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be finite and >= 0");
         assert!(delta.is_finite() && (0.0..1.0).contains(&delta), "delta must be in [0, 1)");
-        self.entries.push(BudgetEntry { label: label.into(), epsilon, delta });
     }
 
     /// Total ε under sequential composition.
@@ -62,12 +175,22 @@ impl BudgetLedger {
 
 impl fmt::Display for BudgetLedger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "privacy ledger (ε={:.4}, δ={:.4}):",
-            self.total_epsilon(),
-            self.total_delta()
-        )?;
+        match self.lifetime {
+            Some((e, d)) => writeln!(
+                f,
+                "privacy ledger (ε={:.4}, δ={:.4}; lifetime ε={:.4}, δ={:.4}):",
+                self.total_epsilon(),
+                self.total_delta(),
+                e,
+                d
+            )?,
+            None => writeln!(
+                f,
+                "privacy ledger (ε={:.4}, δ={:.4}):",
+                self.total_epsilon(),
+                self.total_delta()
+            )?,
+        }
         for e in &self.entries {
             writeln!(f, "  {:<32} ε={:.4} δ={:.4}", e.label, e.epsilon, e.delta)?;
         }
@@ -103,6 +226,8 @@ mod tests {
         assert_eq!(l.total_epsilon(), 0.0);
         assert!(l.within(0.0, 0.0));
         assert!(l.entries().is_empty());
+        assert_eq!(l.lifetime(), None);
+        assert_eq!(l.remaining(), None);
     }
 
     #[test]
@@ -119,5 +244,73 @@ mod tests {
     fn rejects_delta_one() {
         let mut l = BudgetLedger::new();
         l.spend("bad", 0.1, 1.0);
+    }
+
+    #[test]
+    fn uncapped_try_spend_never_refuses() {
+        let mut l = BudgetLedger::new();
+        for _ in 0..100 {
+            l.try_spend("r", 10.0, 0.009).unwrap();
+        }
+        assert_eq!(l.entries().len(), 100);
+    }
+
+    #[test]
+    fn capped_try_spend_refuses_past_lifetime() {
+        let mut l = BudgetLedger::with_lifetime(1.0, 0.2);
+        l.try_spend("r1", 0.6, 0.1).unwrap();
+        let err = l.try_spend("r2", 0.6, 0.05).unwrap_err();
+        assert_eq!(err.label, "r2");
+        assert!(err.would_epsilon > 1.0);
+        assert_eq!(l.entries().len(), 1, "refused spend records nothing");
+        // A smaller spend that fits still goes through afterwards.
+        l.try_spend("r3", 0.4, 0.1).unwrap();
+        assert!(l.within(1.0, 0.2));
+    }
+
+    #[test]
+    fn capped_try_spend_refuses_on_delta_alone() {
+        let mut l = BudgetLedger::with_lifetime(10.0, 0.1);
+        l.try_spend("r1", 0.1, 0.08).unwrap();
+        assert!(l.try_spend("r2", 0.1, 0.08).is_err());
+    }
+
+    #[test]
+    fn try_spend_all_is_atomic() {
+        let mut l = BudgetLedger::with_lifetime(1.0, 0.5);
+        let batch = vec![
+            BudgetEntry { label: "sampling".into(), epsilon: 0.7, delta: 0.1 },
+            BudgetEntry { label: "laplace".into(), epsilon: 0.7, delta: 0.0 },
+        ];
+        let err = l.try_spend_all(&batch).unwrap_err();
+        assert_eq!(err.label, "laplace", "second entry is the one that overflows");
+        assert!(l.entries().is_empty(), "no partial charge on batch refusal");
+        // The same batch fits on a bigger ledger.
+        let mut big = BudgetLedger::with_lifetime(2.0, 0.5);
+        big.try_spend_all(&batch).unwrap();
+        assert_eq!(big.entries().len(), 2);
+    }
+
+    #[test]
+    fn exact_cap_is_allowed() {
+        let mut l = BudgetLedger::with_lifetime(1.0, 0.1);
+        l.try_spend("a", 0.5, 0.05).unwrap();
+        l.try_spend("b", 0.5, 0.05).unwrap();
+        assert!(l.try_spend("c", 1e-9, 0.0).is_err());
+    }
+
+    #[test]
+    fn remaining_tracks_cap() {
+        let mut l = BudgetLedger::with_lifetime(1.0, 0.2);
+        l.try_spend("a", 0.25, 0.05).unwrap();
+        let (re, rd) = l.remaining().unwrap();
+        assert!((re - 0.75).abs() < 1e-12);
+        assert!((rd - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_lifetime_cap() {
+        let l = BudgetLedger::with_lifetime(1.0, 0.25);
+        assert!(l.to_string().contains("lifetime"));
     }
 }

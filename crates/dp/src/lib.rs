@@ -35,7 +35,7 @@ pub mod threshold;
 pub mod verify;
 
 pub use alias::AliasTable;
-pub use composition::BudgetLedger;
+pub use composition::{BudgetEntry, BudgetError, BudgetLedger};
 pub use laplace::{laplace_mechanism, sample_laplace, LaplaceNoise};
 pub use multinomial::{sample_multinomial, MultinomialStrategy};
 pub use params::{PrivacyBudget, PrivacyParams};

@@ -54,7 +54,24 @@ const USAGE: &str = "usage: sanitize <input.tsv> [options]
   --sketch-capacity <n>    heavy-hitter counters (default: 4096 for fump and
                            zealous, 0 = off otherwise)
   --jobs <n>               shard-drain workers       (default: available cores)
-  --stats                  ingestion + run + solver report to stderr";
+  --stats                  ingestion + run + solver report to stderr
+
+follow mode (always-on service; requires --out-dir):
+  --follow                 tail <input.tsv> for appended chunks and re-release
+  --out-dir <dir>          directory for release-NNNN.tsv outputs
+  --trigger-rows <n>       re-release after n new rows    (default: 4096)
+  --poll-ms <n>            poll interval for appends      (default: 200)
+  --idle-exit-ms <n>       flush + exit after n ms without new data
+  --max-releases <n>       stop after n successful releases
+  --lifetime-epsilon <v>   enforced lifetime epsilon across all releases
+  --lifetime-delta <v>     enforced lifetime delta (with --lifetime-epsilon)
+
+  Every release covers the full stream ingested so far and is
+  byte-identical to a one-shot run over the same prefix with the same
+  seed. Releases compose: with a lifetime budget set, a release that
+  would exceed it is refused and the service stops cleanly, state
+  intact. fump needs an explicit --output-size here (auto would peek at
+  the growing data); zealous ignores the sketch (exact totals only).";
 
 /// The default RNG seed — the repository-wide determinism convention.
 const DEFAULT_SEED: u64 = 0xd95a_11ce;
@@ -77,6 +94,14 @@ struct Args {
     sketch_capacity: Option<usize>,
     jobs: usize,
     stats: bool,
+    follow: bool,
+    out_dir: Option<String>,
+    trigger_rows: u64,
+    poll_ms: u64,
+    idle_exit_ms: Option<u64>,
+    max_releases: Option<u64>,
+    lifetime_epsilon: Option<f64>,
+    lifetime_delta: Option<f64>,
 }
 
 impl Args {
@@ -112,6 +137,14 @@ fn parse_args() -> Result<Args, String> {
         sketch_capacity: None,
         jobs: std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
         stats: false,
+        follow: false,
+        out_dir: None,
+        trigger_rows: 4096,
+        poll_ms: 200,
+        idle_exit_ms: None,
+        max_releases: None,
+        lifetime_epsilon: None,
+        lifetime_delta: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -123,12 +156,6 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => return Err(String::new()),
             "--out" => args.out = Some(value("--out", &mut it)?),
             "--mechanism" => args.mechanism = value("--mechanism", &mut it)?,
-            // pre-trait-redesign spelling; kept one release as a hidden
-            // alias so existing scripts keep working
-            "--objective" => {
-                eprintln!("sanitize: --objective is deprecated; use --mechanism");
-                args.mechanism = value("--objective", &mut it)?;
-            }
             "--e-epsilon" => {
                 args.e_epsilon = parse_num(&value("--e-epsilon", &mut it)?, "--e-epsilon")?
             }
@@ -173,6 +200,36 @@ fn parse_args() -> Result<Args, String> {
             }
             "--jobs" => args.jobs = parse_count(&value("--jobs", &mut it)?, "--jobs")?,
             "--stats" => args.stats = true,
+            "--follow" => args.follow = true,
+            "--out-dir" => args.out_dir = Some(value("--out-dir", &mut it)?),
+            "--trigger-rows" => {
+                args.trigger_rows =
+                    parse_count64(&value("--trigger-rows", &mut it)?, "--trigger-rows")?
+            }
+            "--poll-ms" => {
+                args.poll_ms = value("--poll-ms", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("bad --poll-ms: {e}"))?
+            }
+            "--idle-exit-ms" => {
+                args.idle_exit_ms = Some(
+                    value("--idle-exit-ms", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("bad --idle-exit-ms: {e}"))?,
+                )
+            }
+            "--max-releases" => {
+                args.max_releases =
+                    Some(parse_count64(&value("--max-releases", &mut it)?, "--max-releases")?)
+            }
+            "--lifetime-epsilon" => {
+                args.lifetime_epsilon =
+                    Some(parse_num(&value("--lifetime-epsilon", &mut it)?, "--lifetime-epsilon")?)
+            }
+            "--lifetime-delta" => {
+                args.lifetime_delta =
+                    Some(parse_num(&value("--lifetime-delta", &mut it)?, "--lifetime-delta")?)
+            }
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => {
                 if !args.input.is_empty() {
@@ -204,6 +261,37 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.output_size == Some(0) {
         return Err("--output-size must be at least 1 (or auto)".into());
+    }
+    if args.follow {
+        if args.out_dir.is_none() {
+            return Err("--follow needs --out-dir".into());
+        }
+        if args.ingest != "streaming" {
+            return Err("--follow is a streaming mode; drop --ingest in-memory".into());
+        }
+        if args.mechanism == "fump" && args.output_size.is_none() {
+            return Err(
+                "--follow with fump needs an explicit --output-size (auto would peek at the \
+                 growing data)"
+                    .into(),
+            );
+        }
+        match (args.lifetime_epsilon, args.lifetime_delta) {
+            (None, None) | (Some(_), Some(_)) => {}
+            _ => return Err("--lifetime-epsilon and --lifetime-delta go together".into()),
+        }
+        if let Some(e) = args.lifetime_epsilon {
+            if !(e.is_finite() && e >= 0.0) {
+                return Err(format!("--lifetime-epsilon must be finite and >= 0, got {e}"));
+            }
+        }
+        if let Some(d) = args.lifetime_delta {
+            if !(d.is_finite() && (0.0..1.0).contains(&d)) {
+                return Err(format!("--lifetime-delta must be in [0, 1), got {d}"));
+            }
+        }
+    } else if args.out_dir.is_some() {
+        return Err("--out-dir only makes sense with --follow".into());
     }
     Ok(args)
 }
@@ -293,6 +381,89 @@ fn build_mechanism(
         }
         _ => unreachable!("validated in parse_args"),
     })
+}
+
+/// The mechanisms a follow session can host: everything whose
+/// configuration is fixed up front. fump mines its frequent set from
+/// the current window on every release ([`UtilityObjective::FrequentPairs`]);
+/// zealous runs without sketch-mined candidates — the exact-totals path
+/// the sketch path is byte-identical to anyway.
+fn build_follow_mechanism(args: &Args) -> Box<dyn Sanitizer> {
+    match args.mechanism.as_str() {
+        "oump" => Box::new(UmpSanitizer::new(UtilityObjective::OutputSize)),
+        "dump" => {
+            Box::new(UmpSanitizer::new(UtilityObjective::Diversity { solver: DumpSolver::Spe }))
+        }
+        "fump" => Box::new(UmpSanitizer::new(UtilityObjective::FrequentPairs {
+            min_support: args.min_support,
+            output_size: args.output_size.expect("validated in parse_args"),
+        })),
+        "zealous" => Box::new(ZealousSanitizer::with_options(ZealousOptions {
+            contribution_cap: args.zealous_cap,
+            coarse_threshold: args.zealous_coarse,
+            candidates: None,
+        })),
+        "ldp-rr" => {
+            Box::new(LdpSanitizer::with_options(LdpOptions { max_pairs_per_user: args.ldp_cap }))
+        }
+        _ => unreachable!("validated in parse_args"),
+    }
+}
+
+/// The always-on service: tail the input for appended chunks,
+/// re-release on the event-count trigger, debit one lifetime ledger.
+fn run_follow(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let params = PrivacyParams::from_e_epsilon(args.e_epsilon, args.delta);
+    let opts = dpsan_serve::ServeOptions {
+        stream: StreamConfig {
+            shards: args.shards,
+            chunk_rows: args.chunk_rows,
+            sketch_capacity: 0, // no consumer in follow mode (see above)
+            jobs: args.jobs,
+        },
+        params,
+        seed: args.seed,
+        trigger_rows: args.trigger_rows,
+        poll: std::time::Duration::from_millis(args.poll_ms),
+        idle_exit: args.idle_exit_ms.map(std::time::Duration::from_millis),
+        max_releases: args.max_releases,
+        lifetime: args.lifetime_epsilon.zip(args.lifetime_delta),
+        out_dir: args.out_dir.as_deref().expect("validated in parse_args").into(),
+    };
+    let mechanism = build_follow_mechanism(args);
+    let report = dpsan_serve::serve(mechanism, std::path::Path::new(&args.input), &opts)?;
+
+    if args.stats {
+        eprintln!(
+            "serve: releases={} rows={} mechanism={}",
+            report.releases.len(),
+            report.ingest.rows,
+            args.mechanism,
+        );
+        for (rec, path) in report.releases.iter().zip(&report.paths) {
+            let s = &rec.solver;
+            eprintln!(
+                "release[{}]: rows={} latency_ms={:.1} dual-reopt={} warm-primal={} cold={} \
+                 dual-fallbacks={} eps-total={:.6} delta-total={:.6} out={}",
+                rec.index,
+                rec.rows,
+                rec.latency.as_secs_f64() * 1e3,
+                s.dual_reopts,
+                s.warm_primal(),
+                s.cold_starts,
+                s.dual_fallbacks,
+                rec.epsilon_total,
+                rec.delta_total,
+                path.display(),
+            );
+        }
+        eprintln!("ledger: {}", report.ledger);
+    }
+    if let Some(msg) = report.budget_refusal {
+        // a refusal is the ledger doing its job: report + clean exit
+        eprintln!("sanitize: lifetime budget exhausted, stopping: {msg}");
+    }
+    Ok(())
 }
 
 fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
@@ -404,7 +575,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = run(&args) {
+    let outcome = if args.follow { run_follow(&args) } else { run(&args) };
+    if let Err(e) = outcome {
         eprintln!("sanitize: {e}");
         return ExitCode::FAILURE;
     }

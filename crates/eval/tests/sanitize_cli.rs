@@ -1,0 +1,114 @@
+//! Black-box CLI tests for the `sanitize` binary: malformed-input
+//! fixtures must produce a line-numbered parse error and a nonzero
+//! exit, on both the streaming and in-memory ingest paths.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dpsan-cli-{}-{name}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_sanitize(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sanitize")).args(args).output().expect("spawn sanitize")
+}
+
+#[test]
+fn malformed_count_reports_line_number_and_fails() {
+    let dir = scratch("badcount");
+    let input = dir.join("bad.tsv");
+    let out = dir.join("out.tsv");
+    fs::write(&input, "u1\tq\tl\t1\nu2\tq\tl\tnotanumber\n").unwrap();
+
+    for ingest in ["streaming", "in-memory"] {
+        let o = run_sanitize(&[
+            input.to_str().unwrap(),
+            "--ingest",
+            ingest,
+            "--out",
+            out.to_str().unwrap(),
+        ]);
+        assert!(!o.status.success(), "{ingest}: malformed count must exit nonzero");
+        let stderr = String::from_utf8_lossy(&o.stderr);
+        assert!(
+            stderr.contains("line 2"),
+            "{ingest}: stderr should name the offending line, got: {stderr}"
+        );
+        assert!(
+            stderr.contains("notanumber"),
+            "{ingest}: stderr should quote the bad field, got: {stderr}"
+        );
+        assert!(!out.exists(), "{ingest}: no output written on parse error");
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn short_record_and_zero_count_fail_with_line_numbers() {
+    let dir = scratch("shortrec");
+    let out = dir.join("out.tsv");
+
+    let short = dir.join("short.tsv");
+    fs::write(&short, "u1\tq\tl\t1\nu2\tq-only\n").unwrap();
+    let o = run_sanitize(&[short.to_str().unwrap(), "--out", out.to_str().unwrap()]);
+    assert!(!o.status.success());
+    let stderr = String::from_utf8_lossy(&o.stderr);
+    assert!(stderr.contains("line 2"), "got: {stderr}");
+
+    let zero = dir.join("zero.tsv");
+    fs::write(&zero, "u1\tq\tl\t0\n").unwrap();
+    let o = run_sanitize(&[zero.to_str().unwrap(), "--out", out.to_str().unwrap()]);
+    assert!(!o.status.success());
+    let stderr = String::from_utf8_lossy(&o.stderr);
+    assert!(stderr.contains("line 1"), "got: {stderr}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn well_formed_input_sanitizes_cleanly() {
+    let dir = scratch("good");
+    let input = dir.join("good.tsv");
+    let out = dir.join("out.tsv");
+    let mut body = String::new();
+    for u in 0..8 {
+        body.push_str(&format!("u{u}\trust lang\trust-lang.org\t3\n"));
+        body.push_str(&format!("u{u}\tweather\tweather.com\t2\n"));
+    }
+    fs::write(&input, body).unwrap();
+
+    let o = run_sanitize(&[
+        input.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--e-epsilon",
+        "2.0",
+        "--delta",
+        "0.5",
+    ]);
+    assert!(o.status.success(), "stderr: {}", String::from_utf8_lossy(&o.stderr));
+    let released = fs::read_to_string(&out).unwrap();
+    for line in released.lines() {
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(fields.len(), 4, "output keeps the input schema: {line}");
+        assert!(fields[3].parse::<u64>().unwrap() >= 1);
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn follow_mode_flag_validation() {
+    // --follow without --out-dir is a usage error, not a hang.
+    let o = run_sanitize(&["/nonexistent.tsv", "--follow"]);
+    assert!(!o.status.success());
+    let stderr = String::from_utf8_lossy(&o.stderr);
+    assert!(stderr.contains("--out-dir"), "got: {stderr}");
+
+    // --out-dir without --follow is rejected too.
+    let o = run_sanitize(&["/nonexistent.tsv", "--out-dir", "/tmp/x", "--out", "/tmp/y"]);
+    assert!(!o.status.success());
+    let stderr = String::from_utf8_lossy(&o.stderr);
+    assert!(stderr.contains("--follow"), "got: {stderr}");
+}

@@ -15,6 +15,17 @@
 //! workload this restores primal feasibility in a handful of pivots —
 //! no phase 1, no re-pricing of the whole polytope.
 //!
+//! The restored basis is *verified*, not trusted: when the step also
+//! drifted matrix coefficients (an appended-counts re-release moves
+//! every `ln t_ijk` it touches), reduced costs move with them. A
+//! **boxed** nonbasic column whose reduced cost crossed zero is
+//! repaired by flipping it to its opposite bound — the opposite bound
+//! accepts the new sign by definition, so dual feasibility is restored
+//! exactly, and the primal damage the flips introduce is precisely what
+//! the dual iteration then removes. Only a wrong-sign reduced cost on a
+//! column with no opposite bound to flip to (a slack or free column)
+//! voids the premise and falls back.
+//!
 //! The driver ([`super::solve_parametric`]) treats every non-`Optimal`
 //! outcome as a cue to fall back to the warm/cold primal path, so this
 //! module can afford to be strict about numerical trouble.
@@ -51,6 +62,79 @@ pub(crate) enum DualOutcome {
     /// No infeasibility progress for `stall_limit` iterations — hand
     /// over to the primal path and its Bland safeguard.
     Stalled,
+}
+
+/// Derive a valid finite bound on each given column's open side from
+/// its row's equation and every other column's bounds, tighten the
+/// core's working bound to it, and return the columns for flipping.
+///
+/// Only singleton columns (one row entry — inequality slacks) qualify:
+/// their row reads `a·x_j + Σ_k a_rk x_k = b_r`, so
+/// `x_j = (b_r − Σ_k a_rk x_k)/a` and the box of the other columns
+/// bounds `x_j` from both sides. The tightened bound cuts no feasible
+/// point, so the optimum is untouched; it merely gives the dual repair
+/// an opposite bound to park the column at. `None` when any column is
+/// not a singleton or its implied bound comes out infinite (an
+/// unbounded column elsewhere in the row) or crosses the existing
+/// bound — the caller falls back to the primal path.
+fn implied_opposite_bounds(core: &mut Core, cols: &[usize]) -> Option<Vec<usize>> {
+    // target rows, each owned by exactly one repaired column
+    let mut targets: Vec<(usize, usize, f64)> = Vec::with_capacity(cols.len()); // (col, row, coef)
+    for &j in cols {
+        let (rows, vals) = core.a.col(j);
+        if rows.len() != 1 || vals[0] == 0.0 {
+            return None;
+        }
+        if targets.iter().any(|&(_, r, _)| r == rows[0]) {
+            return None; // two open columns in one row: box is open
+        }
+        targets.push((j, rows[0], vals[0]));
+    }
+
+    // one pass over all columns: activity extrema of each target row,
+    // excluding the target column itself
+    let mut min_act = vec![0.0f64; targets.len()];
+    let mut max_act = vec![0.0f64; targets.len()];
+    for k in 0..core.n_total {
+        let (rows, vals) = core.a.col(k);
+        for (&r, &v) in rows.iter().zip(vals) {
+            if v == 0.0 {
+                continue;
+            }
+            for (t, &(j, row, _)) in targets.iter().enumerate() {
+                if row == r && k != j {
+                    let (lo, hi) = (core.lower[k], core.upper[k]);
+                    let (cmin, cmax) = if v > 0.0 { (v * lo, v * hi) } else { (v * hi, v * lo) };
+                    min_act[t] += cmin;
+                    max_act[t] += cmax;
+                }
+            }
+        }
+    }
+
+    for (t, &(j, row, a)) in targets.iter().enumerate() {
+        let b = core.sf.b[row];
+        match core.status[j] {
+            VarStatus::AtLower => {
+                // open above: implied upper = max feasible x_j
+                let implied = if a > 0.0 { (b - min_act[t]) / a } else { (b - max_act[t]) / a };
+                if !implied.is_finite() || implied < core.lower[j] - 1e-9 {
+                    return None;
+                }
+                core.upper[j] = implied.max(core.lower[j]);
+            }
+            VarStatus::AtUpper => {
+                // open below: implied lower = min feasible x_j
+                let implied = if a > 0.0 { (b - max_act[t]) / a } else { (b - min_act[t]) / a };
+                if !implied.is_finite() || implied > core.upper[j] + 1e-9 {
+                    return None;
+                }
+                core.lower[j] = implied.min(core.upper[j]);
+            }
+            _ => return None,
+        }
+    }
+    Some(targets.iter().map(|&(j, _, _)| j).collect())
 }
 
 /// One admissible breakpoint of the dual ratio test.
@@ -102,7 +186,12 @@ pub(crate) fn reoptimize(core: &mut Core) -> Result<DualOutcome, LpError> {
 
         if first_iteration {
             // the restored basis must be dual feasible, or the premise
-            // of dual reoptimization is void (full scan, once)
+            // of dual reoptimization is void (full scan, once); a boxed
+            // column whose reduced cost drifted past zero is repaired
+            // by flipping it to its opposite bound, which accepts the
+            // new sign by definition
+            let mut repair_flips: Vec<usize> = Vec::new();
+            let mut unbounded_side: Vec<usize> = Vec::new();
             for (j, &cj) in cost.iter().enumerate().take(n) {
                 let status = core.status[j];
                 if matches!(status, VarStatus::Basic(_)) {
@@ -122,7 +211,54 @@ pub(crate) fn reoptimize(core: &mut Core) -> Result<DualOutcome, LpError> {
                     VarStatus::Basic(_) => unreachable!("basic columns are skipped above"),
                 };
                 if !ok {
-                    return Ok(DualOutcome::LostDualFeasibility);
+                    let boxed = core.lower[j].is_finite()
+                        && core.upper[j].is_finite()
+                        && !matches!(status, VarStatus::Free);
+                    if boxed {
+                        repair_flips.push(j);
+                    } else if matches!(status, VarStatus::Free) {
+                        // a free column cannot be parked anywhere: the
+                        // step was not the perturbation claimed
+                        return Ok(DualOutcome::LostDualFeasibility);
+                    } else {
+                        unbounded_side.push(j);
+                    }
+                }
+            }
+            if !unbounded_side.is_empty() {
+                // a wrong-sign column with no opposite bound (an
+                // inequality slack, typically) gets a second chance:
+                // derive a valid implied bound from its row's equation
+                // and the other columns' bounds, tighten to it, and
+                // flip there. The implied bound cuts no feasible point,
+                // so the optimum is unchanged.
+                match implied_opposite_bounds(core, &unbounded_side) {
+                    Some(tightened) => repair_flips.extend(tightened),
+                    None => return Ok(DualOutcome::LostDualFeasibility),
+                }
+            }
+            if !repair_flips.is_empty() {
+                // park every offender at its opposite bound with one
+                // combined FTRAN; the primal infeasibility this creates
+                // is the dual iteration's normal workload
+                let mut delta_b = vec![0.0; m];
+                for &j in &repair_flips {
+                    let range = core.upper[j] - core.lower[j];
+                    let (new_status, step) = match core.status[j] {
+                        VarStatus::AtLower => (VarStatus::AtUpper, range),
+                        VarStatus::AtUpper => (VarStatus::AtLower, -range),
+                        _ => unreachable!("only bound-parked columns are repairable"),
+                    };
+                    core.a.col_axpy(j, step, &mut delta_b);
+                    core.x_val[j] += step;
+                    core.status[j] = new_status;
+                }
+                core.factor.ftran(&mut delta_b);
+                for (i, &db) in delta_b.iter().enumerate() {
+                    if db != 0.0 {
+                        let col = core.basis[i];
+                        core.x_val[col] -= db;
+                    }
                 }
             }
             first_iteration = false;

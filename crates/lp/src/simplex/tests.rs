@@ -345,11 +345,13 @@ fn dual_reopt_handles_bound_moves() {
 }
 
 #[test]
-fn wrong_rhs_only_hint_falls_back_not_corrupts() {
+fn wrong_rhs_only_hint_still_solves_correctly() {
     // the "rhs-only" claim is false here: the objective now rewards `a`
-    // five-fold, which makes every optimal basis of the old objective
-    // dual infeasible — the dual path must bow out and the primal path
-    // takes over with a correct answer
+    // five-fold, making the restored basis dual infeasible. Every
+    // column of this problem is boxed (or implied-boxable through its
+    // row), so the dual path repairs the wrong-sign reduced costs by
+    // bound flips and must still land exactly on the cold answer — a
+    // wrong hint may cost time, never correctness.
     let o = opts();
     let first = solve_parametric(&budget_lp(8.0, 4.0), &o, None, StepHint::Fresh).unwrap();
     let basis = first.basis.clone().unwrap();
@@ -363,7 +365,37 @@ fn wrong_rhs_only_hint_falls_back_not_corrupts() {
     let cold = solve(&p, &o).unwrap();
     assert_eq!(out.solution.status, SolveStatus::Optimal);
     assert!((out.solution.objective - cold.objective).abs() < 1e-9);
-    assert!(out.stats.dual_fallback, "a dual-infeasible start must fall back: {:?}", out.stats);
+    assert!(p.max_violation(&out.solution.x) < 1e-7);
+}
+
+#[test]
+fn unrepairable_dual_start_falls_back_not_corrupts() {
+    // `z` has no upper bound and sits in TWO rows, so no flip and no
+    // single-row implied bound can repair its wrong-sign reduced cost:
+    // the dual path must bow out and the primal path takes over with a
+    // correct answer
+    let o = opts();
+    let build = |c_z: f64| {
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_col(1.0, VarBounds { lower: 0.0, upper: 10.0 }).unwrap();
+        let z = p.add_col(c_z, VarBounds { lower: 0.0, upper: f64::INFINITY }).unwrap();
+        p.add_row(RowBounds::at_most(8.0), &[(a, 1.0), (z, 1.0)]).unwrap();
+        p.add_row(RowBounds::at_most(6.0), &[(a, 0.5), (z, 1.0)]).unwrap();
+        p
+    };
+    // worthless `z` stays parked at its lower bound in the optimum
+    let first = solve_parametric(&build(0.0), &o, None, StepHint::Fresh).unwrap();
+    let basis = first.basis.clone().unwrap();
+
+    // now `z` is rewarded: the restored basis is dual infeasible at an
+    // unparkable, un-boundable column
+    let p = build(5.0);
+    let out = solve_parametric(&p, &o, Some(&basis), StepHint::RhsOnly).unwrap();
+    let cold = solve(&p, &o).unwrap();
+    assert_eq!(out.solution.status, SolveStatus::Optimal);
+    assert!((out.solution.objective - cold.objective).abs() < 1e-9);
+    assert!(p.max_violation(&out.solution.x) < 1e-7);
+    assert!(out.stats.dual_fallback, "must have bowed out: {:?}", out.stats);
     assert_ne!(out.stats.algorithm, Algorithm::DualReopt);
 }
 

@@ -1,0 +1,126 @@
+//! Tailing a growing TSV file without ever splitting a line.
+//!
+//! A writer appending to the log may be mid-line when we poll, and a
+//! partial trailing line would misparse (`"user42\tqu"` looks like a
+//! malformed record, or worse, a well-formed prefix of one). The
+//! reader therefore only ever *consumes* through the last newline it
+//! has seen: bytes after it stay in the file, unconsumed, and are
+//! re-read on the next poll once the writer finishes the line. The
+//! consumed offset only moves forward over complete lines, so every
+//! byte is parsed exactly once and a crash loses at most the
+//! not-yet-released suffix — never corrupts what was already ingested.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Incremental reader over an append-only file, line-atomic.
+#[derive(Debug)]
+pub struct FollowReader {
+    path: PathBuf,
+    file: File,
+    /// Bytes consumed so far — always at a line boundary.
+    offset: u64,
+}
+
+impl FollowReader {
+    /// Open `path` for following, starting at the beginning (existing
+    /// content counts as the first appended chunk).
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        Ok(FollowReader { path, file, offset: 0 })
+    }
+
+    /// The file being followed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes consumed so far (always ends on a newline).
+    pub fn consumed(&self) -> u64 {
+        self.offset
+    }
+
+    /// Read everything appended since the last poll, truncated to the
+    /// last complete line. Returns `None` when no complete new line is
+    /// available. The returned buffer always ends with `\n`.
+    pub fn poll(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        self.file.seek(SeekFrom::Start(self.offset))?;
+        let mut buf = Vec::new();
+        self.file.read_to_end(&mut buf)?;
+        // consume only through the last newline; the partial tail (a
+        // line the writer has not finished) is re-read next poll
+        match buf.iter().rposition(|&b| b == b'\n') {
+            Some(last_nl) => {
+                buf.truncate(last_nl + 1);
+                self.offset += buf.len() as u64;
+                Ok(Some(buf))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("dpsan-serve-follow-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn partial_lines_are_never_consumed() {
+        let path = tmpfile("partial");
+        let mut w = File::create(&path).unwrap();
+        w.write_all(b"u1\tq\tl\t1\nu2\tq\tl").unwrap(); // writer mid-line
+        w.flush().unwrap();
+
+        let mut r = FollowReader::open(&path).unwrap();
+        let chunk = r.poll().unwrap().expect("one complete line available");
+        assert_eq!(chunk, b"u1\tq\tl\t1\n");
+        assert_eq!(r.consumed(), chunk.len() as u64);
+        // nothing new and the partial tail stays invisible
+        assert!(r.poll().unwrap().is_none());
+
+        // the writer finishes the line and appends another
+        w.write_all(b"\t2\nu3\tq\tl\t3\n").unwrap();
+        w.flush().unwrap();
+        let chunk = r.poll().unwrap().expect("two more complete lines");
+        assert_eq!(chunk, b"u2\tq\tl\t2\nu3\tq\tl\t3\n");
+        assert!(r.poll().unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_polls_none() {
+        let path = tmpfile("empty");
+        File::create(&path).unwrap();
+        let mut r = FollowReader::open(&path).unwrap();
+        assert!(r.poll().unwrap().is_none());
+        assert_eq!(r.consumed(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn consumes_across_many_appends_exactly_once() {
+        let path = tmpfile("appends");
+        let mut w = File::create(&path).unwrap();
+        let mut r = FollowReader::open(&path).unwrap();
+        let mut seen = Vec::new();
+        for i in 0..10 {
+            w.write_all(format!("u{i}\tq\tl\t{}\n", i + 1).as_bytes()).unwrap();
+            w.flush().unwrap();
+            if let Some(chunk) = r.poll().unwrap() {
+                seen.extend_from_slice(&chunk);
+            }
+        }
+        let expected: String = (0..10).map(|i| format!("u{i}\tq\tl\t{}\n", i + 1)).collect();
+        assert_eq!(seen, expected.as_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+}

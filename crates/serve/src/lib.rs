@@ -1,0 +1,192 @@
+//! # dpsan-serve
+//!
+//! The always-on sanitization service: tail an append-only TSV search
+//! log, keep the sharded ingestion state live, and re-release on a
+//! window or event-count trigger — every release debiting one enforced
+//! cross-release privacy ledger.
+//!
+//! ```text
+//! appended TSV ──FollowReader (line-atomic)──▶ IngestSession (live
+//!   shards + sketches) ──trigger──▶ ReleasePlanner (budget ledger)
+//!   ──▶ persistent SolveSession (dual reopt) ──▶ release-NNNN.tsv
+//! ```
+//!
+//! Three properties carry the design:
+//!
+//! 1. **Re-releases are windowed one-shots.** Every release covers the
+//!    full stream ingested so far, and because the incremental merge
+//!    reconstructs the exact sequential interning order, a windowed
+//!    re-release is byte-identical to a one-shot `sanitize` over the
+//!    same prefix with the same seed — for any shard count or drain
+//!    parallelism (CI diffs this).
+//! 2. **Re-solves ride the parametric fast path.** The mechanism
+//!    object (and so the `SolveSession` inside a `UmpSanitizer`)
+//!    persists across releases: appended events move the per-user
+//!    counts, the re-solve starts from the previous optimal basis, and
+//!    the dual simplex reoptimizes in a few pivots. Cold solves recur
+//!    only when the LP shape changes (new pairs surviving
+//!    preprocessing).
+//! 3. **Composition is enforced, not just recorded.** The lifetime
+//!    `(ε, δ)` ledger refuses a release it cannot afford
+//!    ([`dpsan_dp::BudgetError`]); the service treats that refusal as
+//!    a clean stop with all state intact — repeated publication never
+//!    silently exceeds the configured guarantee (Götz et al.).
+//!
+//! **Crash behavior:** releases are written to a temp file and
+//! renamed into place, so `release-NNNN.tsv` files are always
+//! complete; the follow reader consumes only through the last
+//! newline, so a crashed-and-restarted service re-ingests from the
+//! start of the file and loses nothing (the budget ledger, however,
+//! lives in memory — restarting resets composition accounting, which
+//! is why the report prints the composed totals on every exit).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod follow;
+pub mod session;
+
+pub use follow::FollowReader;
+pub use session::{ReleaseRecord, ServeError, ServeSession};
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use dpsan_core::mechanism::{Sanitizer, TriggerPolicy};
+use dpsan_dp::composition::BudgetLedger;
+use dpsan_dp::params::PrivacyParams;
+use dpsan_stream::{IngestReport, StreamConfig};
+
+/// Configuration of the follow/serve loop.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Sharded-ingestion knobs (shards, chunk rows, sketch, jobs).
+    pub stream: StreamConfig,
+    /// Privacy parameters of every release.
+    pub params: PrivacyParams,
+    /// Base RNG seed, reused by every release (what makes the final
+    /// re-release byte-identical to a one-shot run).
+    pub seed: u64,
+    /// Event-count trigger: re-release after this many new rows
+    /// (`0` = only the final flush releases).
+    pub trigger_rows: u64,
+    /// How often to poll the followed file for appended bytes.
+    pub poll: Duration,
+    /// Exit after this long without new data (the window trigger for
+    /// quiet streams). `None` = follow forever (until `max_releases`).
+    pub idle_exit: Option<Duration>,
+    /// Stop after this many successful releases.
+    pub max_releases: Option<u64>,
+    /// Enforced lifetime `(ε, δ)` across all releases; `None` records
+    /// composition without refusing.
+    pub lifetime: Option<(f64, f64)>,
+    /// Directory for `release-NNNN.tsv` outputs (created if missing).
+    pub out_dir: PathBuf,
+}
+
+/// What one serve run did, for reporting and benchmarking.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-release records (latency, solver deltas, composed totals).
+    pub releases: Vec<ReleaseRecord>,
+    /// Paths written, aligned with `releases`.
+    pub paths: Vec<PathBuf>,
+    /// Final ingest counters.
+    pub ingest: IngestReport,
+    /// The cross-release ledger at exit.
+    pub ledger: BudgetLedger,
+    /// `Some(message)` when the service stopped because the lifetime
+    /// budget refused the next release (state intact, not a failure).
+    pub budget_refusal: Option<String>,
+}
+
+/// Follow `input` and serve releases until a stop condition: the
+/// release quota is reached, the stream goes idle past `idle_exit`, or
+/// the lifetime budget refuses the next release.
+///
+/// Malformed input aborts with the global line number; filesystem
+/// errors abort; a budget refusal is reported as a clean stop.
+pub fn serve(
+    mechanism: Box<dyn Sanitizer>,
+    input: &Path,
+    opts: &ServeOptions,
+) -> Result<ServeReport, ServeError> {
+    std::fs::create_dir_all(&opts.out_dir)?;
+    let mut follow = FollowReader::open(input)?;
+    let mut session = ServeSession::new(
+        mechanism,
+        opts.stream.clone(),
+        opts.params,
+        opts.seed,
+        TriggerPolicy::every_rows(opts.trigger_rows),
+        opts.lifetime,
+    );
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut budget_refusal = None;
+    let mut last_data = Instant::now();
+
+    'serve: loop {
+        if let Some(chunk) = follow.poll()? {
+            session.feed(chunk.as_slice())?;
+            last_data = Instant::now();
+        }
+
+        if session.due() {
+            match write_release(&mut session, &opts.out_dir) {
+                Ok(path) => paths.push(path),
+                Err(e) if e.is_budget_refusal() => {
+                    budget_refusal = Some(e.to_string());
+                    break 'serve;
+                }
+                Err(e) => return Err(e),
+            }
+            if let Some(max) = opts.max_releases {
+                if session.releases() >= max {
+                    break 'serve;
+                }
+            }
+            continue; // drain the backlog before sleeping
+        }
+
+        if let Some(idle) = opts.idle_exit {
+            if last_data.elapsed() >= idle {
+                // final flush: release whatever is pending, then stop
+                if session.pending_rows() > 0 && session.rows() > 0 {
+                    match write_release(&mut session, &opts.out_dir) {
+                        Ok(path) => paths.push(path),
+                        Err(e) if e.is_budget_refusal() => budget_refusal = Some(e.to_string()),
+                        Err(e) => return Err(e),
+                    }
+                }
+                break 'serve;
+            }
+        }
+        std::thread::sleep(opts.poll);
+    }
+
+    Ok(ServeReport {
+        releases: session.records().to_vec(),
+        paths,
+        ingest: session.ingest_report(),
+        ledger: session.ledger().clone(),
+        budget_refusal,
+    })
+}
+
+/// Run one re-release and write it atomically (temp file + rename) as
+/// `release-NNNN.tsv` in `out_dir`.
+fn write_release(session: &mut ServeSession, out_dir: &Path) -> Result<PathBuf, ServeError> {
+    let release = session.release_now()?;
+    let index = session.releases();
+    let path = out_dir.join(format!("release-{index:04}.tsv"));
+    let tmp = out_dir.join(format!(".release-{index:04}.tsv.tmp"));
+    {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = std::io::BufWriter::new(file);
+        dpsan_searchlog::io::write_tsv(&release.output, &mut w)?;
+        use std::io::Write as _;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}

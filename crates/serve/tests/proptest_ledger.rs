@@ -1,0 +1,118 @@
+//! Property tests of the cross-release budget ledger, driven through
+//! the full service stack: N successful re-releases debit the ledger
+//! exactly N times and the composed totals are sequential composition
+//! (Σ εᵢ, Σ δᵢ); an over-budget re-release is refused atomically,
+//! mutating neither the ingest state nor the ledger nor the trigger.
+
+use dpsan_core::mechanism::{Sanitizer, TriggerPolicy, ZealousSanitizer};
+use dpsan_datagen::{write_log_tsv, AolLikeConfig};
+use dpsan_dp::params::PrivacyParams;
+use dpsan_serve::ServeSession;
+use dpsan_stream::StreamConfig;
+use proptest::prelude::*;
+
+const SEED: u64 = 0xd95a_11ce;
+
+/// A deterministic trace split into `n` appended chunks.
+fn trace_chunks(n_users: usize, n: usize) -> Vec<String> {
+    let cfg =
+        AolLikeConfig { n_users, n_queries: 40, mean_events_per_user: 8.0, ..Default::default() };
+    let mut tsv = Vec::new();
+    write_log_tsv(&cfg, &mut tsv).unwrap();
+    let text = String::from_utf8(tsv).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let per = lines.len().div_ceil(n);
+    lines.chunks(per).map(|c| c.join("\n") + "\n").collect()
+}
+
+fn session(params: PrivacyParams, lifetime: Option<(f64, f64)>, shards: usize) -> ServeSession {
+    let mechanism: Box<dyn Sanitizer> = Box::new(ZealousSanitizer::new());
+    let stream = StreamConfig { shards, chunk_rows: 32, sketch_capacity: 0, jobs: 1 };
+    ServeSession::new(mechanism, stream, params, SEED, TriggerPolicy::manual(), lifetime)
+}
+
+proptest! {
+    /// N re-releases ⇒ exactly N ledger entries, composed by summation.
+    #[test]
+    fn n_rereleases_debit_ledger_n_times(
+        n_users in 12usize..40,
+        n_chunks in 1usize..6,
+        e_eps in 2.0f64..6.0,
+        delta in 0.05f64..0.4,
+        shards in 1usize..5,
+    ) {
+        let params = PrivacyParams::from_e_epsilon(e_eps, delta);
+        let mut s = session(params, None, shards);
+        let chunks = trace_chunks(n_users, n_chunks);
+        let n = chunks.len();
+        for chunk in &chunks {
+            s.feed(chunk.as_bytes()).unwrap();
+            s.release_now().unwrap();
+        }
+        let ledger = s.ledger();
+        prop_assert_eq!(ledger.entries().len(), n);
+        let (per_eps, per_delta) = (params.epsilon(), params.delta());
+        for entry in ledger.entries() {
+            prop_assert!((entry.epsilon - per_eps).abs() < 1e-12);
+            prop_assert!((entry.delta - per_delta).abs() < 1e-12);
+        }
+        // sequential composition: totals are the plain sums
+        prop_assert!((ledger.total_epsilon() - per_eps * n as f64).abs() < 1e-9);
+        prop_assert!((ledger.total_delta() - per_delta * n as f64).abs() < 1e-9);
+        prop_assert_eq!(s.releases(), n as u64);
+        prop_assert_eq!(s.records().len(), n);
+    }
+
+    /// A lifetime budget sized for exactly K releases admits K and
+    /// refuses the (K+1)-th without touching ingest, ledger, or
+    /// trigger state.
+    #[test]
+    fn over_budget_refusal_is_atomic(
+        n_users in 12usize..40,
+        e_eps in 2.0f64..6.0,
+        delta in 0.02f64..0.2,
+        admit in 1usize..4,
+        shards in 1usize..5,
+    ) {
+        let params = PrivacyParams::from_e_epsilon(e_eps, delta);
+        // budget for exactly `admit` releases (half-release headroom so
+        // float accumulation can't flip the comparison either way)
+        let lifetime = (
+            params.epsilon() * (admit as f64 + 0.5),
+            (params.delta() * (admit as f64 + 0.5)).min(0.999),
+        );
+        prop_assume!(params.delta() * (admit as f64 + 1.0) < 0.999);
+        let mut s = session(params, Some(lifetime), shards);
+        let chunks = trace_chunks(n_users, admit + 1);
+        for (i, chunk) in chunks.iter().enumerate() {
+            s.feed(chunk.as_bytes()).unwrap();
+            if i < admit {
+                s.release_now().unwrap();
+            }
+        }
+        // trim to however many chunks the trace actually split into
+        let admitted = s.releases();
+        prop_assume!(admitted == admit as u64);
+
+        let rows_before = s.rows();
+        let pending_before = s.pending_rows();
+        let eps_before = s.ledger().total_epsilon();
+        let delta_before = s.ledger().total_delta();
+        let entries_before = s.ledger().entries().len();
+
+        let err = s.release_now().expect_err("over-budget release must refuse");
+        prop_assert!(err.is_budget_refusal(), "unexpected error: {}", err);
+
+        // atomic refusal: nothing moved
+        prop_assert_eq!(s.rows(), rows_before);
+        prop_assert_eq!(s.pending_rows(), pending_before);
+        prop_assert_eq!(s.releases(), admit as u64);
+        prop_assert_eq!(s.ledger().entries().len(), entries_before);
+        prop_assert!((s.ledger().total_epsilon() - eps_before).abs() == 0.0);
+        prop_assert!((s.ledger().total_delta() - delta_before).abs() == 0.0);
+
+        // and the session still ingests after the refusal
+        s.feed("uX\textra query\texample.org\t2\n".as_bytes()).unwrap();
+        prop_assert_eq!(s.rows(), rows_before + 1);
+    }
+}

@@ -106,48 +106,155 @@ pub struct IngestResult {
     pub report: IngestReport,
 }
 
+/// An incremental ingestion session: the always-on counterpart of
+/// [`ingest_tsv`].
+///
+/// The one-shot engine ingests once and exits; a serving pipeline
+/// instead receives appended TSV chunks over time and must re-release
+/// between them. `IngestSession` keeps the per-shard interners,
+/// first-row tables, and heavy-hitter sketches **live across
+/// [`ingest`](IngestSession::ingest) calls**, with one global row
+/// counter carried over — so at every point in time the session's
+/// state is exactly what one-shot ingestion of the concatenated input
+/// would have produced.
+///
+/// [`snapshot`](IngestSession::snapshot) materializes the merged
+/// [`SearchLog`] *without* consuming the session (shards are cloned
+/// and drained in parallel; intake continues afterwards), and
+/// [`finish`](IngestSession::finish) is the consuming variant the
+/// one-shot path uses. Because the merge reconstructs the sequential
+/// interning order from global first-occurrence rows, every snapshot
+/// is structurally identical to a one-shot build of the prefix
+/// ingested so far — the invariant that makes windowed re-releases
+/// byte-identical to one-shot `sanitize` runs over the same window.
+///
+/// An `ingest` call that fails (parse error) applies all complete
+/// chunks read before the error and discards the partial one; the
+/// session stays usable and the error's line number is global across
+/// every ingest call (continuation lines keep counting up).
+#[derive(Debug)]
+pub struct IngestSession {
+    cfg: StreamConfig,
+    shards: Vec<ShardIntake>,
+    sketches: Vec<PairSketch>,
+    report: IngestReport,
+}
+
+impl IngestSession {
+    /// A fresh session with no ingested rows.
+    pub fn new(cfg: StreamConfig) -> Self {
+        cfg.validate();
+        let sketches = if cfg.sketch_capacity > 0 {
+            (0..cfg.shards).map(|_| PairSketch::new(cfg.sketch_capacity)).collect()
+        } else {
+            Vec::new()
+        };
+        let shards = (0..cfg.shards).map(|_| ShardIntake::new()).collect();
+        IngestSession { cfg, shards, sketches, report: IngestReport::default() }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Ingest one appended TSV chunk (any `BufRead` over *complete*
+    /// lines). Returns the number of records added by this call.
+    ///
+    /// Line numbers in errors are global: a parse error on the first
+    /// line of the third appended chunk reports the stream-wide line
+    /// number, not `1`.
+    pub fn ingest<R: BufRead>(&mut self, reader: R) -> Result<u64, LogError> {
+        let lines_before = self.report.lines;
+        let mut stream = TsvStream::new(reader);
+        let mut buf = Vec::with_capacity(self.cfg.chunk_rows.min(64 * 1024));
+        let mut added: u64 = 0;
+        let result = loop {
+            match stream.read_chunk(&mut buf, self.cfg.chunk_rows) {
+                Ok(0) => break Ok(added),
+                Ok(n) => {
+                    self.report.peak_chunk_rows = self.report.peak_chunk_rows.max(n);
+                    for rec in &buf {
+                        let s = shard_of(&rec.user, self.cfg.shards);
+                        self.shards[s].add(self.report.rows, rec);
+                        if let Some(sk) = self.sketches.get_mut(s) {
+                            sk.offer(&rec.query, &rec.url, rec.count);
+                        }
+                        self.report.rows += 1;
+                        added += 1;
+                    }
+                }
+                Err(e) => break Err(offset_error_lines(e, lines_before)),
+            }
+        };
+        self.report.lines = lines_before + stream.lines_read() as u64;
+        result
+    }
+
+    /// Records ingested so far (across every `ingest` call).
+    pub fn rows(&self) -> u64 {
+        self.report.rows
+    }
+
+    /// The memory-bound counters so far. `max_shard_triplets` and
+    /// `sketch_entries` reflect the *current* staged state.
+    pub fn report(&self) -> IngestReport {
+        let mut r = self.report;
+        r.max_shard_triplets =
+            self.shards.iter().map(ShardIntake::staged_triplets).max().unwrap_or(0);
+        r.sketch_entries = merge_sketch_refs(&self.sketches).as_ref().map_or(0, PairSketch::len);
+        r
+    }
+
+    /// Merge the current state into an [`IngestResult`] without
+    /// consuming the session: shards are snapshot-drained in parallel
+    /// and intake can continue afterwards. The returned log is
+    /// structurally identical to a one-shot build of everything
+    /// ingested so far.
+    pub fn snapshot(&self) -> IngestResult {
+        let views: Vec<&ShardIntake> = self.shards.iter().collect();
+        let drained: Vec<DrainedShard> = run_sharded(views, self.cfg.jobs, ShardIntake::snapshot);
+        let (log, stats) = merge_shards(&drained);
+        let sketch = merge_sketch_refs(&self.sketches);
+        let mut report = self.report;
+        report.max_shard_triplets =
+            self.shards.iter().map(ShardIntake::staged_triplets).max().unwrap_or(0);
+        report.sketch_entries = sketch.as_ref().map_or(0, PairSketch::len);
+        IngestResult { log, sketch, stats, report }
+    }
+
+    /// Merge and consume the session (the one-shot path; avoids the
+    /// snapshot clone).
+    pub fn finish(self) -> IngestResult {
+        let mut report = self.report;
+        report.max_shard_triplets =
+            self.shards.iter().map(ShardIntake::staged_triplets).max().unwrap_or(0);
+        let drained: Vec<DrainedShard> =
+            run_sharded(self.shards, self.cfg.jobs, ShardIntake::drain);
+        let (log, stats) = merge_shards(&drained);
+        let sketch = merge_sketches(self.sketches);
+        report.sketch_entries = sketch.as_ref().map_or(0, PairSketch::len);
+        IngestResult { log, sketch, stats, report }
+    }
+}
+
+/// Shift an error's line number by the lines already consumed in
+/// earlier `ingest` calls, so multi-chunk sessions report global
+/// positions.
+fn offset_error_lines(e: LogError, lines_before: u64) -> LogError {
+    let off = lines_before as usize;
+    match e {
+        LogError::Parse { line, message } => LogError::Parse { line: line + off, message },
+        LogError::ZeroCount { line } => LogError::ZeroCount { line: line + off },
+        other => other,
+    }
+}
+
 /// Ingest a native-TSV stream through the sharded engine.
 pub fn ingest_tsv<R: BufRead>(reader: R, cfg: &StreamConfig) -> Result<IngestResult, LogError> {
-    cfg.validate();
-    let mut shards: Vec<ShardIntake> = (0..cfg.shards).map(|_| ShardIntake::new()).collect();
-    let mut sketches: Vec<PairSketch> = if cfg.sketch_capacity > 0 {
-        (0..cfg.shards).map(|_| PairSketch::new(cfg.sketch_capacity)).collect()
-    } else {
-        Vec::new()
-    };
-
-    let mut stream = TsvStream::new(reader);
-    let mut buf = Vec::with_capacity(cfg.chunk_rows.min(64 * 1024));
-    let mut report = IngestReport::default();
-    let mut row: u64 = 0;
-    loop {
-        let n = stream.read_chunk(&mut buf, cfg.chunk_rows)?;
-        if n == 0 {
-            break;
-        }
-        report.peak_chunk_rows = report.peak_chunk_rows.max(n);
-        for rec in &buf {
-            let s = shard_of(&rec.user, cfg.shards);
-            shards[s].add(row, rec);
-            if let Some(sk) = sketches.get_mut(s) {
-                sk.offer(&rec.query, &rec.url, rec.count);
-            }
-            row += 1;
-        }
-    }
-    report.rows = row;
-    report.lines = stream.lines_read() as u64;
-    report.max_shard_triplets = shards.iter().map(ShardIntake::staged_triplets).max().unwrap_or(0);
-
-    // drain shards in parallel (deterministic: one worker per shard,
-    // results in shard order), then merge sequentially in shard order
-    let drained: Vec<DrainedShard> = run_sharded(shards, cfg.jobs, ShardIntake::drain);
-    let (log, stats) = merge_shards(&drained);
-
-    let sketch = merge_sketches(sketches);
-    report.sketch_entries = sketch.as_ref().map_or(0, PairSketch::len);
-
-    Ok(IngestResult { log, sketch, stats, report })
+    let mut session = IngestSession::new(cfg.clone());
+    session.ingest(reader)?;
+    Ok(session.finish())
 }
 
 /// Ingest a native-TSV file from disk.
@@ -167,6 +274,16 @@ fn merge_sketches(mut sketches: Vec<PairSketch>) -> Option<PairSketch> {
         }
     }
     merged
+}
+
+/// Non-consuming sketch merge for session snapshots.
+fn merge_sketch_refs(sketches: &[PairSketch]) -> Option<PairSketch> {
+    let (head, rest) = sketches.split_first()?;
+    let mut merged = head.clone();
+    for sk in rest {
+        merged.merge(sk);
+    }
+    Some(merged)
 }
 
 /// Rebuild the global log from drained shards (see module docs for why
@@ -371,5 +488,81 @@ mod tests {
         assert_eq!(got.log.size(), 0);
         assert_eq!(got.report.rows, 0);
         assert_eq!(got.stats, StreamStats::default());
+    }
+
+    /// The session invariant: after any split of the stream into
+    /// appended chunks, a snapshot is structurally identical to the
+    /// one-shot build of the concatenated prefix.
+    #[test]
+    fn incremental_snapshots_equal_one_shot_prefix_builds() {
+        let text = sample_tsv();
+        let lines: Vec<&str> = text.lines().collect();
+        for split in [1usize, 7, 15, 29] {
+            let (head, tail) = lines.split_at(split);
+            let head_tsv = head.join("\n") + "\n";
+            let tail_tsv = tail.join("\n") + "\n";
+            let cfg = StreamConfig { shards: 3, chunk_rows: 4, jobs: 2, ..Default::default() };
+
+            let mut session = IngestSession::new(cfg.clone());
+            let added = session.ingest(Cursor::new(head_tsv.as_str())).unwrap();
+            assert_eq!(added as usize, split);
+
+            // mid-stream snapshot == one-shot build of the prefix
+            let snap = session.snapshot();
+            let prefix = ingest_tsv(Cursor::new(head_tsv.as_str()), &cfg).unwrap();
+            assert_logs_identical(&snap.log, &prefix.log);
+
+            // ...and intake continues: the final state == full build
+            session.ingest(Cursor::new(tail_tsv.as_str())).unwrap();
+            let full = ingest_tsv(Cursor::new(text.as_str()), &cfg).unwrap();
+            let final_snap = session.snapshot();
+            assert_logs_identical(&final_snap.log, &full.log);
+            assert_eq!(final_snap.stats, full.stats);
+            let finished = session.finish();
+            assert_logs_identical(&finished.log, &full.log);
+            assert_eq!(finished.report.rows, full.report.rows);
+        }
+    }
+
+    #[test]
+    fn session_sketch_merges_across_chunks() {
+        let text = sample_tsv();
+        let lines: Vec<&str> = text.lines().collect();
+        let cfg = StreamConfig { shards: 3, sketch_capacity: 64, ..Default::default() };
+        let mut session = IngestSession::new(cfg.clone());
+        for chunk in lines.chunks(10) {
+            session.ingest(Cursor::new(chunk.join("\n") + "\n")).unwrap();
+        }
+        let one_shot = ingest_tsv(Cursor::new(text.as_str()), &cfg).unwrap();
+        let snap = session.snapshot();
+        let sk = snap.sketch.expect("sketching enabled");
+        assert_eq!(sk.total_weight(), one_shot.sketch.unwrap().total_weight());
+        assert_eq!(sk.total_weight(), snap.log.size());
+    }
+
+    #[test]
+    fn session_error_lines_are_global_and_session_survives() {
+        let cfg = StreamConfig { chunk_rows: 2, ..Default::default() };
+        let mut session = IngestSession::new(cfg);
+        session.ingest(Cursor::new("u1\tq\tl\t1\nu2\tq\tl\t2\n")).unwrap();
+        // line 2 of this chunk = global line 4
+        let err =
+            session.ingest(Cursor::new("u3\tq\tl\t3\nbroken line\nu4\tq\tl\t4\n")).unwrap_err();
+        assert!(err.to_string().contains("line 4"), "global line number, got: {err}");
+        // complete chunks before the error were applied; the partial
+        // chunk holding the bad line was not
+        assert_eq!(session.rows(), 2, "chunk_rows=2: the failing chunk was discarded whole");
+        // the session is still usable
+        session.ingest(Cursor::new("u5\tq\tl\t5\n")).unwrap();
+        assert_eq!(session.rows(), 3);
+        assert_eq!(session.snapshot().log.size(), 1 + 2 + 5);
+    }
+
+    #[test]
+    fn snapshot_of_empty_session_is_empty() {
+        let session = IngestSession::new(StreamConfig::default());
+        let snap = session.snapshot();
+        assert_eq!(snap.log.size(), 0);
+        assert_eq!(snap.report.rows, 0);
     }
 }

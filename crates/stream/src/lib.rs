@@ -49,6 +49,8 @@ pub mod pool;
 pub mod shard;
 pub mod sketch;
 
-pub use engine::{ingest_path, ingest_tsv, IngestReport, IngestResult, StreamConfig, StreamStats};
+pub use engine::{
+    ingest_path, ingest_tsv, IngestReport, IngestResult, IngestSession, StreamConfig, StreamStats,
+};
 pub use shard::{shard_of, user_hash, ShardIntake, ShardStats};
 pub use sketch::{sketch_frequent_pairs, PairSketch, SketchEntry};

@@ -63,8 +63,9 @@ impl ShardStats {
 
 /// One shard mid-intake: local interners, aggregation map, first-row
 /// tables. Memory is proportional to the shard's *aggregated* content,
-/// never to the raw stream length.
-#[derive(Debug, Default)]
+/// never to the raw stream length. `Clone` supports the incremental
+/// engine's non-destructive [`snapshot`](ShardIntake::snapshot).
+#[derive(Debug, Default, Clone)]
 pub struct ShardIntake {
     users: Interner,
     queries: Interner,
@@ -110,6 +111,14 @@ impl ShardIntake {
     /// retained).
     pub fn staged_triplets(&self) -> usize {
         self.triplets.len()
+    }
+
+    /// Non-destructive [`drain`](ShardIntake::drain): clone the staged
+    /// state and finalize the copy, leaving this shard live for further
+    /// intake. The incremental engine re-releases from snapshots while
+    /// the stream keeps appending.
+    pub fn snapshot(&self) -> DrainedShard {
+        self.clone().drain()
     }
 
     /// Finalize into an immutable, deterministically-ordered

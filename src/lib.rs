@@ -22,6 +22,9 @@
 //! * [`datagen`] — synthetic AOL-like log generation,
 //! * [`stream`] — bounded-memory sharded ingestion (chunked intake,
 //!   user-hash shards, mergeable heavy-hitter sketches),
+//! * [`serve`] — the always-on sanitization service (file tailing,
+//!   incremental ingest sessions, trigger-driven re-release, the
+//!   enforced cross-release budget ledger),
 //! * [`eval`] — the table/figure reproduction harness and the
 //!   `sanitize` / `genlog` / `repro` binaries.
 //!
@@ -66,20 +69,26 @@ pub use dpsan_dp as dp;
 pub use dpsan_eval as eval;
 pub use dpsan_lp as lp;
 pub use dpsan_searchlog as searchlog;
+pub use dpsan_serve as serve;
 pub use dpsan_stream as stream;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use dpsan_core::mechanism::{
-        LaplaceStep, LdpOptions, LdpSanitizer, MechanismInfo, PrivacyModel, Release, Sanitizer,
-        UmpSanitizer, UtilityObjective, ZealousOptions, ZealousSanitizer,
+        LaplaceStep, LdpOptions, LdpSanitizer, MechanismInfo, PrivacyModel, Release,
+        ReleasePlanner, Sanitizer, TriggerPolicy, UmpSanitizer, UtilityObjective, ZealousOptions,
+        ZealousSanitizer,
     };
     pub use dpsan_core::metrics;
     pub use dpsan_core::metrics::{mechanism_score, MechanismScore, PrecisionRecall};
     pub use dpsan_core::ump::diversity::DumpSolver;
     pub use dpsan_core::PrivacyConstraints;
     pub use dpsan_datagen::{generate, presets, write_log_file, AolLikeConfig};
+    pub use dpsan_dp::composition::{BudgetEntry, BudgetError, BudgetLedger};
     pub use dpsan_dp::params::PrivacyParams;
     pub use dpsan_searchlog::{frequent_pairs, preprocess, LogStats, SearchLog, SearchLogBuilder};
-    pub use dpsan_stream::{ingest_path, ingest_tsv, sketch_frequent_pairs, StreamConfig};
+    pub use dpsan_serve::{serve, FollowReader, ServeOptions, ServeReport, ServeSession};
+    pub use dpsan_stream::{
+        ingest_path, ingest_tsv, sketch_frequent_pairs, IngestSession, StreamConfig,
+    };
 }

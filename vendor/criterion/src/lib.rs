@@ -154,6 +154,23 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Record an externally computed statistic (nanoseconds) under
+    /// `id`, as if it were a measured median: printed alongside the
+    /// `iter`-based entries and merged into `$DPSAN_BENCH_JSON`.
+    ///
+    /// This is the escape hatch for benches whose headline number is
+    /// not a per-iteration median — e.g. a p50/p99 over the per-event
+    /// latencies of one replayed trace. (Real criterion would use
+    /// `iter_custom`; the shim keeps the simpler explicit form.)
+    pub fn report_ns(&mut self, id: impl Into<BenchmarkId>, value_ns: f64) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let shown = Duration::from_nanos(value_ns as u64);
+        println!("{full:<48} reported {shown:>12.2?}");
+        self.criterion.results.push((full, value_ns));
+        self
+    }
+
     /// Finish the group (flushes nothing here; kept for API parity).
     pub fn finish(self) {}
 }
