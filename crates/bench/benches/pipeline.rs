@@ -23,7 +23,9 @@ use dpsan_eval::{run_experiment, Ctx, Scale};
 use dpsan_lp::simplex::SimplexOptions;
 use dpsan_searchlog::{preprocess, SearchLog};
 use dpsan_serve::ServeSession;
-use dpsan_stream::{ingest_tsv, PairSketch, StreamConfig};
+use dpsan_store::wal::{append_record, WalRecord};
+use dpsan_store::{DiskIo, DurableStore, StoreConfig};
+use dpsan_stream::{ingest_tsv, IngestSession, PairSketch, StreamConfig};
 
 /// The budget sweep used by the cold/warm/dual sweep benches: twelve
 /// `(e^ε, δ)` cells with distinct, ascending collapsed budgets —
@@ -80,8 +82,21 @@ fn serve_replay_latencies(trace: &str) -> Vec<Duration> {
     }
     let records = session.records();
     for r in &records[1..] {
-        assert_eq!(r.solver.cold_starts, 0, "re-release {} fell off the fast path", r.index);
-        assert!(r.solver.dual_reopts >= 1, "re-release {} did not dual-reopt", r.index);
+        // a re-release either rides the dual path or is vetoed by the
+        // determinism guard (a degenerate optimum forces a cold
+        // re-solve so the release stays byte-identical to one-shot);
+        // an *unexplained* cold start is a shape change and a bug here
+        assert_eq!(
+            r.solver.cold_starts, r.solver.degenerate_fallbacks,
+            "re-release {} fell off the fast path: {:?}",
+            r.index, r.solver
+        );
+        assert!(
+            r.solver.dual_reopts + r.solver.degenerate_fallbacks >= 1,
+            "re-release {} did neither dual-reopt nor guard-veto: {:?}",
+            r.index,
+            r.solver
+        );
     }
     records[1..].iter().map(|r| r.latency).collect()
 }
@@ -217,6 +232,76 @@ fn bench(c: &mut Criterion) {
             }
             merged.len()
         })
+    });
+
+    g.bench_function("wal_append", |b| {
+        // the durable-ingest hot path: one CRC-framed WAL record
+        // (~1 KiB chunk) appended + fsynced through the production
+        // DiskIo — the per-chunk latency every followed byte pays
+        // before it may be ingested
+        let dir = std::env::temp_dir().join(format!("dpsan-bench-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("bench wal dir");
+        let path = dir.join("wal-00000000.log");
+        let chunk: Vec<u8> = (0..16)
+            .flat_map(|i| {
+                format!("user{i:02}\tquery{}\tsite{}.net\t2\n", i % 5, i % 3).into_bytes()
+            })
+            .collect();
+        let mut offset = 0u64;
+        b.iter(|| {
+            offset += chunk.len() as u64;
+            append_record(
+                &DiskIo,
+                &path,
+                &WalRecord { offset_after: offset, chunk: chunk.clone() },
+            )
+            .expect("wal append");
+            offset
+        });
+        std::fs::remove_dir_all(&dir).expect("bench wal cleanup");
+    });
+
+    g.bench_function("store_resume", |b| {
+        // crash-recovery latency: open a store holding one checkpoint
+        // plus a WAL span and rebuild the exact ingest session
+        // (checksum-verify the shard snapshots, scan + replay the WAL)
+        // — the restart cost a durable daemon pays before serving
+        let dir = std::env::temp_dir().join(format!("dpsan-bench-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stream = StreamConfig { shards: 4, chunk_rows: 64, sketch_capacity: 0, jobs: 1 };
+        {
+            let (mut store, recovered) = DurableStore::open(
+                std::sync::Arc::new(DiskIo),
+                StoreConfig { dir: dir.clone(), checkpoint_rows: 0 },
+            )
+            .expect("bench store open");
+            let mut session = recovered.resume_session(stream.clone()).expect("fresh session");
+            let mut tsv = Vec::new();
+            write_log_tsv(&presets::aol_tiny(), &mut tsv).expect("spool tiny log");
+            let text = String::from_utf8(tsv).expect("utf8");
+            let lines: Vec<&str> = text.lines().collect();
+            let mut offset = 0u64;
+            for (i, chunk_lines) in lines.chunks(lines.len().div_ceil(8)).enumerate() {
+                let chunk = chunk_lines.join("\n") + "\n";
+                offset += chunk.len() as u64;
+                store.log_chunk(offset, chunk.as_bytes()).expect("log chunk");
+                session.ingest(std::io::Cursor::new(chunk.as_bytes())).expect("ingest");
+                if i == 3 {
+                    store.checkpoint(&session.export_state(), offset).expect("checkpoint");
+                }
+            }
+        }
+        b.iter(|| {
+            let (_, recovered) = DurableStore::open(
+                std::sync::Arc::new(DiskIo),
+                StoreConfig { dir: dir.clone(), checkpoint_rows: 0 },
+            )
+            .expect("bench store reopen");
+            let session: IngestSession = recovered.resume_session(stream.clone()).expect("resume");
+            session.rows()
+        });
+        std::fs::remove_dir_all(&dir).expect("bench resume cleanup");
     });
 
     g.bench_function("table4_tiny_end_to_end", |b| {

@@ -93,6 +93,23 @@ impl<S: Sanitizer> ReleasePlanner<S> {
         }
     }
 
+    /// A planner resuming from durable state: `ledger` carries the
+    /// spends replayed from the release-manifest chain, `releases`
+    /// counts the manifests, and `pending_rows` is how far ingestion
+    /// had run past the last release. The planner behaves exactly as
+    /// if it had performed those releases itself — in particular a
+    /// capped ledger keeps refusing once the replayed history exhausts
+    /// the lifetime budget.
+    pub fn restore(
+        mechanism: S,
+        trigger: TriggerPolicy,
+        ledger: BudgetLedger,
+        releases: u64,
+        pending_rows: u64,
+    ) -> Self {
+        ReleasePlanner { mechanism, trigger, ledger, pending_rows, releases }
+    }
+
     /// Record that `rows` new input rows were ingested.
     pub fn observe_rows(&mut self, rows: u64) {
         self.pending_rows += rows;
@@ -234,6 +251,31 @@ mod tests {
         dpsan_searchlog::io::write_tsv(&planned.output, &mut a).unwrap();
         dpsan_searchlog::io::write_tsv(&one_shot.output, &mut b).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restored_planner_keeps_enforcing_the_replayed_history() {
+        let pp = PrivacyParams::from_e_epsilon(2.0, 0.2);
+        // History worth two releases, replayed into a capped ledger
+        // that only affords two.
+        let mut ledger = BudgetLedger::with_lifetime(2.0 * pp.epsilon(), 2.0 * pp.delta());
+        ledger.spend("release 1", pp.epsilon(), pp.delta());
+        ledger.spend("release 2", pp.epsilon(), pp.delta());
+        let mut p = ReleasePlanner::restore(
+            ZealousSanitizer::new(),
+            TriggerPolicy::every_rows(10),
+            ledger,
+            2,
+            7,
+        );
+        assert_eq!(p.releases(), 2);
+        assert_eq!(p.pending_rows(), 7);
+        assert!(!p.due());
+        p.observe_rows(3);
+        assert!(p.due());
+        let err = p.release(&input_log(), pp, SEED).unwrap_err();
+        assert!(matches!(err, CoreError::Budget(_)), "replayed spends still bind: {err}");
+        assert_eq!(p.releases(), 2);
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub struct SessionStats {
     /// Dual reoptimizations that were attempted but fell back to the
     /// primal path (lost dual feasibility, stall, unusable snapshot).
     pub dual_fallbacks: usize,
+    /// Warm results discarded because the optimum was not unique
+    /// (alternate optimal vertices): the session re-solved cold so the
+    /// answer never depends on solver history. Counted on top of the
+    /// cold start the re-solve performs.
+    pub degenerate_fallbacks: usize,
     /// Simplex iterations summed over all solves (all algorithms,
     /// including failed dual attempts).
     pub iterations: usize,
@@ -61,6 +66,7 @@ impl SessionStats {
         self.dual_reopts += other.dual_reopts;
         self.cold_starts += other.cold_starts;
         self.dual_fallbacks += other.dual_fallbacks;
+        self.degenerate_fallbacks += other.degenerate_fallbacks;
         self.iterations += other.iterations;
         self.refactorizations += other.refactorizations;
     }
@@ -80,6 +86,7 @@ impl SessionStats {
             dual_reopts: self.dual_reopts - before.dual_reopts,
             cold_starts: self.cold_starts - before.cold_starts,
             dual_fallbacks: self.dual_fallbacks - before.dual_fallbacks,
+            degenerate_fallbacks: self.degenerate_fallbacks - before.degenerate_fallbacks,
             iterations: self.iterations - before.iterations,
             refactorizations: self.refactorizations - before.refactorizations,
         }
@@ -258,7 +265,7 @@ impl SolveSession {
         // (every hint is Fresh), so it uses the stateless entry point
         // and skips cache population entirely — keeping the pinned
         // PR 2 baseline behaviour honest in benches
-        let out = match self.strategy {
+        let mut out = match self.strategy {
             Strategy::Auto => solve_parametric_cached(
                 problem,
                 &self.lp,
@@ -270,7 +277,32 @@ impl SolveSession {
                 solve_parametric(problem, &self.lp, self.basis.as_ref(), StepHint::Fresh)?
             }
         };
+        // Determinism guard: a warm-seeded solve that lands on a
+        // non-unique optimum may sit at a *different* optimal vertex
+        // than the cold solve of the same problem would pick — under a
+        // retraction step (shrunken caps) the dual repair routinely
+        // does. Downstream, different vertices floor to different
+        // counts and break the "same window + same seed ⇒ identical
+        // release, independent of solver history" guarantee, so the
+        // warm answer is discarded and the canonical cold path re-runs.
+        // Cold solves are deterministic, so cold-vs-cold needs no guard.
+        let mut degenerate_retry = false;
+        if out.solution.status == SolveStatus::Optimal
+            && out.stats.algorithm != Algorithm::ColdPrimal
+            && out.solution.alternate_optima
+        {
+            degenerate_retry = true;
+            let spent_iterations = out.stats.iterations;
+            let spent_refactorizations = out.stats.refactorizations;
+            out =
+                solve_parametric_cached(problem, &self.lp, None, StepHint::Fresh, &mut self.cache)?;
+            out.stats.iterations += spent_iterations;
+            out.stats.refactorizations += spent_refactorizations;
+        }
         self.stats.solves += 1;
+        if degenerate_retry {
+            self.stats.degenerate_fallbacks += 1;
+        }
         match out.stats.algorithm {
             Algorithm::DualReopt => {
                 self.stats.dual_reopts += 1;
@@ -295,11 +327,14 @@ mod tests {
     use super::*;
     use dpsan_lp::problem::{RowBounds, Sense, VarBounds};
 
-    /// `max x0 + x1` s.t. `x0 + x1 ≤ rhs`, `x ∈ [0, 10]`.
+    /// `max x0 + 0.8·x1` s.t. `x0 + x1 ≤ rhs`, `x ∈ [0, 10]`. The
+    /// distinct objective coefficients make the optimum unique (all
+    /// budget goes to `x0` for `rhs ≤ 10`), so warm paths are never
+    /// vetoed by the alternate-optima guard.
     fn capped(rhs: f64) -> Problem {
         let mut p = Problem::new(Sense::Maximize);
         let a = p.add_col(1.0, VarBounds { lower: 0.0, upper: 10.0 }).unwrap();
-        let b = p.add_col(1.0, VarBounds { lower: 0.0, upper: 10.0 }).unwrap();
+        let b = p.add_col(0.8, VarBounds { lower: 0.0, upper: 10.0 }).unwrap();
         p.add_row(RowBounds::at_most(rhs), &[(a, 1.0), (b, 1.0)]).unwrap();
         p
     }
@@ -412,6 +447,7 @@ mod tests {
             dual_reopts: 1,
             cold_starts: 0,
             dual_fallbacks: 0,
+            degenerate_fallbacks: 0,
             iterations: 5,
             refactorizations: 2,
         };
@@ -421,6 +457,7 @@ mod tests {
             dual_reopts: 0,
             cold_starts: 2,
             dual_fallbacks: 1,
+            degenerate_fallbacks: 1,
             iterations: 11,
             refactorizations: 3,
         };
@@ -429,6 +466,32 @@ mod tests {
         assert_eq!(a.iterations, 16);
         assert_eq!(a.refactorizations, 5);
         assert_eq!(a.dual_fallbacks, 1);
+        assert_eq!(a.degenerate_fallbacks, 1);
         assert_eq!(a.warm_primal(), 0);
+    }
+
+    #[test]
+    fn degenerate_optimum_discards_the_warm_answer() {
+        // `max x0 + x1` over one shared row: the optimal face is the
+        // whole segment x0 + x1 = rhs, so a dual reopt may sit at a
+        // different corner than a cold solve — the guard must re-solve
+        // cold so the session's answer never depends on history
+        let flat = |rhs: f64| {
+            let mut p = Problem::new(Sense::Maximize);
+            let a = p.add_col(1.0, VarBounds { lower: 0.0, upper: 10.0 }).unwrap();
+            let b = p.add_col(1.0, VarBounds { lower: 0.0, upper: 10.0 }).unwrap();
+            p.add_row(RowBounds::at_most(rhs), &[(a, 1.0), (b, 1.0)]).unwrap();
+            p
+        };
+        let mut s = SolveSession::new(SimplexOptions::default());
+        for rhs in [9.0, 7.0, 5.0, 3.0] {
+            let warm_sol = s.solve(&flat(rhs)).unwrap();
+            let cold_sol = SolveSession::new(SimplexOptions::default()).solve(&flat(rhs)).unwrap();
+            assert_eq!(warm_sol.status, SolveStatus::Optimal);
+            assert_eq!(warm_sol.x, cold_sol.x, "rhs={rhs}: history leaked into the vertex");
+        }
+        let st = s.stats();
+        assert!(st.degenerate_fallbacks >= 3, "every warm attempt must be vetoed: {st:?}");
+        assert_eq!(st.dual_reopts, 0, "no degenerate dual answer may be kept: {st:?}");
     }
 }

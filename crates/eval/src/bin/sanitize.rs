@@ -65,6 +65,11 @@ follow mode (always-on service; requires --out-dir):
   --max-releases <n>       stop after n successful releases
   --lifetime-epsilon <v>   enforced lifetime epsilon across all releases
   --lifetime-delta <v>     enforced lifetime delta (with --lifetime-epsilon)
+  --store-dir <dir>        durable crash-safe store: WAL-log every consumed
+                           chunk, checkpoint shards, chain release manifests;
+                           a restart recovers the exact session and ledger
+  --checkpoint-rows <n>    checkpoint after n rows since the last checkpoint
+                           (default: 65536; 0 = only on clean exit)
 
   Every release covers the full stream ingested so far and is
   byte-identical to a one-shot run over the same prefix with the same
@@ -102,6 +107,8 @@ struct Args {
     max_releases: Option<u64>,
     lifetime_epsilon: Option<f64>,
     lifetime_delta: Option<f64>,
+    store_dir: Option<String>,
+    checkpoint_rows: u64,
 }
 
 impl Args {
@@ -145,6 +152,8 @@ fn parse_args() -> Result<Args, String> {
         max_releases: None,
         lifetime_epsilon: None,
         lifetime_delta: None,
+        store_dir: None,
+        checkpoint_rows: 65536,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -230,6 +239,13 @@ fn parse_args() -> Result<Args, String> {
                 args.lifetime_delta =
                     Some(parse_num(&value("--lifetime-delta", &mut it)?, "--lifetime-delta")?)
             }
+            "--store-dir" => args.store_dir = Some(value("--store-dir", &mut it)?),
+            "--checkpoint-rows" => {
+                // 0 is legal here (checkpoint only on clean exit)
+                args.checkpoint_rows = value("--checkpoint-rows", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-rows: {e}"))?
+            }
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => {
                 if !args.input.is_empty() {
@@ -292,6 +308,8 @@ fn parse_args() -> Result<Args, String> {
         }
     } else if args.out_dir.is_some() {
         return Err("--out-dir only makes sense with --follow".into());
+    } else if args.store_dir.is_some() {
+        return Err("--store-dir only makes sense with --follow".into());
     }
     Ok(args)
 }
@@ -429,11 +447,36 @@ fn run_follow(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         max_releases: args.max_releases,
         lifetime: args.lifetime_epsilon.zip(args.lifetime_delta),
         out_dir: args.out_dir.as_deref().expect("validated in parse_args").into(),
+        store: args.store_dir.as_deref().map(|dir| dpsan_serve::StoreOptions {
+            dir: dir.into(),
+            checkpoint_rows: args.checkpoint_rows,
+        }),
     };
     let mechanism = build_follow_mechanism(args);
     let report = dpsan_serve::serve(mechanism, std::path::Path::new(&args.input), &opts)?;
 
     if args.stats {
+        if let Some(rec) = &report.recovery {
+            eprintln!(
+                "recovery: base-checkpoint={} replayed-records={} truncated-bytes={} \
+                 manifests={} rejected={} unpublished={}",
+                rec.base_generation.map_or("none".into(), |g| g.to_string()),
+                rec.replayed_records,
+                rec.truncated_bytes,
+                rec.manifests,
+                rec.rejected.len(),
+                rec.unpublished.len(),
+            );
+            for (generation, why) in &rec.rejected {
+                eprintln!("recovery: rejected checkpoint {generation}: {why}");
+            }
+            for seq in &rec.unpublished {
+                eprintln!(
+                    "recovery: manifest {seq} has no published artifact (budget spent, \
+                     output never escaped)"
+                );
+            }
+        }
         eprintln!(
             "serve: releases={} rows={} mechanism={}",
             report.releases.len(),

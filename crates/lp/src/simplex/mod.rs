@@ -219,6 +219,16 @@ pub struct Solution {
     pub duals: Vec<f64>,
     /// Simplex iterations used across both phases.
     pub iterations: usize,
+    /// The optimum is (possibly) not unique: some nonbasic column with
+    /// room to move prices out to a near-zero reduced cost, so an edge
+    /// of the optimal face leaves this vertex without changing the
+    /// objective. Different solve paths (cold, warm, dual reopt) may
+    /// then legitimately return *different* optimal vertices — callers
+    /// that need path-independent answers (e.g. deterministic release
+    /// pipelines) should treat a flagged warm result as "re-solve cold".
+    /// Conservative: `true` can be a false alarm (a degenerate zero-
+    /// length edge), `false` guarantees a unique optimal vertex.
+    pub alternate_optima: bool,
 }
 
 /// Variable status in the simplex.
@@ -497,7 +507,9 @@ fn finish(
     let objective = problem.objective_value(&x);
 
     let basis = if status == SolveStatus::Optimal { core.snapshot() } else { None };
-    let solution = Solution { status, objective, x, duals, iterations: core.iterations };
+    let alternate_optima = status == SolveStatus::Optimal && core.objective_degenerate();
+    let solution =
+        Solution { status, objective, x, duals, iterations: core.iterations, alternate_optima };
     (solution, basis)
 }
 
@@ -524,12 +536,27 @@ fn solve_unconstrained(problem: &Problem) -> Result<Solution, LpError> {
                 x: vec![],
                 duals: vec![],
                 iterations: 0,
+                alternate_optima: false,
             });
         }
         x.push(v);
     }
     let objective = problem.objective_value(&x);
-    Ok(Solution { status: SolveStatus::Optimal, objective, x, duals: vec![], iterations: 0 })
+    // with no rows, a zero-cost column with any slack in its box walks
+    // freely between optima
+    let alternate_optima = problem
+        .objective()
+        .iter()
+        .zip(problem.col_bounds())
+        .any(|(&c, b)| c == 0.0 && b.upper > b.lower);
+    Ok(Solution {
+        status: SolveStatus::Optimal,
+        objective,
+        x,
+        duals: vec![],
+        iterations: 0,
+        alternate_optima,
+    })
 }
 
 /// How a snapshot restore treats the recomputed basic values.
@@ -1047,6 +1074,30 @@ impl Core {
     /// Structural part of the current point.
     fn structural_x(&self) -> Vec<f64> {
         self.x_val[..self.sf.n_structural].to_vec()
+    }
+
+    /// Whether the finished (optimal) basis admits alternate optimal
+    /// vertices: a nonbasic structural or slack column with room to
+    /// move whose reduced cost is (near-)zero marks an objective-flat
+    /// edge out of this vertex. One BTRAN plus a column scan; the
+    /// tolerance is deliberately looser than `tol_dual` so reduced
+    /// costs the solve itself treated as zero are flagged.
+    fn objective_degenerate(&self) -> bool {
+        let y = self.row_duals();
+        let tol = (self.opts.tol_dual * 100.0).max(1e-7);
+        // artificials (j ≥ sf.n) are excluded: they are not columns of
+        // the caller's problem, merely phase-1 scaffolding
+        for j in 0..self.sf.n {
+            if matches!(self.status[j], VarStatus::Basic(_)) || self.upper[j] - self.lower[j] <= 0.0
+            {
+                continue;
+            }
+            let d = self.sf.c[j] - self.a.col_dot(j, &y);
+            if d.abs() <= tol {
+                return true;
+            }
+        }
+        false
     }
 
     /// Row duals for the phase-2 objective (internal minimization sense).

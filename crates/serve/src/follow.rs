@@ -9,10 +9,69 @@
 //! consumed offset only moves forward over complete lines, so every
 //! byte is parsed exactly once and a crash loses at most the
 //! not-yet-released suffix — never corrupts what was already ingested.
+//!
+//! ## Truncation and rotation
+//!
+//! An append-only contract can be broken behind our back: a log
+//! rotation replaces the file at the path with a fresh (usually
+//! shorter) one, and an accidental truncation shrinks the file in
+//! place. Both are fatal for offset-based tailing — byte `offset` of
+//! the *new* content is unrelated to byte `offset` of what was
+//! ingested, so silently reading on would splice two histories
+//! together (or re-ingest data, double-counting users). [`poll`]
+//! therefore checks for both before every read and fails with a
+//! [`FollowError`]-wrapped [`std::io::Error`] naming the file, the
+//! offsets involved, and what to do about it. The operator decides:
+//! restart over the rotated file ([`reopen`]) or resume the original
+//! history elsewhere. Nothing is consumed on the error path.
+//!
+//! [`poll`]: FollowReader::poll
+//! [`reopen`]: FollowReader::reopen
 
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+
+/// Why a followed file can no longer be tailed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FollowError {
+    /// The file shrank below the consumed offset (in-place truncation).
+    Truncated {
+        /// Bytes consumed so far.
+        consumed: u64,
+        /// Current file length (smaller than `consumed`).
+        len: u64,
+    },
+    /// The path now names a different file (log rotation).
+    Rotated,
+}
+
+impl std::fmt::Display for FollowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FollowError::Truncated { consumed, len } => write!(
+                f,
+                "followed file truncated: {consumed} bytes were consumed but the file now holds \
+                 {len} — the ingested history no longer exists on disk; reopen to restart from \
+                 the new content, or restore the original file to resume"
+            ),
+            FollowError::Rotated => write!(
+                f,
+                "followed file was rotated: the path now names a different file, so the \
+                 consumed offset is meaningless there; reopen to follow the new file from the \
+                 start, or point the service at the rotated-out file to resume"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FollowError {}
+
+impl FollowError {
+    fn into_io(self) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, self)
+    }
+}
 
 /// Incremental reader over an append-only file, line-atomic.
 #[derive(Debug)]
@@ -21,15 +80,71 @@ pub struct FollowReader {
     file: File,
     /// Bytes consumed so far — always at a line boundary.
     offset: u64,
+    /// Identity of the opened file, for rotation detection.
+    identity: FileIdentity,
+}
+
+/// What pins "the same file": the inode on unix, and nothing portable
+/// elsewhere (rotation then reduces to the shrink check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FileIdentity {
+    #[cfg(unix)]
+    ino: u64,
+    #[cfg(unix)]
+    dev: u64,
+}
+
+impl FileIdentity {
+    fn of(file: &File) -> std::io::Result<Self> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::MetadataExt;
+            let meta = file.metadata()?;
+            Ok(FileIdentity { ino: meta.ino(), dev: meta.dev() })
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = file;
+            Ok(FileIdentity {})
+        }
+    }
+
+    fn of_path(path: &Path) -> std::io::Result<Self> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::MetadataExt;
+            let meta = std::fs::metadata(path)?;
+            Ok(FileIdentity { ino: meta.ino(), dev: meta.dev() })
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            Ok(FileIdentity {})
+        }
+    }
 }
 
 impl FollowReader {
     /// Open `path` for following, starting at the beginning (existing
     /// content counts as the first appended chunk).
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::open_at(path, 0)
+    }
+
+    /// Open `path` with the first `offset` bytes already consumed —
+    /// the resume path after a crash, where a durable store remembers
+    /// how far ingestion got. `offset` must lie on a line boundary of
+    /// the original history (the store only records such offsets); a
+    /// file now shorter than `offset` fails immediately as truncated.
+    pub fn open_at(path: impl AsRef<Path>, offset: u64) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = File::open(&path)?;
-        Ok(FollowReader { path, file, offset: 0 })
+        let identity = FileIdentity::of(&file)?;
+        let len = file.metadata()?.len();
+        if len < offset {
+            return Err(FollowError::Truncated { consumed: offset, len }.into_io());
+        }
+        Ok(FollowReader { path, file, offset, identity })
     }
 
     /// The file being followed.
@@ -42,10 +157,48 @@ impl FollowReader {
         self.offset
     }
 
+    /// Deliberately restart on whatever file the path names now, from
+    /// offset 0 — the recovery a caller chooses after a
+    /// [`FollowError::Rotated`] means "the new file is a new stream".
+    pub fn reopen(&mut self) -> std::io::Result<()> {
+        let file = File::open(&self.path)?;
+        self.identity = FileIdentity::of(&file)?;
+        self.file = file;
+        self.offset = 0;
+        Ok(())
+    }
+
+    /// Check that the path still names the file we opened and that it
+    /// has not shrunk below the consumed offset.
+    fn check_integrity(&self) -> std::io::Result<()> {
+        match FileIdentity::of_path(&self.path) {
+            Ok(current) if current != self.identity => {
+                return Err(FollowError::Rotated.into_io());
+            }
+            // A vanished path is rotation mid-swap: the old file is
+            // gone and the new one is not in place yet.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(FollowError::Rotated.into_io());
+            }
+            Err(e) => return Err(e),
+            Ok(_) => {}
+        }
+        let len = self.file.metadata()?.len();
+        if len < self.offset {
+            return Err(FollowError::Truncated { consumed: self.offset, len }.into_io());
+        }
+        Ok(())
+    }
+
     /// Read everything appended since the last poll, truncated to the
     /// last complete line. Returns `None` when no complete new line is
     /// available. The returned buffer always ends with `\n`.
+    ///
+    /// Fails without consuming anything when the file was truncated
+    /// below the consumed offset or rotated out from under the path
+    /// (see the module docs); the error downcasts to [`FollowError`].
     pub fn poll(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        self.check_integrity()?;
         self.file.seek(SeekFrom::Start(self.offset))?;
         let mut buf = Vec::new();
         self.file.read_to_end(&mut buf)?;
@@ -104,6 +257,103 @@ mod tests {
         assert!(r.poll().unwrap().is_none());
         assert_eq!(r.consumed(), 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    fn follow_error(e: std::io::Error) -> FollowError {
+        e.into_inner()
+            .expect("carries a FollowError")
+            .downcast::<FollowError>()
+            .map(|b| *b)
+            .expect("is a FollowError")
+    }
+
+    #[test]
+    fn open_at_resumes_past_consumed_bytes() {
+        let path = tmpfile("open-at");
+        let mut w = File::create(&path).unwrap();
+        w.write_all(b"u1\tq\tl\t1\nu2\tq\tl\t2\n").unwrap();
+        w.flush().unwrap();
+        let first = b"u1\tq\tl\t1\n".len() as u64;
+        let mut r = FollowReader::open_at(&path, first).unwrap();
+        assert_eq!(r.consumed(), first);
+        let chunk = r.poll().unwrap().expect("the unconsumed second line");
+        assert_eq!(chunk, b"u2\tq\tl\t2\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_at_past_eof_is_truncation() {
+        let path = tmpfile("open-at-short");
+        std::fs::write(&path, b"short\n").unwrap();
+        let err = FollowReader::open_at(&path, 100).unwrap_err();
+        assert!(matches!(follow_error(err), FollowError::Truncated { consumed: 100, len: 6 }));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn in_place_truncation_is_detected_not_reread() {
+        let path = tmpfile("shrink");
+        std::fs::write(&path, b"u1\tq\tl\t1\nu2\tq\tl\t2\n").unwrap();
+        let mut r = FollowReader::open(&path).unwrap();
+        r.poll().unwrap().expect("both lines");
+        let consumed = r.consumed();
+
+        // The file shrinks under us (same inode — not a rotation).
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(5).unwrap();
+        drop(f);
+
+        let err = r.poll().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        match follow_error(err) {
+            FollowError::Truncated { consumed: c, len } => {
+                assert_eq!(c, consumed);
+                assert_eq!(len, 5);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        assert_eq!(r.consumed(), consumed, "nothing consumed on the error path");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn rotation_is_detected_and_reopen_restarts_cleanly() {
+        let path = tmpfile("rotate");
+        std::fs::write(&path, b"u1\tq\tl\t1\n").unwrap();
+        let mut r = FollowReader::open(&path).unwrap();
+        r.poll().unwrap().expect("first line");
+
+        // Classic rotation: move the file aside, create a fresh one at
+        // the path. The new file is even LONGER than the consumed
+        // offset, so a length check alone would read garbage.
+        let rotated = path.with_extension("1");
+        std::fs::rename(&path, &rotated).unwrap();
+        std::fs::write(&path, b"uA\tq\tl\t9\nuB\tq\tl\t8\n").unwrap();
+
+        let err = r.poll().unwrap_err();
+        assert!(matches!(follow_error(err), FollowError::Rotated));
+        let err2 = r.poll().unwrap_err();
+        assert!(matches!(follow_error(err2), FollowError::Rotated), "error persists, no loop");
+
+        // Deliberate restart on the new file reads it from the top.
+        r.reopen().unwrap();
+        let chunk = r.poll().unwrap().expect("new file content");
+        assert_eq!(chunk, b"uA\tq\tl\t9\nuB\tq\tl\t8\n");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&rotated).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn vanished_path_reads_as_rotation() {
+        let path = tmpfile("vanish");
+        std::fs::write(&path, b"u1\tq\tl\t1\n").unwrap();
+        let mut r = FollowReader::open(&path).unwrap();
+        r.poll().unwrap().expect("first line");
+        std::fs::remove_file(&path).unwrap();
+        let err = r.poll().unwrap_err();
+        assert!(matches!(follow_error(err), FollowError::Rotated));
     }
 
     #[test]

@@ -35,10 +35,16 @@
 //! **Crash behavior:** releases are written to a temp file and
 //! renamed into place, so `release-NNNN.tsv` files are always
 //! complete; the follow reader consumes only through the last
-//! newline, so a crashed-and-restarted service re-ingests from the
-//! start of the file and loses nothing (the budget ledger, however,
-//! lives in memory — restarting resets composition accounting, which
-//! is why the report prints the composed totals on every exit).
+//! newline, so every consumed byte sits on a line boundary. Without a
+//! store, a restarted service re-ingests from the start of the file
+//! and the budget ledger resets — acceptable for experiments, a
+//! privacy bug for production. With [`ServeOptions::store`] set, the
+//! service runs durably: every consumed chunk is WAL-logged (fsynced)
+//! *before* ingestion, checkpoints bound replay, each release's
+//! `(ε, δ)` spend is recorded in a chained manifest *before* the
+//! output is published, and a restart recovers the exact session —
+//! same interners, same ledger, same refusal behavior — then resumes
+//! reading the input where it left off (see `dpsan-store`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,15 +52,17 @@
 pub mod follow;
 pub mod session;
 
-pub use follow::FollowReader;
+pub use follow::{FollowError, FollowReader};
 pub use session::{ReleaseRecord, ServeError, ServeSession};
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dpsan_core::mechanism::{Sanitizer, TriggerPolicy};
 use dpsan_dp::composition::BudgetLedger;
 use dpsan_dp::params::PrivacyParams;
+use dpsan_store::{DiskIo, DurableStore, RecoveryReport, StoreConfig};
 use dpsan_stream::{IngestReport, StreamConfig};
 
 /// Configuration of the follow/serve loop.
@@ -82,6 +90,19 @@ pub struct ServeOptions {
     pub lifetime: Option<(f64, f64)>,
     /// Directory for `release-NNNN.tsv` outputs (created if missing).
     pub out_dir: PathBuf,
+    /// Durable crash-safe persistence; `None` keeps all state in
+    /// memory (the pre-store behavior).
+    pub store: Option<StoreOptions>,
+}
+
+/// Durability knobs for the serve loop.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Root directory of the durable store (created if missing).
+    pub dir: PathBuf,
+    /// Checkpoint every time this many rows have been ingested since
+    /// the last checkpoint (`0` = checkpoint only on clean exit).
+    pub checkpoint_rows: u64,
 }
 
 /// What one serve run did, for reporting and benchmarking.
@@ -98,6 +119,9 @@ pub struct ServeReport {
     /// `Some(message)` when the service stopped because the lifetime
     /// budget refused the next release (state intact, not a failure).
     pub budget_refusal: Option<String>,
+    /// What store recovery found on startup (`None` when running
+    /// without a store).
+    pub recovery: Option<RecoveryReport>,
 }
 
 /// Follow `input` and serve releases until a stop condition: the
@@ -112,27 +136,67 @@ pub fn serve(
     opts: &ServeOptions,
 ) -> Result<ServeReport, ServeError> {
     std::fs::create_dir_all(&opts.out_dir)?;
-    let mut follow = FollowReader::open(input)?;
-    let mut session = ServeSession::new(
-        mechanism,
-        opts.stream.clone(),
-        opts.params,
-        opts.seed,
-        TriggerPolicy::every_rows(opts.trigger_rows),
-        opts.lifetime,
-    );
+    let trigger = TriggerPolicy::every_rows(opts.trigger_rows);
+
+    // With a store: recover (checkpoint + WAL replay + manifest-chain
+    // ledger), then resume the input where the WAL left off. Without:
+    // fresh session from the top of the file.
+    let (mut store, mut session, mut follow, recovery) = match &opts.store {
+        Some(sopts) => {
+            let (store, recovered) = DurableStore::open(
+                Arc::new(DiskIo),
+                StoreConfig { dir: sopts.dir.clone(), checkpoint_rows: sopts.checkpoint_rows },
+            )?;
+            let ingest = recovered.resume_session(opts.stream.clone())?;
+            let ledger = dpsan_store::rebuild_ledger(&recovered.manifests, opts.lifetime);
+            let released_rows = recovered.manifests.last().map_or(0, |m| m.rows);
+            let session = ServeSession::restore(
+                mechanism,
+                ingest,
+                opts.params,
+                opts.seed,
+                trigger,
+                ledger,
+                recovered.manifests.len() as u64,
+                released_rows,
+            );
+            let follow = FollowReader::open_at(input, recovered.input_offset)?;
+            (Some(store), session, follow, Some(recovered.report))
+        }
+        None => {
+            let session = ServeSession::new(
+                mechanism,
+                opts.stream.clone(),
+                opts.params,
+                opts.seed,
+                trigger,
+                opts.lifetime,
+            );
+            (None, session, FollowReader::open(input)?, None)
+        }
+    };
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut budget_refusal = None;
     let mut last_data = Instant::now();
 
     'serve: loop {
         if let Some(chunk) = follow.poll()? {
-            session.feed(chunk.as_slice())?;
+            // WAL first: the chunk is durable before the session sees
+            // it, so a crash at any later point can replay it.
+            if let Some(store) = store.as_mut() {
+                store.log_chunk(follow.consumed(), &chunk)?;
+            }
+            let added = session.feed(chunk.as_slice())?;
+            if let Some(store) = store.as_mut() {
+                if store.note_rows(added) {
+                    store.checkpoint(&session.ingest_state(), follow.consumed())?;
+                }
+            }
             last_data = Instant::now();
         }
 
         if session.due() {
-            match write_release(&mut session, &opts.out_dir) {
+            match write_release(&mut session, store.as_mut(), &opts.out_dir) {
                 Ok(path) => paths.push(path),
                 Err(e) if e.is_budget_refusal() => {
                     budget_refusal = Some(e.to_string());
@@ -152,7 +216,7 @@ pub fn serve(
             if last_data.elapsed() >= idle {
                 // final flush: release whatever is pending, then stop
                 if session.pending_rows() > 0 && session.rows() > 0 {
-                    match write_release(&mut session, &opts.out_dir) {
+                    match write_release(&mut session, store.as_mut(), &opts.out_dir) {
                         Ok(path) => paths.push(path),
                         Err(e) if e.is_budget_refusal() => budget_refusal = Some(e.to_string()),
                         Err(e) => return Err(e),
@@ -164,29 +228,48 @@ pub fn serve(
         std::thread::sleep(opts.poll);
     }
 
+    // A clean exit checkpoints so the next start replays nothing.
+    if let Some(store) = store.as_mut() {
+        if session.rows() > 0 {
+            store.checkpoint(&session.ingest_state(), follow.consumed())?;
+        }
+    }
+
     Ok(ServeReport {
         releases: session.records().to_vec(),
         paths,
         ingest: session.ingest_report(),
         ledger: session.ledger().clone(),
         budget_refusal,
+        recovery,
     })
 }
 
 /// Run one re-release and write it atomically (temp file + rename) as
 /// `release-NNNN.tsv` in `out_dir`.
-fn write_release(session: &mut ServeSession, out_dir: &Path) -> Result<PathBuf, ServeError> {
+///
+/// With a store, the durable ordering is: render the output, write
+/// the manifest recording this release's exact `(ε, δ)` spend, *then*
+/// publish — store artifact first, `out_dir` copy second. A crash
+/// anywhere in that sequence can waste budget but can never publish
+/// output the reconstructed ledger doesn't account for.
+fn write_release(
+    session: &mut ServeSession,
+    store: Option<&mut DurableStore>,
+    out_dir: &Path,
+) -> Result<PathBuf, ServeError> {
+    let entries_before = session.ledger().entries().len();
     let release = session.release_now()?;
+    let mut bytes = Vec::new();
+    dpsan_searchlog::io::write_tsv(&release.output, &mut bytes)?;
+    if let Some(store) = store {
+        let spent = session.ledger().entries()[entries_before..].to_vec();
+        store.record_release(&spent, session.rows(), &bytes)?;
+    }
     let index = session.releases();
     let path = out_dir.join(format!("release-{index:04}.tsv"));
     let tmp = out_dir.join(format!(".release-{index:04}.tsv.tmp"));
-    {
-        let file = std::fs::File::create(&tmp)?;
-        let mut w = std::io::BufWriter::new(file);
-        dpsan_searchlog::io::write_tsv(&release.output, &mut w)?;
-        use std::io::Write as _;
-        w.flush()?;
-    }
+    std::fs::write(&tmp, &bytes)?;
     std::fs::rename(&tmp, &path)?;
     Ok(path)
 }

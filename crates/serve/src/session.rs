@@ -26,7 +26,7 @@ use dpsan_core::session::SessionStats;
 use dpsan_dp::composition::BudgetLedger;
 use dpsan_dp::params::PrivacyParams;
 use dpsan_searchlog::LogError;
-use dpsan_stream::{IngestReport, IngestSession, StreamConfig};
+use dpsan_stream::{IngestReport, IngestSession, SessionState, StreamConfig};
 
 /// Everything that can go wrong while serving.
 #[derive(Debug)]
@@ -39,6 +39,9 @@ pub enum ServeError {
     Mechanism(CoreError),
     /// Filesystem trouble (tailing the input, writing a release).
     Io(std::io::Error),
+    /// The durable store failed (WAL, checkpoint, manifest, or
+    /// recovery).
+    Store(dpsan_store::StoreError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -47,6 +50,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Ingest(e) => write!(f, "ingest: {e}"),
             ServeError::Mechanism(e) => write!(f, "release: {e}"),
             ServeError::Io(e) => write!(f, "io: {e}"),
+            ServeError::Store(e) => write!(f, "store: {e}"),
         }
     }
 }
@@ -57,6 +61,7 @@ impl std::error::Error for ServeError {
             ServeError::Ingest(e) => Some(e),
             ServeError::Mechanism(e) => Some(e),
             ServeError::Io(e) => Some(e),
+            ServeError::Store(e) => Some(e),
         }
     }
 }
@@ -76,6 +81,12 @@ impl From<CoreError> for ServeError {
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e)
+    }
+}
+
+impl From<dpsan_store::StoreError> for ServeError {
+    fn from(e: dpsan_store::StoreError) -> Self {
+        ServeError::Store(e)
     }
 }
 
@@ -144,6 +155,28 @@ impl ServeSession {
         }
     }
 
+    /// A session resuming from durable state: `ingest` is the
+    /// recovered ingest session (checkpoint + WAL replay), `ledger`
+    /// carries the spends replayed from the release-manifest chain,
+    /// `releases` counts the manifests, and `released_rows` is how
+    /// many rows the last release covered (so the trigger resumes with
+    /// the correct pending count instead of re-observing history).
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        mechanism: Box<dyn Sanitizer>,
+        ingest: IngestSession,
+        params: PrivacyParams,
+        seed: u64,
+        trigger: TriggerPolicy,
+        ledger: BudgetLedger,
+        releases: u64,
+        released_rows: u64,
+    ) -> Self {
+        let pending = ingest.rows().saturating_sub(released_rows);
+        let planner = ReleasePlanner::restore(mechanism, trigger, ledger, releases, pending);
+        ServeSession { ingest, planner, params, seed, records: Vec::new() }
+    }
+
     /// Ingest one appended chunk of complete TSV lines; feeds the
     /// trigger. Returns the rows added.
     pub fn feed<R: BufRead>(&mut self, reader: R) -> Result<u64, ServeError> {
@@ -207,6 +240,12 @@ impl ServeSession {
     /// Current ingest counters.
     pub fn ingest_report(&self) -> IngestReport {
         self.ingest.report()
+    }
+
+    /// Export the full ingest state (the unit a durable store
+    /// checkpoints).
+    pub fn ingest_state(&self) -> SessionState {
+        self.ingest.export_state()
     }
 
     /// The privacy parameters each release runs at.

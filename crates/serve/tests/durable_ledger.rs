@@ -1,0 +1,233 @@
+//! Restart reconstruction of the budget ledger, end to end: a daemon
+//! that dies and recovers from its store must resume with *exactly*
+//! the ledger it had — bit-identical `(Σ ε, Σ δ)` totals rebuilt from
+//! the manifest chain — and must make the same admit/refuse decision
+//! on the next release a never-killed daemon would. A restart can
+//! never stretch the lifetime `(ε, δ)`.
+//!
+//! The driver wires `ServeSession` to a `DurableStore` exactly the way
+//! the production serve loop does: WAL-log every chunk before feeding
+//! it, record each release's spent entries in a manifest before
+//! treating it as published, and on restart rebuild the session from
+//! checkpoint + WAL replay + `rebuild_ledger` over the verified chain.
+
+use dpsan_core::mechanism::{Sanitizer, TriggerPolicy, ZealousSanitizer};
+use dpsan_datagen::{write_log_tsv, AolLikeConfig};
+use dpsan_dp::params::PrivacyParams;
+use dpsan_serve::ServeSession;
+use dpsan_store::{DiskIo, DurableStore, StoreConfig};
+use dpsan_stream::StreamConfig;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::{fs, process};
+
+const SEED: u64 = 0xd95a_11ce;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dpsan-durable-ledger-{tag}-{}", process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic trace split into `n` appended chunks.
+fn trace_chunks(n_users: usize, n: usize) -> Vec<String> {
+    let cfg =
+        AolLikeConfig { n_users, n_queries: 40, mean_events_per_user: 8.0, ..Default::default() };
+    let mut tsv = Vec::new();
+    write_log_tsv(&cfg, &mut tsv).unwrap();
+    let text = String::from_utf8(tsv).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let per = lines.len().div_ceil(n);
+    lines.chunks(per).map(|c| c.join("\n") + "\n").collect()
+}
+
+fn stream_cfg(shards: usize) -> StreamConfig {
+    StreamConfig { shards, chunk_rows: 32, sketch_capacity: 0, jobs: 1 }
+}
+
+/// A serve session backed by a durable store, restored from whatever
+/// the store holds — the production serve loop's startup wiring.
+struct DurableDaemon {
+    store: DurableStore,
+    session: ServeSession,
+    offset: u64,
+}
+
+impl DurableDaemon {
+    fn start(
+        dir: &Path,
+        params: PrivacyParams,
+        lifetime: Option<(f64, f64)>,
+        shards: usize,
+    ) -> Self {
+        let (store, recovered) = DurableStore::open(
+            Arc::new(DiskIo),
+            StoreConfig { dir: dir.to_path_buf(), checkpoint_rows: 0 },
+        )
+        .unwrap();
+        let ingest = recovered.resume_session(stream_cfg(shards)).unwrap();
+        let ledger = dpsan_store::rebuild_ledger(&recovered.manifests, lifetime);
+        let released_rows = recovered.manifests.last().map_or(0, |m| m.rows);
+        let mechanism: Box<dyn Sanitizer> = Box::new(ZealousSanitizer::new());
+        let session = ServeSession::restore(
+            mechanism,
+            ingest,
+            params,
+            SEED,
+            TriggerPolicy::manual(),
+            ledger,
+            recovered.manifests.len() as u64,
+            released_rows,
+        );
+        DurableDaemon { store, session, offset: recovered.input_offset }
+    }
+
+    /// WAL-first feed, exactly like the serve loop.
+    fn feed(&mut self, chunk: &str) {
+        self.offset += chunk.len() as u64;
+        self.store.log_chunk(self.offset, chunk.as_bytes()).unwrap();
+        self.session.feed(chunk.as_bytes()).unwrap();
+    }
+
+    /// Release with the production durable ordering: ledger spend and
+    /// manifest first, artifact second. Returns whether the release
+    /// was admitted.
+    fn release(&mut self) -> bool {
+        let before = self.session.ledger().entries().len();
+        match self.session.release_now() {
+            Ok(release) => {
+                let mut bytes = Vec::new();
+                dpsan_searchlog::io::write_tsv(&release.output, &mut bytes).unwrap();
+                let spent = self.session.ledger().entries()[before..].to_vec();
+                self.store.record_release(&spent, self.session.rows(), &bytes).unwrap();
+                true
+            }
+            Err(e) => {
+                assert!(e.is_budget_refusal(), "unexpected release failure: {e}");
+                false
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Run N releases, kill the daemon, restart from the store: the
+    /// rebuilt ledger's totals and entries are bit-identical to the
+    /// never-killed daemon's, and both make the same decision on the
+    /// next (over-budget) release — with identical post-decision
+    /// ledgers.
+    #[test]
+    fn restart_rebuilds_identical_totals_and_refusal(
+        n_users in 12usize..40,
+        e_eps in 2.0f64..6.0,
+        delta in 0.02f64..0.2,
+        admit in 1usize..4,
+        shards in 1usize..5,
+        case in 0u32..u32::MAX,
+    ) {
+        let params = PrivacyParams::from_e_epsilon(e_eps, delta);
+        // budget for exactly `admit` releases (half-release headroom so
+        // float accumulation can't flip the comparison either way)
+        let lifetime = (
+            params.epsilon() * (admit as f64 + 0.5),
+            (params.delta() * (admit as f64 + 0.5)).min(0.999),
+        );
+        prop_assume!(params.delta() * (admit as f64 + 1.0) < 0.999);
+        let chunks = trace_chunks(n_users, admit + 1);
+        prop_assume!(chunks.len() == admit + 1);
+
+        // The never-killed daemon and the killed-and-restarted daemon
+        // consume the same trace; the restarted one is rebuilt from
+        // disk between every release.
+        let live_dir = tmpdir(&format!("live-{case}"));
+        let killed_dir = tmpdir(&format!("killed-{case}"));
+        let mut live = DurableDaemon::start(&live_dir, params, Some(lifetime), shards);
+        for (i, chunk) in chunks.iter().enumerate().take(admit) {
+            live.feed(chunk);
+            prop_assert!(live.release(), "release {i} must fit the lifetime budget");
+
+            // kill + restart: a fresh daemon over the same store dir
+            let mut revived = DurableDaemon::start(&killed_dir, params, Some(lifetime), shards);
+            revived.feed(chunk);
+            prop_assert!(revived.release(), "restarted release {i} must fit too");
+            drop(revived);
+
+            let reopened = DurableDaemon::start(&killed_dir, params, Some(lifetime), shards);
+            let (a, b) = (live.session.ledger(), reopened.session.ledger());
+            prop_assert_eq!(a.entries(), b.entries(), "release {}: entries diverge", i);
+            prop_assert_eq!(
+                a.total_epsilon().to_bits(),
+                b.total_epsilon().to_bits(),
+                "release {}: Σε not bit-identical after restart", i
+            );
+            prop_assert_eq!(
+                a.total_delta().to_bits(),
+                b.total_delta().to_bits(),
+                "release {}: Σδ not bit-identical after restart", i
+            );
+        }
+
+        // the (admit+1)-th release: both daemons must refuse, and the
+        // refusal must leave both ledgers exactly where they were
+        live.feed(&chunks[admit]);
+        let mut revived = DurableDaemon::start(&killed_dir, params, Some(lifetime), shards);
+        revived.feed(&chunks[admit]);
+        let eps_before = revived.session.ledger().total_epsilon().to_bits();
+        prop_assert!(!live.release(), "over-budget release must refuse (live)");
+        prop_assert!(!revived.release(), "over-budget release must refuse (restarted)");
+        prop_assert_eq!(revived.session.ledger().total_epsilon().to_bits(), eps_before);
+        prop_assert_eq!(
+            revived.session.ledger().entries(),
+            live.session.ledger().entries(),
+            "post-refusal ledgers diverge"
+        );
+
+        fs::remove_dir_all(&live_dir).unwrap();
+        fs::remove_dir_all(&killed_dir).unwrap();
+    }
+}
+
+#[test]
+fn restart_cannot_stretch_the_lifetime() {
+    // Lifetime sized for exactly two releases: spend both, then prove
+    // that no number of restarts re-opens the budget — while a
+    // store-less daemon (the pre-durability behavior) would happily
+    // overspend after every restart.
+    let params = PrivacyParams::from_e_epsilon(3.0, 0.1);
+    let lifetime = (params.epsilon() * 2.5, (params.delta() * 2.5).min(0.999));
+    let chunks = trace_chunks(24, 3);
+    let dir = tmpdir("stretch");
+
+    let mut daemon = DurableDaemon::start(&dir, params, Some(lifetime), 2);
+    daemon.feed(&chunks[0]);
+    assert!(daemon.release());
+    daemon.feed(&chunks[1]);
+    assert!(daemon.release());
+    drop(daemon);
+
+    for restart in 0..3 {
+        let mut revived = DurableDaemon::start(&dir, params, Some(lifetime), 2);
+        assert!(
+            (revived.session.ledger().total_epsilon() - 2.0 * params.epsilon()).abs() < 1e-12,
+            "restart {restart}: spent ε forgotten"
+        );
+        revived.feed(&chunks[2 % chunks.len()]);
+        assert!(!revived.release(), "restart {restart}: budget stretched past the lifetime");
+    }
+
+    // Contrast: a fresh session with no store state admits the same
+    // release — the refusal above is the durable ledger at work, not
+    // an artifact of the data.
+    let fresh_dir = tmpdir("stretch-fresh");
+    let mut fresh = DurableDaemon::start(&fresh_dir, params, Some(lifetime), 2);
+    for chunk in &chunks {
+        fresh.feed(chunk);
+    }
+    assert!(fresh.release(), "a fresh ledger admits what the durable one refuses");
+
+    fs::remove_dir_all(&dir).unwrap();
+    fs::remove_dir_all(&fresh_dir).unwrap();
+}

@@ -103,7 +103,13 @@ fn rereleases_ride_the_dual_reopt_fast_path() {
     // counts move but the LP shape (users × pairs after
     // preprocessing) is fixed. The persistent session then re-solves
     // by dual reoptimization from the previous optimal basis instead
-    // of cold-starting.
+    // of cold-starting — unless the instance's optimum is not unique,
+    // in which case the determinism guard discards the warm vertex and
+    // re-solves cold so the release stays byte-identical to one-shot
+    // (counted in `degenerate_fallbacks`). Either way there must be
+    // exactly one solve per round and no *unexplained* cold start
+    // (a shape-change degrade would show as cold_starts without a
+    // matching degenerate_fallback).
     let chunks = trace_chunks(60, 1);
     let full = &chunks[0];
     let mut session = ServeSession::new(
@@ -128,12 +134,17 @@ fn rereleases_ride_the_dual_reopt_fast_path() {
         session.feed(append.as_bytes()).unwrap();
         let re = session.release_now().unwrap();
         assert_eq!(re.solver.solves, 1);
-        assert_eq!(
-            re.solver.cold_starts, 0,
-            "round {round}: append re-release must not cold-start: {:?}",
+        assert!(
+            re.solver.dual_reopts == 1
+                || (re.solver.degenerate_fallbacks == 1 && re.solver.cold_starts == 1),
+            "round {round}: neither the dual path nor a guard veto: {:?}",
             re.solver
         );
-        assert_eq!(re.solver.dual_reopts, 1, "round {round}: {:?}", re.solver);
+        assert_eq!(
+            re.solver.cold_starts, re.solver.degenerate_fallbacks,
+            "round {round}: cold start not explained by the determinism guard: {:?}",
+            re.solver
+        );
     }
     let recs = session.records();
     assert_eq!(recs.len(), 4);

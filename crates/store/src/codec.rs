@@ -1,0 +1,469 @@
+//! Flat little-endian binary encoding for the store's on-disk
+//! payloads.
+//!
+//! Deliberately boring: fixed-width integers, length-prefixed byte
+//! strings, no compression, no self-description. The framing layer
+//! above ([`crate::wal`], [`crate::snapshot`], [`crate::manifest`])
+//! adds magic numbers, format versions, and CRCs; this module only
+//! turns state structs into bytes and back. Floats are stored as raw
+//! IEEE-754 bit patterns so a recovered ledger reproduces spent
+//! budgets *bit for bit* — re-parsing through decimal could round.
+//!
+//! Every decoder is total: corrupt input yields `Err`, never a panic
+//! or an out-of-bounds read, because recovery feeds these functions
+//! bytes that may have been torn mid-write.
+
+use dpsan_stream::{ShardState, SketchState};
+use std::fmt;
+
+/// Decoding failure: the bytes do not form a valid payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only byte sink for encoding.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh, empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its raw bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Cursor over bytes being decoded; all reads are bounds-checked.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decode from `buf`, starting at the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fail unless every byte was consumed (trailing garbage is
+    /// corruption, not padding).
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError(format!("{} trailing bytes after payload", self.remaining())))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError(format!(
+                "truncated: wanted {n} bytes at offset {}, {} available",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` stored as a raw bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a `u64` and narrow it to `usize`, rejecting overflow.
+    #[allow(clippy::len_without_is_empty)] // a decode step, not a container length
+    pub fn len(&mut self) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        // Reject lengths past what the buffer could possibly hold so a
+        // corrupt prefix can't trigger a huge allocation.
+        if v > self.remaining() as u64 {
+            return Err(CodecError(format!(
+                "length {v} exceeds the {} bytes remaining",
+                self.remaining()
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.len()?;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| CodecError("invalid utf-8 string".into()))
+    }
+
+    /// Read an element count for fixed-stride items, rejecting counts
+    /// the remaining bytes cannot hold.
+    pub fn count(&mut self, stride: usize) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        if v.checked_mul(stride as u64).is_none_or(|total| total > self.remaining() as u64) {
+            return Err(CodecError(format!(
+                "count {v} of {stride}-byte items exceeds the {} bytes remaining",
+                self.remaining()
+            )));
+        }
+        Ok(v as usize)
+    }
+}
+
+/// Current on-disk format version, embedded in every framed file.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Frame a whole-file payload: magic, format version, payload length,
+/// payload CRC-32, payload. Unlike WAL frames (a *stream* of records),
+/// a framed file holds exactly one payload and rejects trailing bytes.
+pub fn frame_file(magic: u32, payload: &[u8]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u32(magic);
+    e.u32(FORMAT_VERSION);
+    e.u32(payload.len() as u32);
+    e.u32(crate::crc::crc32(payload));
+    let mut out = e.finish();
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verify and strip a whole-file frame, returning the payload.
+pub fn unframe_file(magic: u32, bytes: &[u8]) -> Result<&[u8], CodecError> {
+    let mut d = Decoder::new(bytes);
+    let got_magic = d.u32()?;
+    if got_magic != magic {
+        return Err(CodecError(format!("bad magic {got_magic:#010x}, wanted {magic:#010x}")));
+    }
+    let version = d.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError(format!("unsupported format version {version}")));
+    }
+    let len = d.u32()? as usize;
+    let crc = d.u32()?;
+    if d.remaining() != len {
+        return Err(CodecError(format!(
+            "payload length {len} but {} bytes follow the header",
+            d.remaining()
+        )));
+    }
+    let payload = &bytes[bytes.len() - len..];
+    if crate::crc::crc32(payload) != crc {
+        return Err(CodecError("payload checksum mismatch".into()));
+    }
+    Ok(payload)
+}
+
+fn put_strings(e: &mut Encoder, v: &[String]) {
+    e.u64(v.len() as u64);
+    for s in v {
+        e.str(s);
+    }
+}
+
+fn get_strings(d: &mut Decoder<'_>) -> Result<Vec<String>, CodecError> {
+    let n = d.count(8)?; // each string is at least its 8-byte length prefix
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(d.str()?);
+    }
+    Ok(out)
+}
+
+fn put_u64s(e: &mut Encoder, v: &[u64]) {
+    e.u64(v.len() as u64);
+    for &x in v {
+        e.u64(x);
+    }
+}
+
+fn get_u64s(d: &mut Decoder<'_>) -> Result<Vec<u64>, CodecError> {
+    let n = d.count(8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(d.u64()?);
+    }
+    Ok(out)
+}
+
+/// Encode one shard's intake state.
+pub fn encode_shard(state: &ShardState) -> Vec<u8> {
+    let mut e = Encoder::new();
+    put_strings(&mut e, &state.users);
+    put_strings(&mut e, &state.queries);
+    put_strings(&mut e, &state.urls);
+    put_u64s(&mut e, &state.user_first);
+    put_u64s(&mut e, &state.query_first);
+    put_u64s(&mut e, &state.url_first);
+    e.u64(state.pair_keys.len() as u64);
+    for &(q, u) in &state.pair_keys {
+        e.u32(q);
+        e.u32(u);
+    }
+    put_u64s(&mut e, &state.pair_first);
+    e.u64(state.triplets.len() as u64);
+    for &(p, u, c) in &state.triplets {
+        e.u32(p);
+        e.u32(u);
+        e.u64(c);
+    }
+    e.u64(state.rows);
+    e.u64(state.clicks);
+    e.finish()
+}
+
+/// Decode one shard's intake state (structural validation is the
+/// caller's job via `ShardIntake::from_state`).
+pub fn decode_shard(d: &mut Decoder<'_>) -> Result<ShardState, CodecError> {
+    let users = get_strings(d)?;
+    let queries = get_strings(d)?;
+    let urls = get_strings(d)?;
+    let user_first = get_u64s(d)?;
+    let query_first = get_u64s(d)?;
+    let url_first = get_u64s(d)?;
+    let n_pairs = d.count(8)?;
+    let mut pair_keys = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        let q = d.u32()?;
+        let u = d.u32()?;
+        pair_keys.push((q, u));
+    }
+    let pair_first = get_u64s(d)?;
+    let n_triplets = d.count(16)?;
+    let mut triplets = Vec::with_capacity(n_triplets);
+    for _ in 0..n_triplets {
+        let p = d.u32()?;
+        let u = d.u32()?;
+        let c = d.u64()?;
+        triplets.push((p, u, c));
+    }
+    let rows = d.u64()?;
+    let clicks = d.u64()?;
+    Ok(ShardState {
+        users,
+        queries,
+        urls,
+        user_first,
+        query_first,
+        url_first,
+        pair_keys,
+        pair_first,
+        triplets,
+        rows,
+        clicks,
+    })
+}
+
+/// Encode one shard's heavy-hitter sketch state.
+pub fn encode_sketch(state: &SketchState) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u64(state.capacity as u64);
+    e.u64(state.counters.len() as u64);
+    for (key, w) in &state.counters {
+        e.str(key);
+        e.u64(*w);
+    }
+    e.u64(state.weight);
+    e.u64(state.decrements);
+    e.finish()
+}
+
+/// Decode one shard's sketch state.
+pub fn decode_sketch(d: &mut Decoder<'_>) -> Result<SketchState, CodecError> {
+    let capacity = d.u64()? as usize;
+    let n = d.count(16)?; // length prefix + weight per counter
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = d.str()?;
+        let w = d.u64()?;
+        counters.push((key, w));
+    }
+    let weight = d.u64()?;
+    let decrements = d.u64()?;
+    Ok(SketchState { capacity, counters, weight, decrements })
+}
+
+/// Encode the per-shard payload of one snapshot file: the shard state
+/// plus its sketch (if sketching is enabled).
+pub fn encode_shard_snapshot(shard: &ShardState, sketch: Option<&SketchState>) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.bytes(&encode_shard(shard));
+    match sketch {
+        Some(sk) => {
+            e.u32(1);
+            e.bytes(&encode_sketch(sk));
+        }
+        None => e.u32(0),
+    }
+    e.finish()
+}
+
+/// Decode one snapshot file's payload back into shard + sketch state.
+pub fn decode_shard_snapshot(
+    bytes: &[u8],
+) -> Result<(ShardState, Option<SketchState>), CodecError> {
+    let mut d = Decoder::new(bytes);
+    let shard_bytes = d.bytes()?;
+    let mut sd = Decoder::new(shard_bytes);
+    let shard = decode_shard(&mut sd)?;
+    sd.expect_end()?;
+    let has_sketch = d.u32()?;
+    let sketch = match has_sketch {
+        0 => None,
+        1 => {
+            let sk_bytes = d.bytes()?;
+            let mut kd = Decoder::new(sk_bytes);
+            let sk = decode_sketch(&mut kd)?;
+            kd.expect_end()?;
+            Some(sk)
+        }
+        other => return Err(CodecError(format!("bad sketch flag {other}"))),
+    };
+    d.expect_end()?;
+    Ok((shard, sketch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_session() -> dpsan_stream::SessionState {
+        use dpsan_stream::{IngestSession, StreamConfig};
+        use std::io::Cursor;
+        let mut tsv = String::new();
+        for i in 0..40 {
+            tsv.push_str(&format!(
+                "user{:02}\tq{}\tsite{}.com\t{}\n",
+                i % 9,
+                i % 6,
+                i % 4,
+                1 + i % 3
+            ));
+        }
+        let cfg = StreamConfig { shards: 3, chunk_rows: 8, sketch_capacity: 8, jobs: 1 };
+        let mut s = IngestSession::new(cfg);
+        s.ingest(Cursor::new(tsv)).unwrap();
+        s.export_state()
+    }
+
+    #[test]
+    fn shard_snapshot_roundtrip_is_exact() {
+        let state = sample_session();
+        for (i, shard) in state.shards.iter().enumerate() {
+            let sketch = state.sketches.get(i);
+            let bytes = encode_shard_snapshot(shard, sketch);
+            let (shard2, sketch2) = decode_shard_snapshot(&bytes).unwrap();
+            assert_eq!(&shard2, shard);
+            assert_eq!(sketch2.as_ref(), sketch);
+        }
+    }
+
+    #[test]
+    fn sketchless_snapshot_roundtrip() {
+        let shard = ShardState { rows: 0, ..Default::default() };
+        let bytes = encode_shard_snapshot(&shard, None);
+        let (shard2, sketch2) = decode_shard_snapshot(&bytes).unwrap();
+        assert_eq!(shard2, shard);
+        assert!(sketch2.is_none());
+    }
+
+    #[test]
+    fn every_truncation_is_an_error_not_a_panic() {
+        let state = sample_session();
+        let bytes = encode_shard_snapshot(&state.shards[0], state.sketches.first());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_shard_snapshot(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes must fail to decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let state = sample_session();
+        let mut bytes = encode_shard_snapshot(&state.shards[0], state.sketches.first());
+        bytes.push(0xAB);
+        assert!(decode_shard_snapshot(&bytes).is_err());
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_without_allocating() {
+        let mut e = Encoder::new();
+        e.u64(u64::MAX); // claims a vastly larger payload than exists
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert!(d.bytes().is_err());
+        let mut d2 = Decoder::new(&bytes);
+        assert!(d2.count(16).is_err());
+    }
+
+    #[test]
+    fn f64_bits_roundtrip_exactly() {
+        for v in [0.0, -0.0, 1.5, 0.1 + 0.2, f64::MIN_POSITIVE, 1e300] {
+            let mut e = Encoder::new();
+            e.f64(v);
+            let bytes = e.finish();
+            let got = Decoder::new(&bytes).f64().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+    }
+}

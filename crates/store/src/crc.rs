@@ -1,0 +1,67 @@
+//! CRC-32 (IEEE 802.3, the zlib/gzip polynomial) over byte slices.
+//!
+//! Every on-disk record in this crate — WAL frames, shard snapshots,
+//! checkpoint metadata, release manifests — carries a CRC-32 of its
+//! payload so torn writes and bit rot are *detected*, never silently
+//! ingested. CRC-32 is an integrity check against accidental
+//! corruption, not an authenticity check; the store trusts its own
+//! directory.
+
+/// Reflected polynomial for CRC-32/ISO-HDLC (0x04C11DB7 reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (init `!0`, final xor `!0` — the standard check
+/// value of `"123456789"` is `0xCBF43926`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let a = b"the quick brown fox".to_vec();
+        let mut b = a.clone();
+        b[7] ^= 0x01;
+        assert_ne!(crc32(&a), crc32(&b));
+    }
+
+    #[test]
+    fn truncation_changes_crc() {
+        let a = b"record payload bytes";
+        assert_ne!(crc32(a), crc32(&a[..a.len() - 1]));
+    }
+}

@@ -1,0 +1,316 @@
+//! The store's write path behind an injectable seam.
+//!
+//! Everything the durable store puts on disk goes through [`StoreIo`],
+//! so tests can substitute [`FaultIo`] — an implementation that kills
+//! the process's write stream at a chosen byte, leaving exactly the
+//! prefix a real crash would leave — and then drive recovery over the
+//! damaged directory. Reads are *not* behind the seam: recovery reads
+//! with plain `std::fs` because a crash has no way to damage the read
+//! path, and keeping reads concrete means the fault tests exercise the
+//! same recovery code production runs.
+//!
+//! [`DiskIo`] is the real implementation. Its two primitives encode
+//! the store's crash-safety discipline:
+//!
+//! * [`append`](StoreIo::append) — append + `fsync`, used by the WAL.
+//!   A crash mid-append leaves a prefix of the record, which the
+//!   CRC framing detects and truncates on recovery.
+//! * [`write_atomic`](StoreIo::write_atomic) — temp file + `fsync` +
+//!   rename, used by snapshots, checkpoint metadata, and manifests. A
+//!   crash leaves either the old file or the new one, never a tear —
+//!   modulo filesystem bugs, which is what the per-file CRCs are for.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The injectable write seam. `Send + Sync` so a store can be shared
+/// with a drain thread.
+pub trait StoreIo: Send + Sync {
+    /// Append `bytes` to `path` (creating it if absent) and flush to
+    /// stable storage before returning.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Replace `path` with `bytes` atomically: a reader (or a restart)
+    /// sees the old content or the new content, never a mix.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Create a directory and its parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Remove a file or directory tree that is no longer needed
+    /// (generation pruning). Best-effort durability: pruning again
+    /// after a crash is harmless.
+    fn remove_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Truncate `path` to `len` bytes (torn-tail repair on recovery).
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+}
+
+/// Production implementation: real files, real fsync.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DiskIo;
+
+impl StoreIo for DiskIo {
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(bytes)?;
+        f.sync_data()
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = tmp_path(path);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, path)?;
+        // Make the rename itself durable.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_data();
+            }
+        }
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn remove_all(&self, path: &Path) -> io::Result<()> {
+        if path.is_dir() {
+            fs::remove_dir_all(path)
+        } else {
+            fs::remove_file(path)
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_data()
+    }
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Deterministic crash injection: behaves exactly like [`DiskIo`]
+/// until the cumulative bytes written reach `kill_at`, then writes the
+/// partial prefix a real crash would leave and fails that call and
+/// every later one with [`io::ErrorKind::Other`] (`"injected crash"`).
+///
+/// The partial prefix goes to the *physical* write target: an append
+/// tears the tail of the log file itself, while an atomic write tears
+/// only the temp file — the destination keeps its old content, exactly
+/// as a crash between `write` and `rename` would.
+#[derive(Debug)]
+pub struct FaultIo {
+    /// Cumulative byte budget before the simulated crash.
+    kill_at: u64,
+    written: AtomicU64,
+}
+
+impl FaultIo {
+    /// Crash after `kill_at` cumulative bytes have been written.
+    pub fn new(kill_at: u64) -> Self {
+        FaultIo { kill_at, written: AtomicU64::new(0) }
+    }
+
+    /// Bytes successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::SeqCst).min(self.kill_at)
+    }
+
+    /// Whether the injected crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.written.load(Ordering::SeqCst) >= self.kill_at
+    }
+
+    /// Reserve up to `want` bytes of write budget; `Err` carries the
+    /// number of bytes that still fit before the crash point.
+    fn budget(&self, want: u64) -> Result<(), u64> {
+        let before = self.written.fetch_add(want, Ordering::SeqCst);
+        if before >= self.kill_at {
+            Err(0)
+        } else if before + want > self.kill_at {
+            Err(self.kill_at - before)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn crash_err() -> io::Error {
+        io::Error::other("injected crash")
+    }
+}
+
+impl StoreIo for FaultIo {
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.budget(bytes.len() as u64) {
+            Ok(()) => DiskIo.append(path, bytes),
+            Err(fit) => {
+                // The torn write: a prefix lands, the call still fails.
+                DiskIo.append(path, &bytes[..fit as usize])?;
+                Err(Self::crash_err())
+            }
+        }
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.budget(bytes.len() as u64) {
+            Ok(()) => DiskIo.write_atomic(path, bytes),
+            Err(fit) => {
+                // Crash before the rename: only the temp file tears,
+                // the destination is untouched.
+                let _ = DiskIo.append(&tmp_path(path), &bytes[..fit as usize]);
+                Err(Self::crash_err())
+            }
+        }
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        if self.crashed() {
+            return Err(Self::crash_err());
+        }
+        DiskIo.create_dir_all(path)
+    }
+
+    fn remove_all(&self, path: &Path) -> io::Result<()> {
+        if self.crashed() {
+            return Err(Self::crash_err());
+        }
+        DiskIo.remove_all(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        if self.crashed() {
+            return Err(Self::crash_err());
+        }
+        DiskIo.truncate(path, len)
+    }
+}
+
+/// Post-crash corruption helper: chop the last `n` bytes off a file
+/// (simulates a tail lost in the page cache).
+pub fn tear_tail(path: &Path, n: u64) -> io::Result<()> {
+    let len = fs::metadata(path)?.len();
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len.saturating_sub(n))
+}
+
+/// Post-crash corruption helper: flip every bit of the byte at
+/// `offset` (simulates media bit rot under a stale CRC).
+pub fn flip_byte(path: &Path, offset: u64) -> io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+    f.seek(SeekFrom::Start(offset))?;
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b)?;
+    b[0] ^= 0xFF;
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dpsan-store-io-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn disk_append_accumulates() {
+        let dir = tmpdir("append");
+        let p = dir.join("log");
+        DiskIo.append(&p, b"abc").unwrap();
+        DiskIo.append(&p, b"def").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"abcdef");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let dir = tmpdir("atomic");
+        let p = dir.join("meta");
+        DiskIo.write_atomic(&p, b"version one").unwrap();
+        DiskIo.write_atomic(&p, b"v2").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"v2");
+        assert!(!tmp_path(&p).exists(), "temp file cleaned up by rename");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_append_leaves_exact_prefix_then_fails_forever() {
+        let dir = tmpdir("fault-append");
+        let p = dir.join("log");
+        let io = FaultIo::new(5);
+        io.append(&p, b"abc").unwrap();
+        let err = io.append(&p, b"defg").unwrap_err();
+        assert_eq!(err.to_string(), "injected crash");
+        assert_eq!(fs::read(&p).unwrap(), b"abcde", "exactly kill_at bytes persisted");
+        assert!(io.crashed());
+        assert!(io.append(&p, b"x").is_err(), "dead after the crash");
+        assert!(io.write_atomic(&p, b"x").is_err());
+        assert_eq!(fs::read(&p).unwrap(), b"abcde", "no bytes leak after the crash");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_atomic_write_never_tears_the_destination() {
+        let dir = tmpdir("fault-atomic");
+        let p = dir.join("meta");
+        DiskIo.write_atomic(&p, b"old content").unwrap();
+        let io = FaultIo::new(3);
+        assert!(io.write_atomic(&p, b"new content").is_err());
+        assert_eq!(fs::read(&p).unwrap(), b"old content", "destination untouched");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_at_every_byte_is_deterministic() {
+        for kill in 0..10u64 {
+            let dir = tmpdir(&format!("sweep-{kill}"));
+            let p = dir.join("log");
+            let io = FaultIo::new(kill);
+            let _ = io.append(&p, b"0123456789");
+            let got = fs::read(&p).unwrap_or_default();
+            assert_eq!(got, &b"0123456789"[..kill as usize]);
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn tear_and_flip_helpers() {
+        let dir = tmpdir("corrupt");
+        let p = dir.join("f");
+        fs::write(&p, b"0123456789").unwrap();
+        tear_tail(&p, 4).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"012345");
+        flip_byte(&p, 0).unwrap();
+        assert_eq!(fs::read(&p).unwrap()[0], b'0' ^ 0xFF);
+        tear_tail(&p, 100).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"", "over-tearing clamps to empty");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_repairs_tails() {
+        let dir = tmpdir("trunc");
+        let p = dir.join("log");
+        fs::write(&p, b"0123456789").unwrap();
+        DiskIo.truncate(&p, 4).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"0123");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,53 @@
+//! # dpsan-store
+//!
+//! Durable, crash-safe persistence for the always-on sanitization
+//! service: checksummed shard snapshots, a WAL of consumed input
+//! chunks, and a chained release-manifest ledger that makes lifetime
+//! `(ε, δ)` budgets survive restarts.
+//!
+//! ```text
+//! live loop            store-dir/                     recovery
+//! ─────────            ──────────                     ────────
+//! poll input ──▶ WAL append (fsync) ──▶ ingest        newest valid checkpoint
+//!        every N rows ──▶ checkpoint-G/ (CRC'd)         ⊕ WAL replay (torn tail
+//! release ──▶ manifest-N.bin (spend) ──▶ artifact        truncated) = the exact
+//!                                                       session; ledger = Σ chain
+//! ```
+//!
+//! Two invariants organize everything:
+//!
+//! 1. **Ingest state is recomputable, so corruption degrades.** A
+//!    checksummed checkpoint that fails verification falls back to the
+//!    previous generation plus WAL replay; a torn WAL tail truncates
+//!    and the lost bytes are re-read from the still-on-disk input.
+//!    Replay goes through the same deterministic ingest code as the
+//!    live path, so a recovered session — and therefore its next
+//!    release — is byte-identical to an uninterrupted run.
+//! 2. **Spent budget is not recomputable, so corruption halts.** The
+//!    manifest chain is the privacy ledger of record: manifests are
+//!    written (fsynced, CRC-chained) *before* their release artifact
+//!    is published, and a chain that fails verification is a hard
+//!    startup error. Both rules bias the same direction — a restarted
+//!    daemon may waste budget, but can never overspend it.
+//!
+//! Modules: [`crc`] (CRC-32), [`codec`] (flat binary payloads),
+//! [`io`] (the injectable write seam + [`io::FaultIo`] crash
+//! injection), [`wal`], [`snapshot`], [`manifest`], [`store`] (the
+//! [`DurableStore`] orchestration).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc;
+pub mod io;
+pub mod manifest;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use io::{flip_byte, tear_tail, DiskIo, FaultIo, StoreIo};
+pub use manifest::{rebuild_ledger, ReleaseManifest};
+pub use snapshot::CheckpointMeta;
+pub use store::{DurableStore, Recovered, RecoveryReport, StoreConfig, StoreError};
+pub use wal::{WalRecord, WalScan};

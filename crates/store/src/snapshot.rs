@@ -1,0 +1,331 @@
+//! Checkpoints: checksummed snapshots of the whole ingest session.
+//!
+//! A checkpoint is a directory
+//!
+//! ```text
+//! checkpoint-GGGGGGGG/
+//!   shard-0000.snap      framed shard state (+ sketch) per shard
+//!   shard-0001.snap
+//!   ...
+//!   meta.bin             framed metadata — written LAST, atomically
+//! ```
+//!
+//! `meta.bin` records the generation, the input-file offset at
+//! checkpoint time, the session counters, and the CRC-32 of every
+//! shard payload. Because it is written last with temp-file + rename,
+//! its presence *is* checkpoint validity: a crash mid-checkpoint
+//! leaves a directory without a decodable `meta.bin`, which recovery
+//! skips as if it never existed. A checkpoint whose meta decodes but
+//! whose shard files don't match their recorded CRCs is rejected the
+//! same way — recovery then falls back to the previous generation and
+//! replays both WAL segments (see [`crate::store`]).
+
+use crate::codec::{
+    decode_shard_snapshot, encode_shard_snapshot, frame_file, unframe_file, CodecError, Decoder,
+    Encoder,
+};
+use crate::crc::crc32;
+use crate::io::StoreIo;
+use dpsan_stream::SessionState;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Magic for shard snapshot files: `"DSNP"`.
+pub const SNAP_MAGIC: u32 = u32::from_le_bytes(*b"DSNP");
+
+/// Magic for checkpoint metadata files: `"DMET"`.
+pub const META_MAGIC: u32 = u32::from_le_bytes(*b"DMET");
+
+/// Directory name of generation `gen`.
+pub fn checkpoint_dir(store_dir: &Path, gen: u64) -> PathBuf {
+    store_dir.join(format!("checkpoint-{gen:08}"))
+}
+
+/// File name of shard `idx` inside a checkpoint directory.
+pub fn shard_file(dir: &Path, idx: usize) -> PathBuf {
+    dir.join(format!("shard-{idx:04}.snap"))
+}
+
+/// Parse a generation number back out of a `checkpoint-GGGGGGGG` name.
+pub fn parse_checkpoint_dir(name: &str) -> Option<u64> {
+    name.strip_prefix("checkpoint-")?.parse().ok()
+}
+
+/// Decoded checkpoint metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointMeta {
+    /// Generation number (monotone per store).
+    pub generation: u64,
+    /// Input-file offset at checkpoint time: replay of the paired WAL
+    /// segment continues from here.
+    pub input_offset: u64,
+    /// Session row counter at checkpoint time.
+    pub rows: u64,
+    /// Session line counter at checkpoint time.
+    pub lines: u64,
+    /// Session peak chunk buffer at checkpoint time.
+    pub peak_chunk_rows: u64,
+    /// Whether per-shard sketches are included.
+    pub has_sketches: bool,
+    /// CRC-32 of each shard file's *payload*, indexed by shard.
+    pub shard_crcs: Vec<u32>,
+}
+
+fn encode_meta(meta: &CheckpointMeta) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u64(meta.generation);
+    e.u64(meta.input_offset);
+    e.u64(meta.rows);
+    e.u64(meta.lines);
+    e.u64(meta.peak_chunk_rows);
+    e.u32(meta.has_sketches as u32);
+    e.u64(meta.shard_crcs.len() as u64);
+    for &crc in &meta.shard_crcs {
+        e.u32(crc);
+    }
+    e.finish()
+}
+
+fn decode_meta(payload: &[u8]) -> Result<CheckpointMeta, CodecError> {
+    let mut d = Decoder::new(payload);
+    let generation = d.u64()?;
+    let input_offset = d.u64()?;
+    let rows = d.u64()?;
+    let lines = d.u64()?;
+    let peak_chunk_rows = d.u64()?;
+    let has_sketches = match d.u32()? {
+        0 => false,
+        1 => true,
+        other => return Err(CodecError(format!("bad sketch flag {other}"))),
+    };
+    let n = d.count(4)?;
+    let mut shard_crcs = Vec::with_capacity(n);
+    for _ in 0..n {
+        shard_crcs.push(d.u32()?);
+    }
+    d.expect_end()?;
+    Ok(CheckpointMeta {
+        generation,
+        input_offset,
+        rows,
+        lines,
+        peak_chunk_rows,
+        has_sketches,
+        shard_crcs,
+    })
+}
+
+/// Write a whole checkpoint for `state` at `gen`. Shard files first,
+/// `meta.bin` last — the commit point.
+pub fn write_checkpoint(
+    io: &dyn StoreIo,
+    store_dir: &Path,
+    gen: u64,
+    state: &SessionState,
+    input_offset: u64,
+) -> io::Result<()> {
+    let dir = checkpoint_dir(store_dir, gen);
+    io.create_dir_all(&dir)?;
+    let mut shard_crcs = Vec::with_capacity(state.shards.len());
+    for (i, shard) in state.shards.iter().enumerate() {
+        let payload = encode_shard_snapshot(shard, state.sketches.get(i));
+        shard_crcs.push(crc32(&payload));
+        io.write_atomic(&shard_file(&dir, i), &frame_file(SNAP_MAGIC, &payload))?;
+    }
+    let meta = CheckpointMeta {
+        generation: gen,
+        input_offset,
+        rows: state.rows,
+        lines: state.lines,
+        peak_chunk_rows: state.peak_chunk_rows as u64,
+        has_sketches: !state.sketches.is_empty(),
+        shard_crcs,
+    };
+    io.write_atomic(&dir.join("meta.bin"), &frame_file(META_MAGIC, &encode_meta(&meta)))
+}
+
+/// Read and fully verify the checkpoint at `gen`, reconstructing the
+/// session state. Any failure — missing or undecodable meta, missing
+/// shard file, CRC mismatch against the meta's record, undecodable
+/// shard payload — is reported as a `String` so the caller can fall
+/// back to an older generation.
+pub fn read_checkpoint(
+    store_dir: &Path,
+    gen: u64,
+) -> Result<(SessionState, CheckpointMeta), String> {
+    let dir = checkpoint_dir(store_dir, gen);
+    let meta_bytes = std::fs::read(dir.join("meta.bin"))
+        .map_err(|e| format!("checkpoint {gen}: meta.bin unreadable: {e}"))?;
+    let meta_payload = unframe_file(META_MAGIC, &meta_bytes)
+        .map_err(|e| format!("checkpoint {gen}: meta.bin: {e}"))?;
+    let meta = decode_meta(meta_payload).map_err(|e| format!("checkpoint {gen}: meta.bin: {e}"))?;
+    if meta.generation != gen {
+        return Err(format!(
+            "checkpoint {gen}: meta claims generation {} (misplaced directory?)",
+            meta.generation
+        ));
+    }
+    let mut shards = Vec::with_capacity(meta.shard_crcs.len());
+    let mut sketches = Vec::new();
+    for (i, &want_crc) in meta.shard_crcs.iter().enumerate() {
+        let path = shard_file(&dir, i);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| format!("checkpoint {gen}: shard {i} unreadable: {e}"))?;
+        let payload = unframe_file(SNAP_MAGIC, &bytes)
+            .map_err(|e| format!("checkpoint {gen}: shard {i}: {e}"))?;
+        if crc32(payload) != want_crc {
+            return Err(format!(
+                "checkpoint {gen}: shard {i} checksum does not match the meta record"
+            ));
+        }
+        let (shard, sketch) = decode_shard_snapshot(payload)
+            .map_err(|e| format!("checkpoint {gen}: shard {i}: {e}"))?;
+        if meta.has_sketches != sketch.is_some() {
+            return Err(format!("checkpoint {gen}: shard {i} sketch presence disagrees with meta"));
+        }
+        shards.push(shard);
+        if let Some(sk) = sketch {
+            sketches.push(sk);
+        }
+    }
+    let state = SessionState {
+        shards,
+        sketches,
+        rows: meta.rows,
+        lines: meta.lines,
+        peak_chunk_rows: meta.peak_chunk_rows as usize,
+    };
+    Ok((state, meta))
+}
+
+/// List the generations that have a checkpoint directory under
+/// `store_dir`, ascending. Directories are listed by *name only* —
+/// validity is decided by [`read_checkpoint`].
+pub fn list_generations(store_dir: &Path) -> io::Result<Vec<u64>> {
+    let mut gens = Vec::new();
+    let entries = match std::fs::read_dir(store_dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(gens),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if let Some(name) = entry.file_name().to_str() {
+            if let Some(gen) = parse_checkpoint_dir(name) {
+                gens.push(gen);
+            }
+        }
+    }
+    gens.sort_unstable();
+    Ok(gens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{flip_byte, DiskIo};
+    use dpsan_stream::{IngestSession, StreamConfig};
+    use std::fs;
+    use std::io::Cursor;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dpsan-store-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_state(sketch_capacity: usize) -> (StreamConfig, SessionState) {
+        let mut tsv = String::new();
+        for i in 0..50 {
+            tsv.push_str(&format!("u{:02}\tq{}\ts{}.com\t{}\n", i % 11, i % 7, i % 3, 1 + i % 4));
+        }
+        let cfg = StreamConfig { shards: 4, chunk_rows: 8, sketch_capacity, jobs: 1 };
+        let mut s = IngestSession::new(cfg.clone());
+        s.ingest(Cursor::new(tsv)).unwrap();
+        (cfg, s.export_state())
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_exact() {
+        for cap in [0usize, 8] {
+            let dir = tmpdir(&format!("roundtrip-{cap}"));
+            let (cfg, state) = sample_state(cap);
+            write_checkpoint(&DiskIo, &dir, 3, &state, 12345).unwrap();
+            let (got, meta) = read_checkpoint(&dir, 3).unwrap();
+            assert_eq!(got, state);
+            assert_eq!(meta.input_offset, 12345);
+            assert_eq!(meta.generation, 3);
+            // and the state actually restores into a working session
+            IngestSession::restore(cfg, got).unwrap();
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn missing_meta_invalidates_the_checkpoint() {
+        let dir = tmpdir("no-meta");
+        let (_, state) = sample_state(8);
+        write_checkpoint(&DiskIo, &dir, 0, &state, 0).unwrap();
+        fs::remove_file(checkpoint_dir(&dir, 0).join("meta.bin")).unwrap();
+        let err = read_checkpoint(&dir, 0).unwrap_err();
+        assert!(err.contains("meta.bin unreadable"), "got: {err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_shard_byte_is_rejected() {
+        let dir = tmpdir("flip-shard");
+        let (_, state) = sample_state(8);
+        write_checkpoint(&DiskIo, &dir, 0, &state, 0).unwrap();
+        let shard0 = shard_file(&checkpoint_dir(&dir, 0), 0);
+        let len = fs::metadata(&shard0).unwrap().len();
+        flip_byte(&shard0, len / 2).unwrap();
+        let err = read_checkpoint(&dir, 0).unwrap_err();
+        assert!(err.contains("shard 0"), "got: {err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_meta_byte_is_rejected() {
+        let dir = tmpdir("flip-meta");
+        let (_, state) = sample_state(0);
+        write_checkpoint(&DiskIo, &dir, 0, &state, 0).unwrap();
+        let meta = checkpoint_dir(&dir, 0).join("meta.bin");
+        let len = fs::metadata(&meta).unwrap().len();
+        flip_byte(&meta, len - 1).unwrap();
+        assert!(read_checkpoint(&dir, 0).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn swapped_shard_files_are_rejected() {
+        // Same format, valid frames — but the meta's per-shard CRCs
+        // pin each file to its slot.
+        let dir = tmpdir("swap");
+        let (_, state) = sample_state(8);
+        write_checkpoint(&DiskIo, &dir, 0, &state, 0).unwrap();
+        let cp = checkpoint_dir(&dir, 0);
+        let a = fs::read(shard_file(&cp, 0)).unwrap();
+        let b = fs::read(shard_file(&cp, 1)).unwrap();
+        assert_ne!(a, b, "test needs distinct shards");
+        fs::write(shard_file(&cp, 0), &b).unwrap();
+        fs::write(shard_file(&cp, 1), &a).unwrap();
+        let err = read_checkpoint(&dir, 0).unwrap_err();
+        assert!(err.contains("checksum"), "got: {err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generations_list_sorted() {
+        let dir = tmpdir("gens");
+        let (_, state) = sample_state(0);
+        for gen in [7u64, 2, 4] {
+            write_checkpoint(&DiskIo, &dir, gen, &state, 0).unwrap();
+        }
+        assert_eq!(list_generations(&dir).unwrap(), vec![2, 4, 7]);
+        assert_eq!(list_generations(&dir.join("nope")).unwrap(), Vec::<u64>::new());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

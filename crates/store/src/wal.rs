@@ -1,0 +1,283 @@
+//! The write-ahead log: an append-only record stream of consumed
+//! input chunks.
+//!
+//! Each record frames one TSV chunk exactly as it was handed to the
+//! ingest session, plus the input-file offset *after* consuming it:
+//!
+//! ```text
+//! ┌──────────┬──────────┬──────────┬───────────────────────────────┐
+//! │ magic u32│ len  u32 │ crc  u32 │ payload (len bytes)           │
+//! ├──────────┴──────────┴──────────┼───────────────────────────────┤
+//! │ "DWAL" · payload length · CRC32│ offset_after u64 · chunk bytes│
+//! └────────────────────────────────┴───────────────────────────────┘
+//! ```
+//!
+//! The append discipline is *WAL first*: a chunk is framed, appended,
+//! and fsynced **before** the in-memory session ingests it, so every
+//! row the session has ever seen is either inside a checkpoint or
+//! replayable from the log. Replay goes through the very same
+//! `IngestSession::ingest` the live path uses, which is deterministic
+//! — so checkpoint + replay is *exactly* one-shot ingestion of the
+//! consumed prefix, and everything downstream stays byte-identical.
+//!
+//! A crash mid-append leaves a prefix of the final record. The reader
+//! stops at the first frame whose magic, length, or CRC does not hold
+//! and reports the byte offset where valid data ends; recovery
+//! truncates the file there and resumes reading the *input* from the
+//! last good `offset_after` — torn tails lose no data because the
+//! tailed input file still holds those bytes.
+
+use crate::codec::{Decoder, Encoder};
+use crate::crc::crc32;
+use crate::io::StoreIo;
+use std::io;
+use std::path::Path;
+
+/// Frame magic: `"DWAL"` little-endian.
+pub const WAL_MAGIC: u32 = u32::from_le_bytes(*b"DWAL");
+
+/// Frame header size: magic + payload length + payload CRC.
+pub const WAL_HEADER: usize = 12;
+
+/// One replayable ingest step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Input-file offset after this chunk was consumed.
+    pub offset_after: u64,
+    /// The raw TSV chunk bytes, complete lines only.
+    pub chunk: Vec<u8>,
+}
+
+/// Frame one record for appending.
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut payload = Encoder::new();
+    payload.u64(record.offset_after);
+    let mut payload = payload.finish();
+    payload.extend_from_slice(&record.chunk);
+
+    let mut frame = Encoder::new();
+    frame.u32(WAL_MAGIC);
+    frame.u32(payload.len() as u32);
+    frame.u32(crc32(&payload));
+    let mut frame = frame.finish();
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Append one record to the segment at `path` through `io`.
+pub fn append_record(io: &dyn StoreIo, path: &Path, record: &WalRecord) -> io::Result<()> {
+    io.append(path, &encode_record(record))
+}
+
+/// Everything a segment scan learns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// The valid records, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (where truncation repair cuts).
+    pub valid_len: u64,
+    /// Bytes of torn/corrupt tail beyond the valid prefix (0 = clean).
+    pub torn_bytes: u64,
+}
+
+impl WalScan {
+    /// Input offset after the last valid record, if any.
+    pub fn last_offset(&self) -> Option<u64> {
+        self.records.last().map(|r| r.offset_after)
+    }
+}
+
+/// Scan a segment's bytes, stopping at the first frame that does not
+/// verify. A missing file is an empty, clean log (the segment is
+/// created lazily by the first append).
+pub fn scan_segment(path: &Path) -> io::Result<WalScan> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    Ok(scan_bytes(&bytes))
+}
+
+/// Scan in-memory segment bytes (the testable core of
+/// [`scan_segment`]).
+pub fn scan_bytes(bytes: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            break;
+        }
+        if rest.len() < WAL_HEADER {
+            break; // torn mid-header
+        }
+        let mut d = Decoder::new(&rest[..WAL_HEADER]);
+        let magic = d.u32().expect("header slice is 12 bytes");
+        let len = d.u32().expect("header slice is 12 bytes") as usize;
+        let crc = d.u32().expect("header slice is 12 bytes");
+        if magic != WAL_MAGIC {
+            break; // torn or overwritten frame boundary
+        }
+        let Some(payload) = rest.get(WAL_HEADER..WAL_HEADER + len) else {
+            break; // torn mid-payload
+        };
+        if crc32(payload) != crc {
+            break; // corrupt payload
+        }
+        if payload.len() < 8 {
+            break; // payload too short to hold the offset
+        }
+        let mut pd = Decoder::new(payload);
+        let offset_after = pd.u64().expect("length checked above");
+        records.push(WalRecord { offset_after, chunk: payload[8..].to_vec() });
+        pos += WAL_HEADER + len;
+    }
+    WalScan { records, valid_len: pos as u64, torn_bytes: (bytes.len() - pos) as u64 }
+}
+
+/// Repair a segment in place: truncate any torn tail found by a scan.
+/// Returns the scan (post-repair the file ends at `valid_len`).
+pub fn repair_segment(io: &dyn StoreIo, path: &Path) -> io::Result<WalScan> {
+    let scan = scan_segment(path)?;
+    if scan.torn_bytes > 0 {
+        io.truncate(path, scan.valid_len)?;
+    }
+    Ok(scan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{flip_byte, tear_tail, DiskIo, FaultIo};
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dpsan-store-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        (1..=4u64)
+            .map(|i| WalRecord {
+                offset_after: i * 100,
+                chunk: format!("user{i}\tq{i}\tsite.com\t{i}\n").into_bytes(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_then_scan_roundtrips() {
+        let dir = tmpdir("roundtrip");
+        let p = dir.join("wal-0000.log");
+        let records = sample_records();
+        for r in &records {
+            append_record(&DiskIo, &p, r).unwrap();
+        }
+        let scan = scan_segment(&p).unwrap();
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(scan.last_offset(), Some(400));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_segment_is_empty_and_clean() {
+        let dir = tmpdir("missing");
+        let scan = scan_segment(&dir.join("wal-0000.log")).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        assert_eq!(scan.torn_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The core torn-write property: for EVERY possible crash point in
+    /// the byte stream, the scan returns exactly the records whose
+    /// frames completed, and never panics or mis-parses.
+    #[test]
+    fn every_crash_point_yields_the_completed_prefix() {
+        let records = sample_records();
+        let mut full = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            full.extend_from_slice(&encode_record(r));
+            boundaries.push(full.len());
+        }
+        for cut in 0..=full.len() {
+            let scan = scan_bytes(&full[..cut]);
+            let complete = boundaries.iter().filter(|&&b| b <= cut && b > 0).count();
+            assert_eq!(scan.records.len(), complete, "cut at byte {cut}");
+            assert_eq!(scan.records[..], records[..complete], "cut at byte {cut}");
+            assert_eq!(scan.valid_len as usize, boundaries[complete], "cut at byte {cut}");
+        }
+    }
+
+    #[test]
+    fn fault_injected_append_tears_exactly_one_record() {
+        let records = sample_records();
+        let frame_len = encode_record(&records[0]).len() as u64;
+        // Crash 5 bytes into the third record's frame.
+        let two_frames: u64 = records[..2].iter().map(|r| encode_record(r).len() as u64).sum();
+        let io = FaultIo::new(two_frames + 5);
+        let dir = tmpdir("fault");
+        let p = dir.join("wal-0000.log");
+        append_record(&io, &p, &records[0]).unwrap();
+        append_record(&io, &p, &records[1]).unwrap();
+        assert!(append_record(&io, &p, &records[2]).is_err());
+        let scan = scan_segment(&p).unwrap();
+        assert_eq!(scan.records, records[..2]);
+        assert_eq!(scan.torn_bytes, 5);
+        // Repair truncates the tail; a rescan is clean.
+        repair_segment(&DiskIo, &p).unwrap();
+        let rescan = scan_segment(&p).unwrap();
+        assert_eq!(rescan.records, records[..2]);
+        assert_eq!(rescan.torn_bytes, 0);
+        assert!(frame_len > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_payload_byte_stops_the_scan_there() {
+        let dir = tmpdir("flip");
+        let p = dir.join("wal-0000.log");
+        let records = sample_records();
+        for r in &records {
+            append_record(&DiskIo, &p, r).unwrap();
+        }
+        // Flip a byte inside the second record's payload.
+        let first_len = encode_record(&records[0]).len() as u64;
+        flip_byte(&p, first_len + WAL_HEADER as u64 + 3).unwrap();
+        let scan = scan_segment(&p).unwrap();
+        assert_eq!(scan.records, records[..1], "scan stops at the corrupt frame");
+        assert!(scan.torn_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_header_is_detected() {
+        let dir = tmpdir("torn-header");
+        let p = dir.join("wal-0000.log");
+        let records = sample_records();
+        append_record(&DiskIo, &p, &records[0]).unwrap();
+        append_record(&DiskIo, &p, &records[1]).unwrap();
+        let len = fs::metadata(&p).unwrap().len();
+        let second = encode_record(&records[1]).len() as u64;
+        tear_tail(&p, second - 6).unwrap(); // leave 6 bytes of record 2
+        assert!(fs::metadata(&p).unwrap().len() < len);
+        let scan = scan_segment(&p).unwrap();
+        assert_eq!(scan.records, records[..1]);
+        assert_eq!(scan.torn_bytes, 6);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_chunk_records_are_legal() {
+        let r = WalRecord { offset_after: 42, chunk: Vec::new() };
+        let scan = scan_bytes(&encode_record(&r));
+        assert_eq!(scan.records, vec![r]);
+    }
+}

@@ -25,8 +25,8 @@ use dpsan_searchlog::{
 };
 
 use crate::pool::run_sharded;
-use crate::shard::{shard_of, DrainedShard, ShardIntake, ShardStats};
-use crate::sketch::PairSketch;
+use crate::shard::{shard_of, DrainedShard, ShardIntake, ShardState, ShardStats};
+use crate::sketch::{PairSketch, SketchState};
 
 /// Ingestion knobs.
 #[derive(Debug, Clone)]
@@ -235,6 +235,104 @@ impl IngestSession {
         let sketch = merge_sketches(self.sketches);
         report.sketch_entries = sketch.as_ref().map_or(0, PairSketch::len);
         IngestResult { log, sketch, stats, report }
+    }
+}
+
+/// A plain-data image of a whole [`IngestSession`] mid-stream — the
+/// unit the durable store (`dpsan-store`) checkpoints. Restoring it
+/// through [`IngestSession::restore`] yields a session
+/// indistinguishable from one that ingested the original stream:
+/// same shards, same sketches, same global row/line counters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionState {
+    /// Per-shard intake state, indexed by shard number.
+    pub shards: Vec<ShardState>,
+    /// Per-shard sketch state (empty when sketching is disabled).
+    pub sketches: Vec<SketchState>,
+    /// Records ingested so far (the global row counter).
+    pub rows: u64,
+    /// Physical lines consumed so far.
+    pub lines: u64,
+    /// Largest chunk buffer observed (carried so a restored session's
+    /// report stays monotone).
+    pub peak_chunk_rows: usize,
+}
+
+impl IngestSession {
+    /// Export the full session state as plain data.
+    pub fn export_state(&self) -> SessionState {
+        SessionState {
+            shards: self.shards.iter().map(ShardIntake::export_state).collect(),
+            sketches: self.sketches.iter().map(PairSketch::export_state).collect(),
+            rows: self.report.rows,
+            lines: self.report.lines,
+            peak_chunk_rows: self.report.peak_chunk_rows,
+        }
+    }
+
+    /// Rebuild a session from exported state under `cfg`. The state
+    /// must have been exported under a *compatible* configuration:
+    /// same shard count and same sketch capacity — the shard routing
+    /// function and sketch error bounds are baked into the persisted
+    /// data, so restoring under different values would silently break
+    /// the user-complete invariant. Violations (and structurally
+    /// corrupt state) are reported, never panicked on.
+    pub fn restore(cfg: StreamConfig, state: SessionState) -> Result<Self, String> {
+        cfg.validate();
+        if state.shards.len() != cfg.shards {
+            return Err(format!(
+                "state has {} shards but config wants {} — resharding a persisted store is not \
+                 supported (it would re-route users mid-stream)",
+                state.shards.len(),
+                cfg.shards
+            ));
+        }
+        let want_sketches = if cfg.sketch_capacity > 0 { cfg.shards } else { 0 };
+        if state.sketches.len() != want_sketches {
+            return Err(format!(
+                "state has {} sketches but config wants {want_sketches}",
+                state.sketches.len()
+            ));
+        }
+        for sk in &state.sketches {
+            if sk.capacity != cfg.sketch_capacity {
+                return Err(format!(
+                    "sketch capacity {} in state but {} in config",
+                    sk.capacity, cfg.sketch_capacity
+                ));
+            }
+        }
+        let shard_rows: u64 = state.shards.iter().map(|s| s.rows).sum();
+        if shard_rows != state.rows {
+            return Err(format!(
+                "shard rows sum to {shard_rows} but the session counter says {}",
+                state.rows
+            ));
+        }
+        let shards = state
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| ShardIntake::from_state(s).map_err(|e| format!("shard {i}: {e}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let sketches = state
+            .sketches
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| PairSketch::from_state(s).map_err(|e| format!("sketch {i}: {e}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(IngestSession {
+            cfg,
+            shards,
+            sketches,
+            report: IngestReport {
+                rows: state.rows,
+                lines: state.lines,
+                peak_chunk_rows: state.peak_chunk_rows,
+                max_shard_triplets: 0,
+                sketch_entries: 0,
+            },
+        })
     }
 }
 
@@ -556,6 +654,62 @@ mod tests {
         session.ingest(Cursor::new("u5\tq\tl\t5\n")).unwrap();
         assert_eq!(session.rows(), 3);
         assert_eq!(session.snapshot().log.size(), 1 + 2 + 5);
+    }
+
+    /// The durability contract: a session restored from exported
+    /// state mid-stream, then fed the rest of the input, ends up
+    /// structurally identical to an uninterrupted session — and the
+    /// exported state itself round-trips exactly.
+    #[test]
+    fn restored_session_continues_identically() {
+        let text = sample_tsv();
+        let lines: Vec<&str> = text.lines().collect();
+        for split in [1usize, 7, 15, 29] {
+            let (head, tail) = lines.split_at(split);
+            let head_tsv = head.join("\n") + "\n";
+            let tail_tsv = tail.join("\n") + "\n";
+            let cfg = StreamConfig { shards: 3, chunk_rows: 4, sketch_capacity: 8, jobs: 2 };
+
+            let mut original = IngestSession::new(cfg.clone());
+            original.ingest(Cursor::new(head_tsv.as_str())).unwrap();
+            let state = original.export_state();
+
+            let mut restored = IngestSession::restore(cfg.clone(), state.clone()).unwrap();
+            assert_eq!(restored.export_state(), state, "export∘restore is the identity");
+            assert_eq!(restored.rows(), original.rows());
+
+            original.ingest(Cursor::new(tail_tsv.as_str())).unwrap();
+            restored.ingest(Cursor::new(tail_tsv.as_str())).unwrap();
+            assert_eq!(restored.export_state(), original.export_state());
+
+            let full = ingest_tsv(Cursor::new(text.as_str()), &cfg).unwrap();
+            let snap = restored.snapshot();
+            assert_logs_identical(&snap.log, &full.log);
+            assert_eq!(snap.stats, full.stats);
+            assert_eq!(snap.sketch.unwrap().total_weight(), full.sketch.unwrap().total_weight());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        let cfg = StreamConfig { shards: 3, chunk_rows: 4, sketch_capacity: 8, jobs: 1 };
+        let mut session = IngestSession::new(cfg.clone());
+        session.ingest(Cursor::new(sample_tsv().as_str())).unwrap();
+        let state = session.export_state();
+
+        let resharded = StreamConfig { shards: 5, ..cfg.clone() };
+        assert!(IngestSession::restore(resharded, state.clone()).unwrap_err().contains("shards"));
+
+        let resized = StreamConfig { sketch_capacity: 16, ..cfg.clone() };
+        assert!(IngestSession::restore(resized, state.clone()).unwrap_err().contains("capacity"));
+
+        let mut lied = state.clone();
+        lied.rows += 1;
+        assert!(IngestSession::restore(cfg.clone(), lied).unwrap_err().contains("counter"));
+
+        let mut corrupt = state;
+        corrupt.shards[0].user_first.pop();
+        assert!(IngestSession::restore(cfg, corrupt).unwrap_err().contains("shard 0"));
     }
 
     #[test]

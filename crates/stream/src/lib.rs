@@ -50,7 +50,8 @@ pub mod shard;
 pub mod sketch;
 
 pub use engine::{
-    ingest_path, ingest_tsv, IngestReport, IngestResult, IngestSession, StreamConfig, StreamStats,
+    ingest_path, ingest_tsv, IngestReport, IngestResult, IngestSession, SessionState, StreamConfig,
+    StreamStats,
 };
-pub use shard::{shard_of, user_hash, ShardIntake, ShardStats};
-pub use sketch::{sketch_frequent_pairs, PairSketch, SketchEntry};
+pub use shard::{shard_of, user_hash, ShardIntake, ShardState, ShardStats};
+pub use sketch::{sketch_frequent_pairs, PairSketch, SketchEntry, SketchState};

@@ -148,6 +148,138 @@ impl ShardIntake {
     }
 }
 
+/// A plain-data image of one [`ShardIntake`] mid-intake — what the
+/// durable store (`dpsan-store`) persists in a shard snapshot. Every
+/// derived index (interner hash maps, the pair index) is rebuilt on
+/// restore, so the state is exactly the information content of the
+/// shard and nothing layout-dependent. `triplets` is sorted by
+/// `(pair, user)` id so exporting the same shard twice yields the same
+/// bytes once encoded.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardState {
+    /// User strings in shard-local id order.
+    pub users: Vec<String>,
+    /// Query strings in shard-local id order.
+    pub queries: Vec<String>,
+    /// Url strings in shard-local id order.
+    pub urls: Vec<String>,
+    /// Global first-occurrence row per local user id.
+    pub user_first: Vec<u64>,
+    /// Global first-occurrence row per local query id.
+    pub query_first: Vec<u64>,
+    /// Global first-occurrence row per local url id.
+    pub url_first: Vec<u64>,
+    /// Local `(query, url)` ids per local pair id.
+    pub pair_keys: Vec<(u32, u32)>,
+    /// Global first-occurrence row per local pair id.
+    pub pair_first: Vec<u64>,
+    /// Aggregated `(local pair, local user, count)`, sorted by ids.
+    pub triplets: Vec<(u32, u32, u64)>,
+    /// Raw records routed to this shard so far.
+    pub rows: u64,
+    /// Click volume of those records.
+    pub clicks: u64,
+}
+
+impl ShardState {
+    /// Structural sanity of a decoded state: side tables aligned with
+    /// their interners, ids in range. Returns a description of the
+    /// first violation, if any — a corrupt-but-checksum-valid snapshot
+    /// must never panic deep inside intake.
+    pub fn validate(&self) -> Result<(), String> {
+        let align = |name: &str, strings: usize, first: usize| -> Result<(), String> {
+            if strings != first {
+                return Err(format!("{name}: {strings} strings vs {first} first-row entries"));
+            }
+            Ok(())
+        };
+        align("users", self.users.len(), self.user_first.len())?;
+        align("queries", self.queries.len(), self.query_first.len())?;
+        align("urls", self.urls.len(), self.url_first.len())?;
+        align("pairs", self.pair_keys.len(), self.pair_first.len())?;
+        for &(q, l) in &self.pair_keys {
+            if q as usize >= self.queries.len() || l as usize >= self.urls.len() {
+                return Err(format!("pair key ({q}, {l}) out of vocabulary range"));
+            }
+        }
+        for &(p, u, c) in &self.triplets {
+            if p as usize >= self.pair_keys.len() || u as usize >= self.users.len() {
+                return Err(format!("triplet ({p}, {u}) out of range"));
+            }
+            if c == 0 {
+                return Err("zero-count triplet".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ShardIntake {
+    /// Export the live state as plain data (see [`ShardState`]).
+    pub fn export_state(&self) -> ShardState {
+        let strings = |i: &Interner| i.iter().map(|(_, s)| s.to_string()).collect();
+        let mut triplets: Vec<(u32, u32, u64)> =
+            self.triplets.iter().map(|(&(p, u), &c)| (p, u, c)).collect();
+        triplets.sort_unstable_by_key(|&(p, u, _)| (p, u));
+        ShardState {
+            users: strings(&self.users),
+            queries: strings(&self.queries),
+            urls: strings(&self.urls),
+            user_first: self.user_first.clone(),
+            query_first: self.query_first.clone(),
+            url_first: self.url_first.clone(),
+            pair_keys: self.pair_keys.clone(),
+            pair_first: self.pair_first.clone(),
+            triplets,
+            rows: self.rows,
+            clicks: self.clicks,
+        }
+    }
+
+    /// Rebuild a live shard from exported state, reconstructing every
+    /// derived index. `state` must satisfy [`ShardState::validate`];
+    /// the restored shard is indistinguishable from one that ingested
+    /// the original stream.
+    pub fn from_state(state: ShardState) -> Result<Self, String> {
+        state.validate()?;
+        let build = |strings: &[String]| {
+            let mut i = Interner::with_capacity(strings.len());
+            for s in strings {
+                i.intern(s);
+            }
+            if i.len() != strings.len() {
+                return Err("duplicate string in interned vocabulary".to_string());
+            }
+            Ok(i)
+        };
+        let mut pair_index = HashMap::with_capacity(state.pair_keys.len());
+        for (id, &key) in state.pair_keys.iter().enumerate() {
+            if pair_index.insert(key, id as u32).is_some() {
+                return Err("duplicate pair key".into());
+            }
+        }
+        let triplets: HashMap<(u32, u32), u64> =
+            state.triplets.iter().map(|&(p, u, c)| ((p, u), c)).collect();
+        if triplets.len() != state.triplets.len() {
+            return Err("duplicate triplet key".into());
+        }
+        Ok(ShardIntake {
+            users: build(&state.users)?,
+            queries: build(&state.queries)?,
+            urls: build(&state.urls)?,
+            user_first: state.user_first,
+            query_first: state.query_first,
+            url_first: state.url_first,
+            pair_index,
+            pair_keys: state.pair_keys,
+            pair_first: state.pair_first,
+            triplets,
+            rows: state.rows,
+            clicks: state.clicks,
+        })
+    }
+}
+
 /// A finalized shard: everything the merger needs, in deterministic
 /// order (records sorted by local `(pair, user)` id).
 #[derive(Debug)]
@@ -232,6 +364,41 @@ mod tests {
             s.add(row, &rec("a", "q", "l", 1));
         }
         assert_eq!(s.staged_triplets(), 1, "memory tracks aggregation, not stream length");
+    }
+
+    #[test]
+    fn state_roundtrip_is_exact() {
+        let mut s = ShardIntake::new();
+        s.add(0, &rec("a", "q1", "l1", 2));
+        s.add(3, &rec("b", "q1", "l2", 1));
+        s.add(7, &rec("a", "q2", "l1", 4));
+        let state = s.export_state();
+        let restored = ShardIntake::from_state(state.clone()).unwrap();
+        assert_eq!(restored.export_state(), state, "export∘restore is the identity");
+        // the restored shard keeps ingesting identically
+        let mut a = s.clone();
+        let mut b = restored;
+        a.add(9, &rec("c", "q1", "l1", 5));
+        b.add(9, &rec("c", "q1", "l1", 5));
+        let (da, db) = (a.drain(), b.drain());
+        assert_eq!(da.records, db.records);
+        assert_eq!(da.stats, db.stats);
+        assert_eq!(da.pair_keys, db.pair_keys);
+    }
+
+    #[test]
+    fn corrupt_state_is_rejected_not_panicked() {
+        let mut s = ShardIntake::new();
+        s.add(0, &rec("a", "q", "l", 2));
+        let mut bad = s.export_state();
+        bad.pair_keys[0] = (7, 0); // query id out of range
+        assert!(ShardIntake::from_state(bad).unwrap_err().contains("out of vocabulary"));
+        let mut bad = s.export_state();
+        bad.user_first.push(9);
+        assert!(ShardIntake::from_state(bad).unwrap_err().contains("users"));
+        let mut bad = s.export_state();
+        bad.triplets[0].2 = 0;
+        assert!(ShardIntake::from_state(bad).unwrap_err().contains("zero-count"));
     }
 
     #[test]

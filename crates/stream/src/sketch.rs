@@ -42,6 +42,21 @@ pub struct PairSketch {
     scratch: String,
 }
 
+/// A plain-data image of a [`PairSketch`] — what the durable store
+/// persists inside an ingestion snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SketchState {
+    /// The counter bound `k`.
+    pub capacity: usize,
+    /// Live `(key, estimate)` counters, sorted by key (`key` is the
+    /// native `query \t url` form).
+    pub counters: Vec<(String, u64)>,
+    /// Total offered weight `N`.
+    pub weight: u64,
+    /// Total decremented weight (the per-key error bound).
+    pub decrements: u64,
+}
+
 /// One surviving sketch entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SketchEntry {
@@ -178,6 +193,53 @@ impl PairSketch {
                 .then_with(|| a.url.cmp(&b.url))
         });
         out
+    }
+
+    /// Export the live counters as plain data (see [`SketchState`]),
+    /// sorted by key so equal sketches export equal states.
+    pub fn export_state(&self) -> SketchState {
+        let mut counters: Vec<(String, u64)> =
+            self.counters.iter().map(|(k, &v)| (k.to_string(), v)).collect();
+        counters.sort_unstable();
+        SketchState {
+            capacity: self.capacity,
+            counters,
+            weight: self.weight,
+            decrements: self.decrements,
+        }
+    }
+
+    /// Rebuild a sketch from exported state. Rejects states that could
+    /// never have come from a valid sketch (zero capacity, over-full
+    /// counter set, zero or duplicate counters) rather than panicking
+    /// later.
+    pub fn from_state(state: SketchState) -> Result<Self, String> {
+        if state.capacity == 0 {
+            return Err("sketch capacity must be at least 1".into());
+        }
+        if state.counters.len() > state.capacity {
+            return Err(format!(
+                "{} counters exceed capacity {}",
+                state.counters.len(),
+                state.capacity
+            ));
+        }
+        let mut counters = HashMap::with_capacity(state.capacity + 1);
+        for (k, v) in &state.counters {
+            if *v == 0 {
+                return Err("zero-valued sketch counter".into());
+            }
+            if counters.insert(k.as_str().into(), *v).is_some() {
+                return Err("duplicate sketch key".into());
+            }
+        }
+        Ok(PairSketch {
+            capacity: state.capacity,
+            counters,
+            weight: state.weight,
+            decrements: state.decrements,
+            scratch: String::new(),
+        })
     }
 
     /// Candidate pairs whose true count may reach `threshold`: every
@@ -374,5 +436,37 @@ mod tests {
     #[should_panic(expected = "capacity must be at least 1")]
     fn zero_capacity_rejected() {
         let _ = PairSketch::new(0);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_behavior() {
+        let mut sk = PairSketch::new(3);
+        for &(q, w) in &[("a", 9u64), ("b", 2), ("c", 7), ("d", 1), ("a", 4)] {
+            sk.offer(q, "u", w);
+        }
+        let state = sk.export_state();
+        let mut restored = PairSketch::from_state(state.clone()).unwrap();
+        assert_eq!(restored.export_state(), state);
+        // identical future behavior, including eviction arithmetic
+        sk.offer("e", "u", 6);
+        restored.offer("e", "u", 6);
+        assert_eq!(restored.export_state(), sk.export_state());
+        assert_eq!(restored.error_bound(), sk.error_bound());
+    }
+
+    #[test]
+    fn corrupt_sketch_state_is_rejected() {
+        let mut sk = PairSketch::new(2);
+        sk.offer("a", "u", 3);
+        let mut bad = sk.export_state();
+        bad.capacity = 0;
+        assert!(PairSketch::from_state(bad).is_err());
+        let mut bad = sk.export_state();
+        bad.counters.push(("b\tu".into(), 1));
+        bad.counters.push(("c\tu".into(), 1));
+        assert!(PairSketch::from_state(bad).unwrap_err().contains("exceed capacity"));
+        let mut bad = sk.export_state();
+        bad.counters[0].1 = 0;
+        assert!(PairSketch::from_state(bad).unwrap_err().contains("zero-valued"));
     }
 }

@@ -25,6 +25,9 @@
 //! * [`serve`] — the always-on sanitization service (file tailing,
 //!   incremental ingest sessions, trigger-driven re-release, the
 //!   enforced cross-release budget ledger),
+//! * [`store`] — durable crash-safe persistence (checksummed shard
+//!   snapshots, WAL-backed resumable ingest, the chained
+//!   release-manifest ledger that makes budgets survive restarts),
 //! * [`eval`] — the table/figure reproduction harness and the
 //!   `sanitize` / `genlog` / `repro` binaries.
 //!
@@ -70,6 +73,7 @@ pub use dpsan_eval as eval;
 pub use dpsan_lp as lp;
 pub use dpsan_searchlog as searchlog;
 pub use dpsan_serve as serve;
+pub use dpsan_store as store;
 pub use dpsan_stream as stream;
 
 /// The most common imports in one place.
@@ -88,6 +92,7 @@ pub mod prelude {
     pub use dpsan_dp::params::PrivacyParams;
     pub use dpsan_searchlog::{frequent_pairs, preprocess, LogStats, SearchLog, SearchLogBuilder};
     pub use dpsan_serve::{serve, FollowReader, ServeOptions, ServeReport, ServeSession};
+    pub use dpsan_store::{DurableStore, RecoveryReport, StoreConfig, StoreError};
     pub use dpsan_stream::{
         ingest_path, ingest_tsv, sketch_frequent_pairs, IngestSession, StreamConfig,
     };
