@@ -304,6 +304,24 @@ fn bench(c: &mut Criterion) {
         std::fs::remove_dir_all(&dir).expect("bench resume cleanup");
     });
 
+    g.bench_function("metrics_hot_path", |b| {
+        // the telemetry cost a single solve pays: one labeled-counter
+        // increment plus one histogram record (the exact pair
+        // SolveSession and the WAL/release paths emit). Gated so the
+        // "observational only" contract stays cheap enough to be true —
+        // if this entry regresses, every instrumented hot loop does.
+        let solves = dpsan_obs::global().counter_with("dpsan_bench_solves_total", "path", "warm");
+        let lat = dpsan_obs::global()
+            .histogram("dpsan_bench_solve_seconds", dpsan_obs::default_latency_bounds());
+        let mut v = 1.0e-6f64;
+        b.iter(|| {
+            solves.inc();
+            v = v.mul_add(1.0000001, 1.0e-9); // vary the sample a little
+            lat.record(v);
+            v
+        })
+    });
+
     g.bench_function("table4_tiny_end_to_end", |b| {
         // the full experiment (prefetch + render) on a prebuilt context;
         // fresh context per iteration so the caches start cold

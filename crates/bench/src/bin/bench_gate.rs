@@ -54,25 +54,42 @@ fn main() -> ExitCode {
     }
     for f in &findings {
         match f {
-            GateFinding::Ok { name, ratio } => println!("OK        {name:<44} x{ratio:.2}"),
-            GateFinding::Regressed { name, ratio } => {
+            GateFinding::Ok { name, ratio, .. } => println!("OK        {name:<44} x{ratio:.2}"),
+            GateFinding::Regressed { name, ratio, .. } => {
                 println!("REGRESSED {name:<44} x{ratio:.2} (limit x{max_ratio:.2})");
             }
-            GateFinding::StaleBaseline { name, ratio } => {
+            GateFinding::StaleBaseline { name, ratio, .. } => {
                 println!(
                     "STALE     {name:<44} x{ratio:.2} (>{:.0}% faster than baseline — refresh \
                      BENCH_pipeline.json in this PR and say why)",
                     (max_ratio - 1.0) * 100.0
                 );
             }
-            GateFinding::Missing { name } => println!("MISSING   {name}"),
+            GateFinding::Missing { name, .. } => println!("MISSING   {name}"),
         }
     }
     if passes(&findings) {
         println!("bench_gate: {} benches within x{max_ratio:.2}", findings.len());
         ExitCode::SUCCESS
     } else {
-        println!("bench_gate: FAILED");
+        // Full evidence table: on a shared runner the *other* entries
+        // are the context that tells a real regression (one bench out,
+        // rest steady) from a noisy machine (everything shifted), so a
+        // failing gate prints baseline/measured/ratio for every entry.
+        println!("bench_gate: FAILED — full baseline vs measured table:");
+        println!("{:<54} {:>14} {:>14} {:>8}", "bench", "baseline_ns", "measured_ns", "ratio");
+        for f in &findings {
+            match f {
+                GateFinding::Ok { name, ratio, baseline_ns, current_ns }
+                | GateFinding::Regressed { name, ratio, baseline_ns, current_ns }
+                | GateFinding::StaleBaseline { name, ratio, baseline_ns, current_ns } => {
+                    println!("{name:<54} {baseline_ns:>14.1} {current_ns:>14.1} {ratio:>7.2}x");
+                }
+                GateFinding::Missing { name, baseline_ns } => {
+                    println!("{name:<54} {baseline_ns:>14.1} {:>14} {:>8}", "absent", "-");
+                }
+            }
+        }
         ExitCode::FAILURE
     }
 }

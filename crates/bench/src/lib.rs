@@ -18,7 +18,9 @@ use criterion::json::parse_flat_object;
 /// regressions (the warm-start win alone is >3×).
 pub const DEFAULT_MAX_RATIO: f64 = 2.0;
 
-/// Outcome of gating one tracked bench.
+/// Outcome of gating one tracked bench. Every variant carries the raw
+/// baseline (and, where measured, current) medians so a failing gate
+/// can print the full per-entry evidence, not just the one bad ratio.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GateFinding {
     /// Bench present in both files; ratio within the gate.
@@ -27,6 +29,10 @@ pub enum GateFinding {
         name: String,
         /// `current / baseline` median ratio.
         ratio: f64,
+        /// Committed baseline median, nanoseconds.
+        baseline_ns: f64,
+        /// Freshly measured median, nanoseconds.
+        current_ns: f64,
     },
     /// Bench regressed beyond the allowed ratio.
     Regressed {
@@ -34,6 +40,10 @@ pub enum GateFinding {
         name: String,
         /// `current / baseline` median ratio.
         ratio: f64,
+        /// Committed baseline median, nanoseconds.
+        baseline_ns: f64,
+        /// Freshly measured median, nanoseconds.
+        current_ns: f64,
     },
     /// Bench *improved* beyond `1/max_ratio` without the baseline being
     /// refreshed. This also fails the gate: a baseline that lags the
@@ -45,11 +55,17 @@ pub enum GateFinding {
         name: String,
         /// `current / baseline` median ratio (here `< 1/max_ratio`).
         ratio: f64,
+        /// Committed baseline median, nanoseconds.
+        baseline_ns: f64,
+        /// Freshly measured median, nanoseconds.
+        current_ns: f64,
     },
     /// Bench tracked in the baseline but absent from the current run.
     Missing {
         /// Bench id.
         name: String,
+        /// Committed baseline median, nanoseconds.
+        baseline_ns: f64,
     },
 }
 
@@ -63,18 +79,23 @@ pub fn gate(baseline: &str, current: &str, max_ratio: f64) -> Vec<GateFinding> {
     let cur = parse_flat_object(current);
     base.into_iter()
         .map(|(name, base_ns)| match cur.iter().find(|(k, _)| *k == name) {
-            None => GateFinding::Missing { name },
+            None => GateFinding::Missing { name, baseline_ns: base_ns },
             Some(&(_, cur_ns)) => {
                 let ratio = if base_ns > 0.0 { cur_ns / base_ns } else { f64::INFINITY };
                 // fail closed as a regression: a NaN ratio (corrupt
                 // measurement) must neither pass nor be misreported as
                 // an improvement awaiting a baseline refresh
                 if !ratio.is_finite() || ratio > max_ratio {
-                    GateFinding::Regressed { name, ratio }
+                    GateFinding::Regressed { name, ratio, baseline_ns: base_ns, current_ns: cur_ns }
                 } else if ratio >= 1.0 / max_ratio {
-                    GateFinding::Ok { name, ratio }
+                    GateFinding::Ok { name, ratio, baseline_ns: base_ns, current_ns: cur_ns }
                 } else {
-                    GateFinding::StaleBaseline { name, ratio }
+                    GateFinding::StaleBaseline {
+                        name,
+                        ratio,
+                        baseline_ns: base_ns,
+                        current_ns: cur_ns,
+                    }
                 }
             }
         })
@@ -109,7 +130,7 @@ mod tests {
         let f = gate(BASE, cur, 2.0);
         assert!(!passes(&f), "{f:?}");
         assert!(f.iter().any(
-            |x| matches!(x, GateFinding::StaleBaseline { name, ratio } if name == "pipeline/a" && *ratio < 0.5)
+            |x| matches!(x, GateFinding::StaleBaseline { name, ratio, .. } if name == "pipeline/a" && *ratio < 0.5)
         ));
     }
 
@@ -127,7 +148,7 @@ mod tests {
         let f = gate(BASE, cur, 2.0);
         assert!(!passes(&f));
         assert!(f.iter().any(
-            |x| matches!(x, GateFinding::Regressed { name, ratio } if name == "pipeline/a" && *ratio > 2.4)
+            |x| matches!(x, GateFinding::Regressed { name, ratio, .. } if name == "pipeline/a" && *ratio > 2.4)
         ));
     }
 
@@ -138,7 +159,7 @@ mod tests {
         assert!(!passes(&f));
         assert!(f
             .iter()
-            .any(|x| matches!(x, GateFinding::Missing { name } if name == "pipeline/b")));
+            .any(|x| matches!(x, GateFinding::Missing { name, .. } if name == "pipeline/b")));
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod end_to_end;
 pub mod error;
 pub mod mechanism;
 pub mod metrics;
+pub mod obs;
 pub mod sampling;
 pub mod session;
 pub mod theory;

@@ -69,7 +69,9 @@ impl<S: Sanitizer> ReleasePlanner<S> {
         ReleasePlanner {
             mechanism,
             trigger,
-            ledger: BudgetLedger::new(),
+            // the planner's ledger is the one authoritative spend record
+            // in the process, so it reports to the telemetry registry
+            ledger: BudgetLedger::new().observed(),
             pending_rows: 0,
             releases: 0,
         }
@@ -87,7 +89,7 @@ impl<S: Sanitizer> ReleasePlanner<S> {
         ReleasePlanner {
             mechanism,
             trigger,
-            ledger: BudgetLedger::with_lifetime(epsilon, delta),
+            ledger: BudgetLedger::with_lifetime(epsilon, delta).observed(),
             pending_rows: 0,
             releases: 0,
         }
@@ -107,7 +109,9 @@ impl<S: Sanitizer> ReleasePlanner<S> {
         releases: u64,
         pending_rows: u64,
     ) -> Self {
-        ReleasePlanner { mechanism, trigger, ledger, pending_rows, releases }
+        // marking observed *after* replay syncs the gauges to the
+        // restored totals without counting history as fresh spends
+        ReleasePlanner { mechanism, trigger, ledger: ledger.observed(), pending_rows, releases }
     }
 
     /// Record that `rows` new input rows were ingested.

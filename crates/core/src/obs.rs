@@ -1,0 +1,59 @@
+//! Solver telemetry handles.
+//!
+//! | series | type | meaning |
+//! |---|---|---|
+//! | `dpsan_solves_total{path=...}` | counter | solves by path actually taken: `dual_reopt`, `warm_primal`, `cold_primal` |
+//! | `dpsan_solve_iterations_total` | counter | simplex iterations (all algorithms, including failed dual attempts) |
+//! | `dpsan_solve_refactorizations_total` | counter | basis (re)factorizations |
+//! | `dpsan_solve_dual_fallbacks_total` | counter | dual reoptimizations that bowed out to the primal path |
+//! | `dpsan_solve_degenerate_fallbacks_total` | counter | warm answers vetoed by the alternate-optima guard (re-solved cold) |
+//!
+//! These mirror [`crate::SessionStats`] one-for-one: every increment in
+//! `SolveSession::solve_with_hint` lands in both the per-session struct
+//! and the process-wide registry, so a stats line rendered from either
+//! source agrees with the other by construction. `warm_starts` needs no
+//! series of its own — it is `dual_reopt + warm_primal` by definition,
+//! which label arithmetic recovers.
+
+use dpsan_obs::{global, Counter};
+use std::sync::OnceLock;
+
+/// Solves that finished on the given path (`dual_reopt`, `warm_primal`,
+/// or `cold_primal`). Handles are cached per path so the hot solve loop
+/// never touches the registry lock.
+pub fn solves_total(path: &str) -> Counter {
+    static DUAL: OnceLock<Counter> = OnceLock::new();
+    static WARM: OnceLock<Counter> = OnceLock::new();
+    static COLD: OnceLock<Counter> = OnceLock::new();
+    let cache = match path {
+        "dual_reopt" => &DUAL,
+        "warm_primal" => &WARM,
+        "cold_primal" => &COLD,
+        other => return global().counter_with("dpsan_solves_total", "path", other),
+    };
+    cache.get_or_init(|| global().counter_with("dpsan_solves_total", "path", path)).clone()
+}
+
+/// Simplex iterations summed over all solves.
+pub fn iterations_total() -> &'static Counter {
+    static H: OnceLock<Counter> = OnceLock::new();
+    H.get_or_init(|| global().counter("dpsan_solve_iterations_total"))
+}
+
+/// Basis (re)factorizations summed over all solves.
+pub fn refactorizations_total() -> &'static Counter {
+    static H: OnceLock<Counter> = OnceLock::new();
+    H.get_or_init(|| global().counter("dpsan_solve_refactorizations_total"))
+}
+
+/// Dual reoptimizations that fell back to the primal path.
+pub fn dual_fallbacks_total() -> &'static Counter {
+    static H: OnceLock<Counter> = OnceLock::new();
+    H.get_or_init(|| global().counter("dpsan_solve_dual_fallbacks_total"))
+}
+
+/// Warm answers discarded by the alternate-optima guard.
+pub fn degenerate_fallbacks_total() -> &'static Counter {
+    static H: OnceLock<Counter> = OnceLock::new();
+    H.get_or_init(|| global().counter("dpsan_solve_degenerate_fallbacks_total"))
+}

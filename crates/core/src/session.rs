@@ -299,23 +299,36 @@ impl SolveSession {
             out.stats.iterations += spent_iterations;
             out.stats.refactorizations += spent_refactorizations;
         }
+        // every increment mirrors into the process-wide registry so the
+        // exported series and this session's stats agree by construction
         self.stats.solves += 1;
         if degenerate_retry {
             self.stats.degenerate_fallbacks += 1;
+            crate::obs::degenerate_fallbacks_total().inc();
         }
         match out.stats.algorithm {
             Algorithm::DualReopt => {
                 self.stats.dual_reopts += 1;
                 self.stats.warm_starts += 1;
+                crate::obs::solves_total("dual_reopt").inc();
             }
-            Algorithm::WarmPrimal => self.stats.warm_starts += 1,
-            Algorithm::ColdPrimal => self.stats.cold_starts += 1,
+            Algorithm::WarmPrimal => {
+                self.stats.warm_starts += 1;
+                crate::obs::solves_total("warm_primal").inc();
+            }
+            Algorithm::ColdPrimal => {
+                self.stats.cold_starts += 1;
+                crate::obs::solves_total("cold_primal").inc();
+            }
         }
         if out.stats.dual_fallback {
             self.stats.dual_fallbacks += 1;
+            crate::obs::dual_fallbacks_total().inc();
         }
         self.stats.iterations += out.stats.iterations;
         self.stats.refactorizations += out.stats.refactorizations;
+        crate::obs::iterations_total().add(out.stats.iterations as u64);
+        crate::obs::refactorizations_total().add(out.stats.refactorizations as u64);
         self.basis = if out.solution.status == SolveStatus::Optimal { out.basis } else { None };
         self.prev = fp;
         Ok(out.solution)

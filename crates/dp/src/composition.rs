@@ -66,6 +66,11 @@ pub struct BudgetLedger {
     /// Lifetime `(ε, δ)` cap enforced by the fallible spend paths;
     /// `None` means record-only (the seed behavior).
     lifetime: Option<(f64, f64)>,
+    /// Whether this ledger reports into the process-wide metrics
+    /// registry ([`crate::obs`]). Off by default so per-release view
+    /// ledgers and scratch ledgers never double-count; the planner
+    /// layer marks its one authoritative ledger observed.
+    observed: bool,
 }
 
 impl BudgetLedger {
@@ -82,12 +87,50 @@ impl BudgetLedger {
             delta.is_finite() && (0.0..1.0).contains(&delta),
             "lifetime delta must be in [0, 1)"
         );
-        BudgetLedger { entries: Vec::new(), lifetime: Some((epsilon, delta)) }
+        BudgetLedger { entries: Vec::new(), lifetime: Some((epsilon, delta)), observed: false }
     }
 
     /// The lifetime `(ε, δ)` cap, if one is enforced.
     pub fn lifetime(&self) -> Option<(f64, f64)> {
         self.lifetime
+    }
+
+    /// Mark this ledger as the process's authoritative one: every spend
+    /// and refusal from here on reports into the metrics registry, and
+    /// the absolute spent/remaining gauges are synced to the ledger's
+    /// current totals immediately (so a ledger restored from durable
+    /// history re-establishes the gauges without re-counting the
+    /// replayed entries as fresh spend events).
+    ///
+    /// Telemetry is observational only — an observed ledger composes
+    /// and refuses exactly like an unobserved one. At most one ledger
+    /// per process should be observed; the spent/remaining gauges
+    /// describe a single ledger, not a sum over ledgers.
+    pub fn set_observed(&mut self, observed: bool) {
+        self.observed = observed;
+        if observed {
+            self.sync_gauges();
+        }
+    }
+
+    /// Builder-style [`set_observed`](Self::set_observed).
+    pub fn observed(mut self) -> Self {
+        self.set_observed(true);
+        self
+    }
+
+    /// Whether this ledger reports into the metrics registry.
+    pub fn is_observed(&self) -> bool {
+        self.observed
+    }
+
+    fn sync_gauges(&self) {
+        crate::obs::epsilon_spent().set(self.total_epsilon());
+        crate::obs::delta_spent().set(self.total_delta());
+        if let Some((re, rd)) = self.remaining() {
+            crate::obs::epsilon_remaining().set(re);
+            crate::obs::delta_remaining().set(rd);
+        }
     }
 
     /// Record an expenditure unconditionally (one-shot paths).
@@ -97,6 +140,10 @@ impl BudgetLedger {
     pub fn spend(&mut self, label: impl Into<String>, epsilon: f64, delta: f64) {
         Self::check_domain(epsilon, delta);
         self.entries.push(BudgetEntry { label: label.into(), epsilon, delta });
+        if self.observed {
+            crate::obs::spends_total().inc();
+            self.sync_gauges();
+        }
     }
 
     /// Record an expenditure, refusing it (ledger unchanged) if the
@@ -126,6 +173,9 @@ impl BudgetLedger {
                 eps += e.epsilon;
                 del += e.delta;
                 if eps > cap_e + 1e-12 || del > cap_d + 1e-12 {
+                    if self.observed {
+                        crate::obs::refusals_total().inc();
+                    }
                     return Err(BudgetError {
                         label: e.label.clone(),
                         would_epsilon: eps,
@@ -137,6 +187,10 @@ impl BudgetLedger {
             }
         }
         self.entries.extend_from_slice(batch);
+        if self.observed {
+            crate::obs::spends_total().add(batch.len() as u64);
+            self.sync_gauges();
+        }
         Ok(())
     }
 
@@ -312,5 +366,44 @@ mod tests {
     fn display_shows_lifetime_cap() {
         let l = BudgetLedger::with_lifetime(1.0, 0.25);
         assert!(l.to_string().contains("lifetime"));
+    }
+
+    /// One test owns every assertion about the global budget series:
+    /// the registry is process-wide, so splitting this across tests
+    /// would race under the parallel test runner.
+    #[test]
+    fn observed_ledger_reports_spends_refusals_and_gauges() {
+        let spends0 = crate::obs::spends_total().get();
+        let refusals0 = crate::obs::refusals_total().get();
+
+        // Unobserved ledgers are silent.
+        let mut quiet = BudgetLedger::new();
+        quiet.spend("view entry", 0.3, 0.01);
+        assert_eq!(crate::obs::spends_total().get(), spends0);
+
+        // Marking observed syncs the absolute gauges to the restored
+        // history without counting it as fresh spends.
+        let mut l = BudgetLedger::with_lifetime(1.0, 0.2);
+        l.spend("replayed release", 0.25, 0.05);
+        l.set_observed(true);
+        assert!(l.is_observed());
+        assert_eq!(crate::obs::spends_total().get(), spends0);
+        assert!((crate::obs::epsilon_spent().get() - 0.25).abs() < 1e-12);
+        assert!((crate::obs::epsilon_remaining().get() - 0.75).abs() < 1e-12);
+
+        // Live spends count and move the gauges.
+        l.try_spend("release 2", 0.25, 0.05).unwrap();
+        assert_eq!(crate::obs::spends_total().get(), spends0 + 1);
+        assert!((crate::obs::epsilon_spent().get() - 0.5).abs() < 1e-12);
+        assert!((crate::obs::delta_remaining().get() - 0.1).abs() < 1e-12);
+
+        // A refusal counts once and leaves the spend gauges alone.
+        assert!(l.try_spend("too big", 0.9, 0.0).is_err());
+        assert_eq!(crate::obs::refusals_total().get(), refusals0 + 1);
+        assert!((crate::obs::epsilon_spent().get() - 0.5).abs() < 1e-12);
+
+        // Observation survives clone-through (the builder form).
+        let observed = BudgetLedger::new().observed();
+        assert!(observed.is_observed());
     }
 }

@@ -14,6 +14,9 @@
 //!   step 2, with both alias and CDF-scan strategies,
 //! * [`composition`] — sequential composition bookkeeping for pipelines
 //!   that consume several `(ε, δ)` budgets,
+//! * [`obs`] — the ledger's metric handles (spend/refusal counters,
+//!   spent/remaining gauges) for ledgers marked
+//!   [`observed`](composition::BudgetLedger::set_observed),
 //! * [`threshold`] — ZEALOUS-style noisy-threshold calibration (noise
 //!   scale, release threshold, Laplace tail / reliability margins),
 //! * [`response`] — one-bit randomized response with the linear
@@ -29,6 +32,7 @@ pub mod alias;
 pub mod composition;
 pub mod laplace;
 pub mod multinomial;
+pub mod obs;
 pub mod params;
 pub mod response;
 pub mod threshold;

@@ -14,7 +14,9 @@
 //! `--stats` prints, after each experiment, the aggregate LP-solver
 //! counters (dual reoptimizations vs warm/cold primal solves, simplex
 //! iterations, refactorizations) to **stderr**, so the golden-gated
-//! stdout stays untouched.
+//! stdout stays untouched. `--metrics-json <path>` dumps the full
+//! telemetry registry (the same counters plus histograms with exact
+//! p50/p99) as JSON at exit — also observational only.
 
 use std::process::ExitCode;
 
@@ -23,7 +25,8 @@ use dpsan_eval::{run_experiments_opts, Ctx, RunOptions, Scale, EXPERIMENTS};
 fn usage() -> String {
     let ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _)| *id).collect();
     format!(
-        "usage: repro <experiment>... [--scale tiny|small|medium|paper] [--jobs N] [--stats]\n\
+        "usage: repro <experiment>... [--scale tiny|small|medium|paper] [--jobs N] [--stats] \
+         [--metrics-json <path>]\n\
          experiments: all, {}",
         ids.join(", ")
     )
@@ -38,6 +41,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::Small;
     let mut jobs = default_jobs();
     let mut stats = false;
+    let mut metrics_json: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -69,6 +73,13 @@ fn main() -> ExitCode {
                 jobs = n;
             }
             "--stats" => stats = true,
+            "--metrics-json" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--metrics-json needs a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                metrics_json = Some(v.clone());
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -92,6 +103,15 @@ fn main() -> ExitCode {
     if let Err(e) = run_experiments_opts(&wanted, &ctx, &mut out, &opts) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
+    }
+    // Telemetry export at exit (observational only: the golden-gated
+    // stdout above never sees it).
+    if let Some(path) = &metrics_json {
+        let snap = dpsan_obs::global().snapshot();
+        if let Err(e) = dpsan_obs::export::write_json(std::path::Path::new(path), &snap) {
+            eprintln!("repro: writing --metrics-json {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

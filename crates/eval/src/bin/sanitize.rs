@@ -55,6 +55,9 @@ const USAGE: &str = "usage: sanitize <input.tsv> [options]
                            zealous, 0 = off otherwise)
   --jobs <n>               shard-drain workers       (default: available cores)
   --stats                  ingestion + run + solver report to stderr
+  --metrics-file <path>    write a Prometheus-text telemetry snapshot here at
+                           exit (atomic temp+rename); observational only —
+                           output stays byte-identical with it on or off
 
 follow mode (always-on service; requires --out-dir):
   --follow                 tail <input.tsv> for appended chunks and re-release
@@ -70,6 +73,8 @@ follow mode (always-on service; requires --out-dir):
                            a restart recovers the exact session and ledger
   --checkpoint-rows <n>    checkpoint after n rows since the last checkpoint
                            (default: 65536; 0 = only on clean exit)
+  --metrics-interval-ms <n>  while following, also re-export the --metrics-file
+                           snapshot every n ms (default: final flush only)
 
   Every release covers the full stream ingested so far and is
   byte-identical to a one-shot run over the same prefix with the same
@@ -109,6 +114,8 @@ struct Args {
     lifetime_delta: Option<f64>,
     store_dir: Option<String>,
     checkpoint_rows: u64,
+    metrics_file: Option<String>,
+    metrics_interval_ms: Option<u64>,
 }
 
 impl Args {
@@ -154,6 +161,8 @@ fn parse_args() -> Result<Args, String> {
         lifetime_delta: None,
         store_dir: None,
         checkpoint_rows: 65536,
+        metrics_file: None,
+        metrics_interval_ms: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -240,6 +249,14 @@ fn parse_args() -> Result<Args, String> {
                     Some(parse_num(&value("--lifetime-delta", &mut it)?, "--lifetime-delta")?)
             }
             "--store-dir" => args.store_dir = Some(value("--store-dir", &mut it)?),
+            "--metrics-file" => args.metrics_file = Some(value("--metrics-file", &mut it)?),
+            "--metrics-interval-ms" => {
+                args.metrics_interval_ms = Some(
+                    value("--metrics-interval-ms", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("bad --metrics-interval-ms: {e}"))?,
+                )
+            }
             "--checkpoint-rows" => {
                 // 0 is legal here (checkpoint only on clean exit)
                 args.checkpoint_rows = value("--checkpoint-rows", &mut it)?
@@ -310,6 +327,14 @@ fn parse_args() -> Result<Args, String> {
         return Err("--out-dir only makes sense with --follow".into());
     } else if args.store_dir.is_some() {
         return Err("--store-dir only makes sense with --follow".into());
+    }
+    if args.metrics_interval_ms.is_some() {
+        if !args.follow {
+            return Err("--metrics-interval-ms only makes sense with --follow".into());
+        }
+        if args.metrics_file.is_none() {
+            return Err("--metrics-interval-ms needs --metrics-file".into());
+        }
     }
     Ok(args)
 }
@@ -451,22 +476,17 @@ fn run_follow(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             dir: dir.into(),
             checkpoint_rows: args.checkpoint_rows,
         }),
+        metrics_file: args.metrics_file.as_deref().map(Into::into),
+        metrics_interval: args.metrics_interval_ms.map(std::time::Duration::from_millis),
     };
     let mechanism = build_follow_mechanism(args);
     let report = dpsan_serve::serve(mechanism, std::path::Path::new(&args.input), &opts)?;
 
     if args.stats {
         if let Some(rec) = &report.recovery {
-            eprintln!(
-                "recovery: base-checkpoint={} replayed-records={} truncated-bytes={} \
-                 manifests={} rejected={} unpublished={}",
-                rec.base_generation.map_or("none".into(), |g| g.to_string()),
-                rec.replayed_records,
-                rec.truncated_bytes,
-                rec.manifests,
-                rec.rejected.len(),
-                rec.unpublished.len(),
-            );
+            // the summary line renders from the registry's recovery
+            // gauges — the same series a --metrics-file export carries
+            eprintln!("{}", dpsan_eval::stats_text::recovery_line(&dpsan_obs::global().snapshot()));
             for (generation, why) in &rec.rejected {
                 eprintln!("recovery: rejected checkpoint {generation}: {why}");
             }
@@ -484,20 +504,17 @@ fn run_follow(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             args.mechanism,
         );
         for (rec, path) in report.releases.iter().zip(&report.paths) {
-            let s = &rec.solver;
             eprintln!(
-                "release[{}]: rows={} latency_ms={:.1} dual-reopt={} warm-primal={} cold={} \
-                 dual-fallbacks={} eps-total={:.6} delta-total={:.6} out={}",
-                rec.index,
-                rec.rows,
-                rec.latency.as_secs_f64() * 1e3,
-                s.dual_reopts,
-                s.warm_primal(),
-                s.cold_starts,
-                s.dual_fallbacks,
-                rec.epsilon_total,
-                rec.delta_total,
-                path.display(),
+                "{}",
+                dpsan_eval::stats_text::release_line(
+                    rec.index,
+                    rec.rows,
+                    rec.latency,
+                    &dpsan_eval::stats_text::SolverCounters::from(&rec.solver),
+                    rec.epsilon_total,
+                    rec.delta_total,
+                    path,
+                )
             );
         }
         eprintln!("ledger: {}", report.ledger);
@@ -574,17 +591,11 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         );
         // always printed — all-zero for non-LP mechanisms, so scripted
         // consumers see one stable line per run instead of a missing one
-        let s = &release.solver;
         eprintln!(
-            "solver: solves={} dual-reopt={} warm-primal={} cold={} dual-fallbacks={} \
-             iterations={} refactorizations={}",
-            s.solves,
-            s.dual_reopts,
-            s.warm_primal(),
-            s.cold_starts,
-            s.dual_fallbacks,
-            s.iterations,
-            s.refactorizations,
+            "{}",
+            dpsan_eval::stats_text::solver_line(&dpsan_eval::stats_text::SolverCounters::from(
+                &release.solver
+            ))
         );
     }
 
@@ -602,6 +613,16 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             dpsan_searchlog::io::write_tsv(&release.output, &mut w)?;
             w.flush()?;
         }
+    }
+
+    // 4. telemetry export, after the release is on disk: purely
+    //    observational, the output above is byte-identical with or
+    //    without it (CI diffs this)
+    if let Some(path) = &args.metrics_file {
+        dpsan_obs::export::write_prometheus(
+            std::path::Path::new(path),
+            &dpsan_obs::global().snapshot(),
+        )?;
     }
     Ok(())
 }

@@ -32,6 +32,7 @@ pub mod golden;
 pub mod grids;
 pub mod pool;
 pub mod runner;
+pub mod stats_text;
 pub mod table;
 
 pub use context::{Ctx, FumpCell, Scale};

@@ -68,9 +68,10 @@ pub fn run_experiments(
 pub struct RunOptions {
     /// Echo a `running …` line to stderr per experiment.
     pub progress: bool,
-    /// After each experiment, print the aggregate [`solver
-    /// stats`](crate::Ctx::take_solve_stats) delta to **stderr** — kept
-    /// off stdout so the golden-gated output never sees it.
+    /// After each experiment, print the solver-counter delta (read
+    /// from the telemetry registry, rendered by
+    /// [`crate::stats_text`]) to **stderr** — kept off stdout so the
+    /// golden-gated output never sees it.
     pub solver_stats: bool,
 }
 
@@ -85,7 +86,14 @@ pub fn run_experiments_opts(
     if opts.solver_stats {
         ctx.take_solve_stats(); // start each run from a clean slate
     }
-    let mut total = dpsan_core::session::SessionStats::default();
+    // Per-experiment stats are registry snapshot deltas: experiments
+    // run serially in this process, so the delta across one experiment
+    // is exactly its solver work — the same numbers `--metrics-json`
+    // exports, rendered by the shared `stats_text` line. Cached cells
+    // solve zero LPs, so later experiments sharing a grid legitimately
+    // report `solves=0`.
+    let run_start = dpsan_obs::global().snapshot();
+    let mut before = run_start.clone();
     for name in names {
         if opts.progress {
             eprintln!("running {name} ...");
@@ -95,32 +103,18 @@ pub fn run_experiments_opts(
         out.write_all(&buf)?;
         writeln!(out)?;
         if opts.solver_stats {
-            let s = ctx.take_solve_stats();
-            total.merge(&s);
-            eprintln!("{}", format_stats(name, &s));
+            let after = dpsan_obs::global().snapshot();
+            let c = crate::stats_text::SolverCounters::from_snapshot(&after.delta(&before));
+            eprintln!("{}", crate::stats_text::solver_stats_line(name, &c));
+            before = after;
         }
     }
     if opts.solver_stats && names.len() > 1 {
-        eprintln!("{}", format_stats("total", &total));
+        let whole = dpsan_obs::global().snapshot().delta(&run_start);
+        let c = crate::stats_text::SolverCounters::from_snapshot(&whole);
+        eprintln!("{}", crate::stats_text::solver_stats_line("total", &c));
     }
     Ok(())
-}
-
-/// One-line rendering of a solver-stats block. Cached cells solve zero
-/// LPs, so later experiments sharing a grid legitimately report
-/// `solves=0`.
-fn format_stats(scope: &str, s: &dpsan_core::session::SessionStats) -> String {
-    format!(
-        "stats[{scope}]: solves={} dual-reopt={} warm-primal={} cold={} dual-fallbacks={} \
-         iterations={} refactorizations={}",
-        s.solves,
-        s.dual_reopts,
-        s.warm_primal(),
-        s.cold_starts,
-        s.dual_fallbacks,
-        s.iterations,
-        s.refactorizations,
-    )
 }
 
 #[cfg(test)]

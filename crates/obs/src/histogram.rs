@@ -1,0 +1,367 @@
+//! Fixed-bucket latency histograms with exact quantile extraction.
+//!
+//! A [`Histogram`] serves two consumers at once. Exporters want
+//! Prometheus-style cumulative bucket counts over a *fixed* boundary
+//! set, so dashboards can aggregate across processes. Humans (and the
+//! unified stderr lines) want an exact p50/p99, which bucket counts
+//! cannot give. The histogram therefore keeps both: per-bucket atomic
+//! counters for export, and the raw samples — up to
+//! [`SAMPLE_CAP`] of them — for exact nearest-rank quantiles. Below
+//! the cap, [`HistogramSnapshot::quantile`] is *exact* (it equals the
+//! value a sorted copy of every recorded sample would give); past the
+//! cap it degrades to the deterministic bucket upper bound, which is
+//! still monotone and still honest about its resolution
+//! ([`HistogramSnapshot::is_exact`] says which regime applies).
+//!
+//! Snapshots are plain data. [`HistogramSnapshot::merge`] adds bucket
+//! counts and concatenates retained samples, which makes merging
+//! associative — `(a ∪ b) ∪ c == a ∪ (b ∪ c)` in every discrete field
+//! (the f64 `sum` is associative up to rounding) — as long as the
+//! merged sample count stays under the cap; quantiles sort internally,
+//! so the concatenation order never matters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Retained-sample budget per histogram. 64 Ki samples at 8 bytes each
+/// bounds the exact-quantile memory to 512 KiB per histogram; beyond
+/// this, quantiles fall back to bucket resolution.
+pub const SAMPLE_CAP: usize = 1 << 16;
+
+/// The default latency boundary set, in seconds: a 1-2.5-5 ladder from
+/// 1 µs to 10 s. Shared by every latency histogram in the workspace so
+/// series stay aggregatable.
+pub fn default_latency_bounds() -> Vec<f64> {
+    let mut bounds = Vec::with_capacity(22);
+    for exp in -6i32..=0 {
+        let base = 10f64.powi(exp);
+        bounds.push(base);
+        if exp < 0 {
+            bounds.push(2.5 * base);
+            bounds.push(5.0 * base);
+        }
+    }
+    bounds.push(2.5);
+    bounds.push(5.0);
+    bounds.push(10.0);
+    bounds
+}
+
+/// A concurrent fixed-bucket histogram. Created through the registry
+/// ([`crate::Registry::histogram`]); shared by cloning the registry
+/// handle.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bounds of the finite buckets, strictly increasing. A
+    /// value `v` lands in the first bucket with `v <= bound`; values
+    /// above the last bound land in the implicit `+Inf` bucket.
+    bounds: Vec<f64>,
+    /// One counter per finite bucket plus the `+Inf` bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of all recorded values, stored as `f64` bits and updated by
+    /// compare-exchange (records are rare enough that contention on the
+    /// sum is not a concern; the buckets take the hot-path traffic).
+    sum_bits: AtomicU64,
+    /// The exact samples, retained up to [`SAMPLE_CAP`].
+    samples: Mutex<Vec<f64>>,
+}
+
+impl Histogram {
+    /// A standalone histogram over `bounds` (strictly increasing
+    /// finite bucket upper bounds). Most callers go through
+    /// [`crate::Registry::histogram`] instead.
+    ///
+    /// # Panics
+    /// If `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            samples: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Record one observation. NaN observations are dropped (a NaN
+    /// latency is always a caller bug, and poisoning every quantile
+    /// with it helps nobody).
+    pub fn record(&self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut samples = self.samples.lock().expect("histogram sample lock");
+        if samples.len() < SAMPLE_CAP {
+            samples.push(value);
+        }
+    }
+
+    /// Record a [`std::time::Duration`] in seconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        // Lock the samples first so the bucket counters cannot run
+        // ahead of the retained samples mid-snapshot.
+        let samples = self.samples.lock().expect("histogram sample lock").clone();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            samples,
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one entry per bound plus the final `+Inf`
+    /// bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Retained exact samples (all observations while under
+    /// [`SAMPLE_CAP`]).
+    pub samples: Vec<f64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot over `bounds`.
+    pub fn empty(bounds: Vec<f64>) -> Self {
+        let buckets = vec![0; bounds.len() + 1];
+        HistogramSnapshot { bounds, buckets, count: 0, sum: 0.0, samples: Vec::new() }
+    }
+
+    /// Whether quantiles are exact (every observation is retained).
+    pub fn is_exact(&self) -> bool {
+        self.samples.len() as u64 == self.count
+    }
+
+    /// Nearest-rank quantile of the recorded values, `q` in `[0, 1]`.
+    ///
+    /// While [`is_exact`](Self::is_exact) holds this returns exactly
+    /// the element a sorted copy of the samples holds at rank
+    /// `ceil(q·n)` (rank 1 for `q = 0`). Past the sample cap it
+    /// returns the upper bound of the bucket containing that rank
+    /// (`+Inf` bucket ranks return the largest finite bound), which is
+    /// deterministic and monotone in `q`. Returns `None` when the
+    /// histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if self.is_exact() {
+            let mut sorted = self.samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            return Some(sorted[rank - 1]);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    *self.bounds.last().expect("bounds are non-empty")
+                });
+            }
+        }
+        None
+    }
+
+    /// Median (p50) of the recorded values.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile of the recorded values.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the recorded values.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Merge `other` into `self` (multiset union of the observations).
+    ///
+    /// Bucket counts add and retained samples concatenate (truncated at
+    /// [`SAMPLE_CAP`]), so under the cap merging is associative and the
+    /// merged quantiles equal those of recording every observation into
+    /// one histogram. Panics if the boundary sets differ — merging
+    /// histograms of different shapes is always a wiring bug.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(self.bounds, other.bounds, "cannot merge histograms with different buckets");
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        let room = SAMPLE_CAP.saturating_sub(self.samples.len());
+        self.samples.extend(other.samples.iter().take(room).copied());
+    }
+
+    /// The observations in `self` that are not in `earlier` — the
+    /// counter-style delta used by per-release and per-experiment
+    /// reporting. `earlier` must be an older snapshot of the same
+    /// histogram; retained samples diff positionally (exact while both
+    /// snapshots were under the sample cap).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        assert_eq!(self.bounds, earlier.bounds, "cannot diff histograms with different buckets");
+        let buckets =
+            self.buckets.iter().zip(&earlier.buckets).map(|(a, b)| a.saturating_sub(*b)).collect();
+        let samples = if self.samples.len() >= earlier.samples.len() {
+            self.samples[earlier.samples.len()..].to_vec()
+        } else {
+            Vec::new()
+        };
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum - earlier.sum,
+            samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bounds_are_strictly_increasing() {
+        let b = default_latency_bounds();
+        assert!(b.windows(2).all(|w| w[0] < w[1]), "{b:?}");
+        assert_eq!(b.first().copied(), Some(1e-6));
+        assert_eq!(b.last().copied(), Some(10.0));
+    }
+
+    #[test]
+    fn values_land_in_le_buckets() {
+        let h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        h.record(0.5); // <= 1.0
+        h.record(1.0); // <= 1.0 (boundary is inclusive, Prometheus `le`)
+        h.record(1.5); // <= 2.0
+        h.record(4.0); // <= 4.0
+        h.record(9.0); // +Inf
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert!((s.sum - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_quantiles_match_sorted_reference() {
+        let h = Histogram::new(default_latency_bounds());
+        let values = [0.004, 0.001, 0.100, 0.002, 0.050, 0.003, 0.0005];
+        for v in values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.is_exact());
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        // nearest rank: p50 of 7 values is rank ceil(3.5)=4
+        assert_eq!(s.p50(), Some(sorted[3]));
+        assert_eq!(s.quantile(0.0), Some(sorted[0]));
+        assert_eq!(s.quantile(1.0), Some(sorted[6]));
+        assert_eq!(s.p99(), Some(sorted[6]));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = Histogram::new(vec![1.0]).snapshot();
+        assert_eq!(s.p50(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn nan_records_are_dropped() {
+        let h = Histogram::new(vec![1.0]);
+        h.record(f64::NAN);
+        h.record(0.5);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50(), Some(0.5));
+    }
+
+    #[test]
+    fn merge_is_multiset_union() {
+        let a = Histogram::new(vec![1.0, 2.0]);
+        let b = Histogram::new(vec![1.0, 2.0]);
+        a.record(0.5);
+        a.record(1.5);
+        b.record(3.0);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.buckets, vec![1, 1, 1]);
+        assert_eq!(m.p50(), Some(1.5));
+    }
+
+    #[test]
+    fn delta_recovers_the_new_observations() {
+        let h = Histogram::new(vec![1.0, 2.0]);
+        h.record(0.5);
+        let before = h.snapshot();
+        h.record(1.5);
+        h.record(3.0);
+        let d = h.snapshot().delta(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.samples, vec![1.5, 3.0]);
+        assert_eq!(d.buckets, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn past_the_cap_quantiles_fall_back_to_bucket_bounds() {
+        let mut s = HistogramSnapshot::empty(vec![1.0, 2.0, 4.0]);
+        // Simulate an over-cap snapshot: counts without samples.
+        s.buckets = vec![10, 10, 0, 1];
+        s.count = 21;
+        s.sum = 30.0;
+        assert!(!s.is_exact());
+        assert_eq!(s.p50(), Some(2.0), "rank 11 falls in the `le=2` bucket");
+        assert_eq!(s.quantile(1.0), Some(4.0), "+Inf bucket reports the largest finite bound");
+    }
+}

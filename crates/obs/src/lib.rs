@@ -1,0 +1,45 @@
+//! # dpsan-obs — first-class telemetry for the dpsan pipeline
+//!
+//! One process-wide [`Registry`] of named metrics — lock-free
+//! [`Counter`]s, float [`Gauge`]s, and fixed-bucket
+//! [`Histogram`](histogram::Histogram)s with exact p50/p99 extraction
+//! — plus lightweight [`trace`] spans (scoped RAII timers emitting
+//! JSONL, filtered by the `DPSAN_TRACE` env var), and two atomic
+//! exporters: the Prometheus text format and a JSON dump.
+//!
+//! ## The contract: observational only
+//!
+//! Nothing in the sanitization pipeline may *read* a metric to make a
+//! decision. Telemetry records what happened; it never changes what
+//! happens. CI enforces the observable consequence — release output is
+//! byte-identical with metrics exported or not — and the tracked
+//! `metrics_hot_path` bench keeps the recording cost honest.
+//!
+//! ## Usage
+//!
+//! ```
+//! use dpsan_obs::{global, histogram::default_latency_bounds};
+//!
+//! // Handles register lazily and are cheap to cache in a OnceLock.
+//! let releases = global().counter("dpsan_doc_releases_total");
+//! let fsync = global().histogram("dpsan_doc_fsync_seconds", default_latency_bounds());
+//!
+//! releases.inc();
+//! fsync.record(0.0004);
+//!
+//! let snap = global().snapshot();
+//! assert_eq!(snap.counter("dpsan_doc_releases_total"), 1);
+//! let text = dpsan_obs::export::prometheus_text(&snap);
+//! assert!(text.contains("dpsan_doc_releases_total 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::{default_latency_bounds, HistogramSnapshot, SAMPLE_CAP};
+pub use registry::{global, Counter, Gauge, Registry, SnapValue, Snapshot};

@@ -1,0 +1,327 @@
+//! Lightweight span tracing: scoped RAII timers and one-off events,
+//! emitted as JSONL and filtered by a `tracing`-style env filter.
+//!
+//! Tracing is **off by default** and costs one atomic load plus a
+//! couple of string compares per call site when disabled — cheap
+//! enough to leave in hot-ish paths. Set `DPSAN_TRACE` to enable:
+//!
+//! ```text
+//! DPSAN_TRACE=info                 # everything at info or coarser
+//! DPSAN_TRACE=debug                # everything at debug or coarser
+//! DPSAN_TRACE=serve=debug,store=info   # per-target levels
+//! DPSAN_TRACE=off                  # explicit silence (the default)
+//! ```
+//!
+//! Events go to stderr as one JSON object per line, or to the file
+//! named by `DPSAN_TRACE_FILE` (appended, line-buffered). Telemetry is
+//! observational only: nothing in the release pipeline reads a span,
+//! and with the filter off no byte is written anywhere.
+
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Event severity, coarsest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-affecting problems.
+    Error,
+    /// Suspicious but survivable conditions.
+    Warn,
+    /// Lifecycle landmarks (release written, recovery completed).
+    Info,
+    /// Per-operation detail (solve path chosen, chunk ingested).
+    Debug,
+    /// Everything, including per-record noise.
+    Trace,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim() {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A parsed `DPSAN_TRACE` filter: an optional default level plus
+/// per-target overrides (`target=level` clauses).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Filter {
+    /// The level applied to targets with no specific clause; `None`
+    /// means those targets are silent.
+    pub default: Option<Level>,
+    /// Per-target maximum levels, most specific match wins by prefix.
+    pub targets: Vec<(String, Level)>,
+}
+
+impl Filter {
+    /// Parse a filter spec. Unknown clauses are ignored rather than
+    /// fatal — a typo in an env var must never take the service down.
+    pub fn parse(spec: &str) -> Filter {
+        let mut filter = Filter::default();
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() || clause == "off" {
+                continue;
+            }
+            match clause.split_once('=') {
+                Some((target, level)) => {
+                    if let Some(level) = Level::parse(level) {
+                        filter.targets.push((target.trim().to_string(), level));
+                    }
+                }
+                None => {
+                    if let Some(level) = Level::parse(clause) {
+                        filter.default = Some(match filter.default {
+                            Some(cur) => cur.max(level),
+                            None => level,
+                        });
+                    }
+                }
+            }
+        }
+        // Longest prefix first so the most specific clause wins.
+        filter.targets.sort_by(|a, b| b.0.len().cmp(&a.0.len()).then_with(|| a.0.cmp(&b.0)));
+        filter
+    }
+
+    /// Whether an event at `level` for `target` passes this filter.
+    pub fn enabled(&self, level: Level, target: &str) -> bool {
+        for (prefix, max) in &self.targets {
+            if target.starts_with(prefix.as_str()) {
+                return level <= *max;
+            }
+        }
+        match self.default {
+            Some(max) => level <= max,
+            None => false,
+        }
+    }
+}
+
+enum Sink {
+    Stderr,
+    File(Mutex<std::fs::File>),
+}
+
+struct TraceConfig {
+    filter: Filter,
+    sink: Sink,
+}
+
+fn config() -> &'static TraceConfig {
+    static CONFIG: OnceLock<TraceConfig> = OnceLock::new();
+    CONFIG.get_or_init(|| {
+        let filter = std::env::var("DPSAN_TRACE").map(|s| Filter::parse(&s)).unwrap_or_default();
+        let sink = match std::env::var("DPSAN_TRACE_FILE") {
+            Ok(path) if !path.is_empty() => {
+                match OpenOptions::new().create(true).append(true).open(&path) {
+                    Ok(f) => Sink::File(Mutex::new(f)),
+                    // An unwritable trace file degrades to stderr
+                    // rather than killing the process.
+                    Err(_) => Sink::Stderr,
+                }
+            }
+            _ => Sink::Stderr,
+        };
+        TraceConfig { filter, sink }
+    })
+}
+
+/// Whether an event at `level` for `target` would be emitted.
+pub fn enabled(level: Level, target: &str) -> bool {
+    config().filter.enabled(level, target)
+}
+
+/// Render one JSONL event. `dur_us` is present for span-close events,
+/// absent for instantaneous ones.
+fn format_event(
+    kind: &str,
+    level: Level,
+    target: &str,
+    name: &str,
+    dur_us: Option<u128>,
+    fields: &[(&str, String)],
+) -> String {
+    let mut line = format!(
+        "{{\"ev\":\"{kind}\",\"level\":\"{level}\",\"target\":\"{target}\",\"name\":\"{}\"",
+        escape(name)
+    );
+    if let Some(us) = dur_us {
+        line.push_str(&format!(",\"dur_us\":{us}"));
+    }
+    for (k, v) in fields {
+        line.push_str(&format!(",\"{}\":\"{}\"", escape(k), escape(v)));
+    }
+    line.push_str("}\n");
+    line
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn emit(line: &str) {
+    match &config().sink {
+        Sink::Stderr => {
+            let _ = std::io::stderr().write_all(line.as_bytes());
+        }
+        Sink::File(f) => {
+            if let Ok(mut f) = f.lock() {
+                let _ = f.write_all(line.as_bytes());
+            }
+        }
+    }
+}
+
+/// Emit an instantaneous event (e.g. a serve heartbeat) if the filter
+/// allows it.
+pub fn event(level: Level, target: &str, name: &str, fields: &[(&str, String)]) {
+    if enabled(level, target) {
+        emit(&format_event("event", level, target, name, None, fields));
+    }
+}
+
+/// A scoped RAII timer: created by [`span`], emits a JSONL close event
+/// carrying its wall-clock duration when dropped. When the filter
+/// rejects the span at creation, the guard is inert — no clock read,
+/// no allocation beyond the struct itself, nothing emitted.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately measures nothing"]
+#[derive(Debug)]
+pub struct Span {
+    active: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    level: Level,
+    target: &'static str,
+    name: String,
+    start: Instant,
+}
+
+/// Open a scoped span; its duration is emitted when the guard drops.
+pub fn span(level: Level, target: &'static str, name: impl Into<String>) -> Span {
+    if enabled(level, target) {
+        Span { active: Some(SpanInner { level, target, name: name.into(), start: Instant::now() }) }
+    } else {
+        Span { active: None }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.active.take() {
+            emit(&format_event(
+                "span",
+                inner.level,
+                inner.target,
+                &inner.name,
+                Some(inner.start.elapsed().as_micros()),
+                &[],
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_filter_is_silent() {
+        let f = Filter::default();
+        assert!(!f.enabled(Level::Error, "serve"));
+    }
+
+    #[test]
+    fn bare_level_applies_to_every_target() {
+        let f = Filter::parse("info");
+        assert!(f.enabled(Level::Info, "serve"));
+        assert!(f.enabled(Level::Warn, "store"));
+        assert!(!f.enabled(Level::Debug, "store"));
+    }
+
+    #[test]
+    fn per_target_clauses_override_the_default() {
+        let f = Filter::parse("info,store=trace,serve=warn");
+        assert!(f.enabled(Level::Trace, "store"));
+        assert!(!f.enabled(Level::Info, "serve"));
+        assert!(f.enabled(Level::Warn, "serve"));
+        assert!(f.enabled(Level::Info, "stream"), "unlisted targets use the default");
+        assert!(!f.enabled(Level::Debug, "stream"));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let f = Filter::parse("store=warn,store::wal=debug");
+        assert!(f.enabled(Level::Debug, "store::wal"));
+        assert!(!f.enabled(Level::Debug, "store::checkpoint"));
+    }
+
+    #[test]
+    fn junk_clauses_are_ignored_not_fatal() {
+        let f = Filter::parse("bogus,=,store=notalevel,info");
+        assert_eq!(f.targets, Vec::new());
+        assert_eq!(f.default, Some(Level::Info));
+        assert_eq!(Filter::parse("off"), Filter::default());
+    }
+
+    #[test]
+    fn event_lines_are_jsonl_shaped() {
+        let line = format_event(
+            "span",
+            Level::Info,
+            "serve",
+            "release \"tiny\"",
+            Some(1234),
+            &[("outcome", "ok".to_string())],
+        );
+        assert_eq!(
+            line,
+            "{\"ev\":\"span\",\"level\":\"info\",\"target\":\"serve\",\
+             \"name\":\"release \\\"tiny\\\"\",\"dur_us\":1234,\"outcome\":\"ok\"}\n"
+        );
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        // The test environment does not set DPSAN_TRACE, so this span
+        // must carry no timer.
+        let s = span(Level::Trace, "test", "noop");
+        assert!(s.active.is_none());
+    }
+}

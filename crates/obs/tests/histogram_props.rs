@@ -1,0 +1,128 @@
+//! Property tests for the obs histogram: exact quantiles against a
+//! sorted reference, merge associativity, and bucket-boundary edges.
+
+use dpsan_obs::histogram::{default_latency_bounds, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// The independent nearest-rank reference the histogram's exact path
+/// must reproduce: sort everything, take rank `ceil(q·n)` (1-based).
+fn sorted_reference(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn exact_quantiles_match_the_sorted_reference(
+        values in prop::collection::vec(0.0f64..20.0, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new(default_latency_bounds());
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert!(s.is_exact());
+        prop_assert_eq!(s.quantile(q), Some(sorted_reference(&values, q)));
+        prop_assert_eq!(s.p50(), Some(sorted_reference(&values, 0.50)));
+        prop_assert_eq!(s.p99(), Some(sorted_reference(&values, 0.99)));
+    }
+
+    #[test]
+    fn merge_is_associative_and_order_blind_on_quantiles(
+        a in prop::collection::vec(0.0f64..10.0, 0..60),
+        b in prop::collection::vec(0.0f64..10.0, 0..60),
+        c in prop::collection::vec(0.0f64..10.0, 0..60),
+    ) {
+        let snap = |values: &[f64]| {
+            let h = Histogram::new(default_latency_bounds());
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        // (a ∪ b) ∪ c
+        let mut left = snap(&a);
+        left.merge(&snap(&b));
+        left.merge(&snap(&c));
+        // a ∪ (b ∪ c)
+        let mut bc = snap(&b);
+        bc.merge(&snap(&c));
+        let mut right = snap(&a);
+        right.merge(&bc);
+        // Everything discrete is exactly associative; the f64 sum is
+        // associative only up to rounding (addition order differs).
+        prop_assert_eq!(&left.buckets, &right.buckets);
+        prop_assert_eq!(left.count, right.count);
+        prop_assert_eq!(&left.samples, &right.samples);
+        prop_assert!((left.sum - right.sum).abs() <= 1e-9 * left.sum.abs().max(1.0));
+
+        // And the merged quantiles equal those of one histogram that
+        // saw every observation.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        if !all.is_empty() {
+            prop_assert_eq!(left.p50(), Some(sorted_reference(&all, 0.50)));
+            prop_assert_eq!(left.p99(), Some(sorted_reference(&all, 0.99)));
+        } else {
+            prop_assert_eq!(left.p50(), None);
+        }
+    }
+
+    #[test]
+    fn bucket_counts_respect_le_semantics(
+        values in prop::collection::vec(0.0f64..15.0, 1..100),
+    ) {
+        let bounds = vec![0.5, 1.0, 5.0, 10.0];
+        let h = Histogram::new(bounds.clone());
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Cumulative bucket counts must match a direct `v <= bound`
+        // count, and the +Inf bucket must absorb the rest.
+        let mut cumulative = 0u64;
+        for (i, &bound) in bounds.iter().enumerate() {
+            cumulative += s.buckets[i];
+            let reference = values.iter().filter(|&&v| v <= bound).count() as u64;
+            prop_assert_eq!(cumulative, reference, "le={}", bound);
+        }
+        prop_assert_eq!(cumulative + s.buckets[bounds.len()], values.len() as u64);
+    }
+}
+
+#[test]
+fn values_exactly_on_bucket_boundaries_land_low() {
+    // `le` buckets are inclusive: a value equal to a bound belongs to
+    // that bound's bucket, matching Prometheus semantics.
+    let h = Histogram::new(vec![1.0, 2.0, 4.0]);
+    for v in [1.0, 2.0, 4.0] {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.buckets, vec![1, 1, 1, 0]);
+}
+
+#[test]
+fn snapshot_equality_is_byte_stable_across_idle_snapshots() {
+    let h = Histogram::new(default_latency_bounds());
+    for v in [0.001, 0.01, 0.1] {
+        h.record(v);
+    }
+    let a = h.snapshot();
+    let b = h.snapshot();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn empty_merge_is_identity() {
+    let h = Histogram::new(vec![1.0]);
+    h.record(0.5);
+    let mut s = h.snapshot();
+    let before = s.clone();
+    s.merge(&HistogramSnapshot::empty(vec![1.0]));
+    assert_eq!(s, before);
+}

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod follow;
+pub mod obs;
 pub mod session;
 
 pub use follow::{FollowError, FollowReader};
@@ -93,6 +94,15 @@ pub struct ServeOptions {
     /// Durable crash-safe persistence; `None` keeps all state in
     /// memory (the pre-store behavior).
     pub store: Option<StoreOptions>,
+    /// Write a Prometheus-text metrics snapshot here (atomically,
+    /// temp + rename) — once at exit, and periodically while following
+    /// when [`ServeOptions::metrics_interval`] is also set. Telemetry
+    /// is observational only: releases are byte-identical with this on
+    /// or off (CI diffs it).
+    pub metrics_file: Option<PathBuf>,
+    /// How often to re-export the snapshot while the follow loop runs
+    /// (`None` = only the final flush).
+    pub metrics_interval: Option<Duration>,
 }
 
 /// Durability knobs for the serve loop.
@@ -178,9 +188,17 @@ pub fn serve(
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut budget_refusal = None;
     let mut last_data = Instant::now();
+    let mut last_flush = Instant::now();
 
     'serve: loop {
-        if let Some(chunk) = follow.poll()? {
+        let polled = follow.poll()?;
+        // lag = bytes the writer appended that we have not consumed
+        // yet; after a successful poll this is the partial trailing
+        // line (if any), between polls it is the backlog
+        if let Ok(meta) = std::fs::metadata(input) {
+            obs::follow_lag_bytes().set(meta.len().saturating_sub(follow.consumed()) as f64);
+        }
+        if let Some(chunk) = polled {
             // WAL first: the chunk is durable before the session sees
             // it, so a crash at any later point can replay it.
             if let Some(store) = store.as_mut() {
@@ -225,6 +243,21 @@ pub fn serve(
                 break 'serve;
             }
         }
+        // idle tick: nothing polled, nothing due — the heartbeat makes
+        // "alive but quiet" observable (DPSAN_TRACE=serve=debug)
+        obs::heartbeats_total().inc();
+        dpsan_obs::trace::event(
+            dpsan_obs::trace::Level::Debug,
+            "serve",
+            "heartbeat",
+            &[("pending_rows", session.pending_rows().to_string())],
+        );
+        if let (Some(path), Some(interval)) = (&opts.metrics_file, opts.metrics_interval) {
+            if last_flush.elapsed() >= interval {
+                dpsan_obs::export::write_prometheus(path, &dpsan_obs::global().snapshot())?;
+                last_flush = Instant::now();
+            }
+        }
         std::thread::sleep(opts.poll);
     }
 
@@ -233,6 +266,12 @@ pub fn serve(
         if session.rows() > 0 {
             store.checkpoint(&session.ingest_state(), follow.consumed())?;
         }
+    }
+
+    // Final metrics flush, after the exit checkpoint so its fsync
+    // latency is in the snapshot.
+    if let Some(path) = &opts.metrics_file {
+        dpsan_obs::export::write_prometheus(path, &dpsan_obs::global().snapshot())?;
     }
 
     Ok(ServeReport {

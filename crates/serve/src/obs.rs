@@ -1,0 +1,54 @@
+//! Serve-loop telemetry handles.
+//!
+//! | series | type | meaning |
+//! |---|---|---|
+//! | `dpsan_releases_total` | counter | successful re-releases |
+//! | `dpsan_release_seconds` | histogram | full re-release latency (merge + preprocess + solve + sample) |
+//! | `dpsan_release_rows` | gauge | input rows covered by the most recent release |
+//! | `dpsan_release_refusals_total` | counter | releases refused by the lifetime budget |
+//! | `dpsan_follow_lag_bytes` | gauge | bytes appended to the followed file but not yet consumed |
+//! | `dpsan_serve_heartbeats_total` | counter | idle poll-loop ticks (the serve loop is alive but has nothing to do) |
+//!
+//! The serve loop also emits trace events: an `Info` span per release
+//! and a `Debug` `heartbeat` event per idle tick (set
+//! `DPSAN_TRACE=serve=debug` to see the loop breathing).
+
+use dpsan_obs::histogram::Histogram;
+use dpsan_obs::{default_latency_bounds, global, Counter, Gauge};
+use std::sync::{Arc, OnceLock};
+
+/// Successful re-releases.
+pub fn releases_total() -> &'static Counter {
+    static H: OnceLock<Counter> = OnceLock::new();
+    H.get_or_init(|| global().counter("dpsan_releases_total"))
+}
+
+/// Full re-release latency.
+pub fn release_seconds() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| global().histogram("dpsan_release_seconds", default_latency_bounds()))
+}
+
+/// Input rows covered by the most recent release.
+pub fn release_rows() -> &'static Gauge {
+    static H: OnceLock<Gauge> = OnceLock::new();
+    H.get_or_init(|| global().gauge("dpsan_release_rows"))
+}
+
+/// Releases refused by the lifetime budget.
+pub fn release_refusals_total() -> &'static Counter {
+    static H: OnceLock<Counter> = OnceLock::new();
+    H.get_or_init(|| global().counter("dpsan_release_refusals_total"))
+}
+
+/// Bytes appended to the followed file but not yet consumed.
+pub fn follow_lag_bytes() -> &'static Gauge {
+    static H: OnceLock<Gauge> = OnceLock::new();
+    H.get_or_init(|| global().gauge("dpsan_follow_lag_bytes"))
+}
+
+/// Idle poll-loop ticks.
+pub fn heartbeats_total() -> &'static Counter {
+    static H: OnceLock<Counter> = OnceLock::new();
+    H.get_or_init(|| global().counter("dpsan_serve_heartbeats_total"))
+}

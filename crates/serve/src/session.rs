@@ -212,10 +212,23 @@ impl ServeSession {
     /// A budget refusal ([`ServeError::is_budget_refusal`]) leaves the
     /// ingest state, the ledger, and the trigger state untouched.
     pub fn release_now(&mut self) -> Result<Release, ServeError> {
+        let span = dpsan_obs::trace::span(dpsan_obs::trace::Level::Info, "serve", "release");
         let start = Instant::now();
         let snapshot = self.ingest.snapshot();
-        let release = self.planner.release(&snapshot.log, self.params, self.seed)?;
+        let release = match self.planner.release(&snapshot.log, self.params, self.seed) {
+            Ok(r) => r,
+            Err(e) => {
+                if matches!(e, CoreError::Budget(_)) {
+                    crate::obs::release_refusals_total().inc();
+                }
+                return Err(e.into());
+            }
+        };
         let latency = start.elapsed();
+        drop(span);
+        crate::obs::releases_total().inc();
+        crate::obs::release_seconds().record_duration(latency);
+        crate::obs::release_rows().set(self.ingest.rows() as f64);
         self.records.push(ReleaseRecord {
             index: self.planner.releases(),
             rows: self.ingest.rows(),

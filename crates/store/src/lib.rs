@@ -42,6 +42,7 @@ pub mod codec;
 pub mod crc;
 pub mod io;
 pub mod manifest;
+pub mod obs;
 pub mod snapshot;
 pub mod store;
 pub mod wal;

@@ -1,0 +1,75 @@
+//! Durable-store telemetry handles.
+//!
+//! | series | type | meaning |
+//! |---|---|---|
+//! | `dpsan_wal_fsync_seconds` | histogram | WAL append+fsync latency per logged chunk |
+//! | `dpsan_checkpoint_seconds` | histogram | full checkpoint duration (write + WAL roll + prune) |
+//! | `dpsan_recoveries_total{outcome=...}` | counter | store opens by recovery outcome: `checkpoint`, `wal_replay`, `fresh` |
+//! | `dpsan_recovery_base_generation` | gauge | generation that seeded the last recovery (−1 = none) |
+//! | `dpsan_recovery_replayed_records` | gauge | WAL records replayed by the last recovery |
+//! | `dpsan_recovery_truncated_bytes` | gauge | torn bytes truncated off the live segment |
+//! | `dpsan_recovery_manifests` | gauge | manifests in the verified chain at open |
+//! | `dpsan_recovery_rejected_checkpoints` | gauge | checkpoints recovery rejected |
+//! | `dpsan_recovery_unpublished` | gauge | manifests whose artifact is missing/corrupt |
+//!
+//! The recovery gauges describe the **last** `DurableStore::open` in
+//! this process, which is exactly what the operator-facing `recovery:`
+//! stderr line renders — both read the same snapshot, so they cannot
+//! disagree.
+
+use dpsan_obs::histogram::Histogram;
+use dpsan_obs::{default_latency_bounds, global, Counter, Gauge};
+use std::sync::{Arc, OnceLock};
+
+/// WAL append+fsync latency per logged chunk.
+pub fn wal_fsync_seconds() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| global().histogram("dpsan_wal_fsync_seconds", default_latency_bounds()))
+}
+
+/// Full checkpoint duration.
+pub fn checkpoint_seconds() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| global().histogram("dpsan_checkpoint_seconds", default_latency_bounds()))
+}
+
+/// Store opens by recovery outcome.
+pub fn recoveries_total(outcome: &str) -> Counter {
+    global().counter_with("dpsan_recoveries_total", "outcome", outcome)
+}
+
+/// Generation that seeded the last recovery (−1 = rebuilt from scratch).
+pub fn recovery_base_generation() -> &'static Gauge {
+    static H: OnceLock<Gauge> = OnceLock::new();
+    H.get_or_init(|| global().gauge("dpsan_recovery_base_generation"))
+}
+
+/// WAL records replayed by the last recovery.
+pub fn recovery_replayed_records() -> &'static Gauge {
+    static H: OnceLock<Gauge> = OnceLock::new();
+    H.get_or_init(|| global().gauge("dpsan_recovery_replayed_records"))
+}
+
+/// Torn bytes truncated off the live segment by the last recovery.
+pub fn recovery_truncated_bytes() -> &'static Gauge {
+    static H: OnceLock<Gauge> = OnceLock::new();
+    H.get_or_init(|| global().gauge("dpsan_recovery_truncated_bytes"))
+}
+
+/// Manifests in the verified chain at the last open.
+pub fn recovery_manifests() -> &'static Gauge {
+    static H: OnceLock<Gauge> = OnceLock::new();
+    H.get_or_init(|| global().gauge("dpsan_recovery_manifests"))
+}
+
+/// Checkpoints the last recovery rejected.
+pub fn recovery_rejected_checkpoints() -> &'static Gauge {
+    static H: OnceLock<Gauge> = OnceLock::new();
+    H.get_or_init(|| global().gauge("dpsan_recovery_rejected_checkpoints"))
+}
+
+/// Manifests whose release artifact is missing or corrupt.
+pub fn recovery_unpublished() -> &'static Gauge {
+    static H: OnceLock<Gauge> = OnceLock::new();
+    H.get_or_init(|| global().gauge("dpsan_recovery_unpublished"))
+}

@@ -269,6 +269,36 @@ impl DurableStore {
         }
 
         report.replayed_records = replay.len();
+
+        // Recovery telemetry: an outcome counter plus gauges holding
+        // this open's report — the `recovery:` stderr line renders from
+        // the same snapshot these feed.
+        let outcome = if report.base_generation.is_some() {
+            "checkpoint"
+        } else if replay.is_empty() {
+            "fresh"
+        } else {
+            "wal_replay"
+        };
+        crate::obs::recoveries_total(outcome).inc();
+        crate::obs::recovery_base_generation()
+            .set(report.base_generation.map_or(-1.0, |g| g as f64));
+        crate::obs::recovery_replayed_records().set(report.replayed_records as f64);
+        crate::obs::recovery_truncated_bytes().set(report.truncated_bytes as f64);
+        crate::obs::recovery_manifests().set(report.manifests as f64);
+        crate::obs::recovery_rejected_checkpoints().set(report.rejected.len() as f64);
+        crate::obs::recovery_unpublished().set(report.unpublished.len() as f64);
+        dpsan_obs::trace::event(
+            dpsan_obs::trace::Level::Info,
+            "store",
+            "recovered",
+            &[
+                ("outcome", outcome.to_string()),
+                ("replayed", report.replayed_records.to_string()),
+                ("manifests", report.manifests.to_string()),
+            ],
+        );
+
         let input_offset = replay.last().map_or(base_offset, |r| r.offset_after);
         let prev_crc = manifests.last().map(chain_crc).unwrap_or(0);
         let store = DurableStore {
@@ -289,7 +319,9 @@ impl DurableStore {
     /// that makes every ingested row recoverable.
     pub fn log_chunk(&mut self, offset_after: u64, chunk: &[u8]) -> Result<(), StoreError> {
         let record = WalRecord { offset_after, chunk: chunk.to_vec() };
+        let start = std::time::Instant::now();
         append_record(self.io.as_ref(), &wal_path(&self.dir, self.generation), &record)?;
+        crate::obs::wal_fsync_seconds().record_duration(start.elapsed());
         Ok(())
     }
 
@@ -309,6 +341,8 @@ impl DurableStore {
         state: &SessionState,
         input_offset: u64,
     ) -> Result<(), StoreError> {
+        let start = std::time::Instant::now();
+        let span = dpsan_obs::trace::span(dpsan_obs::trace::Level::Info, "store", "checkpoint");
         let gen = self.generation + 1;
         write_checkpoint(self.io.as_ref(), &self.dir, gen, state, input_offset)?;
         self.generation = gen;
@@ -325,6 +359,8 @@ impl DurableStore {
                 let _ = self.io.remove_all(&p);
             }
         }
+        drop(span);
+        crate::obs::checkpoint_seconds().record_duration(start.elapsed());
         Ok(())
     }
 

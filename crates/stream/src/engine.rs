@@ -169,10 +169,12 @@ impl IngestSession {
         let mut stream = TsvStream::new(reader);
         let mut buf = Vec::with_capacity(self.cfg.chunk_rows.min(64 * 1024));
         let mut added: u64 = 0;
+        let mut chunks: u64 = 0;
         let result = loop {
             match stream.read_chunk(&mut buf, self.cfg.chunk_rows) {
                 Ok(0) => break Ok(added),
                 Ok(n) => {
+                    chunks += 1;
                     self.report.peak_chunk_rows = self.report.peak_chunk_rows.max(n);
                     for rec in &buf {
                         let s = shard_of(&rec.user, self.cfg.shards);
@@ -188,6 +190,13 @@ impl IngestSession {
             }
         };
         self.report.lines = lines_before + stream.lines_read() as u64;
+        // Observational telemetry, once per call: the applied rows and
+        // chunks (complete chunks land even when a later chunk errors)
+        // and the peak staged shard size.
+        crate::obs::rows_total().add(added);
+        crate::obs::chunks_total().add(chunks);
+        let peak = self.shards.iter().map(ShardIntake::staged_triplets).max().unwrap_or(0);
+        crate::obs::shard_triplets_max().max(peak as f64);
         result
     }
 

@@ -21,7 +21,9 @@
 //!   sketch over query–url pairs with the standard `N/(k+1)` error
 //!   bound, plus exactified frequent-pair mining,
 //! * [`pool`] — the scoped worker pool (shared with `dpsan-eval`,
-//!   which re-exports it).
+//!   which re-exports it),
+//! * [`obs`] — the layer's metric handles (rows/chunks ingested, peak
+//!   shard size, sketch evictions), recorded off the per-record path.
 //!
 //! ## Privacy invariant: shards are user-complete
 //!
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod obs;
 pub mod pool;
 pub mod shard;
 pub mod sketch;

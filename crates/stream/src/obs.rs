@@ -1,0 +1,40 @@
+//! Ingest-layer telemetry handles.
+//!
+//! | series | type | meaning |
+//! |---|---|---|
+//! | `dpsan_ingest_rows_total` | counter | records ingested across all sessions |
+//! | `dpsan_ingest_chunks_total` | counter | bounded chunks consumed |
+//! | `dpsan_ingest_shard_triplets_max` | gauge | peak staged triplets in any shard |
+//! | `dpsan_sketch_evictions_total` | counter | Misra–Gries eviction rounds (offer + merge) |
+//!
+//! Recording is observational only and off the per-record path: row
+//! and chunk counts add once per `ingest` call, the shard gauge is a
+//! running maximum, and the eviction counter ticks only when a full
+//! sketch actually evicts.
+
+use dpsan_obs::{global, Counter, Gauge};
+use std::sync::OnceLock;
+
+/// Records ingested across all sessions.
+pub fn rows_total() -> &'static Counter {
+    static H: OnceLock<Counter> = OnceLock::new();
+    H.get_or_init(|| global().counter("dpsan_ingest_rows_total"))
+}
+
+/// Bounded chunks consumed.
+pub fn chunks_total() -> &'static Counter {
+    static H: OnceLock<Counter> = OnceLock::new();
+    H.get_or_init(|| global().counter("dpsan_ingest_chunks_total"))
+}
+
+/// Peak staged triplets in any shard (running maximum).
+pub fn shard_triplets_max() -> &'static Gauge {
+    static H: OnceLock<Gauge> = OnceLock::new();
+    H.get_or_init(|| global().gauge("dpsan_ingest_shard_triplets_max"))
+}
+
+/// Misra–Gries eviction rounds, over both `offer` and `merge`.
+pub fn sketch_evictions_total() -> &'static Counter {
+    static H: OnceLock<Counter> = OnceLock::new();
+    H.get_or_init(|| global().counter("dpsan_sketch_evictions_total"))
+}

@@ -132,6 +132,7 @@ impl PairSketch {
         let m = *self.counters.values().min().expect("capacity >= 1 and map is full");
         let d = m.min(count);
         self.decrements += d;
+        crate::obs::sketch_evictions_total().inc();
         self.counters.retain(|_, c| {
             *c -= d;
             *c > 0
@@ -156,6 +157,7 @@ impl PairSketch {
             vals.sort_unstable_by(|a, b| b.cmp(a));
             let s = vals[self.capacity];
             self.decrements += s;
+            crate::obs::sketch_evictions_total().inc();
             self.counters.retain(|_, c| {
                 if *c > s {
                     *c -= s;

@@ -28,6 +28,9 @@
 //! * [`store`] — durable crash-safe persistence (checksummed shard
 //!   snapshots, WAL-backed resumable ingest, the chained
 //!   release-manifest ledger that makes budgets survive restarts),
+//! * [`obs`] — the telemetry substrate (process-wide metrics registry,
+//!   exact-quantile latency histograms, Prometheus/JSON exporters,
+//!   filtered span tracing) every layer above reports into,
 //! * [`eval`] — the table/figure reproduction harness and the
 //!   `sanitize` / `genlog` / `repro` binaries.
 //!
@@ -71,6 +74,7 @@ pub use dpsan_datagen as datagen;
 pub use dpsan_dp as dp;
 pub use dpsan_eval as eval;
 pub use dpsan_lp as lp;
+pub use dpsan_obs as obs;
 pub use dpsan_searchlog as searchlog;
 pub use dpsan_serve as serve;
 pub use dpsan_store as store;
