@@ -20,7 +20,10 @@ use dpsan_core::ump::output_size::{solve_oump_with, OumpOptions};
 use dpsan_datagen::{generate, presets, write_log_tsv};
 use dpsan_dp::params::PrivacyParams;
 use dpsan_eval::{run_experiment, Ctx, Scale};
+use dpsan_lp::factor::BasisFactor;
+use dpsan_lp::problem::{Problem, Sense, VarBounds};
 use dpsan_lp::simplex::SimplexOptions;
+use dpsan_lp::sparse::CscMatrix;
 use dpsan_searchlog::{preprocess, SearchLog};
 use dpsan_serve::ServeSession;
 use dpsan_store::wal::{append_record, WalRecord};
@@ -330,6 +333,86 @@ fn bench(c: &mut Criterion) {
             let mut buf = Vec::new();
             run_experiment("table4", &ctx, &mut buf).unwrap();
             buf.len()
+        })
+    });
+
+    // ---- the 10^5-user sparse-route entries ----
+    // Shared setup, built once and untimed: the tiny preset scaled to
+    // 100k users exactly the way `genlog --scale tiny --users 100000`
+    // scales it (vocabulary grows with the population so pair sharing
+    // keeps its shape), preprocessed and compiled to the real O-UMP
+    // constraint system. Everything below 512 rows takes the dense
+    // route; these two entries are the only tracked coverage of the
+    // sparse kernels at the scale they exist for.
+    let (big_cons, big_matrix, big_basis) = {
+        let mut cfg = dpsan_eval::Scale::Tiny.config();
+        let users = 100_000usize;
+        let ratio = users as f64 / cfg.n_users as f64;
+        cfg.n_queries = ((cfg.n_queries as f64 * ratio).ceil() as usize).max(1);
+        cfg.n_users = users;
+        let (pre, _) = preprocess(&generate(&cfg));
+        let cons =
+            PrivacyConstraints::build(&pre, PrivacyParams::from_e_epsilon(2.0, 0.5)).unwrap();
+        // the standard-form matrix of the O-UMP LP: structural pair
+        // columns plus one slack per user row
+        let mut p = Problem::new(Sense::Maximize);
+        let cols: Vec<usize> = (0..cons.n_pairs())
+            .map(|pi| {
+                p.add_col(1.0, VarBounds { lower: 0.0, upper: cons.pair_totals()[pi] as f64 })
+                    .expect("valid column")
+            })
+            .collect();
+        cons.add_to_problem(&mut p, &cols);
+        let (m, n) = (p.n_rows(), p.n_cols());
+        let mut trips = p.triplets().to_vec();
+        for i in 0..m {
+            trips.push((i, n + i, 1.0));
+        }
+        let a = CscMatrix::from_triplets(m, n + m, &trips);
+        // a mixed structural/slack basis: each column claims its lowest
+        // unclaimed row (CSC columns are row-sorted), leftover rows
+        // keep their slack — nonsingular by construction and far
+        // denser than the all-slack identity, so the factorization
+        // entry measures real Markowitz work on the real matrix
+        let mut owner = vec![usize::MAX; m];
+        for j in 0..n {
+            let (rows, vals) = a.col(j);
+            if let (Some(&r), Some(&v)) = (rows.first(), vals.first()) {
+                if owner[r] == usize::MAX && v.abs() > 1e-9 {
+                    owner[r] = j;
+                }
+            }
+        }
+        let basis: Vec<usize> = owner
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| if j == usize::MAX { n + i } else { j })
+            .collect();
+        (cons, a, basis)
+    };
+
+    g.bench_function("sparse_factor_100k", |b| {
+        // sparse LU (Markowitz) of a ~10^5-row basis of the real
+        // 10^5-user constraint matrix; the dense kernel cannot appear
+        // here at all — the explicit basis matrix alone is ~80 GB
+        b.iter(|| BasisFactor::factor(&big_matrix, &big_basis).expect("nonsingular").lu_nnz())
+    });
+
+    g.bench_function("oump_sparse_solve_100k", |b| {
+        // pivot throughput at scale: a cold sparse-route solve capped
+        // at 1000 iterations in anytime mode. Proving optimality at
+        // this density takes hours regardless of kernel (hypersparsity
+        // collapses — see ROADMAP), so the tracked number is what the
+        // serving path's --lp-budget actually pays: initial
+        // factorization plus 1000 sparse pivots on the real LP.
+        let opts = OumpOptions {
+            lp: SimplexOptions { max_iter: 1_000, ..SimplexOptions::default() },
+            anytime: true,
+            ..Default::default()
+        };
+        b.iter(|| {
+            let s = solve_oump_with(&big_cons, &opts).unwrap();
+            (s.lambda, s.capped)
         })
     });
 

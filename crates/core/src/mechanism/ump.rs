@@ -86,6 +86,7 @@ pub struct UmpSanitizer {
     strategy: MultinomialStrategy,
     laplace: Option<LaplaceStep>,
     session: Mutex<SolveSession>,
+    anytime: bool,
 }
 
 impl UmpSanitizer {
@@ -97,6 +98,7 @@ impl UmpSanitizer {
             strategy: MultinomialStrategy::Auto,
             laplace: None,
             session: Mutex::new(SolveSession::new(SimplexOptions::default())),
+            anytime: false,
         }
     }
 
@@ -117,6 +119,20 @@ impl UmpSanitizer {
     /// (resets any accumulated warm-start state).
     pub fn with_lp_options(mut self, lp: SimplexOptions) -> Self {
         self.session = Mutex::new(SolveSession::new(lp));
+        self
+    }
+
+    /// Budgeted "anytime" solving: cap the LP at `max_iter` simplex
+    /// iterations and accept the best feasible iterate when the cap
+    /// strikes (O-UMP objective only; see
+    /// [`crate::ump::output_size::OumpOptions::anytime`]). What lets a
+    /// 10⁵-user sanitize finish under a wall-clock budget — phase-2
+    /// iterates are always privacy-feasible, so the cap trades utility
+    /// (λ), never privacy. Resets any accumulated warm-start state.
+    pub fn with_lp_iteration_budget(mut self, max_iter: usize) -> Self {
+        let lp = SimplexOptions { max_iter, ..SimplexOptions::default() };
+        self.session = Mutex::new(SolveSession::new(lp));
+        self.anytime = true;
         self
     }
 
@@ -187,7 +203,10 @@ impl Sanitizer for UmpSanitizer {
             let counts = match &self.objective {
                 UtilityObjective::OutputSize => {
                     session
-                        .solve_oump(&constraints, &OumpOptions { lp, ..Default::default() })?
+                        .solve_oump(
+                            &constraints,
+                            &OumpOptions { lp, anytime: self.anytime, ..Default::default() },
+                        )?
                         .counts
                 }
                 UtilityObjective::FrequentPairs { min_support, output_size } => {

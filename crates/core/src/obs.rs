@@ -2,7 +2,7 @@
 //!
 //! | series | type | meaning |
 //! |---|---|---|
-//! | `dpsan_solves_total{path=...}` | counter | solves by path actually taken: `dual_reopt`, `warm_primal`, `cold_primal` |
+//! | `dpsan_solves_total{path=...}` | counter | solves by path actually taken: `dual_reopt`, `warm_primal`, `cold_primal`, plus `_sparse`-suffixed variants when the LP layer routed the solve onto its sparse kernels |
 //! | `dpsan_solve_iterations_total` | counter | simplex iterations (all algorithms, including failed dual attempts) |
 //! | `dpsan_solve_refactorizations_total` | counter | basis (re)factorizations |
 //! | `dpsan_solve_dual_fallbacks_total` | counter | dual reoptimizations that bowed out to the primal path |
@@ -19,16 +19,23 @@ use dpsan_obs::{global, Counter};
 use std::sync::OnceLock;
 
 /// Solves that finished on the given path (`dual_reopt`, `warm_primal`,
-/// or `cold_primal`). Handles are cached per path so the hot solve loop
-/// never touches the registry lock.
+/// `cold_primal`, or their `_sparse`-suffixed variants). Handles are
+/// cached per path so the hot solve loop never touches the registry
+/// lock.
 pub fn solves_total(path: &str) -> Counter {
     static DUAL: OnceLock<Counter> = OnceLock::new();
     static WARM: OnceLock<Counter> = OnceLock::new();
     static COLD: OnceLock<Counter> = OnceLock::new();
+    static DUAL_SP: OnceLock<Counter> = OnceLock::new();
+    static WARM_SP: OnceLock<Counter> = OnceLock::new();
+    static COLD_SP: OnceLock<Counter> = OnceLock::new();
     let cache = match path {
         "dual_reopt" => &DUAL,
         "warm_primal" => &WARM,
         "cold_primal" => &COLD,
+        "dual_reopt_sparse" => &DUAL_SP,
+        "warm_primal_sparse" => &WARM_SP,
+        "cold_primal_sparse" => &COLD_SP,
         other => return global().counter_with("dpsan_solves_total", "path", other),
     };
     cache.get_or_init(|| global().counter_with("dpsan_solves_total", "path", path)).clone()

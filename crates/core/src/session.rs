@@ -294,8 +294,14 @@ impl SolveSession {
             degenerate_retry = true;
             let spent_iterations = out.stats.iterations;
             let spent_refactorizations = out.stats.refactorizations;
-            out =
-                solve_parametric_cached(problem, &self.lp, None, StepHint::Fresh, &mut self.cache)?;
+            // the canonical answer is kept unconditionally, and the
+            // vetoed solve already certified this LP's optimum as
+            // non-unique — skip paying for the certificate again (on
+            // massively degenerate LPs it rivals the solve itself) and
+            // carry the established flag forward
+            let lp = SimplexOptions { skip_optima_certificate: true, ..self.lp.clone() };
+            out = solve_parametric_cached(problem, &lp, None, StepHint::Fresh, &mut self.cache)?;
+            out.solution.alternate_optima = true;
             out.stats.iterations += spent_iterations;
             out.stats.refactorizations += spent_refactorizations;
         }
@@ -306,19 +312,25 @@ impl SolveSession {
             self.stats.degenerate_fallbacks += 1;
             crate::obs::degenerate_fallbacks_total().inc();
         }
+        // the path label carries the kernel route too: `_sparse` when
+        // the LP layer ran on its sparse kernels (large instances)
+        let sparse = out.stats.sparse;
         match out.stats.algorithm {
             Algorithm::DualReopt => {
                 self.stats.dual_reopts += 1;
                 self.stats.warm_starts += 1;
-                crate::obs::solves_total("dual_reopt").inc();
+                crate::obs::solves_total(if sparse { "dual_reopt_sparse" } else { "dual_reopt" })
+                    .inc();
             }
             Algorithm::WarmPrimal => {
                 self.stats.warm_starts += 1;
-                crate::obs::solves_total("warm_primal").inc();
+                crate::obs::solves_total(if sparse { "warm_primal_sparse" } else { "warm_primal" })
+                    .inc();
             }
             Algorithm::ColdPrimal => {
                 self.stats.cold_starts += 1;
-                crate::obs::solves_total("cold_primal").inc();
+                crate::obs::solves_total(if sparse { "cold_primal_sparse" } else { "cold_primal" })
+                    .inc();
             }
         }
         if out.stats.dual_fallback {

@@ -36,11 +36,22 @@ pub struct OumpOptions {
     /// satisfies it) and reproduces the saturation shape. Upper bounds
     /// never break Lemma 1: `⌊x*⌋ ≤ x* ≤ c`.
     pub cap_at_input: bool,
+    /// Accept the best iterate found so far when the LP hits
+    /// `lp.max_iter` before proving optimality ("anytime" mode).
+    ///
+    /// Sound because the O-UMP starts primal feasible (x = 0 satisfies
+    /// `Mx ≤ b`, `b > 0`) and every phase-2 simplex iterate stays
+    /// primal feasible — a capped solve sacrifices utility (a smaller
+    /// λ), never privacy. [`verify_counts`] still checks the returned
+    /// counts against every constraint as a backstop. Off by default:
+    /// an uncapped solve that exhausts its iteration budget remains an
+    /// error.
+    pub anytime: bool,
 }
 
 impl Default for OumpOptions {
     fn default() -> Self {
-        OumpOptions { lp: SimplexOptions::default(), cap_at_input: true }
+        OumpOptions { lp: SimplexOptions::default(), cap_at_input: true, anytime: false }
     }
 }
 
@@ -57,6 +68,10 @@ pub struct OumpSolution {
     pub lp_value: f64,
     /// Simplex iterations used.
     pub iterations: usize,
+    /// Whether the solve stopped at the iteration budget (anytime
+    /// mode) rather than at a proven optimum. The counts are feasible
+    /// either way; a capped λ is a lower bound on the optimal one.
+    pub capped: bool,
 }
 
 /// Solve the O-UMP on a preprocessed log.
@@ -124,6 +139,7 @@ fn solve_oump_inner(
             lambda: 0,
             lp_value: 0.0,
             iterations: 0,
+            capped: false,
         });
     }
 
@@ -135,7 +151,8 @@ fn solve_oump_inner(
         Some(s) => s.solve_rhs_step(&p)?,
         None => solve(&p, &opts.lp)?,
     };
-    if sol.status != SolveStatus::Optimal {
+    let capped = sol.status == SolveStatus::IterationLimit && opts.anytime;
+    if sol.status != SolveStatus::Optimal && !capped {
         return Err(CoreError::UnexpectedStatus(match sol.status {
             SolveStatus::Infeasible => "O-UMP reported infeasible (impossible for Mx ≤ b, b > 0)",
             SolveStatus::Unbounded => "O-UMP reported unbounded (impossible for M ≥ 0)",
@@ -152,6 +169,7 @@ fn solve_oump_inner(
         lambda,
         lp_value: sol.objective,
         iterations: sol.iterations,
+        capped,
     })
 }
 
@@ -256,6 +274,27 @@ mod tests {
         let s = solve_oump(&log, params(2.0, 0.5), &OumpOptions::default()).unwrap();
         assert_eq!(s.lambda, 0);
         assert!(s.counts.is_empty());
+    }
+
+    #[test]
+    fn anytime_cap_returns_feasible_incumbent() {
+        let log = two_pair_log();
+        let p = params(2.0, 0.5);
+        // one iteration is never enough to prove optimality here
+        let lp = SimplexOptions { max_iter: 1, ..SimplexOptions::default() };
+        // without anytime, hitting the budget is an error
+        let strict = OumpOptions { lp: lp.clone(), ..Default::default() };
+        assert!(solve_oump(&log, p, &strict).is_err());
+        // with anytime, the incumbent comes back flagged and feasible
+        let anytime = OumpOptions { lp, anytime: true, ..Default::default() };
+        let s = solve_oump(&log, p, &anytime).unwrap();
+        assert!(s.capped, "one iteration cannot prove optimality on this LP");
+        let c = PrivacyConstraints::build(&log, p).unwrap();
+        assert!(c.satisfied_by(&s.counts, 1e-9), "capped counts stay privacy-feasible");
+        // the capped λ lower-bounds the optimum
+        let full = solve_oump(&log, p, &OumpOptions::default()).unwrap();
+        assert!(!full.capped);
+        assert!(s.lambda <= full.lambda);
     }
 
     #[test]

@@ -16,12 +16,17 @@ use std::process::ExitCode;
 use dpsan_datagen::write_log_file;
 use dpsan_eval::Scale;
 
-const USAGE: &str = "usage: genlog --out <path> [--scale tiny|small|medium|paper] [--seed N]";
+const USAGE: &str = "usage: genlog --out <path> [--scale tiny|small|medium|paper] [--seed N] \
+[--users N]
+  --users N   override the preset's user count; the query vocabulary is
+              scaled by the same factor so the log keeps the preset's
+              sharing shape (used by the 10^5-user scale-smoke gate)";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Tiny;
     let mut seed: Option<u64> = None;
+    let mut users: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -48,6 +53,14 @@ fn main() -> ExitCode {
                 };
                 seed = Some(v);
             }
+            "--users" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()).filter(|&v: &usize| v >= 1)
+                else {
+                    eprintln!("--users needs a positive integer\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                users = Some(v);
+            }
             "--out" => {
                 let Some(v) = it.next() else {
                     eprintln!("--out needs a path\n{USAGE}");
@@ -66,6 +79,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let mut cfg = scale.config();
+    if let Some(users) = users {
+        // scale the vocabulary with the population so pair-sharing
+        // frequencies keep the preset's Table-3-like shape
+        let ratio = users as f64 / cfg.n_users as f64;
+        cfg.n_queries = ((cfg.n_queries as f64 * ratio).ceil() as usize).max(1);
+        cfg.n_users = users;
+    }
     if let Some(seed) = seed {
         cfg.seed = seed;
     }

@@ -47,6 +47,11 @@ const USAGE: &str = "usage: sanitize <input.tsv> [options]
   --zealous-cap <n>        zealous per-user contribution cap (default: 8)
   --zealous-coarse <n>     zealous coarse cutoff tau'        (default: 2)
   --ldp-cap <n>            ldp-rr per-user pair cap          (default: 4)
+  --lp-budget <n>          oump only: cap the LP at n simplex iterations and
+                           release the best feasible iterate found (anytime
+                           mode). Feasibility — and hence privacy — holds at
+                           every iterate; only utility is traded. This is the
+                           knob that bounds wall-clock at 10^5+ users.
   --seed <n>               sampling / noise seed     (default: fixed)
   --ingest <mode>          streaming | in-memory     (default: streaming)
   --shards <n>             user-hash shards          (default: 16)
@@ -97,6 +102,7 @@ struct Args {
     zealous_cap: u64,
     zealous_coarse: u64,
     ldp_cap: u64,
+    lp_budget: Option<usize>,
     seed: u64,
     ingest: String,
     shards: usize,
@@ -144,6 +150,7 @@ fn parse_args() -> Result<Args, String> {
         zealous_cap: 8,
         zealous_coarse: 2,
         ldp_cap: 4,
+        lp_budget: None,
         seed: DEFAULT_SEED,
         ingest: "streaming".into(),
         shards: 16,
@@ -199,6 +206,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--ldp-cap" => {
                 args.ldp_cap = parse_count64(&value("--ldp-cap", &mut it)?, "--ldp-cap")?
+            }
+            "--lp-budget" => {
+                args.lp_budget = Some(parse_count(&value("--lp-budget", &mut it)?, "--lp-budget")?)
             }
             "--seed" => {
                 args.seed =
@@ -280,6 +290,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if !matches!(args.ingest.as_str(), "streaming" | "in-memory") {
         return Err(format!("unknown ingest mode {:?}", args.ingest));
+    }
+    if args.lp_budget.is_some() && args.mechanism != "oump" {
+        return Err("--lp-budget only applies to --mechanism oump".into());
+    }
+    if args.lp_budget == Some(0) {
+        return Err("--lp-budget must be at least 1".into());
     }
     // numeric domains, mirrored from the library asserts so a typo
     // gets the usage path, not a panic + backtrace
@@ -366,7 +382,13 @@ fn build_mechanism(
     sketch: Option<&dpsan_stream::PairSketch>,
 ) -> Result<Box<dyn Sanitizer>, Box<dyn std::error::Error>> {
     Ok(match args.mechanism.as_str() {
-        "oump" => Box::new(UmpSanitizer::new(UtilityObjective::OutputSize)),
+        "oump" => {
+            let mut s = UmpSanitizer::new(UtilityObjective::OutputSize);
+            if let Some(budget) = args.lp_budget {
+                s = s.with_lp_iteration_budget(budget);
+            }
+            Box::new(s)
+        }
         "dump" => {
             Box::new(UmpSanitizer::new(UtilityObjective::Diversity { solver: DumpSolver::Spe }))
         }
@@ -433,7 +455,13 @@ fn build_mechanism(
 /// the sketch path is byte-identical to anyway.
 fn build_follow_mechanism(args: &Args) -> Box<dyn Sanitizer> {
     match args.mechanism.as_str() {
-        "oump" => Box::new(UmpSanitizer::new(UtilityObjective::OutputSize)),
+        "oump" => {
+            let mut s = UmpSanitizer::new(UtilityObjective::OutputSize);
+            if let Some(budget) = args.lp_budget {
+                s = s.with_lp_iteration_budget(budget);
+            }
+            Box::new(s)
+        }
         "dump" => {
             Box::new(UmpSanitizer::new(UtilityObjective::Diversity { solver: DumpSolver::Spe }))
         }

@@ -6,6 +6,7 @@
 //! old solve with a cheap rank-one style elimination per eta.
 
 use crate::error::LpError;
+use crate::sparse::SparseVec;
 
 #[derive(Debug, Clone)]
 struct Eta {
@@ -21,6 +22,7 @@ struct Eta {
 #[derive(Debug, Default)]
 pub struct EtaFile {
     etas: Vec<Eta>,
+    nnz: usize,
 }
 
 impl EtaFile {
@@ -39,6 +41,14 @@ impl EtaFile {
         self.etas.is_empty()
     }
 
+    /// Total stored nonzeros across all etas (pivots included). Every
+    /// BTRAN gathers over every stored entry, so this — not the eta
+    /// count — is the per-solve cost the refactorization cadence must
+    /// bound.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
     /// Record an eta with pivot position `r` and dense spike `w`.
     pub fn push(&mut self, r: usize, w: &[f64]) -> Result<(), LpError> {
         let pivot = w[r];
@@ -51,6 +61,7 @@ impl EtaFile {
             .filter(|&(i, &v)| i != r && v != 0.0)
             .map(|(i, &v)| (i, v))
             .collect();
+        self.nnz += entries.len() + 1;
         self.etas.push(Eta { r, pivot, entries });
         Ok(())
     }
@@ -81,6 +92,58 @@ impl EtaFile {
                 v -= w * z[i];
             }
             z[eta.r] = v / eta.pivot;
+        }
+    }
+
+    /// Record an eta from a sparse spike `w` with pivot position `r`.
+    /// The pattern is sorted so the stored entries come out in the same
+    /// ascending-index order [`EtaFile::push`] produces from a dense
+    /// spike — the two entry points yield identical eta files.
+    pub fn push_sparse(&mut self, r: usize, w: &mut SparseVec) -> Result<(), LpError> {
+        let pivot = w.values[r];
+        if pivot.abs() < 1e-11 {
+            return Err(LpError::SingularBasis);
+        }
+        w.sort_pattern();
+        let entries: Vec<(usize, f64)> = w
+            .pattern
+            .iter()
+            .map(|&i| (i, w.values[i]))
+            .filter(|&(i, v)| i != r && v != 0.0)
+            .collect();
+        self.nnz += entries.len() + 1;
+        self.etas.push(Eta { r, pivot, entries });
+        Ok(())
+    }
+
+    /// Pattern-aware [`EtaFile::ftran`]: identical arithmetic, but new
+    /// fill positions are tracked in `z`'s pattern.
+    pub fn ftran_sparse(&self, z: &mut SparseVec) {
+        for eta in &self.etas {
+            let yr = z.values[eta.r] / eta.pivot;
+            if yr != 0.0 {
+                for &(i, w) in &eta.entries {
+                    z.add(i, -w * yr);
+                }
+                z.set(eta.r, yr);
+            } else if z.values[eta.r] != 0.0 {
+                // exact-zero quotient of a tracked value: store it
+                z.set(eta.r, yr);
+            }
+        }
+    }
+
+    /// Pattern-aware [`EtaFile::btran`]: identical arithmetic, but the
+    /// pivot position is tracked in `z`'s pattern when it fills in.
+    pub fn btran_sparse(&self, z: &mut SparseVec) {
+        for eta in self.etas.iter().rev() {
+            let mut v = z.values[eta.r];
+            for &(i, w) in &eta.entries {
+                v -= w * z.values[i];
+            }
+            if v != 0.0 || z.values[eta.r] != 0.0 {
+                z.set(eta.r, v / eta.pivot);
+            }
         }
     }
 }

@@ -1,23 +1,94 @@
-//! Sparse LU factorization with partial pivoting.
+//! Sparse LU factorization with Markowitz-style threshold pivoting.
 //!
-//! A simplified Gilbert–Peierls scheme: columns are factored in order
-//! with a dense working vector, eliminating against previously chosen
-//! pivots and picking the largest remaining entry as the next pivot
-//! (`P B = L U`, row permutation only). Simplex bases are dominated by
-//! slack (identity) columns and structural columns with a handful of
-//! nonzeros, so `L` stays extremely sparse and both the factorization
-//! and the triangular solves run in near-linear time.
+//! A Gilbert–Peierls left-looking scheme: for each column the set of
+//! pivots to eliminate against is computed as a graph reach over the
+//! already-built `L` pattern (instead of scanning all prior pivots),
+//! so factoring a column costs time proportional to the fill it
+//! produces. Pivots are chosen by a threshold Markowitz rule: among
+//! candidate rows whose magnitude is within a factor of the column
+//! maximum, prefer the sparsest row (fewest entries in the basis
+//! matrix), which keeps fill-in low on the near-block-diagonal bases
+//! the UMP LPs produce (`P B = L U`, row permutation only).
+//!
+//! Solves come in two flavors: dense in-place [`SparseLu::ftran`] /
+//! [`SparseLu::btran`] over full working vectors, and pattern-driven
+//! [`SparseLu::ftran_sparse`] / [`SparseLu::btran_sparse`] that first
+//! compute the structural nonzero set of the result (another reach
+//! over the factor graphs) and then touch only those entries. Both
+//! flavors process pivots in the same order, so they agree exactly —
+//! not just to rounding — on any input.
+
+use crate::sparse::SparseVec;
+
+/// Relative magnitude threshold for Markowitz pivot admissibility: a
+/// row is a pivot candidate when `|v| >= 0.1 * max|v|` in the column.
+const MARKOWITZ_THRESHOLD: f64 = 0.1;
+
+/// Absolute floor under which a pivot is considered numerically zero.
+const PIVOT_TOL: f64 = 1e-11;
+
+/// Reusable workspace for the pattern-driven solves: reach/stack
+/// buffers for the structural traversals plus an auxiliary sparse
+/// vector for the two-stage FTRAN.
+#[derive(Debug, Clone)]
+pub struct LuScratch {
+    visited: Vec<bool>,
+    stack: Vec<usize>,
+    reach: Vec<usize>,
+    aux: SparseVec,
+}
+
+impl LuScratch {
+    /// Workspace for dimension-`n` solves.
+    pub fn new(n: usize) -> Self {
+        LuScratch {
+            visited: vec![false; n],
+            stack: Vec::new(),
+            reach: Vec::new(),
+            aux: SparseVec::new(n),
+        }
+    }
+
+    /// Resize for dimension-`n` solves, clearing all state.
+    pub fn resize(&mut self, n: usize) {
+        self.visited.clear();
+        self.visited.resize(n, false);
+        self.stack.clear();
+        self.reach.clear();
+        self.aux.resize(n);
+    }
+}
+
+/// Which factor graph a structural reach traverses.
+#[derive(Clone, Copy)]
+enum Edges {
+    /// `k -> pinv[r]` for `(r, _)` in `l_cols[k]` (FTRAN L-solve).
+    LCols,
+    /// `j -> k` for `(k, _)` in `u_cols[j]` (FTRAN U back-substitution).
+    UCols,
+    /// `k -> j` for `j` in `u_rows[k]` (BTRAN U'-solve).
+    URows,
+    /// `q -> k` for `k` in `l_rows[p[q]]` (BTRAN L'-solve).
+    LRows,
+}
 
 /// Sparse LU factors of a square matrix.
 #[derive(Debug, Clone)]
 pub struct SparseLu {
     n: usize,
     /// Column k of `L` (strictly below the pivot, unit diagonal
-    /// implicit), stored by *original row index*.
+    /// implicit), stored by *original row index*, ascending.
     l_cols: Vec<Vec<(usize, f64)>>,
     /// Column j of `U` strictly above the diagonal: entries `(k, v)`
-    /// meaning pivot position `k` (`k < j`).
+    /// meaning pivot position `k` (`k < j`), ascending in `k`.
     u_cols: Vec<Vec<(usize, f64)>>,
+    /// Row k of `U` strictly right of the diagonal: the columns `j > k`
+    /// with `U[k][j] != 0`, ascending. Structure only — values are
+    /// gathered through `u_cols` so solve order matches the dense path.
+    u_rows: Vec<Vec<usize>>,
+    /// Transpose structure of `L` by original row: `l_rows[r]` lists the
+    /// pivot positions `k` whose `l_cols[k]` contains row `r`.
+    l_rows: Vec<Vec<usize>>,
     /// Diagonal of `U` per pivot position.
     u_diag: Vec<f64>,
     /// `p[k]` = original row chosen as pivot of position `k`.
@@ -32,31 +103,76 @@ impl SparseLu {
     /// matrix is numerically singular.
     pub fn factor(n: usize, cols: &[(&[usize], &[f64])]) -> Option<SparseLu> {
         assert_eq!(cols.len(), n, "need exactly n columns");
-        const PIVOT_TOL: f64 = 1e-11;
+
+        // static Markowitz row counts: entries per row of the input
+        // matrix (cheap proxy for the active-submatrix count)
+        let mut row_count = vec![0usize; n];
+        for &(rows, _) in cols {
+            for &r in rows {
+                debug_assert!(r < n);
+                row_count[r] += 1;
+            }
+        }
 
         let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
         let mut u_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
         let mut u_diag = Vec::with_capacity(n);
-        let mut p = Vec::with_capacity(n);
+        let mut p: Vec<usize> = Vec::with_capacity(n);
         let mut pinv: Vec<Option<usize>> = vec![None; n];
 
-        // dense working vector + occupancy list
+        // dense working vector + occupancy tracking
         let mut work = vec![0.0f64; n];
+        let mut in_work = vec![false; n];
         let mut touched: Vec<usize> = Vec::with_capacity(64);
+        // reach traversal buffers over pivot positions
+        let mut visited = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut reach: Vec<usize> = Vec::new();
 
         for (j, &(rows, vals)) in cols.iter().enumerate() {
             // scatter column j
             for (&r, &v) in rows.iter().zip(vals) {
                 debug_assert!(r < n);
-                if work[r] == 0.0 && v != 0.0 {
+                if v != 0.0 && !in_work[r] {
+                    in_work[r] = true;
                     touched.push(r);
                 }
                 work[r] += v;
             }
 
-            // eliminate against pivots 0..j in order
+            // structural reach: every pivot position whose row can be
+            // hit, including via fill, found by closing over L edges
+            reach.clear();
+            for &r in &touched {
+                if let Some(k) = pinv[r] {
+                    if !visited[k] {
+                        visited[k] = true;
+                        stack.push(k);
+                    }
+                }
+            }
+            while let Some(k) = stack.pop() {
+                reach.push(k);
+                for &(r, _) in &l_cols[k] {
+                    if let Some(k2) = pinv[r] {
+                        if !visited[k2] {
+                            visited[k2] = true;
+                            stack.push(k2);
+                        }
+                    }
+                }
+            }
+            // ascending pivot order is a valid topological order: every
+            // L edge k -> pinv[r] points to a later pivot (row r was
+            // non-pivotal when column k was built)
+            reach.sort_unstable();
+            for &k in &reach {
+                visited[k] = false;
+            }
+
+            // eliminate against reachable pivots in order
             let mut u_col = Vec::new();
-            for k in 0..j {
+            for &k in &reach {
                 let pivot_row = p[k];
                 let xk = work[pivot_row];
                 if xk == 0.0 {
@@ -65,31 +181,57 @@ impl SparseLu {
                 u_col.push((k, xk));
                 work[pivot_row] = 0.0;
                 for &(r, l) in &l_cols[k] {
-                    if work[r] == 0.0 {
+                    if !in_work[r] {
+                        in_work[r] = true;
                         touched.push(r);
                     }
                     work[r] -= l * xk;
                 }
             }
 
-            // pivot: max |value| among rows not yet pivotal
-            let mut pivot_row = usize::MAX;
-            let mut pivot_val = 0.0f64;
+            // threshold Markowitz pivot: among rows within
+            // MARKOWITZ_THRESHOLD of the column max, take the fewest
+            // static row entries; break ties by larger magnitude, then
+            // smaller row index (determinism)
+            touched.sort_unstable();
+            let mut vmax = 0.0f64;
             for &r in &touched {
-                if pinv[r].is_none() && work[r].abs() > pivot_val.abs() {
-                    pivot_row = r;
-                    pivot_val = work[r];
+                if pinv[r].is_none() {
+                    vmax = vmax.max(work[r].abs());
                 }
             }
-            if pivot_row == usize::MAX || pivot_val.abs() < PIVOT_TOL {
+            if vmax < PIVOT_TOL {
                 return None;
             }
+            let admissible = (MARKOWITZ_THRESHOLD * vmax).max(PIVOT_TOL);
+            let mut pivot_row = usize::MAX;
+            let mut pivot_abs = 0.0f64;
+            let mut pivot_cnt = usize::MAX;
+            for &r in &touched {
+                if pinv[r].is_some() {
+                    continue;
+                }
+                let a = work[r].abs();
+                if a < admissible {
+                    continue;
+                }
+                let c = row_count[r];
+                if c < pivot_cnt || (c == pivot_cnt && a > pivot_abs) {
+                    pivot_row = r;
+                    pivot_abs = a;
+                    pivot_cnt = c;
+                }
+            }
+            debug_assert!(pivot_row != usize::MAX);
+            let pivot_val = work[pivot_row];
 
-            // gather L column (normalized) and reset workspace
+            // gather the normalized L column (ascending row order) and
+            // reset the workspace
             let mut l_col = Vec::new();
             for &r in &touched {
                 let v = work[r];
                 work[r] = 0.0;
+                in_work[r] = false;
                 if v != 0.0 && r != pivot_row && pinv[r].is_none() {
                     l_col.push((r, v / pivot_val));
                 }
@@ -104,12 +246,35 @@ impl SparseLu {
         }
 
         let pinv: Vec<usize> = pinv.into_iter().map(|x| x.expect("all rows pivoted")).collect();
-        Some(SparseLu { n, l_cols, u_cols, u_diag, p, pinv })
+
+        // transpose structures for the BTRAN reach traversals
+        let mut u_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (j, col) in u_cols.iter().enumerate() {
+            for &(k, _) in col {
+                u_rows[k].push(j);
+            }
+        }
+        let mut l_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (k, col) in l_cols.iter().enumerate() {
+            for &(r, _) in col {
+                l_rows[r].push(k);
+            }
+        }
+
+        Some(SparseLu { n, l_cols, u_cols, u_rows, l_rows, u_diag, p, pinv })
     }
 
     /// Dimension.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Total stored nonzeros in `L` and `U` (including the unit and
+    /// `U` diagonals).
+    pub fn nnz(&self) -> usize {
+        let l: usize = self.l_cols.iter().map(Vec::len).sum();
+        let u: usize = self.u_cols.iter().map(Vec::len).sum();
+        l + u + 2 * self.n
     }
 
     /// Solve `B z = rhs` in place; `rhs` is indexed by original row on
@@ -164,6 +329,153 @@ impl SparseLu {
         for k in 0..self.n {
             rhs[self.p[k]] = w[k];
         }
+    }
+
+    /// Close `ws.reach` over the given factor graph starting from the
+    /// seeds already pushed onto `ws.stack` (with `ws.visited` set).
+    /// Leaves `ws.reach` sorted ascending and `ws.visited` cleared.
+    fn close_reach(&self, ws: &mut LuScratch, edges: Edges) {
+        ws.reach.clear();
+        while let Some(q) = ws.stack.pop() {
+            ws.reach.push(q);
+            match edges {
+                Edges::LCols => {
+                    for &(r, _) in &self.l_cols[q] {
+                        let k2 = self.pinv[r];
+                        if !ws.visited[k2] {
+                            ws.visited[k2] = true;
+                            ws.stack.push(k2);
+                        }
+                    }
+                }
+                Edges::UCols => {
+                    for &(k, _) in &self.u_cols[q] {
+                        if !ws.visited[k] {
+                            ws.visited[k] = true;
+                            ws.stack.push(k);
+                        }
+                    }
+                }
+                Edges::URows => {
+                    for &j in &self.u_rows[q] {
+                        if !ws.visited[j] {
+                            ws.visited[j] = true;
+                            ws.stack.push(j);
+                        }
+                    }
+                }
+                Edges::LRows => {
+                    for &k in &self.l_rows[self.p[q]] {
+                        if !ws.visited[k] {
+                            ws.visited[k] = true;
+                            ws.stack.push(k);
+                        }
+                    }
+                }
+            }
+        }
+        ws.reach.sort_unstable();
+        for &q in &ws.reach {
+            ws.visited[q] = false;
+        }
+    }
+
+    /// Seed the reach traversal from a set of pivot positions.
+    fn seed(ws: &mut LuScratch, positions: impl IntoIterator<Item = usize>) {
+        debug_assert!(ws.stack.is_empty());
+        for q in positions {
+            if !ws.visited[q] {
+                ws.visited[q] = true;
+                ws.stack.push(q);
+            }
+        }
+    }
+
+    /// Pattern-driven FTRAN: solve `B z = x` touching only the
+    /// structural nonzeros of the result. `x` is indexed by original
+    /// row on entry and by basis position on exit (same convention as
+    /// [`SparseLu::ftran`]); values agree exactly with the dense solve.
+    pub fn ftran_sparse(&self, x: &mut SparseVec, ws: &mut LuScratch) {
+        debug_assert_eq!(x.len(), self.n);
+        // L-solve: reach over L edges from the rhs pattern, ascending.
+        let pinv = &self.pinv;
+        Self::seed(ws, x.pattern.iter().map(|&r| pinv[r]));
+        self.close_reach(ws, Edges::LCols);
+        for idx in 0..ws.reach.len() {
+            let k = ws.reach[idx];
+            let yk = x.values[self.p[k]];
+            if yk != 0.0 {
+                for &(r, l) in &self.l_cols[k] {
+                    x.add(r, -l * yk);
+                }
+            }
+        }
+        // U back-substitution: reach over U edges, processed descending;
+        // result gathers into ws.aux indexed by position.
+        Self::seed(ws, x.pattern.iter().map(|&r| pinv[r]));
+        self.close_reach(ws, Edges::UCols);
+        debug_assert!(ws.aux.is_empty());
+        for idx in (0..ws.reach.len()).rev() {
+            let j = ws.reach[idx];
+            let zj = x.values[self.p[j]] / self.u_diag[j];
+            if zj != 0.0 {
+                ws.aux.set(j, zj);
+                for &(k, u) in &self.u_cols[j] {
+                    x.add(self.p[k], -u * zj);
+                }
+            }
+        }
+        x.clear();
+        std::mem::swap(x, &mut ws.aux);
+    }
+
+    /// Pattern-driven BTRAN: solve `B' z = x` touching only the
+    /// structural nonzeros of the result. `x` is indexed by basis
+    /// position on entry and by original row on exit (same convention
+    /// as [`SparseLu::btran`]); values agree exactly with the dense
+    /// solve.
+    pub fn btran_sparse(&self, x: &mut SparseVec, ws: &mut LuScratch) {
+        debug_assert_eq!(x.len(), self.n);
+        // U'-solve: reach over U-row edges, processed ascending; the
+        // per-position gather runs over u_cols so the accumulation
+        // order matches the dense solve term for term.
+        Self::seed(ws, x.pattern.iter().copied());
+        self.close_reach(ws, Edges::URows);
+        debug_assert!(ws.aux.is_empty());
+        for idx in 0..ws.reach.len() {
+            let j = ws.reach[idx];
+            let mut v = x.values[j];
+            for &(k, u) in &self.u_cols[j] {
+                v -= u * ws.aux.values[k];
+            }
+            if v != 0.0 {
+                ws.aux.set(j, v / self.u_diag[j]);
+            }
+        }
+        // L'-solve: reach over L-row edges, processed descending,
+        // in place on ws.aux (reads only later positions).
+        let seeds = std::mem::take(&mut ws.aux.pattern);
+        Self::seed(ws, seeds.iter().copied());
+        ws.aux.pattern = seeds;
+        self.close_reach(ws, Edges::LRows);
+        for idx in (0..ws.reach.len()).rev() {
+            let k = ws.reach[idx];
+            let mut v = ws.aux.values[k];
+            for &(r, l) in &self.l_cols[k] {
+                v -= l * ws.aux.values[self.pinv[r]];
+            }
+            ws.aux.set(k, v);
+        }
+        // scatter back to original-row indexing
+        x.clear();
+        for idx in 0..ws.reach.len() {
+            let k = ws.reach[idx];
+            let v = ws.aux.values[k];
+            if v != 0.0 {
+                x.set(self.p[k], v);
+            }
+        }
+        ws.aux.clear();
     }
 }
 
@@ -227,6 +539,71 @@ mod tests {
                 assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn sparse_solves_match_dense_solves_exactly() {
+        // the pattern-driven path must agree with the dense path
+        // bit-for-bit: same pivot processing order, same gather order
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 4, 17, 50, 120] {
+            let m = random_sparse_nonsingular(n, &mut rng);
+            let lu = lu_of(&m).expect("nonsingular");
+            let mut ws = LuScratch::new(n);
+            for trial in 0..4u64 {
+                // sparse rhs with a handful of entries
+                let k = 1 + (trial as usize % 3);
+                let mut dense = vec![0.0f64; n];
+                let mut sv = SparseVec::new(n);
+                for _ in 0..k {
+                    let i = rng.random_range(0..n);
+                    let v = rng.random::<f64>() * 2.0 - 1.0;
+                    dense[i] = v;
+                    sv.clear();
+                    sv.assign_dense(&dense);
+                }
+                let mut d_f = dense.clone();
+                lu.ftran(&mut d_f);
+                let mut s_f = sv.clone();
+                lu.ftran_sparse(&mut s_f, &mut ws);
+                for (i, (&d, &s)) in d_f.iter().zip(&s_f.values).enumerate() {
+                    assert!(d == s, "ftran n={n} i={i}: {d} vs {s}");
+                }
+                let mut d_b = dense.clone();
+                lu.btran(&mut d_b);
+                let mut s_b = sv.clone();
+                lu.btran_sparse(&mut s_b, &mut ws);
+                for (i, (&d, &s)) in d_b.iter().zip(&s_b.values).enumerate() {
+                    assert!(d == s, "btran n={n} i={i}: {d} vs {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_solve_unit_rhs_is_sparse() {
+        // an identity-dominated basis: solving e_i should touch few rows
+        let n = 200;
+        let mut trips = Vec::new();
+        for i in 0..n {
+            trips.push((i, i, 1.0));
+        }
+        trips.push((0, 199, 0.5));
+        let m = CscMatrix::from_triplets(n, n, &trips);
+        let lu = lu_of(&m).unwrap();
+        let mut ws = LuScratch::new(n);
+        let mut x = SparseVec::new(n);
+        x.set(3, 1.0);
+        lu.ftran_sparse(&mut x, &mut ws);
+        assert!(x.nnz() <= 2, "unit solve stayed sparse, nnz={}", x.nnz());
+    }
+
+    #[test]
+    fn nnz_counts_factors() {
+        let m = CscMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0), (1, 0, 1.0)]);
+        let lu = lu_of(&m).unwrap();
+        // L has one off-diagonal entry or U does, plus both diagonals
+        assert!(lu.nnz() >= 4);
     }
 
     #[test]

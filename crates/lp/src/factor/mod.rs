@@ -8,9 +8,9 @@ pub mod eta;
 pub mod lu;
 
 use crate::error::LpError;
-use crate::sparse::CscMatrix;
+use crate::sparse::{CscMatrix, SparseVec};
 use eta::EtaFile;
-use lu::SparseLu;
+use lu::{LuScratch, SparseLu};
 
 /// LU factorization of the current basis plus the eta updates applied
 /// since the last refactorization.
@@ -54,6 +54,40 @@ impl BasisFactor {
     pub fn n_updates(&self) -> usize {
         self.etas.len()
     }
+
+    /// Stored nonzeros in the LU factors (excluding eta updates); feeds
+    /// the `dpsan_lp_factor_nnz` gauge.
+    pub fn lu_nnz(&self) -> usize {
+        self.lu.nnz()
+    }
+
+    /// Total nonzeros across the accumulated etas. Every BTRAN pays a
+    /// gather over all of them, so the sparse routes refactor when this
+    /// outgrows the LU fill rather than waiting out the update cadence.
+    pub fn eta_nnz(&self) -> usize {
+        self.etas.nnz()
+    }
+
+    /// Pattern-driven FTRAN: like [`BasisFactor::ftran`] but touching
+    /// only the structural nonzeros of `rhs` and its fill. `scratch`
+    /// must match the basis dimension.
+    pub fn ftran_sparse(&self, rhs: &mut SparseVec, scratch: &mut LuScratch) {
+        self.lu.ftran_sparse(rhs, scratch);
+        self.etas.ftran_sparse(rhs);
+    }
+
+    /// Pattern-driven BTRAN: like [`BasisFactor::btran`] but touching
+    /// only the structural nonzeros of `rhs` and its fill.
+    pub fn btran_sparse(&self, rhs: &mut SparseVec, scratch: &mut LuScratch) {
+        self.etas.btran_sparse(rhs);
+        self.lu.btran_sparse(rhs, scratch);
+    }
+
+    /// Record a pivot from a sparse spike (see [`BasisFactor::update`]).
+    /// The spike's pattern is sorted in place.
+    pub fn update_sparse(&mut self, r: usize, w: &mut SparseVec) -> Result<(), LpError> {
+        self.etas.push_sparse(r, w)
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +126,41 @@ mod tests {
         let mut rhs = vec![2.0, 0.0, 3.0];
         f.ftran(&mut rhs);
         assert!((rhs[0] - 1.0).abs() < 1e-12 && rhs[1].abs() < 1e-12 && rhs[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_solves_match_dense_through_etas() {
+        let a = CscMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 1.0), (2, 0, 1.0), (0, 1, 2.0), (1, 1, 1.0), (2, 2, 1.0)],
+        );
+        let mut f = BasisFactor::factor(&a, &[0, 1, 2]).unwrap();
+        let mut spike = SparseVec::new(3);
+        spike.set(0, 2.0);
+        spike.set(2, 1.0);
+        f.update_sparse(0, &mut spike).unwrap();
+
+        let mut ws = LuScratch::new(3);
+        for rhs in [[1.0, 0.0, 0.0], [0.5, -1.0, 2.0]] {
+            let mut dense = rhs.to_vec();
+            f.ftran(&mut dense);
+            let mut sv = SparseVec::new(3);
+            sv.assign_dense(&rhs);
+            f.ftran_sparse(&mut sv, &mut ws);
+            for (i, (&d, &s)) in dense.iter().zip(&sv.values).enumerate() {
+                assert!(d == s, "ftran {i}: {d} vs {s}");
+            }
+
+            let mut dense = rhs.to_vec();
+            f.btran(&mut dense);
+            let mut sv = SparseVec::new(3);
+            sv.assign_dense(&rhs);
+            f.btran_sparse(&mut sv, &mut ws);
+            for (i, (&d, &s)) in dense.iter().zip(&sv.values).enumerate() {
+                assert!(d == s, "btran {i}: {d} vs {s}");
+            }
+        }
     }
 
     #[test]

@@ -16,9 +16,13 @@
 //! * [`standard`] — conversion to the computational standard form
 //!   `min c'x, Ax = b, l ≤ x ≤ u` with one slack per row,
 //! * [`scaling`] — geometric-mean equilibration,
-//! * [`factor`] — sparse LU (Gilbert–Peierls with partial pivoting) and
-//!   product-form eta updates of the simplex basis,
-//! * [`simplex`] — a two-phase, bounded-variable revised simplex,
+//! * [`factor`] — sparse LU (Gilbert–Peierls with Markowitz-style
+//!   threshold pivoting, pattern-driven FTRAN/BTRAN) and product-form
+//!   eta updates of the simplex basis,
+//! * [`simplex`] — a two-phase, bounded-variable revised simplex with a
+//!   dense route for small instances and a sparse route (sparse solves,
+//!   partial pricing, incremental duals) for large ones,
+//! * [`obs`] — telemetry handles for the sparse kernels,
 //! * [`dense_simplex`] — an independent dense tableau simplex used to
 //!   cross-check the revised implementation in tests,
 //! * [`presolve`] — light presolve (fixed columns, singleton rows,
@@ -34,6 +38,7 @@ pub mod dense_simplex;
 pub mod error;
 pub mod factor;
 pub mod mip;
+pub mod obs;
 pub mod presolve;
 pub mod problem;
 pub mod scaling;

@@ -31,8 +31,10 @@
 //! module can afford to be strict about numerical trouble.
 
 use crate::error::LpError;
+use crate::factor::lu::LuScratch;
+use crate::sparse::SparseVec;
 
-use super::{Core, VarStatus};
+use super::{Core, VarStatus, SPARSE_REFACTOR_MIN};
 
 /// Dual-infeasibility tolerance on the restored basis. Looser than
 /// `tol_dual` because the reduced costs come from one fresh BTRAN
@@ -149,6 +151,54 @@ struct Breakpoint {
     range: Option<f64>,
 }
 
+/// Admissibility test and breakpoint construction for one column with
+/// pivot-row entry `alpha`; shared by the dense scan (which computes
+/// `alpha` per column) and the sparse scan (which accumulates the whole
+/// pivot row through the CSR mirror first).
+#[allow(clippy::too_many_arguments)]
+fn consider_breakpoint(
+    core: &Core,
+    cost: &[f64],
+    y: &[f64],
+    sigma: f64,
+    tol_pivot: f64,
+    j: usize,
+    alpha: f64,
+    out: &mut Vec<Breakpoint>,
+) {
+    let status = core.status[j];
+    if matches!(status, VarStatus::Basic(_)) {
+        return;
+    }
+    let (lo, hi) = (core.lower[j], core.upper[j]);
+    if hi - lo <= 0.0 {
+        return; // fixed: can neither enter nor flip
+    }
+    let sa = sigma * alpha;
+    let admissible = match status {
+        VarStatus::AtLower => sa > tol_pivot,
+        VarStatus::AtUpper => sa < -tol_pivot,
+        VarStatus::Free => sa.abs() > tol_pivot,
+        VarStatus::Basic(_) => false,
+    };
+    if !admissible {
+        return;
+    }
+    let ratio = match status {
+        // d_j (computed only for the admissible few) and sa share a
+        // sign by dual feasibility; noise can leave the quotient
+        // barely negative
+        VarStatus::AtLower | VarStatus::AtUpper => {
+            let dj = cost[j] - core.a.col_dot(j, y);
+            (dj / sa).max(0.0)
+        }
+        _ => 0.0, // free: d_j ~ 0, enters at once
+    };
+    let range =
+        (lo.is_finite() && hi.is_finite() && !matches!(status, VarStatus::Free)).then_some(hi - lo);
+    out.push(Breakpoint { col: j, ratio, alpha_abs: alpha.abs(), range });
+}
+
 /// Reoptimize a restored (dual-feasible, possibly primal-infeasible)
 /// basis in place. On [`DualOutcome::Optimal`] the core's vertex and
 /// basis describe the new optimum exactly as a finished primal solve
@@ -166,11 +216,28 @@ pub(crate) fn reoptimize(core: &mut Core) -> Result<DualOutcome, LpError> {
     let mut best_infeasibility = f64::INFINITY;
     let mut first_iteration = true;
 
+    // sparse-route state: CSR mirror for pivot-row pricing, sparse
+    // solve workspaces, and a deeper refactorization cadence (eta
+    // solves stay pattern-driven, so a longer eta file still beats a
+    // large refactorization)
+    if core.sparse {
+        core.ensure_csr();
+    }
+    let refactor_every = if core.sparse {
+        core.opts.refactor_every.max(SPARSE_REFACTOR_MIN)
+    } else {
+        core.opts.refactor_every
+    };
+    let mut rho_sp = SparseVec::new(m);
+    let mut w_sp = SparseVec::new(m);
+    let mut acc = SparseVec::new(n);
+    let mut ws = LuScratch::new(m);
+
     loop {
         if core.iterations >= core.opts.max_iter {
             return Ok(DualOutcome::IterationLimit);
         }
-        if core.factor.n_updates() >= core.opts.refactor_every {
+        if core.sparse_refactor_due(refactor_every) {
             core.refactorize()?;
         }
 
@@ -297,48 +364,61 @@ pub(crate) fn reoptimize(core: &mut Core) -> Result<DualOutcome, LpError> {
             }
         }
 
-        // pivot row: rho = B^-T e_r, alpha_j = rho · A_j
-        let mut rho = vec![0.0; m];
-        rho[r] = 1.0;
-        core.factor.btran(&mut rho);
-        let sigma = if delta > 0.0 { 1.0 } else { -1.0 };
-
-        // admissible breakpoints: entering candidates whose reduced
+        // pivot row: rho = B^-T e_r, alpha_j = rho · A_j, then the
+        // admissible breakpoints — entering candidates whose reduced
         // cost hits zero as the dual step grows
+        let sigma = if delta > 0.0 { 1.0 } else { -1.0 };
         let mut breakpoints: Vec<Breakpoint> = Vec::new();
-        for (j, &cj) in cost.iter().enumerate().take(n) {
-            let status = core.status[j];
-            if matches!(status, VarStatus::Basic(_)) {
-                continue;
-            }
-            let (lo, hi) = (core.lower[j], core.upper[j]);
-            if hi - lo <= 0.0 {
-                continue; // fixed: can neither enter nor flip
-            }
-            let alpha = core.a.col_dot(j, &rho);
-            let sa = sigma * alpha;
-            let admissible = match status {
-                VarStatus::AtLower => sa > tol_pivot,
-                VarStatus::AtUpper => sa < -tol_pivot,
-                VarStatus::Free => sa.abs() > tol_pivot,
-                VarStatus::Basic(_) => false,
-            };
-            if !admissible {
-                continue;
-            }
-            let ratio = match status {
-                // d_j (computed only for the admissible few) and sa
-                // share a sign by dual feasibility; noise can leave
-                // the quotient barely negative
-                VarStatus::AtLower | VarStatus::AtUpper => {
-                    let dj = cj - core.a.col_dot(j, &y);
-                    (dj / sa).max(0.0)
+        if core.sparse {
+            // pattern-driven BTRAN, then accumulate the whole pivot row
+            // α = ρ'A through the CSR mirror over ρ's nonzero rows only:
+            // columns not meeting ρ's pattern have α_j = 0 exactly and
+            // can never be admissible
+            rho_sp.clear();
+            rho_sp.set(r, 1.0);
+            core.factor.btran_sparse(&mut rho_sp, &mut ws);
+            rho_sp.sort_pattern();
+            let csr = core.csr().expect("ensured above");
+            for &i in &rho_sp.pattern {
+                let ri = rho_sp.values[i];
+                if ri == 0.0 {
+                    continue;
                 }
-                _ => 0.0, // free: d_j ~ 0, enters at once
-            };
-            let range = (lo.is_finite() && hi.is_finite() && !matches!(status, VarStatus::Free))
-                .then_some(hi - lo);
-            breakpoints.push(Breakpoint { col: j, ratio, alpha_abs: alpha.abs(), range });
+                let (cols, vals) = csr.row(i);
+                for (&j, &v) in cols.iter().zip(vals) {
+                    acc.add(j, v * ri);
+                }
+            }
+            acc.sort_pattern();
+            for &j in &acc.pattern {
+                let alpha = acc.values[j];
+                if alpha != 0.0 {
+                    consider_breakpoint(
+                        core,
+                        &cost,
+                        &y,
+                        sigma,
+                        tol_pivot,
+                        j,
+                        alpha,
+                        &mut breakpoints,
+                    );
+                }
+            }
+            acc.clear();
+        } else {
+            let mut rho = vec![0.0; m];
+            rho[r] = 1.0;
+            core.factor.btran(&mut rho);
+            for j in 0..n {
+                if matches!(core.status[j], VarStatus::Basic(_))
+                    || core.upper[j] - core.lower[j] <= 0.0
+                {
+                    continue;
+                }
+                let alpha = core.a.col_dot(j, &rho);
+                consider_breakpoint(core, &cost, &y, sigma, tol_pivot, j, alpha, &mut breakpoints);
+            }
         }
         if breakpoints.is_empty() {
             return Ok(DualOutcome::PrimalInfeasible);
@@ -400,44 +480,84 @@ pub(crate) fn reoptimize(core: &mut Core) -> Result<DualOutcome, LpError> {
 
         // pivot: q enters in row r, the leaving variable exits at the
         // bound it violated
-        let mut w = vec![0.0; m];
-        {
+        if core.sparse {
+            w_sp.clear();
             let (rows, vals) = core.a.col(q);
             for (&row, &v) in rows.iter().zip(vals) {
-                w[row] += v;
+                w_sp.add(row, v);
             }
-        }
-        core.factor.ftran(&mut w);
-        let pivot = w[r];
-        if pivot.abs() <= tol_pivot {
-            // the FTRAN'd pivot disagrees with the priced row: numerical
-            // drift — let the primal path take over
-            return Ok(DualOutcome::Stalled);
-        }
+            core.factor.ftran_sparse(&mut w_sp, &mut ws);
+            w_sp.sort_pattern();
+            let pivot = w_sp.values[r];
+            if pivot.abs() <= tol_pivot {
+                // the FTRAN'd pivot disagrees with the priced row:
+                // numerical drift — let the primal path take over
+                return Ok(DualOutcome::Stalled);
+            }
 
-        let r_col = core.basis[r];
-        let bound_r = if sigma > 0.0 { core.upper[r_col] } else { core.lower[r_col] };
-        let mut t = (core.x_val[r_col] - bound_r) / pivot;
-        // the entering variable must move off its bound into its range;
-        // clamp away sign noise from dual-degenerate steps
-        t = match core.status[q] {
-            VarStatus::AtLower => t.max(0.0),
-            VarStatus::AtUpper => t.min(0.0),
-            _ => t,
-        };
-        core.x_val[q] += t;
-        for (i, &wi) in w.iter().enumerate() {
-            if wi != 0.0 {
-                let col = core.basis[i];
-                core.x_val[col] -= t * wi;
+            let r_col = core.basis[r];
+            let bound_r = if sigma > 0.0 { core.upper[r_col] } else { core.lower[r_col] };
+            let mut t = (core.x_val[r_col] - bound_r) / pivot;
+            t = match core.status[q] {
+                VarStatus::AtLower => t.max(0.0),
+                VarStatus::AtUpper => t.min(0.0),
+                _ => t,
+            };
+            core.x_val[q] += t;
+            for &i in &w_sp.pattern {
+                let wi = w_sp.values[i];
+                if wi != 0.0 {
+                    let col = core.basis[i];
+                    core.x_val[col] -= t * wi;
+                }
             }
-        }
-        core.x_val[r_col] = bound_r; // snap exactly onto the bound
-        core.status[r_col] = if sigma > 0.0 { VarStatus::AtUpper } else { VarStatus::AtLower };
-        core.basis[r] = q;
-        core.status[q] = VarStatus::Basic(r);
-        if core.factor.update(r, &w).is_err() {
-            core.refactorize()?;
+            core.x_val[r_col] = bound_r; // snap exactly onto the bound
+            core.status[r_col] = if sigma > 0.0 { VarStatus::AtUpper } else { VarStatus::AtLower };
+            core.basis[r] = q;
+            core.status[q] = VarStatus::Basic(r);
+            if core.factor.update_sparse(r, &mut w_sp).is_err() {
+                core.refactorize()?;
+            }
+        } else {
+            let mut w = vec![0.0; m];
+            {
+                let (rows, vals) = core.a.col(q);
+                for (&row, &v) in rows.iter().zip(vals) {
+                    w[row] += v;
+                }
+            }
+            core.factor.ftran(&mut w);
+            let pivot = w[r];
+            if pivot.abs() <= tol_pivot {
+                // the FTRAN'd pivot disagrees with the priced row: numerical
+                // drift — let the primal path take over
+                return Ok(DualOutcome::Stalled);
+            }
+
+            let r_col = core.basis[r];
+            let bound_r = if sigma > 0.0 { core.upper[r_col] } else { core.lower[r_col] };
+            let mut t = (core.x_val[r_col] - bound_r) / pivot;
+            // the entering variable must move off its bound into its range;
+            // clamp away sign noise from dual-degenerate steps
+            t = match core.status[q] {
+                VarStatus::AtLower => t.max(0.0),
+                VarStatus::AtUpper => t.min(0.0),
+                _ => t,
+            };
+            core.x_val[q] += t;
+            for (i, &wi) in w.iter().enumerate() {
+                if wi != 0.0 {
+                    let col = core.basis[i];
+                    core.x_val[col] -= t * wi;
+                }
+            }
+            core.x_val[r_col] = bound_r; // snap exactly onto the bound
+            core.status[r_col] = if sigma > 0.0 { VarStatus::AtUpper } else { VarStatus::AtLower };
+            core.basis[r] = q;
+            core.status[q] = VarStatus::Basic(r);
+            if core.factor.update(r, &w).is_err() {
+                core.refactorize()?;
+            }
         }
         core.iterations += 1;
     }

@@ -23,16 +23,17 @@ mod pricing;
 mod ratio;
 
 use crate::error::LpError;
+use crate::factor::lu::LuScratch;
 use crate::factor::BasisFactor;
 use crate::problem::{Problem, Sense};
 use crate::scaling::{self, ScaleFactors};
-use crate::sparse::CscMatrix;
+use crate::sparse::{CscMatrix, CsrMatrix, SparseVec};
 use crate::standard::StandardForm;
 pub use basis::Basis;
 use basis::SnapStatus;
 use dual::DualOutcome;
 pub(crate) use pricing::{price_bland, Devex, Direction};
-pub(crate) use ratio::{ratio_test, RatioOutcome};
+pub(crate) use ratio::{ratio_test, ratio_test_sparse, RatioOutcome};
 
 /// Bound-violation tolerance under which a restored basis still counts
 /// as primal feasible. Looser than `tol_primal` because the restored
@@ -41,6 +42,26 @@ pub(crate) use ratio::{ratio_test, RatioOutcome};
 /// old vertex genuinely left the new polytope, and the solver falls
 /// back to a cold start.
 const WARM_FEASIBILITY_TOL: f64 = 1e-7;
+
+/// Row count at and above which solves take the sparse kernel route
+/// (pattern-driven FTRAN/BTRAN, sector partial pricing, incremental
+/// duals) unless [`SimplexOptions::sparse`] overrides the choice. Below
+/// it the legacy dense-vector route runs — it is faster on small
+/// instances and doubles as the cross-check oracle for the sparse path.
+const SPARSE_MIN_ROWS: usize = 512;
+
+/// Floor on the refactorization cadence for the sparse route. Sparse
+/// solves recompute the dense dual vector and the incremental objective
+/// only at refactorizations, so an aggressively small
+/// `refactor_every` would erase the route's advantage; 128 keeps the
+/// eta file short while amortizing the dense recomputations.
+///
+/// The cadence is only half the trigger: every BTRAN gathers over every
+/// stored eta nonzero, so once spikes densify (large instances couple
+/// users through shared pairs) a fixed update count lets per-iteration
+/// cost grow without bound. [`Core::sparse_refactor_due`] therefore also
+/// refactors when the eta fill outgrows the LU fill.
+pub(crate) const SPARSE_REFACTOR_MIN: usize = 128;
 
 /// Solver tuning knobs.
 #[derive(Debug, Clone)]
@@ -60,6 +81,21 @@ pub struct SimplexOptions {
     /// Iterations without objective improvement before switching to
     /// Bland's anti-cycling rule.
     pub stall_limit: usize,
+    /// Kernel route override: `Some(true)` forces the sparse route,
+    /// `Some(false)` forces the dense route, `None` (the default)
+    /// selects by problem size — sparse at `SPARSE_MIN_ROWS` rows and
+    /// above, dense below.
+    pub sparse: Option<bool>,
+    /// Skip the alternate-optima certificate on an optimal finish and
+    /// report [`Solution::alternate_optima`] as `false` unexamined.
+    ///
+    /// The certificate ratio-tests every near-zero-reduced-cost
+    /// nonbasic column (one FTRAN each), which on massively degenerate
+    /// LPs rivals the solve itself. Callers whose answer will be kept
+    /// regardless of uniqueness — e.g. a determinism guard's canonical
+    /// cold re-solve, whose *triggering* solve already certified the
+    /// optimum non-unique — can skip paying for it a second time.
+    pub skip_optima_certificate: bool,
 }
 
 impl Default for SimplexOptions {
@@ -72,6 +108,8 @@ impl Default for SimplexOptions {
             refactor_every: 64,
             scaling: true,
             stall_limit: 2_000,
+            sparse: None,
+            skip_optima_certificate: false,
         }
     }
 }
@@ -103,6 +141,9 @@ pub struct SolveStats {
     /// A dual reoptimization was attempted but fell back to the primal
     /// path (lost dual feasibility, stall, or unusable snapshot).
     pub dual_fallback: bool,
+    /// The solve ran on the sparse kernel route (pattern-driven solves,
+    /// partial pricing) rather than the dense-vector route.
+    pub sparse: bool,
 }
 
 impl SolveStats {
@@ -112,6 +153,7 @@ impl SolveStats {
             iterations: 0,
             refactorizations: 0,
             dual_fallback: false,
+            sparse: false,
         }
     }
 }
@@ -382,6 +424,7 @@ fn solve_parametric_inner(
                                 iterations: core.iterations,
                                 refactorizations: core.refactor_count,
                                 dual_fallback: false,
+                                sparse: core.sparse,
                             };
                             if let Some(c) = cache.as_deref_mut() {
                                 c.state = core.into_cache_state(factors, checks);
@@ -430,6 +473,7 @@ fn solve_parametric_inner(
                             iterations: core.iterations,
                             refactorizations: core.refactor_count,
                             dual_fallback: false,
+                            sparse: core.sparse,
                         };
                         if let Some(c) = cache.as_deref_mut() {
                             c.state = core.into_cache_state(factors, CacheChecks::of(problem));
@@ -473,6 +517,7 @@ fn solve_parametric_inner(
         iterations: solution.iterations + spent_iterations,
         refactorizations: core.refactor_count + spent_refactorizations,
         dual_fallback,
+        sparse: core.sparse,
     };
     if status == SolveStatus::Optimal {
         // only a caller-carried cache is worth populating; one-shot
@@ -507,7 +552,9 @@ fn finish(
     let objective = problem.objective_value(&x);
 
     let basis = if status == SolveStatus::Optimal { core.snapshot() } else { None };
-    let alternate_optima = status == SolveStatus::Optimal && core.objective_degenerate();
+    let alternate_optima = status == SolveStatus::Optimal
+        && !core.opts.skip_optima_certificate
+        && core.objective_degenerate();
     let solution =
         Solution { status, objective, x, duals, iterations: core.iterations, alternate_optima };
     (solution, basis)
@@ -592,6 +639,11 @@ pub(crate) struct Core {
     /// Basis factorizations performed (initial factor + refactors).
     pub(crate) refactor_count: usize,
     n_artificial: usize,
+    /// Whether this core runs on the sparse kernel route.
+    pub(crate) sparse: bool,
+    /// CSR mirror of `a`, built lazily on the sparse route for the
+    /// row-oriented passes (devex updates, dual breakpoint pricing).
+    csr: Option<CsrMatrix>,
 }
 
 enum PhaseOutcome {
@@ -667,8 +719,13 @@ impl Core {
         let a = sf.a.with_extra_cols(&art_cols);
         let n_total = n + n_artificial;
 
+        let sparse = opts.sparse.unwrap_or(m >= SPARSE_MIN_ROWS);
+        let t0 = std::time::Instant::now();
         let factor = BasisFactor::factor(&a, &basis)
             .expect("initial slack/artificial basis is triangular and nonsingular");
+        if sparse {
+            crate::obs::record_factorization(t0.elapsed().as_secs_f64(), factor.lu_nnz());
+        }
 
         Core {
             sf,
@@ -685,6 +742,8 @@ impl Core {
             iterations: 0,
             refactor_count: 1,
             n_artificial,
+            sparse,
+            csr: None,
         }
     }
 
@@ -749,9 +808,14 @@ impl Core {
 
         let basis = snap.rows.clone();
         let a = sf.a.clone();
+        let sparse = opts.sparse.unwrap_or(m >= SPARSE_MIN_ROWS);
+        let t0 = std::time::Instant::now();
         let Ok(factor) = BasisFactor::factor(&a, &basis) else {
             return Err(sf); // basis went singular under the new coefficients
         };
+        if sparse {
+            crate::obs::record_factorization(t0.elapsed().as_secs_f64(), factor.lu_nnz());
+        }
 
         let lower = sf.lower.clone();
         let upper = sf.upper.clone();
@@ -770,6 +834,8 @@ impl Core {
             iterations: 0,
             refactor_count: 1,
             n_artificial: 0,
+            sparse,
+            csr: None,
         };
 
         // x_B = B^-1 (b - N x_N); in Primal mode, reject the snapshot
@@ -828,6 +894,7 @@ impl Core {
         let a = sf.a.clone();
         let lower = sf.lower.clone();
         let upper = sf.upper.clone();
+        let sparse = opts.sparse.unwrap_or(m >= SPARSE_MIN_ROWS);
         let mut core = Core {
             sf,
             opts,
@@ -843,6 +910,8 @@ impl Core {
             iterations: 0,
             refactor_count: 0,
             n_artificial: 0,
+            sparse,
+            csr: None,
         };
 
         // x_B = B^-1 (b - N x_N) through the carried factorization
@@ -931,7 +1000,21 @@ impl Core {
     }
 
     /// Primal simplex inner loop on the given (minimization) cost.
+    /// Routes to the dense or sparse kernel loop; both implement the
+    /// same algorithm (devex pricing, Harris ratio test, Bland after a
+    /// stall) over different vector representations.
     fn optimize(&mut self, cost: &[f64]) -> Result<PhaseOutcome, LpError> {
+        if self.sparse {
+            self.optimize_sparse(cost)
+        } else {
+            self.optimize_dense(cost)
+        }
+    }
+
+    /// Dense-vector primal loop: full FTRAN/BTRAN vectors, full devex
+    /// scans, per-iteration dual recomputation. Fastest on small
+    /// instances and the behavioral reference for the sparse route.
+    fn optimize_dense(&mut self, cost: &[f64]) -> Result<PhaseOutcome, LpError> {
         let m = self.sf.m;
         let mut stall = 0usize;
         let mut bland = false;
@@ -947,11 +1030,7 @@ impl Core {
             }
 
             // duals: y = B^-T c_B
-            let mut y = vec![0.0; m];
-            for (i, &bcol) in self.basis.iter().enumerate() {
-                y[i] = cost[bcol];
-            }
-            self.factor.btran(&mut y);
+            let y = self.compute_duals(cost);
 
             // pricing
             let pick =
@@ -1023,6 +1102,196 @@ impl Core {
         }
     }
 
+    /// Sparse-route primal loop. Same algorithm as the dense loop with
+    /// three representation changes that turn per-iteration cost from
+    /// `O(m + n·nnz_col)` into (amortized) pattern-sized work:
+    ///
+    /// * FTRAN/BTRAN run pattern-driven on [`SparseVec`]s;
+    /// * duals are updated incrementally (`y += (d_q/α_q)·ρ` after each
+    ///   pivot) and recomputed from scratch only at refactorizations —
+    ///   optimality is therefore *confirmed* with freshly recomputed
+    ///   duals before being declared;
+    /// * pricing scans rotating column sectors (see
+    ///   [`Devex::price_sparse`]) instead of the whole column range,
+    ///   and the objective used for stall detection is tracked
+    ///   incrementally from the reduced cost of each step.
+    fn optimize_sparse(&mut self, cost: &[f64]) -> Result<PhaseOutcome, LpError> {
+        let m = self.sf.m;
+        self.ensure_csr();
+        let mut stall = 0usize;
+        let mut bland = false;
+        let mut best_obj = f64::INFINITY;
+        let mut devex = Devex::new(self.n_total);
+        let refactor_every = self.opts.refactor_every.max(SPARSE_REFACTOR_MIN);
+
+        // per-solve workspaces (no per-iteration allocation)
+        let mut w = SparseVec::new(m);
+        let mut rho = SparseVec::new(m);
+        let mut alpha_acc = SparseVec::new(self.n_total);
+        let mut ws = LuScratch::new(m);
+        // When the basis couples enough rows that FTRAN results stop
+        // being hypersparse, the pattern-driven solve's graph traversal
+        // costs more than a flat dense sweep over the same factors (the
+        // arithmetic — and hence the result — is identical either way).
+        // Latch on the previous result's density.
+        let mut w_densish = false;
+
+        let mut y = self.compute_duals(cost);
+        let mut y_fresh = true;
+        let mut obj = self.objective_of(cost);
+
+        loop {
+            if self.iterations >= self.opts.max_iter {
+                return Ok(PhaseOutcome::IterationLimit);
+            }
+            if self.sparse_refactor_due(refactor_every) {
+                self.refactorize()?;
+                y = self.compute_duals(cost);
+                y_fresh = true;
+                obj = self.objective_of(cost);
+            }
+
+            let pick = if bland {
+                // Bland's rule needs exact reduced costs: keep y fresh
+                if !y_fresh {
+                    y = self.compute_duals(cost);
+                    y_fresh = true;
+                }
+                price_bland(self, cost, &y)
+                    .map(|(q, dir)| (q, dir, cost[q] - self.a.col_dot(q, &y)))
+            } else {
+                devex.price_sparse(self, cost, &y)
+            };
+            let Some((q, dir, d_q)) = pick else {
+                if y_fresh {
+                    return Ok(PhaseOutcome::Optimal);
+                }
+                // the incremental duals say optimal; confirm against
+                // exactly recomputed duals before declaring it
+                y = self.compute_duals(cost);
+                y_fresh = true;
+                continue;
+            };
+
+            // direction: w = B^-1 A_q, pattern-driven
+            w.clear();
+            {
+                let (rows, vals) = self.a.col(q);
+                for (&r, &v) in rows.iter().zip(vals) {
+                    w.add(r, v);
+                }
+            }
+            if w_densish {
+                self.factor.ftran(&mut w.values);
+                w.rescan_pattern();
+            } else {
+                self.factor.ftran_sparse(&mut w, &mut ws);
+                w.sort_pattern();
+            }
+            w_densish = w.pattern.len() * 4 > m;
+
+            match ratio_test_sparse(self, q, dir, &w) {
+                RatioOutcome::Unbounded => return Ok(PhaseOutcome::Unbounded),
+                RatioOutcome::BoundFlip { t } => {
+                    self.apply_step_sparse(q, dir, t, &w);
+                    self.status[q] = match self.status[q] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        other => other,
+                    };
+                    // a flip changes neither basis nor duals
+                    obj += d_q * dir.sign() * t;
+                }
+                RatioOutcome::Pivot { t, leaving_pos, to_upper } => {
+                    self.apply_step_sparse(q, dir, t, &w);
+                    obj += d_q * dir.sign() * t;
+                    // pivot row of the outgoing basis: needed for the
+                    // devex update and the incremental dual update
+                    rho.clear();
+                    rho.set(leaving_pos, 1.0);
+                    self.factor.btran_sparse(&mut rho, &mut ws);
+                    rho.sort_pattern();
+                    let alpha_q = w.values[leaving_pos];
+                    if !bland {
+                        devex.update_sparse(self, q, leaving_pos, alpha_q, &rho, &mut alpha_acc);
+                    }
+                    let leaving = self.basis[leaving_pos];
+                    self.x_val[leaving] =
+                        if to_upper { self.upper[leaving] } else { self.lower[leaving] };
+                    self.status[leaving] =
+                        if to_upper { VarStatus::AtUpper } else { VarStatus::AtLower };
+                    self.basis[leaving_pos] = q;
+                    self.status[q] = VarStatus::Basic(leaving_pos);
+                    let mut refactored = false;
+                    if self.factor.update_sparse(leaving_pos, &mut w).is_err() {
+                        self.refactorize()?;
+                        refactored = true;
+                    }
+                    if refactored || alpha_q.abs() <= 1e-12 {
+                        y = self.compute_duals(cost);
+                        y_fresh = true;
+                        if refactored {
+                            obj = self.objective_of(cost);
+                        }
+                    } else {
+                        // y += (d_q/α_q)·ρ zeroes the entering column's
+                        // reduced cost against the new basis
+                        let theta = d_q / alpha_q;
+                        for &i in &rho.pattern {
+                            y[i] += theta * rho.values[i];
+                        }
+                        y_fresh = false;
+                    }
+                }
+            }
+
+            self.iterations += 1;
+
+            // stall detection on the incrementally tracked objective
+            // (refreshed exactly at every refactorization)
+            if obj < best_obj - 1e-10 {
+                best_obj = obj;
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall >= self.opts.stall_limit {
+                    bland = true;
+                }
+            }
+        }
+    }
+
+    /// Whether the sparse route should refactorize now: either the
+    /// update cadence is spent, or the accumulated eta fill has outgrown
+    /// the LU factors. The second trigger is what keeps per-iteration
+    /// cost bounded at scale — each BTRAN gathers over every stored eta
+    /// nonzero, and on instances whose basis couples many rows the
+    /// spikes densify long before the cadence would fire.
+    /// The fill trigger is gated on the sparse route so the dense
+    /// route's pivot sequence stays byte-identical to its pre-sparse
+    /// behavior (golden-fixture safety).
+    fn sparse_refactor_due(&self, refactor_every: usize) -> bool {
+        self.factor.n_updates() >= refactor_every
+            || (self.sparse && self.factor.eta_nnz() > 2 * (self.factor.lu_nnz() + self.sf.m))
+    }
+
+    /// Build the CSR mirror of the working matrix if not yet present.
+    fn ensure_csr(&mut self) {
+        if self.csr.is_none() {
+            self.csr = Some(CsrMatrix::from_csc(&self.a));
+        }
+    }
+
+    /// Duals `y = B⁻ᵀ c_B` through the current factorization.
+    fn compute_duals(&self, cost: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.sf.m];
+        for (i, &bcol) in self.basis.iter().enumerate() {
+            y[i] = cost[bcol];
+        }
+        self.factor.btran(&mut y);
+        y
+    }
+
     /// Move entering variable `q` by `t` in direction `dir` and update
     /// all basic values accordingly.
     fn apply_step(&mut self, q: usize, dir: Direction, t: f64, w: &[f64]) {
@@ -1039,6 +1308,23 @@ impl Core {
         }
     }
 
+    /// [`Core::apply_step`] over a sparse direction: only the rows in
+    /// `w`'s pattern hold basic variables that move.
+    fn apply_step_sparse(&mut self, q: usize, dir: Direction, t: f64, w: &SparseVec) {
+        if t == 0.0 {
+            return;
+        }
+        let step = dir.sign() * t;
+        self.x_val[q] += step;
+        for &i in &w.pattern {
+            let wi = w.values[i];
+            if wi != 0.0 {
+                let col = self.basis[i];
+                self.x_val[col] -= step * wi;
+            }
+        }
+    }
+
     fn objective_of(&self, cost: &[f64]) -> f64 {
         cost.iter().zip(&self.x_val).map(|(&c, &x)| c * x).sum()
     }
@@ -1046,7 +1332,11 @@ impl Core {
     /// Rebuild the LU factorization from the current basis and recompute
     /// basic values from scratch (numerical hygiene).
     fn refactorize(&mut self) -> Result<(), LpError> {
+        let t0 = std::time::Instant::now();
         self.factor = BasisFactor::factor(&self.a, &self.basis)?;
+        if self.sparse {
+            crate::obs::record_factorization(t0.elapsed().as_secs_f64(), self.factor.lu_nnz());
+        }
         self.refactor_count += 1;
         self.recompute_basic_values();
         Ok(())
@@ -1079,12 +1369,21 @@ impl Core {
     /// Whether the finished (optimal) basis admits alternate optimal
     /// vertices: a nonbasic structural or slack column with room to
     /// move whose reduced cost is (near-)zero marks an objective-flat
-    /// edge out of this vertex. One BTRAN plus a column scan; the
-    /// tolerance is deliberately looser than `tol_dual` so reduced
-    /// costs the solve itself treated as zero are flagged.
+    /// edge out of this vertex — *provided the edge has positive
+    /// length*. A zero-reduced-cost column whose ratio test allows no
+    /// step at all (every blocking basic variable is already at its
+    /// bound) does not lead to a different optimal vertex, so it is
+    /// de-flagged; this keeps warm reoptimization on degenerate bases
+    /// from discarding answers it could legally keep. Free flagged
+    /// columns are flagged outright (conservative: either direction
+    /// may open an edge). The tolerance is deliberately looser than
+    /// `tol_dual` so reduced costs the solve itself treated as zero
+    /// are candidates.
     fn objective_degenerate(&self) -> bool {
         let y = self.row_duals();
         let tol = (self.opts.tol_dual * 100.0).max(1e-7);
+        let mut w = SparseVec::new(self.sf.m);
+        let mut ws = LuScratch::new(self.sf.m);
         // artificials (j ≥ sf.n) are excluded: they are not columns of
         // the caller's problem, merely phase-1 scaffolding
         for j in 0..self.sf.n {
@@ -1093,8 +1392,28 @@ impl Core {
                 continue;
             }
             let d = self.sf.c[j] - self.a.col_dot(j, &y);
-            if d.abs() <= tol {
-                return true;
+            if d.abs() > tol {
+                continue;
+            }
+            let dir = match self.status[j] {
+                VarStatus::AtLower => Direction::Up,
+                VarStatus::AtUpper => Direction::Down,
+                _ => return true,
+            };
+            w.clear();
+            let (rows, vals) = self.a.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                w.add(r, v);
+            }
+            self.factor.ftran_sparse(&mut w, &mut ws);
+            w.sort_pattern();
+            match ratio_test_sparse(self, j, dir, &w) {
+                RatioOutcome::Unbounded => return true,
+                RatioOutcome::BoundFlip { t } | RatioOutcome::Pivot { t, .. } => {
+                    if t > self.opts.tol_primal {
+                        return true;
+                    }
+                }
             }
         }
         false
@@ -1119,6 +1438,9 @@ impl Core {
     pub(crate) fn n_total(&self) -> usize {
         self.n_total
     }
+    pub(crate) fn n_rows_m(&self) -> usize {
+        self.sf.m
+    }
     pub(crate) fn status_of(&self, j: usize) -> VarStatus {
         self.status[j]
     }
@@ -1133,6 +1455,11 @@ impl Core {
     }
     pub(crate) fn matrix(&self) -> &CscMatrix {
         &self.a
+    }
+    /// Row-major mirror of the matrix; present only after the sparse
+    /// route has called [`Core::ensure_csr`].
+    pub(crate) fn csr(&self) -> Option<&CsrMatrix> {
+        self.csr.as_ref()
     }
     pub(crate) fn tol_dual(&self) -> f64 {
         self.opts.tol_dual

@@ -9,6 +9,7 @@
 //! anti-cycling fallback the driver switches to after a stall.
 
 use super::{Core, VarStatus};
+use crate::sparse::SparseVec;
 
 /// Which way the entering variable moves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +88,12 @@ const PARTIAL_SCANS: usize = 12;
 /// discriminating and risk overflow-ish scores.
 const WEIGHT_RESET: f64 = 1e8;
 
+/// Columns priced per sector on the sparse route's partial scan. One
+/// sector of reduced costs is a few thousand sparse dot products —
+/// cheap — while a full scan over 10⁵⁺ columns per iteration is what
+/// makes dense pricing quadratic overall.
+const SECTOR_LEN: usize = 1024;
+
 /// Devex pricing state: reference weights plus a candidate shortlist.
 ///
 /// Weights approximate steepest-edge norms relative to the reference
@@ -97,11 +104,22 @@ pub(crate) struct Devex {
     weights: Vec<f64>,
     candidates: Vec<usize>,
     partial_scans_left: usize,
+    /// Rotating start of the next sector scan (sparse route only).
+    cursor: usize,
+    /// Running maximum weight since the last reset (sparse route only;
+    /// the dense update recomputes its maximum on every scan).
+    max_weight: f64,
 }
 
 impl Devex {
     pub(crate) fn new(n_total: usize) -> Devex {
-        Devex { weights: vec![1.0; n_total], candidates: Vec::new(), partial_scans_left: 0 }
+        Devex {
+            weights: vec![1.0; n_total],
+            candidates: Vec::new(),
+            partial_scans_left: 0,
+            cursor: 0,
+            max_weight: 1.0,
+        }
     }
 
     /// Pick the entering column: scan the candidate shortlist while it
@@ -191,6 +209,136 @@ impl Devex {
         self.weights[leaving] = ratio2.max(1.0);
         if max_weight.max(self.weights[leaving]) > WEIGHT_RESET {
             self.weights.fill(1.0);
+        }
+    }
+
+    /// Sparse-route pricing: consume the candidate shortlist while it
+    /// stays fresh, then refresh it by scanning rotating sectors of
+    /// `SECTOR_LEN` columns starting at the cursor, stopping at the
+    /// first sector that yields any eligible column. Also returns the
+    /// selected column's reduced cost (the caller's incremental dual
+    /// update needs it). `None` is returned only after a *full* wrap
+    /// of every sector found nothing eligible — a sound optimality
+    /// signal against the duals `y` that were passed in (the caller
+    /// still re-confirms against freshly computed duals).
+    pub(crate) fn price_sparse(
+        &mut self,
+        core: &Core,
+        cost: &[f64],
+        y: &[f64],
+    ) -> Option<(usize, Direction, f64)> {
+        if self.partial_scans_left > 0 {
+            let mut best: Option<(usize, Direction, f64, f64)> = None; // (j, dir, d, score)
+            for &j in &self.candidates {
+                if matches!(core.status_of(j), VarStatus::Basic(_)) {
+                    continue;
+                }
+                let d = reduced_cost(core, cost, y, j);
+                if let Some(dir) = eligible(core, j, d) {
+                    let score = d * d / self.weights[j];
+                    if best.is_none_or(|(_, _, _, s)| score > s) {
+                        best = Some((j, dir, d, score));
+                    }
+                }
+            }
+            if let Some((j, dir, d, _)) = best {
+                self.partial_scans_left -= 1;
+                return Some((j, dir, d));
+            }
+            // shortlist exhausted: fall through to the sector scan
+        }
+
+        let n = core.n_total();
+        let mut scored: Vec<(usize, Direction, f64, f64)> = Vec::new();
+        let mut scanned = 0usize;
+        while scanned < n {
+            let sector = SECTOR_LEN.min(n - scanned);
+            for off in 0..sector {
+                let j = (self.cursor + off) % n;
+                if matches!(core.status_of(j), VarStatus::Basic(_)) {
+                    continue;
+                }
+                let d = reduced_cost(core, cost, y, j);
+                if let Some(dir) = eligible(core, j, d) {
+                    scored.push((j, dir, d, d * d / self.weights[j]));
+                }
+            }
+            self.cursor = (self.cursor + sector) % n;
+            scanned += sector;
+            if !scored.is_empty() {
+                break;
+            }
+        }
+        if scored.is_empty() {
+            return None; // full wrap, nothing eligible
+        }
+        // descending score; Vec order within a sector is ascending from
+        // the cursor, so ties stay deterministic
+        scored.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(CANDIDATE_LIST_LEN);
+        self.candidates = scored.iter().map(|&(j, _, _, _)| j).collect();
+        self.partial_scans_left = PARTIAL_SCANS;
+        scored.first().map(|&(j, dir, d, _)| (j, dir, d))
+    }
+
+    /// Sparse-route weight update. Equivalent to [`Devex::update`] but
+    /// the pivot-row entries `α_j = ρ' A_j` are accumulated through the
+    /// CSR mirror over `rho`'s nonzero rows only: any column that does
+    /// not intersect the pivot row's pattern has `α_j = 0` exactly and
+    /// keeps its weight untouched. `acc` is a caller-owned scratch of
+    /// length `n_total`, cleared on exit.
+    pub(crate) fn update_sparse(
+        &mut self,
+        core: &Core,
+        q: usize,
+        leaving_pos: usize,
+        alpha_q: f64,
+        rho: &SparseVec,
+        acc: &mut SparseVec,
+    ) {
+        if alpha_q.abs() < 1e-12 {
+            return; // degenerate pivot row: keep the old weights
+        }
+        let gamma_q = self.weights[q].max(1.0);
+        let ratio2 = gamma_q / (alpha_q * alpha_q);
+        // Weight refinement pays rho-nnz × CSR-row-length per pivot.
+        // Past this density the refinement costs more than the pricing
+        // quality it buys (weights are heuristic only — staleness never
+        // affects correctness), so keep the old weights and just reseed
+        // the leaving variable's below.
+        if rho.pattern.len() <= (core.n_rows_m() / 8).max(64) {
+            let csr = core.csr().expect("sparse route built the CSR mirror before pivoting");
+            for &i in &rho.pattern {
+                let ri = rho.values[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                let (cols, vals) = csr.row(i);
+                for (&j, &v) in cols.iter().zip(vals) {
+                    acc.add(j, v * ri);
+                }
+            }
+            for &j in &acc.pattern {
+                if j == q || matches!(core.status_of(j), VarStatus::Basic(_)) {
+                    continue;
+                }
+                let alpha_j = acc.values[j];
+                if alpha_j != 0.0 {
+                    let cand = alpha_j * alpha_j * ratio2;
+                    if cand > self.weights[j] {
+                        self.weights[j] = cand;
+                        self.max_weight = self.max_weight.max(cand);
+                    }
+                }
+            }
+            acc.clear();
+        }
+        let leaving = core.basis_col(leaving_pos);
+        self.weights[leaving] = ratio2.max(1.0);
+        self.max_weight = self.max_weight.max(self.weights[leaving]);
+        if self.max_weight > WEIGHT_RESET {
+            self.weights.fill(1.0);
+            self.max_weight = 1.0;
         }
     }
 }

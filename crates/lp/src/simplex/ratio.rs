@@ -15,6 +15,7 @@
 //! whichever tiny pivot appears first poison the eta file.
 
 use super::{Core, Direction};
+use crate::sparse::SparseVec;
 
 /// Outcome of the ratio test.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,7 +56,15 @@ fn blocking_ratio(core: &Core, i: usize, delta: f64, tol: f64) -> Option<(f64, f
     }
 }
 
-pub(crate) fn ratio_test(core: &Core, q: usize, dir: Direction, w: &[f64]) -> RatioOutcome {
+/// Shared two-pass logic over any enumeration of `(row position, w_i)`
+/// entries. The dense wrapper enumerates every row; the sparse wrapper
+/// walks the pattern in ascending row order — identical iteration order
+/// over the nonzero entries, so the first-seen tie-break picks the same
+/// leaving row on both routes.
+fn ratio_test_inner<I>(core: &Core, q: usize, dir: Direction, entries: I) -> RatioOutcome
+where
+    I: Iterator<Item = (usize, f64)> + Clone,
+{
     let tol_pivot = core.tol_pivot();
 
     let (q_lo, q_hi) = core.bounds_of(q);
@@ -65,7 +74,7 @@ pub(crate) fn ratio_test(core: &Core, q: usize, dir: Direction, w: &[f64]) -> Ra
     // softened by tol_pivot (so its relaxation in step space is
     // tol_pivot / |w_i| — tighter for fast-moving candidates)
     let mut t_relaxed = f64::INFINITY;
-    for (i, &wi) in w.iter().enumerate() {
+    for (i, wi) in entries.clone() {
         if wi.abs() <= tol_pivot {
             continue;
         }
@@ -82,7 +91,7 @@ pub(crate) fn ratio_test(core: &Core, q: usize, dir: Direction, w: &[f64]) -> Ra
     // pass 2: among candidates whose exact ratio fits under the cap,
     // prefer the largest pivot magnitude
     let mut best: Option<(usize, bool, f64, f64)> = None; // (pos, to_upper, |pivot|, ratio)
-    for (i, &wi) in w.iter().enumerate() {
+    for (i, wi) in entries {
         if wi.abs() <= tol_pivot {
             continue;
         }
@@ -108,4 +117,21 @@ pub(crate) fn ratio_test(core: &Core, q: usize, dir: Direction, w: &[f64]) -> Ra
         None if own_limit.is_finite() => RatioOutcome::BoundFlip { t: own_limit },
         None => RatioOutcome::Unbounded,
     }
+}
+
+pub(crate) fn ratio_test(core: &Core, q: usize, dir: Direction, w: &[f64]) -> RatioOutcome {
+    ratio_test_inner(core, q, dir, w.iter().copied().enumerate())
+}
+
+/// Ratio test over a sparse direction: only the pattern's rows are
+/// inspected. `w.pattern` must be sorted ascending so tie-breaking
+/// matches the dense test exactly.
+pub(crate) fn ratio_test_sparse(
+    core: &Core,
+    q: usize,
+    dir: Direction,
+    w: &SparseVec,
+) -> RatioOutcome {
+    debug_assert!(w.pattern.windows(2).all(|p| p[0] < p[1]), "pattern must be sorted");
+    ratio_test_inner(core, q, dir, w.pattern.iter().map(|&i| (i, w.values[i])))
 }

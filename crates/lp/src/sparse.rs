@@ -180,6 +180,189 @@ impl CscMatrix {
     }
 }
 
+/// A CSR mirror of a [`CscMatrix`], for the row-oriented passes of the
+/// revised simplex (devex reference-weight updates and the dual ratio
+/// test both need `rho' A` restricted to the rows where `rho` is
+/// nonzero — that is a union of matrix *rows*, not columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build the CSR mirror of a CSC matrix. Entries within each row
+    /// come out sorted by column index (the CSC column sweep visits
+    /// columns in ascending order).
+    pub fn from_csc(a: &CscMatrix) -> Self {
+        let nrows = a.nrows();
+        let ncols = a.ncols();
+        let nnz = a.nnz();
+        let mut row_ptr = vec![0usize; nrows + 1];
+        for &r in &a.row_idx {
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..nrows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let mut next = row_ptr.clone();
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![0.0f64; nnz];
+        for j in 0..ncols {
+            let (rows, vals) = a.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                let slot = next[r];
+                col_idx[slot] = j;
+                values[slot] = v;
+                next[r] += 1;
+            }
+        }
+        CsrMatrix { nrows, ncols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The `(col_indices, values)` slices of row `i`, sorted by column.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+}
+
+/// A sparse working vector with explicit nonzero tracking: a dense
+/// value array plus the list of positions that may be nonzero.
+///
+/// This is the workhorse of the sparse FTRAN/BTRAN path. Kernels
+/// scatter into `values` and record each newly touched index in
+/// `pattern` (guarded by the `marked` bitmap so an index is recorded
+/// once); [`SparseVec::clear`] then resets only the touched entries,
+/// so a solve whose result has `k` nonzeros costs `O(k)` to clean up
+/// instead of `O(n)`.
+///
+/// Entries listed in `pattern` may still hold an exact `0.0` (numeric
+/// cancellation); consumers that care filter on the value.
+#[derive(Debug, Clone)]
+pub struct SparseVec {
+    /// Dense value array, indexable by position.
+    pub values: Vec<f64>,
+    /// Indices with (structurally) nonzero values, in scatter order
+    /// unless [`SparseVec::sort_pattern`] has been called.
+    pub pattern: Vec<usize>,
+    marked: Vec<bool>,
+}
+
+impl SparseVec {
+    /// An all-zero vector of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        SparseVec { values: vec![0.0; n], pattern: Vec::new(), marked: vec![false; n] }
+    }
+
+    /// Dimension of the vector.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the pattern is empty (the vector may still be
+    /// numerically zero with a non-empty pattern after cancellation).
+    pub fn is_empty(&self) -> bool {
+        self.pattern.is_empty()
+    }
+
+    /// Number of tracked (structural) nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Reset to the zero vector in `O(nnz)` time.
+    pub fn clear(&mut self) {
+        for &i in &self.pattern {
+            self.values[i] = 0.0;
+            self.marked[i] = false;
+        }
+        self.pattern.clear();
+    }
+
+    /// Resize to dimension `n`, clearing all entries.
+    pub fn resize(&mut self, n: usize) {
+        self.clear();
+        self.values.resize(n, 0.0);
+        self.marked.resize(n, false);
+    }
+
+    /// Add `i` to the tracked pattern (idempotent). Does not touch the
+    /// value.
+    #[inline]
+    pub fn mark(&mut self, i: usize) {
+        if !self.marked[i] {
+            self.marked[i] = true;
+            self.pattern.push(i);
+        }
+    }
+
+    /// `values[i] += v`, tracking `i` in the pattern.
+    #[inline]
+    pub fn add(&mut self, i: usize, v: f64) {
+        self.mark(i);
+        self.values[i] += v;
+    }
+
+    /// `values[i] = v`, tracking `i` in the pattern.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: f64) {
+        self.mark(i);
+        self.values[i] = v;
+    }
+
+    /// Sort the pattern into ascending index order. Pattern-driven
+    /// consumers that must match a dense left-to-right sweep (the
+    /// Harris ratio test's tie-breaking, ascending-row dot products)
+    /// call this first.
+    pub fn sort_pattern(&mut self) {
+        self.pattern.sort_unstable();
+    }
+
+    /// Re-derive the pattern by scanning the dense values — for use
+    /// after a dense kernel has written `values` directly. The pattern
+    /// comes out sorted ascending, as after
+    /// [`SparseVec::sort_pattern`].
+    pub fn rescan_pattern(&mut self) {
+        for &i in &self.pattern {
+            self.marked[i] = false;
+        }
+        self.pattern.clear();
+        for i in 0..self.values.len() {
+            if self.values[i] != 0.0 {
+                self.marked[i] = true;
+                self.pattern.push(i);
+            }
+        }
+    }
+
+    /// Load from a dense slice, tracking every nonzero.
+    pub fn assign_dense(&mut self, dense: &[f64]) {
+        self.clear();
+        debug_assert_eq!(dense.len(), self.values.len());
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                self.set(i, v);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,5 +455,63 @@ mod tests {
     #[should_panic(expected = "must be finite")]
     fn nan_panics() {
         let _ = CscMatrix::from_triplets(1, 1, &[(0, 0, f64::NAN)]);
+    }
+
+    #[test]
+    fn csr_mirrors_csc() {
+        let m = CscMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 0, 1.0), (2, 0, -2.0), (0, 2, 3.0), (1, 3, 4.0), (2, 2, 5.0)],
+        );
+        let r = CsrMatrix::from_csc(&m);
+        assert_eq!((r.nrows(), r.ncols()), (3, 4));
+        let (cols, vals) = r.row(0);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[1.0, 3.0]);
+        let (cols, vals) = r.row(1);
+        assert_eq!(cols, &[3]);
+        assert_eq!(vals, &[4.0]);
+        let (cols, vals) = r.row(2);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[-2.0, 5.0]);
+    }
+
+    #[test]
+    fn csr_rows_sorted_by_column() {
+        let m = CscMatrix::from_triplets(2, 3, &[(0, 2, 7.0), (0, 0, 1.0), (0, 1, 2.0)]);
+        let r = CsrMatrix::from_csc(&m);
+        let (cols, _) = r.row(0);
+        assert!(cols.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sparse_vec_tracks_and_clears() {
+        let mut v = SparseVec::new(5);
+        assert!(v.is_empty());
+        v.add(3, 2.0);
+        v.add(1, -1.0);
+        v.add(3, 0.5);
+        assert_eq!(v.nnz(), 2, "duplicate index tracked once");
+        assert_eq!(v.values[3], 2.5);
+        v.sort_pattern();
+        assert_eq!(v.pattern, vec![1, 3]);
+        v.clear();
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.values, vec![0.0; 5]);
+        // marked bitmap was reset too: re-adding works
+        v.set(3, 9.0);
+        assert_eq!(v.pattern, vec![3]);
+    }
+
+    #[test]
+    fn sparse_vec_assign_dense() {
+        let mut v = SparseVec::new(4);
+        v.add(0, 5.0);
+        v.assign_dense(&[0.0, 1.0, 0.0, -2.0]);
+        let mut p = v.pattern.clone();
+        p.sort_unstable();
+        assert_eq!(p, vec![1, 3]);
+        assert_eq!(v.values, vec![0.0, 1.0, 0.0, -2.0]);
     }
 }

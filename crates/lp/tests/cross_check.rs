@@ -147,33 +147,35 @@ fn moderate_lp_solves_quickly_and_feasibly() {
     assert!(s.objective > 0.0);
 }
 
+/// The F-UMP shape (packing rows + equality + abs-split ≥ rows) at a
+/// given budget rhs; shared by the dense- and sparse-route sweeps.
+fn fump_sweep_problem(budget: f64) -> Problem {
+    let n = 4;
+    let total = 6.0;
+    let targets = [0.4, 0.3, 0.2, 0.1];
+    let mut p = Problem::new(Sense::Minimize);
+    let xs: Vec<usize> =
+        (0..n).map(|_| p.add_col(0.0, VarBounds { lower: 0.0, upper: 9.0 }).unwrap()).collect();
+    let ys: Vec<usize> =
+        (0..n).map(|_| p.add_col(1.0, VarBounds::non_negative()).unwrap()).collect();
+    p.add_row(RowBounds::at_most(budget), &[(xs[0], 0.8), (xs[1], 0.4)]).unwrap();
+    p.add_row(RowBounds::at_most(budget), &[(xs[2], 0.5), (xs[3], 0.3)]).unwrap();
+    let all: Vec<(usize, f64)> = xs.iter().map(|&j| (j, 1.0)).collect();
+    p.add_row(RowBounds::equal(total), &all).unwrap();
+    for f in 0..n {
+        p.add_row(RowBounds::at_least(-targets[f]), &[(ys[f], 1.0), (xs[f], -1.0 / total)])
+            .unwrap();
+        p.add_row(RowBounds::at_least(targets[f]), &[(ys[f], 1.0), (xs[f], 1.0 / total)]).unwrap();
+    }
+    p
+}
+
 #[test]
 fn dual_reopt_matches_dense_on_fump_shaped_rhs_sweep() {
-    // the F-UMP shape (packing rows + equality + abs-split ≥ rows)
     // swept over its budget rhs: dual reoptimization from the previous
     // basis must track the independent dense solver at every step
     use dpsan_lp::simplex::{solve_parametric_cached, ReoptCache, StepHint};
-    let build = |budget: f64| {
-        let n = 4;
-        let total = 6.0;
-        let targets = [0.4, 0.3, 0.2, 0.1];
-        let mut p = Problem::new(Sense::Minimize);
-        let xs: Vec<usize> =
-            (0..n).map(|_| p.add_col(0.0, VarBounds { lower: 0.0, upper: 9.0 }).unwrap()).collect();
-        let ys: Vec<usize> =
-            (0..n).map(|_| p.add_col(1.0, VarBounds::non_negative()).unwrap()).collect();
-        p.add_row(RowBounds::at_most(budget), &[(xs[0], 0.8), (xs[1], 0.4)]).unwrap();
-        p.add_row(RowBounds::at_most(budget), &[(xs[2], 0.5), (xs[3], 0.3)]).unwrap();
-        let all: Vec<(usize, f64)> = xs.iter().map(|&j| (j, 1.0)).collect();
-        p.add_row(RowBounds::equal(total), &all).unwrap();
-        for f in 0..n {
-            p.add_row(RowBounds::at_least(-targets[f]), &[(ys[f], 1.0), (xs[f], -1.0 / total)])
-                .unwrap();
-            p.add_row(RowBounds::at_least(targets[f]), &[(ys[f], 1.0), (xs[f], 1.0 / total)])
-                .unwrap();
-        }
-        p
-    };
+    let build = fump_sweep_problem;
     let opts = SimplexOptions::default();
     let mut cache = ReoptCache::new();
     let first =
@@ -242,4 +244,263 @@ fn fump_shaped_lp_with_equality_and_abs_split() {
         slow.objective
     );
     assert!(p.max_violation(&fast.x) < 1e-6);
+}
+
+// ---------------------------------------------------------------------
+// sparse route vs dense route (the dense route is the 1e-9 oracle)
+// ---------------------------------------------------------------------
+
+const ROUTE_TOL: f64 = 1e-9;
+
+fn force_sparse() -> SimplexOptions {
+    SimplexOptions { sparse: Some(true), ..Default::default() }
+}
+
+fn force_dense() -> SimplexOptions {
+    SimplexOptions { sparse: Some(false), ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sparse_route_matches_dense_route_on_random_packing(
+        n in 2usize..8,
+        m in 1usize..6,
+        coefs in prop::collection::vec(0.0f64..2.0, 48),
+        rhs in prop::collection::vec(0.5f64..4.0, 6),
+    ) {
+        let p = random_packing_lp(n, m, coefs, rhs);
+        let sp = solve(&p, &force_sparse()).unwrap();
+        let de = solve(&p, &force_dense()).unwrap();
+        prop_assert_eq!(sp.status, SolveStatus::Optimal);
+        prop_assert_eq!(de.status, SolveStatus::Optimal);
+        prop_assert!((sp.objective - de.objective).abs() < ROUTE_TOL,
+            "sparse {} vs dense {}", sp.objective, de.objective);
+        prop_assert!(p.max_violation(&sp.x) < 1e-7);
+    }
+}
+
+#[test]
+fn sparse_route_matches_dense_on_fump_and_moderate_shapes() {
+    // the real tiny F-UMP shape across its budget sweep, plus a
+    // moderate random packing LP: forced-sparse and forced-dense
+    // routes must land on the same objective to 1e-9
+    for budget in [4.0, 3.0, 2.2, 1.9] {
+        let p = fump_sweep_problem(budget);
+        let sp = solve(&p, &force_sparse()).unwrap();
+        let de = solve(&p, &force_dense()).unwrap();
+        assert_eq!(sp.status, SolveStatus::Optimal, "budget {budget}");
+        assert!(
+            (sp.objective - de.objective).abs() < ROUTE_TOL,
+            "budget {budget}: sparse {} vs dense {}",
+            sp.objective,
+            de.objective
+        );
+        assert!(p.max_violation(&sp.x) < 1e-7, "budget {budget}");
+    }
+
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(11);
+    let n = 300;
+    let m = 120;
+    let mut p = Problem::new(Sense::Maximize);
+    for _ in 0..n {
+        p.add_col(1.0, VarBounds::non_negative()).unwrap();
+    }
+    for _ in 0..m {
+        let k = rng.random_range(3..10);
+        let entries: Vec<(usize, f64)> =
+            (0..k).map(|_| (rng.random_range(0..n), rng.random::<f64>() * 0.5 + 0.001)).collect();
+        p.add_row(RowBounds::at_most(0.7), &entries).unwrap();
+    }
+    let cover: Vec<(usize, f64)> = (0..n).map(|j| (j, 0.01)).collect();
+    p.add_row(RowBounds::at_most(30.0), &cover).unwrap();
+    let sp = solve(&p, &force_sparse()).unwrap();
+    let de = solve(&p, &force_dense()).unwrap();
+    assert_eq!(sp.status, SolveStatus::Optimal);
+    assert!(
+        (sp.objective - de.objective).abs() < ROUTE_TOL * sp.objective.abs().max(1.0),
+        "sparse {} vs dense {}",
+        sp.objective,
+        de.objective
+    );
+    assert!(p.max_violation(&sp.x) < 1e-7);
+}
+
+#[test]
+fn auto_routing_selects_sparse_at_scale_and_matches_dense() {
+    // an O-UMP-shaped block LP with ≥ 512 rows routes sparse by
+    // default; the answer must still match the forced-dense oracle
+    use dpsan_lp::simplex::solve_with_basis;
+    let blocks = 280; // 280 users x 2 rows/user = 560 rows ≥ 512
+    let mut p = Problem::new(Sense::Maximize);
+    let mut cols = Vec::new();
+    for _ in 0..blocks {
+        for _ in 0..3 {
+            cols.push(p.add_col(1.0, VarBounds { lower: 0.0, upper: 2.0 }).unwrap());
+        }
+    }
+    for b in 0..blocks {
+        let base = 3 * b;
+        let w = 0.3 + 0.4 * ((b % 7) as f64) / 7.0;
+        p.add_row(
+            RowBounds::at_most(1.5),
+            &[(cols[base], w), (cols[base + 1], 0.9 - w), (cols[base + 2], 0.5)],
+        )
+        .unwrap();
+        p.add_row(RowBounds::at_most(1.0), &[(cols[base + 1], 0.6), (cols[base + 2], 0.2)])
+            .unwrap();
+    }
+    let auto = solve_with_basis(&p, &SimplexOptions::default(), None).unwrap();
+    assert!(auto.stats.sparse, "560-row LP must route sparse by default");
+    assert_eq!(auto.solution.status, SolveStatus::Optimal);
+    let de = solve(&p, &force_dense()).unwrap();
+    assert!(
+        (auto.solution.objective - de.objective).abs() < ROUTE_TOL * de.objective.abs().max(1.0),
+        "sparse {} vs dense {}",
+        auto.solution.objective,
+        de.objective
+    );
+}
+
+#[test]
+fn dual_reopt_sparse_route_matches_dense_oracle_on_rhs_sweep() {
+    // the same F-UMP rhs sweep as the dense-route test, but forced onto
+    // the sparse dual path: must stay on DualReopt and track the
+    // independent dense solver to 1e-9 at every step
+    use dpsan_lp::simplex::{solve_parametric_cached, ReoptCache, StepHint};
+    let opts = force_sparse();
+    let mut cache = ReoptCache::new();
+    let first =
+        solve_parametric_cached(&fump_sweep_problem(4.0), &opts, None, StepHint::Fresh, &mut cache)
+            .unwrap();
+    assert_eq!(first.solution.status, SolveStatus::Optimal);
+    assert!(first.stats.sparse, "forced sparse");
+    let mut basis = first.basis;
+    for budget in [3.0, 2.2, 2.8, 1.9, 3.5] {
+        let p = fump_sweep_problem(budget);
+        let fast =
+            solve_parametric_cached(&p, &opts, basis.as_ref(), StepHint::RhsOnly, &mut cache)
+                .unwrap();
+        let slow = solve_dense(&p);
+        assert_eq!(fast.solution.status, SolveStatus::Optimal, "budget {budget}");
+        assert_eq!(
+            fast.stats.algorithm,
+            dpsan_lp::simplex::Algorithm::DualReopt,
+            "budget {budget}: rhs-only steps ride the dual path even when sparse: {:?}",
+            fast.stats
+        );
+        assert!(
+            (fast.solution.objective - slow.objective).abs() < ROUTE_TOL,
+            "budget {budget}: sparse dual {} vs dense {}",
+            fast.solution.objective,
+            slow.objective
+        );
+        assert!(p.max_violation(&fast.solution.x) < 1e-7, "budget {budget}");
+        basis = fast.basis;
+    }
+}
+
+#[test]
+fn long_eta_chain_matches_refactorization() {
+    // drive a long pivot chain through the product-form update and
+    // check the updated factorization still solves exactly like a
+    // from-scratch refactorization of the final basis (1e-9)
+    use dpsan_lp::factor::lu::LuScratch;
+    use dpsan_lp::factor::BasisFactor;
+    use dpsan_lp::sparse::{CscMatrix, SparseVec};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(23);
+    let m = 60;
+    let extra = 120;
+    // columns: an identity block (starting basis) plus random sparse
+    // candidates with a strong diagonal-ish anchor
+    let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..m {
+        trips.push((i, i, 1.0));
+    }
+    for j in 0..extra {
+        let col = m + j;
+        let anchor = j % m;
+        trips.push((anchor, col, 2.0 + rng.random::<f64>()));
+        for _ in 0..3 {
+            let r = rng.random_range(0..m);
+            if r != anchor {
+                trips.push((r, col, rng.random::<f64>() - 0.5));
+            }
+        }
+    }
+    let a = CscMatrix::from_triplets(m, m + extra, &trips);
+    let mut basis: Vec<usize> = (0..m).collect();
+    let mut f = BasisFactor::factor(&a, &basis).unwrap();
+    let mut ws = LuScratch::new(m);
+
+    let mut chain = 0usize;
+    let mut attempt = 0usize;
+    while chain < 40 {
+        attempt += 1;
+        assert!(attempt < 4000, "could not build a 40-pivot chain");
+        let q = m + rng.random_range(0..extra);
+        if basis.contains(&q) {
+            continue;
+        }
+        // w = B^-1 A_q through the updated factors
+        let mut w = SparseVec::new(m);
+        let (rows, vals) = a.col(q);
+        for (&r, &v) in rows.iter().zip(vals) {
+            w.add(r, v);
+        }
+        f.ftran_sparse(&mut w, &mut ws);
+        w.sort_pattern();
+        // pivot on the largest entry to keep the chain well-conditioned
+        let Some(&r) = w
+            .pattern
+            .iter()
+            .max_by(|&&x, &&y| w.values[x].abs().partial_cmp(&w.values[y].abs()).unwrap())
+        else {
+            continue;
+        };
+        if w.values[r].abs() < 0.5 {
+            continue;
+        }
+        if f.update_sparse(r, &mut w).is_err() {
+            continue;
+        }
+        basis[r] = q;
+        chain += 1;
+    }
+    assert!(f.n_updates() >= 40);
+
+    let fresh = BasisFactor::factor(&a, &basis).unwrap();
+    for trial in 0..8 {
+        let rhs: Vec<f64> = (0..m).map(|_| rng.random::<f64>() * 2.0 - 1.0).collect();
+        let mut through_etas = rhs.clone();
+        f.ftran(&mut through_etas);
+        let mut refreshed = rhs.clone();
+        fresh.ftran(&mut refreshed);
+        for i in 0..m {
+            assert!(
+                (through_etas[i] - refreshed[i]).abs() < 1e-9,
+                "ftran trial {trial} row {i}: {} vs {}",
+                through_etas[i],
+                refreshed[i]
+            );
+        }
+        let mut through_etas = rhs.clone();
+        f.btran(&mut through_etas);
+        let mut refreshed = rhs;
+        fresh.btran(&mut refreshed);
+        for i in 0..m {
+            assert!(
+                (through_etas[i] - refreshed[i]).abs() < 1e-9,
+                "btran trial {trial} row {i}: {} vs {}",
+                through_etas[i],
+                refreshed[i]
+            );
+        }
+    }
 }

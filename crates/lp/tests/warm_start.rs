@@ -229,6 +229,51 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The whole warm/dual/cold path family again, but forced onto the
+    /// sparse route: every path must still land on the dense tableau
+    /// reference to 1e-9. This is the route-equivalence guarantee the
+    /// large-instance auto-routing relies on.
+    #[test]
+    fn sparse_route_dual_warm_cold_track_dense(
+        n in 2usize..8,
+        m in 1usize..6,
+        coefs in prop::collection::vec(0.0f64..2.0, 48),
+        rhs in prop::collection::vec(0.5f64..4.0, 6),
+        t in 0.2f64..3.0,
+        s in 0.3f64..2.0,
+    ) {
+        let p0 = capped_packing_lp(n, m, &coefs, &rhs);
+        let opts = SimplexOptions { sparse: Some(true), ..Default::default() };
+        let first = solve_with_basis(&p0, &opts, None).unwrap();
+        prop_assert_eq!(first.solution.status, SolveStatus::Optimal);
+        let basis = first.basis;
+
+        let p1 = perturb_rhs_and_caps(&p0, t, s);
+        let dual = solve_parametric(&p1, &opts, basis.as_ref(), StepHint::RhsOnly).unwrap();
+        let warm = solve_with_basis(&p1, &opts, basis.as_ref()).unwrap();
+        let cold = solve(&p1, &opts).unwrap();
+        let dense = solve_dense(&p1);
+
+        prop_assert_eq!(dual.solution.status, SolveStatus::Optimal);
+        prop_assert_eq!(warm.solution.status, SolveStatus::Optimal);
+        prop_assert_eq!(cold.status, SolveStatus::Optimal);
+        prop_assert_eq!(dense.status, SolveStatus::Optimal);
+        prop_assert!(dual.stats.sparse, "forced sparse must be honored");
+
+        let d = dual.solution.objective;
+        prop_assert!((d - cold.objective).abs() <= WARM_COLD_TOL,
+            "sparse dual {d} vs sparse cold {}", cold.objective);
+        prop_assert!((d - warm.solution.objective).abs() <= WARM_COLD_TOL,
+            "sparse dual {d} vs sparse warm {}", warm.solution.objective);
+        prop_assert!((d - dense.objective).abs() <= WARM_COLD_TOL,
+            "sparse dual {d} vs dense {}", dense.objective);
+        prop_assert!(p1.max_violation(&dual.solution.x) < 1e-6);
+    }
+}
+
 #[test]
 fn rhs_sweep_reuses_basis_and_saves_iterations() {
     // deterministic sweep in the Table-4 shape: same matrix, growing
